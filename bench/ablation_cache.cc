@@ -1,0 +1,47 @@
+// Ablation: the shared-memory adjacency cache (Section 4) on/off. With the
+// cache, a joint frontier's neighbor list is loaded from global memory
+// once and served to every instance; without it each active instance
+// reloads the list.
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/csv.h"
+
+namespace ibfs::bench {
+namespace {
+
+int Main() {
+  PrintHeader("Ablation", "shared-memory adjacency cache on/off (joint)");
+  const int64_t instances = InstanceCount(512);
+
+  CsvTable table({"graph", "cache_GTEPS", "nocache_GTEPS", "gain_x",
+                  "loads_saved_pct"});
+  for (const LoadedGraph& lg : LoadAll()) {
+    const auto sources = Sources(lg.graph, instances);
+    auto run = [&](bool cache) {
+      EngineOptions options =
+          BaseOptions(Strategy::kJointTraversal, GroupingPolicy::kGroupBy);
+      options.traversal.adjacency_cache = cache;
+      return MustRun(lg.graph, options, sources);
+    };
+    const EngineResult on = run(true);
+    const EngineResult off = run(false);
+    table.Row()
+        .Add(lg.name)
+        .Add(ToBillions(on.teps), 2)
+        .Add(ToBillions(off.teps), 2)
+        .Add(on.teps / off.teps, 2)
+        .Add(100.0 * (1.0 -
+                      static_cast<double>(on.totals.mem.load_transactions) /
+                          static_cast<double>(
+                              off.totals.mem.load_transactions)),
+             1);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ibfs::bench
+
+int main() { return ibfs::bench::Main(); }

@@ -1,0 +1,53 @@
+// Ablation: the direction-optimizing switch. Compares the full
+// direction-optimizing traversal against top-down-only (SpMM-BC's
+// limitation) and against alpha variations — Enterprise's key parameter,
+// which the paper inherits.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/csv.h"
+
+namespace ibfs::bench {
+namespace {
+
+int Main() {
+  PrintHeader("Ablation",
+              "direction switch: top-down-only vs alpha variants");
+  const int64_t instances = InstanceCount(512);
+
+  CsvTable table({"graph", "td_only_GTEPS", "alpha4_GTEPS",
+                  "alpha14_GTEPS", "alpha64_GTEPS", "best_vs_td_x"});
+  for (const LoadedGraph& lg : LoadAll()) {
+    const auto sources = Sources(lg.graph, instances);
+    auto run = [&](bool td_only, double alpha) {
+      EngineOptions options =
+          BaseOptions(Strategy::kBitwise, GroupingPolicy::kGroupBy);
+      options.traversal.force_top_down = td_only;
+      options.traversal.alpha = alpha;
+      return MustRun(lg.graph, options, sources).teps;
+    };
+    const double td_only = run(true, 14.0);
+    const double a4 = run(false, 4.0);
+    const double a14 = run(false, 14.0);
+    const double a64 = run(false, 64.0);
+    const double best = std::max({a4, a14, a64});
+    table.Row()
+        .Add(lg.name)
+        .Add(ToBillions(td_only), 2)
+        .Add(ToBillions(a4), 2)
+        .Add(ToBillions(a14), 2)
+        .Add(ToBillions(a64), 2)
+        .Add(best / td_only, 2);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "(direction optimization is worth several x on power-law graphs; "
+      "alpha matters less than having bottom-up at all)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ibfs::bench
+
+int main() { return ibfs::bench::Main(); }

@@ -1,0 +1,39 @@
+// Ablation: group size N. Bigger groups amortize more shared work but need
+// more status-array memory per vertex; the paper fixes N = 128 from the
+// device-memory bound of Section 3.
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/csv.h"
+
+namespace ibfs::bench {
+namespace {
+
+int Main() {
+  PrintHeader("Ablation", "group size N sweep (bitwise + GroupBy)");
+  const int64_t instances = InstanceCount(512);
+
+  CsvTable table({"graph", "N", "GTEPS", "sharing_ratio_pct"});
+  for (const LoadedGraph& lg : LoadNamed({"FB", "KG0", "RD", "TW"})) {
+    const auto sources = Sources(lg.graph, instances);
+    for (int n : {16, 32, 64, 128, 256}) {
+      EngineOptions options =
+          BaseOptions(Strategy::kBitwise, GroupingPolicy::kGroupBy);
+      options.group_size = n;
+      options.groupby.group_size = n;
+      const EngineResult result = MustRun(lg.graph, options, sources);
+      table.Row()
+          .Add(lg.name)
+          .Add(n)
+          .Add(ToBillions(result.teps), 2)
+          .Add(100.0 * result.SharingRatio(), 1);
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ibfs::bench
+
+int main() { return ibfs::bench::Main(); }

@@ -1,0 +1,50 @@
+// Ablation: the two GroupBy rules in isolation. Rule 1 alone (small source
+// outdegree, no hub requirement) degenerates to near-random; Rule 2 alone
+// (shared hub, any source degree) recovers most of the benefit; both
+// together are best — the complementarity Section 5.2 argues for.
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/csv.h"
+
+namespace ibfs::bench {
+namespace {
+
+int Main() {
+  PrintHeader("Ablation", "GroupBy rules: random / rule2-only / both");
+  const int64_t instances = InstanceCount(512);
+
+  CsvTable table({"graph", "random_GTEPS", "rule2_only_GTEPS",
+                  "both_GTEPS", "twohop_GTEPS", "both_vs_random_x"});
+  for (const LoadedGraph& lg : LoadAll()) {
+    const auto sources = Sources(lg.graph, instances);
+    auto run = [&](GroupingPolicy policy, bool rule1, int hub_depth) {
+      EngineOptions options = BaseOptions(Strategy::kBitwise, policy);
+      if (!rule1) {
+        // Disable Rule 1 by accepting any source outdegree.
+        options.groupby.p_sequence = {int64_t{1} << 30};
+      }
+      options.groupby.hub_search_depth = hub_depth;
+      return MustRun(lg.graph, options, sources).teps;
+    };
+    const double random = run(GroupingPolicy::kRandom, true, 1);
+    const double rule2 = run(GroupingPolicy::kGroupBy, false, 1);
+    const double both = run(GroupingPolicy::kGroupBy, true, 1);
+    // "within the first several levels": hubs found up to two hops out.
+    const double twohop = run(GroupingPolicy::kGroupBy, true, 2);
+    table.Row()
+        .Add(lg.name)
+        .Add(ToBillions(random), 2)
+        .Add(ToBillions(rule2), 2)
+        .Add(ToBillions(both), 2)
+        .Add(ToBillions(twohop), 2)
+        .Add(both / random, 2);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ibfs::bench
+
+int main() { return ibfs::bench::Main(); }

@@ -1,0 +1,95 @@
+#ifndef IBFS_BENCH_COMMON_H_
+#define IBFS_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "gen/benchmarks.h"
+#include "graph/components.h"
+#include "graph/csr.h"
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace ibfs::bench {
+
+/// One generated benchmark graph.
+struct LoadedGraph {
+  std::string name;
+  gen::BenchmarkId id;
+  graph::Csr graph;
+};
+
+/// Generates one preset at base scale + IBFS_SCALE (env, default 0).
+inline LoadedGraph LoadOne(gen::BenchmarkId id) {
+  auto result = gen::GenerateBenchmark(id, gen::EnvScaleDelta());
+  IBFS_CHECK(result.ok()) << result.status().ToString();
+  return {gen::GetBenchmark(id).name, id, std::move(result).value()};
+}
+
+/// Generates the full 13-graph suite (Section 8.1).
+inline std::vector<LoadedGraph> LoadAll() {
+  std::vector<LoadedGraph> graphs;
+  for (const auto& spec : gen::AllBenchmarks()) {
+    graphs.push_back(LoadOne(spec.id));
+  }
+  return graphs;
+}
+
+/// Generates a named subset.
+inline std::vector<LoadedGraph> LoadNamed(
+    const std::vector<std::string>& names) {
+  std::vector<LoadedGraph> graphs;
+  for (const auto& name : names) {
+    auto id = gen::BenchmarkByName(name);
+    IBFS_CHECK(id.has_value()) << "unknown benchmark " << name;
+    graphs.push_back(LoadOne(*id));
+  }
+  return graphs;
+}
+
+/// Giant-component source sample (the paper's Graph500-style selection).
+inline std::vector<graph::VertexId> Sources(const graph::Csr& graph,
+                                            int64_t count,
+                                            uint64_t seed = 2016) {
+  return graph::SampleConnectedSources(graph, count, seed);
+}
+
+/// Instance count for a bench, overridable via IBFS_INSTANCES.
+inline int64_t InstanceCount(int64_t def) {
+  return EnvInt64("IBFS_INSTANCES", def);
+}
+
+/// Baseline engine options shared by the figure harnesses.
+inline EngineOptions BaseOptions(Strategy strategy, GroupingPolicy grouping) {
+  EngineOptions options;
+  options.strategy = strategy;
+  options.grouping = grouping;
+  options.keep_depths = false;
+  options.traversal.collect_instance_stats = false;
+  return options;
+}
+
+/// Runs the engine and dies on error (benches have no recovery path).
+inline EngineResult MustRun(const graph::Csr& graph,
+                            const EngineOptions& options,
+                            std::span<const graph::VertexId> sources) {
+  Engine engine(&graph, options);
+  auto result = engine.Run(sources);
+  IBFS_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Uniform banner so the tee'd bench log reads like the paper's figures.
+inline void PrintHeader(const char* exp_id, const char* description) {
+  std::printf("=== %s: %s ===\n", exp_id, description);
+  std::printf("(scaled graph presets; IBFS_SCALE=%d, see DESIGN.md §2)\n",
+              gen::EnvScaleDelta());
+}
+
+inline double ToBillions(double teps) { return teps / 1e9; }
+
+}  // namespace ibfs::bench
+
+#endif  // IBFS_BENCH_COMMON_H_

@@ -1,0 +1,70 @@
+// Figure 11: standard deviation of per-instance bottom-up inspection
+// counts, before and after GroupBy. GroupBy batches instances that find
+// their parents at similar cost, cutting the paper's stddev by ~13x on
+// average (66x on TW) — the workload-balance effect of Section 5.3.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/csv.h"
+#include "util/stats_math.h"
+
+namespace ibfs::bench {
+namespace {
+
+// Average over groups of the stddev of per-frontier bottom-up scan
+// lengths (how many neighbors each frontier's thread inspected before
+// early termination or exhaustion) — the workload-imbalance distribution
+// Figure 11 reports.
+double BalanceStddev(const graph::Csr& graph,
+                     std::span<const graph::VertexId> sources,
+                     GroupingPolicy policy) {
+  EngineOptions options = BaseOptions(Strategy::kBitwise, policy);
+  options.traversal.collect_instance_stats = true;
+  const EngineResult result = MustRun(graph, options, sources);
+  RunningStats per_group;
+  for (const GroupResult& group : result.groups) {
+    if (group.trace.bottom_up_search_lengths.count() > 1) {
+      per_group.Add(group.trace.bottom_up_search_lengths.stddev());
+    }
+  }
+  return per_group.mean();
+}
+
+int Main() {
+  PrintHeader("Figure 11",
+              "stddev of bottom-up inspections per instance, random vs "
+              "GroupBy");
+  const int64_t instances = InstanceCount(512);
+
+  CsvTable table({"graph", "random_stddev", "groupby_stddev", "reduction_x"});
+  double total_reduction = 0;
+  int count = 0;
+  for (const LoadedGraph& lg : LoadAll()) {
+    const auto sources = Sources(lg.graph, instances);
+    const double random =
+        BalanceStddev(lg.graph, sources, GroupingPolicy::kRandom);
+    const double grouped =
+        BalanceStddev(lg.graph, sources, GroupingPolicy::kGroupBy);
+    const double reduction = grouped > 0 ? random / grouped : 0.0;
+    table.Row()
+        .Add(lg.name)
+        .Add(random, 1)
+        .Add(grouped, 1)
+        .Add(reduction, 2);
+    if (reduction > 0) {
+      total_reduction += std::log(reduction);
+      ++count;
+    }
+  }
+  table.Print(std::cout);
+  std::printf("geomean reduction: %.2fx (paper: 13x average, 66x max)\n",
+              count > 0 ? std::exp(total_reduction / count) : 0.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ibfs::bench
+
+int main() { return ibfs::bench::Main(); }

@@ -1,0 +1,36 @@
+// Figure 14: the graph benchmark inventory — vertex and edge counts plus
+// degree statistics for the 13 scaled presets (the paper's range: up to
+// 17M vertices and 1B edges; ours are laptop-scale with the same relative
+// shapes, see DESIGN.md §2).
+#include <iostream>
+
+#include "bench/common.h"
+#include "graph/degree_stats.h"
+#include "util/csv.h"
+
+namespace ibfs::bench {
+namespace {
+
+int Main() {
+  PrintHeader("Figure 14", "graph benchmark inventory");
+  CsvTable table({"graph", "vertices", "edges", "avg_deg", "max_deg",
+                  "kind"});
+  for (const LoadedGraph& lg : LoadAll()) {
+    const graph::DegreeStats stats = graph::ComputeDegreeStats(lg.graph);
+    table.Row()
+        .Add(lg.name)
+        .Add(stats.vertex_count)
+        .Add(stats.edge_count)
+        .Add(stats.avg_outdegree, 1)
+        .Add(stats.max_outdegree)
+        .Add(std::string(gen::GetBenchmark(lg.id).uniform ? "uniform"
+                                                          : "power-law"));
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ibfs::bench
+
+int main() { return ibfs::bench::Main(); }

@@ -1,0 +1,74 @@
+// Figure 17: scalability of bitwise iBFS from 1 to 112 (simulated) K20
+// GPUs on RD, FB, OR, TW and RM. Each GPU runs independent BFS groups —
+// no inter-GPU communication — so the reported time is the slowest
+// device's, and imbalance across groups caps the speedup (the paper
+// averages 85x on 112 GPUs; RD, the uniform graph, scales best at 108x).
+#include <iostream>
+#include <vector>
+
+#include "bench/common.h"
+#include "gpusim/cluster.h"
+#include "util/csv.h"
+#include "util/stats_math.h"
+
+namespace ibfs::bench {
+namespace {
+
+int Main() {
+  PrintHeader("Figure 17", "speedup on 1..112 simulated GPUs");
+  const int64_t instances = InstanceCount(4096);
+  const int group_size = static_cast<int>(EnvInt64("IBFS_GROUP_SIZE", 32));
+  const std::vector<int> gpu_counts = {1, 2, 4, 8, 16, 32, 64, 112};
+
+  CsvTable table({"graph", "gpus", "speedup", "GTEPS"});
+  std::vector<double> avg_speedup(gpu_counts.size(), 0.0);
+  double total_teps_112 = 0.0;
+  int graph_count = 0;
+  for (const LoadedGraph& lg :
+       LoadNamed({"RD", "FB", "OR", "TW", "RM"})) {
+    // Many small groups give the cluster something to balance; sources are
+    // resampled with wraparound if the component is smaller than asked.
+    const auto sources = Sources(lg.graph, instances);
+    EngineOptions options =
+        BaseOptions(Strategy::kBitwise, GroupingPolicy::kGroupBy);
+    options.group_size = group_size;
+    options.device = gpusim::DeviceSpec::K20();
+    const EngineResult result = MustRun(lg.graph, options, sources);
+
+    const double total_edges = static_cast<double>(lg.graph.edge_count()) *
+                               static_cast<double>(sources.size());
+    for (size_t i = 0; i < gpu_counts.size(); ++i) {
+      const double speedup = gpusim::ClusterSpeedup(
+          result.group_seconds, gpu_counts[i],
+          gpusim::PlacementPolicy::kRoundRobin);
+      const double teps = result.teps * speedup;
+      table.Row()
+          .Add(lg.name)
+          .Add(gpu_counts[i])
+          .Add(speedup, 2)
+          .Add(ToBillions(teps), 1);
+      avg_speedup[i] += speedup;
+      if (gpu_counts[i] == 112) total_teps_112 += teps;
+    }
+    (void)total_edges;
+    ++graph_count;
+  }
+  for (size_t i = 0; i < gpu_counts.size(); ++i) {
+    table.Row()
+        .Add(std::string("AVG"))
+        .Add(gpu_counts[i])
+        .Add(avg_speedup[i] / graph_count, 2)
+        .Add(std::string("-"));
+  }
+  table.Print(std::cout);
+  std::printf(
+      "max aggregate at 112 GPUs: %.0f GTEPS across tested graphs "
+      "(paper: avg 85x speedup at 112 GPUs; 57,267 GTEPS max)\n",
+      ToBillions(total_teps_112));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ibfs::bench
+
+int main() { return ibfs::bench::Main(); }

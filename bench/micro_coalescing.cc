@@ -1,0 +1,35 @@
+// Microbenchmarks for the simulator's coalescing arithmetic (it sits on
+// every simulated memory access, so its own speed bounds simulation rate).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gpusim/memory_model.h"
+#include "util/prng.h"
+
+namespace ibfs::gpusim {
+namespace {
+
+void BM_GatherTransactions(benchmark::State& state) {
+  Prng prng(3);
+  std::vector<int64_t> idx(32);
+  for (auto& i : idx) i = static_cast<int64_t>(prng.NextBounded(100000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GatherTransactions(idx, 4, 128));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_GatherTransactions);
+
+void BM_ContiguousTransactions(benchmark::State& state) {
+  const int64_t count = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ContiguousTransactions(17, count, 1, 128));
+  }
+}
+BENCHMARK(BM_ContiguousTransactions)->Arg(32)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace ibfs::gpusim
+
+BENCHMARK_MAIN();

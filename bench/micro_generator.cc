@@ -1,0 +1,39 @@
+// Microbenchmarks for the graph generators (edges per second).
+#include <benchmark/benchmark.h>
+
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+
+namespace ibfs::gen {
+namespace {
+
+void BM_Rmat(benchmark::State& state) {
+  RmatParams params;
+  params.scale = static_cast<int>(state.range(0));
+  params.edge_factor = 8;
+  for (auto _ : state) {
+    auto g = GenerateRmat(params);
+    benchmark::DoNotOptimize(g.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (int64_t{1} << params.scale) * params.edge_factor);
+}
+BENCHMARK(BM_Rmat)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_Uniform(benchmark::State& state) {
+  UniformParams params;
+  params.vertex_count = state.range(0);
+  params.outdegree = 8;
+  for (auto _ : state) {
+    auto g = GenerateUniform(params);
+    benchmark::DoNotOptimize(g.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * params.vertex_count *
+                          params.outdegree);
+}
+BENCHMARK(BM_Uniform)->Arg(1 << 10)->Arg(1 << 13);
+
+}  // namespace
+}  // namespace ibfs::gen
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Microbenchmark: joint frontier queue generation over a full status-array
+// scan (the fq_gen kernel's host-side analogue).
+#include <benchmark/benchmark.h>
+
+#include "gpusim/device.h"
+#include "graph/components.h"
+#include "ibfs/runner.h"
+#include "gen/rmat.h"
+
+namespace ibfs {
+namespace {
+
+void BM_JointGroupTraversal(benchmark::State& state) {
+  gen::RmatParams params;
+  params.scale = 11;
+  params.edge_factor = 8;
+  auto graph = gen::GenerateRmat(params);
+  const auto sources =
+      graph::SampleConnectedSources(graph.value(), state.range(0), 3);
+  TraversalOptions options;
+  options.record_depths = false;
+  options.collect_instance_stats = false;
+  for (auto _ : state) {
+    gpusim::Device device;
+    auto result = RunGroup(Strategy::kBitwise, graph.value(), sources,
+                           options, &device);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.value().edge_count() *
+                          state.range(0));
+}
+BENCHMARK(BM_JointGroupTraversal)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace ibfs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Weak-scaling sweep: bitwise+GroupBy TEPS as the graph grows (IBFS_SCALE
+// deltas), showing the simulated device approaching its throughput plateau
+// the way real GPUs do as kernels get big enough to saturate.
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/csv.h"
+
+namespace ibfs::bench {
+namespace {
+
+int Main() {
+  PrintHeader("Scaling sweep", "TEPS vs graph scale (bitwise + GroupBy)");
+  const int64_t instances = InstanceCount(256);
+
+  CsvTable table({"graph", "scale_delta", "vertices", "edges", "GTEPS"});
+  for (const auto name : {"KG2", "RD"}) {
+    auto id = gen::BenchmarkByName(name);
+    IBFS_CHECK(id.has_value());
+    for (int delta : {-3, -2, -1, 0, 1}) {
+      auto built = gen::GenerateBenchmark(*id, delta);
+      IBFS_CHECK(built.ok());
+      const graph::Csr& g = built.value();
+      const auto sources = Sources(g, instances);
+      EngineOptions options =
+          BaseOptions(Strategy::kBitwise, GroupingPolicy::kGroupBy);
+      const EngineResult result = MustRun(g, options, sources);
+      table.Row()
+          .Add(std::string(name))
+          .Add(delta)
+          .Add(g.vertex_count())
+          .Add(g.edge_count())
+          .Add(ToBillions(result.teps), 2);
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ibfs::bench
+
+int main() { return ibfs::bench::Main(); }

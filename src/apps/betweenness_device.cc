@@ -1,0 +1,206 @@
+#include "apps/betweenness_device.h"
+
+#include <vector>
+
+#include "ibfs/status_array.h"
+#include "util/logging.h"
+
+namespace ibfs::apps {
+namespace {
+
+using graph::VertexId;
+
+// Joint per-(vertex, pivot) state for one group: depth byte, sigma count
+// and dependency value, each laid out row-per-vertex like the JSA so that
+// the N contiguous threads working on one vertex coalesce.
+class GroupState {
+ public:
+  GroupState(int64_t vertices, int n)
+      : n_(n),
+        depth_(static_cast<size_t>(vertices) * n, kUnvisitedDepth),
+        sigma_(static_cast<size_t>(vertices) * n, 0.0),
+        delta_(static_cast<size_t>(vertices) * n, 0.0) {}
+
+  uint8_t& Depth(VertexId v, int j) {
+    return depth_[static_cast<int64_t>(v) * n_ + j];
+  }
+  double& Sigma(VertexId v, int j) {
+    return sigma_[static_cast<int64_t>(v) * n_ + j];
+  }
+  double& Delta(VertexId v, int j) {
+    return delta_[static_cast<int64_t>(v) * n_ + j];
+  }
+  int64_t RowIndex(VertexId v) const {
+    return static_cast<int64_t>(v) * n_;
+  }
+
+ private:
+  int n_;
+  std::vector<uint8_t> depth_;
+  std::vector<double> sigma_;
+  std::vector<double> delta_;
+};
+
+// Forward level-synchronous pass: BFS depths plus shortest-path counts.
+// Returns the per-level joint frontiers (level 0 = the pivots).
+std::vector<std::vector<VertexId>> ForwardPass(
+    const graph::Csr& graph, std::span<const VertexId> pivots,
+    GroupState* state, gpusim::Device* device) {
+  const int n = static_cast<int>(pivots.size());
+  std::vector<std::vector<VertexId>> levels;
+  {
+    std::vector<VertexId> first;
+    for (int j = 0; j < n; ++j) {
+      state->Depth(pivots[j], j) = 0;
+      state->Sigma(pivots[j], j) = 1.0;
+      bool queued = false;
+      for (VertexId q : first) queued |= q == pivots[j];
+      if (!queued) first.push_back(pivots[j]);
+    }
+    levels.push_back(std::move(first));
+  }
+
+  for (int level = 1;; ++level) {
+    auto scope = device->BeginKernel("bc_forward");
+    const auto& frontier = levels.back();
+    std::vector<bool> next_mask(static_cast<size_t>(graph.vertex_count()),
+                                false);
+    int64_t discovered = 0;
+    for (VertexId f : frontier) {
+      scope.BeginItem();
+      // Load the frontier's depth and sigma rows (coalesced).
+      scope.LoadContiguous(state->RowIndex(f), n, 1);
+      scope.LoadContiguous(state->RowIndex(f), n, 8);
+      const auto neighbors = graph.OutNeighbors(f);
+      scope.LoadContiguous(static_cast<int64_t>(graph.row_offsets()[f]),
+                           static_cast<int64_t>(neighbors.size()),
+                           sizeof(VertexId));
+      for (VertexId w : neighbors) {
+        scope.LoadContiguous(state->RowIndex(w), n, 1);
+        scope.Compute(2 * n);
+        bool touched = false;
+        for (int j = 0; j < n; ++j) {
+          if (state->Depth(f, j) != static_cast<uint8_t>(level - 1)) {
+            continue;
+          }
+          uint8_t& dw = state->Depth(w, j);
+          if (dw == kUnvisitedDepth) {
+            dw = static_cast<uint8_t>(level);
+            ++discovered;
+            touched = true;
+            if (!next_mask[w]) {
+              next_mask[w] = true;
+            }
+          }
+          if (dw == static_cast<uint8_t>(level)) {
+            // sigma(w) += sigma(f): concurrent pivots write the same row
+            // words, hence the atomic accumulation.
+            state->Sigma(w, j) += state->Sigma(f, j);
+            touched = true;
+          }
+        }
+        if (touched) {
+          scope.Atomic((n * 8 + 127) / 128);
+          scope.StoreContiguous(state->RowIndex(w), n, 8);
+        }
+      }
+      scope.EndItem();
+    }
+    if (discovered == 0) break;
+    std::vector<VertexId> next;
+    for (int64_t v = 0; v < graph.vertex_count(); ++v) {
+      if (next_mask[v]) next.push_back(static_cast<VertexId>(v));
+    }
+    // Frontier identification scan, as in the BFS kernels.
+    scope.LoadContiguous(0, graph.vertex_count() * n, 1);
+    scope.StoreContiguous(0, static_cast<int64_t>(next.size()),
+                          sizeof(VertexId));
+    levels.push_back(std::move(next));
+  }
+  if (levels.back().empty()) levels.pop_back();
+  return levels;
+}
+
+// Backward dependency accumulation, deepest level first:
+// delta(v) += sigma(v)/sigma(w) * (1 + delta(w)) over tree edges v -> w.
+void BackwardPass(const graph::Csr& graph, std::span<const VertexId> pivots,
+                  const std::vector<std::vector<VertexId>>& levels,
+                  GroupState* state, gpusim::Device* device) {
+  const int n = static_cast<int>(pivots.size());
+  for (size_t li = levels.size(); li-- > 1;) {
+    auto scope = device->BeginKernel("bc_backward");
+    for (VertexId w : levels[li]) {
+      scope.BeginItem();
+      scope.LoadContiguous(state->RowIndex(w), n, 1);
+      scope.LoadContiguous(state->RowIndex(w), n, 8);
+      const auto preds = graph.InNeighbors(w);
+      scope.LoadContiguous(static_cast<int64_t>(graph.in_row_offsets()[w]),
+                           static_cast<int64_t>(preds.size()),
+                           sizeof(VertexId));
+      for (VertexId v : preds) {
+        scope.LoadContiguous(state->RowIndex(v), n, 1);
+        scope.Compute(3 * n);
+        bool touched = false;
+        for (int j = 0; j < n; ++j) {
+          if (state->Depth(w, j) != static_cast<uint8_t>(li)) continue;
+          if (state->Depth(v, j) + 1 != state->Depth(w, j)) continue;
+          const double sw = state->Sigma(w, j);
+          if (sw <= 0.0) continue;
+          state->Delta(v, j) +=
+              state->Sigma(v, j) / sw * (1.0 + state->Delta(w, j));
+          touched = true;
+        }
+        if (touched) {
+          scope.Atomic((n * 8 + 127) / 128);
+          scope.StoreContiguous(state->RowIndex(v), n, 8);
+        }
+      }
+      scope.EndItem();
+    }
+  }
+}
+
+}  // namespace
+
+Result<DeviceBetweennessResult> DeviceBetweenness(
+    const graph::Csr& graph, std::span<const VertexId> pivots,
+    int group_size, const gpusim::DeviceSpec& spec) {
+  if (pivots.empty()) return Status::InvalidArgument("no pivots");
+  if (group_size < 1) {
+    return Status::InvalidArgument("group_size must be >= 1");
+  }
+  for (VertexId p : pivots) {
+    if (static_cast<int64_t>(p) >= graph.vertex_count()) {
+      return Status::OutOfRange("pivot outside graph");
+    }
+  }
+
+  gpusim::Device device(spec);
+  DeviceBetweennessResult result;
+  result.centrality.assign(static_cast<size_t>(graph.vertex_count()), 0.0);
+
+  for (size_t begin = 0; begin < pivots.size();
+       begin += static_cast<size_t>(group_size)) {
+    const size_t end =
+        std::min(pivots.size(), begin + static_cast<size_t>(group_size));
+    const std::span<const VertexId> group =
+        pivots.subspan(begin, end - begin);
+    const int n = static_cast<int>(group.size());
+
+    GroupState state(graph.vertex_count(), n);
+    const auto levels = ForwardPass(graph, group, &state, &device);
+    BackwardPass(graph, group, levels, &state, &device);
+
+    for (int64_t v = 0; v < graph.vertex_count(); ++v) {
+      for (int j = 0; j < n; ++j) {
+        if (static_cast<VertexId>(v) != group[j]) {
+          result.centrality[v] += state.Delta(static_cast<VertexId>(v), j);
+        }
+      }
+    }
+  }
+  result.sim_seconds = device.elapsed_seconds();
+  return result;
+}
+
+}  // namespace ibfs::apps

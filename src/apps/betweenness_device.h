@@ -1,0 +1,40 @@
+#ifndef IBFS_APPS_BETWEENNESS_DEVICE_H_
+#define IBFS_APPS_BETWEENNESS_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/device_spec.h"
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace ibfs::apps {
+
+/// Multi-source Brandes betweenness on the simulated GPU — the workload of
+/// the paper's SpMM-BC and McLaughlin/Bader comparisons (Section 9):
+/// each group of pivots runs a concurrent forward BFS that also counts
+/// shortest paths (sigma), then a level-by-level backward sweep
+/// accumulates dependencies. Joint data structures hold the per-(vertex,
+/// pivot) depth/sigma/delta values contiguously, so the same coalescing
+/// that powers iBFS applies.
+struct DeviceBetweennessResult {
+  /// Accumulated (unnormalized, directed) betweenness per vertex over the
+  /// given pivots — exact when pivots cover all vertices, a pivot-sampled
+  /// approximation otherwise (Brandes–Pich style).
+  std::vector<double> centrality;
+  /// Simulated seconds on the device.
+  double sim_seconds = 0.0;
+};
+
+/// Runs grouped multi-source Brandes from `pivots` with groups of
+/// `group_size` on a device with the given spec.
+Result<DeviceBetweennessResult> DeviceBetweenness(
+    const graph::Csr& graph, std::span<const graph::VertexId> pivots,
+    int group_size = 64,
+    const gpusim::DeviceSpec& spec = gpusim::DeviceSpec::K40());
+
+}  // namespace ibfs::apps
+
+#endif  // IBFS_APPS_BETWEENNESS_DEVICE_H_

@@ -1,0 +1,87 @@
+#include "apps/eccentricity.h"
+
+#include <algorithm>
+
+#include "graph/components.h"
+#include "ibfs/status_array.h"
+
+namespace ibfs::apps {
+
+Result<EccentricityResult> ComputeEccentricities(
+    const graph::Csr& graph, std::span<const graph::VertexId> sources,
+    const EngineOptions& options) {
+  EngineOptions opts = options;
+  opts.keep_depths = true;
+  Engine engine(&graph, opts);
+  Result<EngineResult> run = engine.Run(sources);
+  IBFS_RETURN_NOT_OK(run.status());
+  const EngineResult& res = run.value();
+
+  // Map per-group results back to input order.
+  std::vector<int> by_vertex(static_cast<size_t>(graph.vertex_count()), -1);
+  for (size_t g = 0; g < res.groups.size(); ++g) {
+    for (size_t j = 0; j < res.group_sources[g].size(); ++j) {
+      int ecc = 0;
+      for (uint8_t d : res.groups[g].depths[j]) {
+        if (d != kUnvisitedDepth) ecc = std::max(ecc, static_cast<int>(d));
+      }
+      by_vertex[res.group_sources[g][j]] = ecc;
+    }
+  }
+
+  EccentricityResult result;
+  result.sim_seconds = res.sim_seconds;
+  result.eccentricity.reserve(sources.size());
+  int diameter = 0;
+  int radius = 0x7fffffff;
+  for (graph::VertexId s : sources) {
+    const int ecc = by_vertex[s];
+    result.eccentricity.push_back(ecc);
+    diameter = std::max(diameter, ecc);
+    radius = std::min(radius, ecc);
+  }
+  result.diameter_lower_bound = diameter;
+  result.radius_upper_bound = sources.empty() ? 0 : radius;
+  return result;
+}
+
+Result<int> EstimateDiameterDoubleSweep(const graph::Csr& graph, int rounds,
+                                        uint64_t seed,
+                                        const EngineOptions& options) {
+  if (rounds < 1) return Status::InvalidArgument("rounds must be >= 1");
+  EngineOptions opts = options;
+  opts.keep_depths = true;
+
+  // One BFS; returns (farthest vertex, eccentricity of the source).
+  auto sweep = [&](graph::VertexId s) -> Result<std::pair<graph::VertexId,
+                                                          int>> {
+    Engine engine(&graph, opts);
+    const graph::VertexId batch[1] = {s};
+    Result<EngineResult> run = engine.Run({batch, 1});
+    IBFS_RETURN_NOT_OK(run.status());
+    const auto& depths = run.value().groups[0].depths[0];
+    graph::VertexId farthest = s;
+    int ecc = 0;
+    for (int64_t v = 0; v < graph.vertex_count(); ++v) {
+      if (depths[v] != kUnvisitedDepth && depths[v] > ecc) {
+        ecc = depths[v];
+        farthest = static_cast<graph::VertexId>(v);
+      }
+    }
+    return std::make_pair(farthest, ecc);
+  };
+
+  const auto seeds = graph::SampleConnectedSources(graph, rounds, seed);
+  if (seeds.empty()) return Status::FailedPrecondition("empty graph");
+  int best = 0;
+  for (graph::VertexId s : seeds) {
+    auto first = sweep(s);
+    IBFS_RETURN_NOT_OK(first.status());
+    auto second = sweep(first.value().first);
+    IBFS_RETURN_NOT_OK(second.status());
+    best = std::max({best, first.value().second, second.value().second});
+  }
+  return best;
+}
+
+}  // namespace ibfs::apps

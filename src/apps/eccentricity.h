@@ -1,0 +1,44 @@
+#ifndef IBFS_APPS_ECCENTRICITY_H_
+#define IBFS_APPS_ECCENTRICITY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/csr.h"
+
+namespace ibfs::apps {
+
+/// Eccentricities and diameter/radius bounds from concurrent BFS — a
+/// classic consumer of multi-source traversal (route planning and network
+/// analysis in the paper's introduction).
+struct EccentricityResult {
+  /// Per input source: the greatest hop distance to any reachable vertex.
+  std::vector<int> eccentricity;
+  /// max over the sampled sources — a lower bound on the graph diameter
+  /// (exact when sources cover a whole component).
+  int diameter_lower_bound = 0;
+  /// min over the sampled sources — an upper bound on the graph radius.
+  int radius_upper_bound = 0;
+  /// Simulated seconds of the sweep.
+  double sim_seconds = 0.0;
+};
+
+/// Runs one concurrent-BFS sweep from `sources` and derives per-source
+/// eccentricities plus diameter/radius bounds.
+Result<EccentricityResult> ComputeEccentricities(
+    const graph::Csr& graph, std::span<const graph::VertexId> sources,
+    const EngineOptions& options = {});
+
+/// Double-sweep diameter lower bound: BFS from a seed vertex in the giant
+/// component, then BFS from the farthest vertex found; the second
+/// eccentricity is a strong diameter lower bound (exact on trees).
+/// `rounds` repeats with different seeds, keeping the best bound.
+Result<int> EstimateDiameterDoubleSweep(const graph::Csr& graph,
+                                        int rounds = 4, uint64_t seed = 1,
+                                        const EngineOptions& options = {});
+
+}  // namespace ibfs::apps
+
+#endif  // IBFS_APPS_ECCENTRICITY_H_

@@ -1,0 +1,94 @@
+#include "apps/reachability_index.h"
+
+#include "baselines/reference_bfs.h"
+#include "ibfs/status_array.h"
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace ibfs::apps {
+
+Result<KHopReachabilityIndex> KHopReachabilityIndex::Build(
+    const graph::Csr& graph, std::span<const graph::VertexId> sources,
+    int k, EngineOptions options) {
+  if (k < 1 || k > TraversalOptions::kMaxTraversalLevel) {
+    return Status::InvalidArgument("k out of range");
+  }
+  options.traversal.max_level = k;
+  options.keep_depths = true;
+
+  Engine engine(&graph, options);
+  Result<EngineResult> run = engine.Run(sources);
+  IBFS_RETURN_NOT_OK(run.status());
+  const EngineResult& res = run.value();
+
+  KHopReachabilityIndex index;
+  index.k_ = k;
+  index.vertex_count_ = graph.vertex_count();
+  index.words_per_source_ =
+      static_cast<int64_t>(CeilDiv(static_cast<uint64_t>(graph.vertex_count()),
+                                   64));
+  index.build_seconds_ = res.sim_seconds;
+
+  // Engine grouping may reorder sources; rebuild rows in group order and
+  // keep the per-row source id alongside.
+  for (size_t g = 0; g < res.groups.size(); ++g) {
+    const auto& group = res.groups[g];
+    for (size_t j = 0; j < res.group_sources[g].size(); ++j) {
+      index.sources_.push_back(res.group_sources[g][j]);
+      const auto& depths = group.depths[j];
+      const size_t row = index.hops_.size() / graph.vertex_count();
+      index.hops_.insert(index.hops_.end(), depths.begin(), depths.end());
+      index.bits_.resize((row + 1) * index.words_per_source_, 0);
+      uint64_t* bit_row =
+          index.bits_.data() + row * index.words_per_source_;
+      for (int64_t v = 0; v < graph.vertex_count(); ++v) {
+        if (depths[v] != kUnvisitedDepth) {
+          bit_row[v / 64] |= Bit(static_cast<int>(v % 64));
+        }
+      }
+    }
+  }
+  return index;
+}
+
+bool KHopReachabilityIndex::Reachable(int64_t source_index,
+                                      graph::VertexId target) const {
+  IBFS_CHECK(source_index >= 0 &&
+             source_index < static_cast<int64_t>(sources_.size()));
+  IBFS_CHECK(static_cast<int64_t>(target) < vertex_count_);
+  const uint64_t* row = bits_.data() + source_index * words_per_source_;
+  return ibfs::TestBit(row[target / 64], static_cast<int>(target % 64));
+}
+
+int KHopReachabilityIndex::HopsTo(int64_t source_index,
+                                  graph::VertexId target) const {
+  IBFS_CHECK(source_index >= 0 &&
+             source_index < static_cast<int64_t>(sources_.size()));
+  const uint8_t h =
+      hops_[source_index * vertex_count_ + static_cast<int64_t>(target)];
+  return h == kUnvisitedDepth ? -1 : h;
+}
+
+bool KHopReachabilityIndex::ReachableWithin(const graph::Csr& graph,
+                                            int64_t source_index,
+                                            graph::VertexId target,
+                                            int limit) const {
+  IBFS_CHECK(source_index >= 0 &&
+             source_index < static_cast<int64_t>(sources_.size()));
+  if (limit <= 0) return sources_[source_index] == target;
+  const int hops = HopsTo(source_index, target);
+  if (hops >= 0) return hops <= limit;
+  // Within the index's horizon the answer is definitive.
+  if (limit <= k_) return false;
+  // Beyond k hops: online truncated BFS from the source, the simplest
+  // sound fallback.
+  const auto depths =
+      baselines::ReferenceBfs(graph, sources_[source_index], limit);
+  return depths[target] >= 0;
+}
+
+int64_t KHopReachabilityIndex::IndexBytes() const {
+  return static_cast<int64_t>(bits_.size() * sizeof(uint64_t));
+}
+
+}  // namespace ibfs::apps

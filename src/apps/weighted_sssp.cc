@@ -1,0 +1,154 @@
+#include "apps/weighted_sssp.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ibfs::apps {
+namespace {
+
+using graph::Csr;
+using graph::VertexId;
+
+// Mixes an unordered vertex pair and a seed into a weight; both directions
+// of an undirected edge hash identically.
+uint8_t PairWeight(VertexId u, VertexId v, uint8_t max_weight,
+                   uint64_t seed) {
+  const uint64_t a = std::min(u, v);
+  const uint64_t b = std::max(u, v);
+  uint64_t h = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^ (b + 0x7f4a7c15u);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<uint8_t>(1 + h % max_weight);
+}
+
+// Instrumented Dial core shared by the single- and multi-source entries.
+Result<std::vector<int64_t>> DialCore(const Csr& graph,
+                                      const EdgeWeights& weights,
+                                      VertexId source,
+                                      baselines::CpuCostModel* cpu) {
+  const int64_t n = graph.vertex_count();
+  if (static_cast<int64_t>(weights.weights.size()) != graph.edge_count()) {
+    return Status::InvalidArgument("weights size != edge count");
+  }
+  if (weights.max_weight == 0) {
+    return Status::InvalidArgument("max_weight must be >= 1");
+  }
+  if (static_cast<int64_t>(source) >= n) {
+    return Status::OutOfRange("source outside graph");
+  }
+  for (uint8_t w : weights.weights) {
+    if (w == 0 || w > weights.max_weight) {
+      return Status::InvalidArgument("edge weight outside [1, max_weight]");
+    }
+  }
+
+  std::vector<int64_t> dist(static_cast<size_t>(n), -1);
+  // Circular bucket queue over max_weight+1 distance classes: the weighted
+  // generalization of the BFS frontier queue.
+  const size_t bucket_count = static_cast<size_t>(weights.max_weight) + 1;
+  std::vector<std::vector<VertexId>> buckets(bucket_count);
+  dist[source] = 0;
+  buckets[0].push_back(source);
+  int64_t settled = 0;
+  for (int64_t d = 0; settled < n; ++d) {
+    auto& bucket = buckets[static_cast<size_t>(d) % bucket_count];
+    if (bucket.empty()) {
+      // Termination: all buckets drained.
+      bool any = false;
+      for (const auto& b : buckets) any |= !b.empty();
+      if (!any) break;
+      continue;
+    }
+    std::vector<VertexId> frontier;
+    frontier.swap(bucket);
+    for (VertexId v : frontier) {
+      if (dist[v] != d) continue;  // stale entry, superseded earlier
+      ++settled;
+      const auto neighbors = graph.OutNeighbors(v);
+      const auto base = static_cast<size_t>(graph.row_offsets()[v]);
+      if (cpu != nullptr) {
+        cpu->SequentialBytes(static_cast<int64_t>(neighbors.size()) *
+                             (sizeof(VertexId) + 1));
+        cpu->RandomLines(static_cast<int64_t>(neighbors.size()));
+        cpu->Compute(3 * static_cast<int64_t>(neighbors.size()));
+      }
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        const VertexId w = neighbors[i];
+        const int64_t nd = d + weights.weights[base + i];
+        if (dist[w] < 0 || nd < dist[w]) {
+          dist[w] = nd;
+          buckets[static_cast<size_t>(nd) % bucket_count].push_back(w);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+EdgeWeights GenerateWeights(const Csr& graph, uint8_t max_weight,
+                            uint64_t seed) {
+  EdgeWeights out;
+  out.max_weight = std::max<uint8_t>(1, max_weight);
+  out.weights.reserve(static_cast<size_t>(graph.edge_count()));
+  for (int64_t v = 0; v < graph.vertex_count(); ++v) {
+    for (VertexId w : graph.OutNeighbors(static_cast<VertexId>(v))) {
+      out.weights.push_back(PairWeight(static_cast<VertexId>(v), w,
+                                       out.max_weight, seed));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> DialSssp(const Csr& graph,
+                                      const EdgeWeights& weights,
+                                      VertexId source) {
+  return DialCore(graph, weights, source, nullptr);
+}
+
+std::vector<int64_t> DijkstraReference(const Csr& graph,
+                                       const EdgeWeights& weights,
+                                       VertexId source) {
+  const int64_t n = graph.vertex_count();
+  std::vector<int64_t> dist(static_cast<size_t>(n), -1);
+  using Entry = std::pair<int64_t, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist[v]) continue;
+    const auto neighbors = graph.OutNeighbors(v);
+    const auto base = static_cast<size_t>(graph.row_offsets()[v]);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const int64_t nd = d + weights.weights[base + i];
+      const VertexId w = neighbors[i];
+      if (dist[w] < 0 || nd < dist[w]) {
+        dist[w] = nd;
+        heap.push({nd, w});
+      }
+    }
+  }
+  return dist;
+}
+
+Result<std::vector<std::vector<int64_t>>> ConcurrentWeightedSssp(
+    const Csr& graph, const EdgeWeights& weights,
+    std::span<const VertexId> sources, baselines::CpuCostModel* cpu) {
+  if (cpu == nullptr) return Status::InvalidArgument("cpu model is null");
+  if (sources.empty()) return Status::InvalidArgument("no sources");
+  std::vector<std::vector<int64_t>> out;
+  out.reserve(sources.size());
+  cpu->ParallelSection();
+  for (VertexId s : sources) {
+    Result<std::vector<int64_t>> dist = DialCore(graph, weights, s, cpu);
+    IBFS_RETURN_NOT_OK(dist.status());
+    out.push_back(std::move(dist).value());
+  }
+  return out;
+}
+
+}  // namespace ibfs::apps

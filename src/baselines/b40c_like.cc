@@ -1,0 +1,14 @@
+#include "baselines/gpu_baselines.h"
+
+namespace ibfs::baselines {
+
+Result<GroupResult> RunB40cLike(const graph::Csr& graph,
+                                std::span<const graph::VertexId> sources,
+                                const TraversalOptions& options,
+                                gpusim::Device* device) {
+  // One direction-optimizing BFS per launch, instances back to back: the
+  // sequential strategy is exactly this baseline's cost structure.
+  return RunGroup(Strategy::kSequential, graph, sources, options, device);
+}
+
+}  // namespace ibfs::baselines

@@ -1,0 +1,47 @@
+#ifndef IBFS_BASELINES_CPU_BFS_H_
+#define IBFS_BASELINES_CPU_BFS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/cpu_model.h"
+#include "graph/csr.h"
+#include "ibfs/runner.h"
+#include "util/status.h"
+
+namespace ibfs::baselines {
+
+/// Result of a CPU-modeled concurrent BFS run over one group.
+struct CpuRunResult {
+  /// depths[j][v], kUnvisitedDepth (0xFF) when unreached.
+  std::vector<std::vector<uint8_t>> depths;
+  /// Modeled seconds added to the cost model by this run.
+  double seconds = 0.0;
+  /// Neighbor checks performed (for workload comparisons).
+  int64_t edges_inspected = 0;
+};
+
+/// MS-BFS (Then et al., VLDB'15): the state-of-the-art CPU concurrent BFS
+/// the paper compares against (Figures 20/22, Table 1). One bit per
+/// (vertex, instance) in `visit` / `visitNext` / `seen` arrays; the per-
+/// level visit arrays are rebuilt (reset) every level, which is why its
+/// bottom-up cannot early-terminate (Section 9); single-thread bitwise ops,
+/// so no atomics. Honors options.max_level and options.force_top_down.
+Result<CpuRunResult> RunMsBfs(const graph::Csr& graph,
+                              std::span<const graph::VertexId> sources,
+                              const TraversalOptions& options,
+                              CpuCostModel* cpu);
+
+/// CPU port of iBFS (Section 7): joint frontier queue + cumulative bitwise
+/// status arrays with bottom-up early termination, but multi-threaded
+/// bitwise updates require atomics on CPUs (the notable difference from
+/// MS-BFS the paper calls out).
+Result<CpuRunResult> RunCpuIbfs(const graph::Csr& graph,
+                                std::span<const graph::VertexId> sources,
+                                const TraversalOptions& options,
+                                CpuCostModel* cpu);
+
+}  // namespace ibfs::baselines
+
+#endif  // IBFS_BASELINES_CPU_BFS_H_

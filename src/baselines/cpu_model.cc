@@ -1,0 +1,49 @@
+#include "baselines/cpu_model.h"
+
+#include <algorithm>
+
+namespace ibfs::baselines {
+
+CpuCostModel::CpuCostModel(CpuSpec spec) : spec_(std::move(spec)) {}
+
+void CpuCostModel::RandomLines(int64_t count) {
+  if (count > 0) random_lines_ += count;
+}
+
+void CpuCostModel::SequentialBytes(int64_t bytes) {
+  if (bytes > 0) sequential_bytes_ += bytes;
+}
+
+void CpuCostModel::Compute(int64_t ops) {
+  if (ops > 0) compute_ops_ += ops;
+}
+
+void CpuCostModel::Atomic(int64_t count) {
+  if (count > 0) atomics_ += count;
+}
+
+void CpuCostModel::ParallelSection() { ++sections_; }
+
+double CpuCostModel::Seconds() const {
+  const double cycles =
+      static_cast<double>(compute_ops_) / spec_.ipc +
+      static_cast<double>(atomics_) * spec_.atomic_cost_cycles;
+  const double compute_seconds =
+      cycles / (static_cast<double>(spec_.threads) * spec_.clock_ghz * 1e9);
+  const double bytes =
+      static_cast<double>(random_lines_) * spec_.cache_line_bytes +
+      static_cast<double>(sequential_bytes_);
+  const double mem_seconds = bytes / (spec_.mem_bandwidth_gbps * 1e9);
+  return std::max(compute_seconds, mem_seconds) +
+         static_cast<double>(sections_) * spec_.parallel_section_overhead_s;
+}
+
+void CpuCostModel::Reset() {
+  random_lines_ = 0;
+  sequential_bytes_ = 0;
+  compute_ops_ = 0;
+  atomics_ = 0;
+  sections_ = 0;
+}
+
+}  // namespace ibfs::baselines

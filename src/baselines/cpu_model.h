@@ -1,0 +1,68 @@
+#ifndef IBFS_BASELINES_CPU_MODEL_H_
+#define IBFS_BASELINES_CPU_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ibfs::baselines {
+
+/// Modeled multi-core CPU for the paper's CPU-side comparisons (Figure 22,
+/// Table 1): dual Xeon E5-2683-class, 64 hardware threads. Wall-clock on
+/// the build machine is not comparable to simulated GPU time, so the CPU
+/// implementations count the same event classes (scalar work, cache-line
+/// traffic, atomics) over this spec — keeping CPU-vs-GPU ratios meaningful
+/// (see DESIGN.md §2).
+struct CpuSpec {
+  std::string name = "Xeon-E5-2683v3-x2-sim";
+  int threads = 64;
+  double clock_ghz = 2.1;
+  /// Sustained scalar ops per cycle per thread.
+  double ipc = 2.0;
+  int cache_line_bytes = 64;
+  /// Aggregate DRAM bandwidth in GB/s (two sockets).
+  double mem_bandwidth_gbps = 120.0;
+  double atomic_cost_cycles = 30.0;
+  /// Per-level parallel-section overhead (barrier + scheduling), seconds.
+  double parallel_section_overhead_s = 10e-6;
+};
+
+/// Accumulates counted work and converts it into modeled seconds with a
+/// roofline analogous to the GPU simulator's.
+class CpuCostModel {
+ public:
+  explicit CpuCostModel(CpuSpec spec = CpuSpec());
+
+  /// `count` accesses to random cache lines (pointer chasing).
+  void RandomLines(int64_t count);
+  /// `bytes` of streaming (prefetchable) traffic.
+  void SequentialBytes(int64_t bytes);
+  /// `ops` scalar ALU operations.
+  void Compute(int64_t ops);
+  /// `count` atomic read-modify-writes.
+  void Atomic(int64_t count);
+  /// One parallel section (level barrier).
+  void ParallelSection();
+
+  const CpuSpec& spec() const { return spec_; }
+  int64_t random_lines() const { return random_lines_; }
+  int64_t sequential_bytes() const { return sequential_bytes_; }
+  int64_t compute_ops() const { return compute_ops_; }
+  int64_t atomics() const { return atomics_; }
+
+  /// Modeled elapsed seconds for everything accumulated so far.
+  double Seconds() const;
+
+  void Reset();
+
+ private:
+  CpuSpec spec_;
+  int64_t random_lines_ = 0;
+  int64_t sequential_bytes_ = 0;
+  int64_t compute_ops_ = 0;
+  int64_t atomics_ = 0;
+  int64_t sections_ = 0;
+};
+
+}  // namespace ibfs::baselines
+
+#endif  // IBFS_BASELINES_CPU_MODEL_H_

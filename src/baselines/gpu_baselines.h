@@ -1,0 +1,31 @@
+#ifndef IBFS_BASELINES_GPU_BASELINES_H_
+#define IBFS_BASELINES_GPU_BASELINES_H_
+
+#include <span>
+
+#include "gpusim/device.h"
+#include "graph/csr.h"
+#include "ibfs/runner.h"
+
+namespace ibfs::baselines {
+
+/// B40C-like baseline (Merrill et al., PPoPP'12): a state-of-the-art
+/// *single-source* GPU BFS. Concurrent workloads run instance after
+/// instance — "similar performance as the sequential or naive
+/// implementation" (Section 8.6).
+Result<GroupResult> RunB40cLike(const graph::Csr& graph,
+                                std::span<const graph::VertexId> sources,
+                                const TraversalOptions& options,
+                                gpusim::Device* device);
+
+/// SpMM-BC-like baseline (Sarıyüce et al.): concurrent GPU BFS by batched
+/// sparse operations — joint over instances, but top-down only ("does not
+/// support bottom-up BFS", Section 9) and without bitwise packing.
+Result<GroupResult> RunSpmmBcLike(const graph::Csr& graph,
+                                  std::span<const graph::VertexId> sources,
+                                  const TraversalOptions& options,
+                                  gpusim::Device* device);
+
+}  // namespace ibfs::baselines
+
+#endif  // IBFS_BASELINES_GPU_BASELINES_H_

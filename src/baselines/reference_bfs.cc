@@ -1,0 +1,39 @@
+#include "baselines/reference_bfs.h"
+
+#include <deque>
+
+namespace ibfs::baselines {
+
+std::vector<int32_t> ReferenceBfs(const graph::Csr& graph,
+                                  graph::VertexId source, int max_level) {
+  std::vector<int32_t> depths(static_cast<size_t>(graph.vertex_count()), -1);
+  std::deque<graph::VertexId> queue;
+  depths[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const graph::VertexId v = queue.front();
+    queue.pop_front();
+    const int32_t d = depths[v];
+    if (d >= max_level) continue;
+    for (graph::VertexId w : graph.OutNeighbors(v)) {
+      if (depths[w] < 0) {
+        depths[w] = d + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return depths;
+}
+
+bool DepthsMatchReference(const graph::Csr& graph, graph::VertexId source,
+                          const std::vector<uint8_t>& depths, int max_level) {
+  const std::vector<int32_t> ref = ReferenceBfs(graph, source, max_level);
+  if (depths.size() != ref.size()) return false;
+  for (size_t v = 0; v < ref.size(); ++v) {
+    const int32_t got = depths[v] == 0xFF ? -1 : depths[v];
+    if (got != ref[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace ibfs::baselines

@@ -1,0 +1,27 @@
+#ifndef IBFS_BASELINES_REFERENCE_BFS_H_
+#define IBFS_BASELINES_REFERENCE_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace ibfs::baselines {
+
+/// Textbook queue-based BFS — the oracle every strategy's depths are tested
+/// against. Not instrumented; host-speed only.
+/// Returns depths with -1 for unreachable vertices. `max_level` truncates
+/// the search (k-hop), matching TraversalOptions::max_level.
+std::vector<int32_t> ReferenceBfs(const graph::Csr& graph,
+                                  graph::VertexId source,
+                                  int max_level = 0x7fffffff);
+
+/// True iff `depths` (kUnvisitedDepth == 0xFF for unreached) matches the
+/// reference exactly.
+bool DepthsMatchReference(const graph::Csr& graph, graph::VertexId source,
+                          const std::vector<uint8_t>& depths,
+                          int max_level = 0x7fffffff);
+
+}  // namespace ibfs::baselines
+
+#endif  // IBFS_BASELINES_REFERENCE_BFS_H_

@@ -1,0 +1,16 @@
+#include "baselines/gpu_baselines.h"
+
+namespace ibfs::baselines {
+
+Result<GroupResult> RunSpmmBcLike(const graph::Csr& graph,
+                                  std::span<const graph::VertexId> sources,
+                                  const TraversalOptions& options,
+                                  gpusim::Device* device) {
+  // Batched frontier expansion over all instances (joint), but the SpMM
+  // formulation has no bottom-up phase and no bitwise packing.
+  TraversalOptions opts = options;
+  opts.force_top_down = true;
+  return RunGroup(Strategy::kJointTraversal, graph, sources, opts, device);
+}
+
+}  // namespace ibfs::baselines

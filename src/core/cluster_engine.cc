@@ -1,0 +1,35 @@
+#include "core/cluster_engine.h"
+
+namespace ibfs {
+
+Result<ClusterRunResult> RunOnCluster(const graph::Csr& graph,
+                                      std::span<const graph::VertexId> sources,
+                                      const EngineOptions& options,
+                                      int device_count,
+                                      gpusim::PlacementPolicy policy) {
+  if (device_count < 1) {
+    return Status::InvalidArgument("device_count must be >= 1");
+  }
+  EngineOptions opts = options;
+  opts.keep_depths = false;
+  Engine engine(&graph, opts);
+  Result<EngineResult> run = engine.Run(sources);
+  IBFS_RETURN_NOT_OK(run.status());
+  const EngineResult& res = run.value();
+
+  ClusterRunResult result;
+  result.single_device_seconds = res.sim_seconds;
+  result.group_count = static_cast<int64_t>(res.group_seconds.size());
+  gpusim::Cluster cluster(device_count, opts.device);
+  result.schedule = cluster.Place(res.group_seconds, policy);
+  if (result.schedule.makespan_seconds > 0.0) {
+    result.speedup =
+        result.single_device_seconds / result.schedule.makespan_seconds;
+    const double edges = static_cast<double>(graph.edge_count()) *
+                         static_cast<double>(sources.size());
+    result.teps = edges / result.schedule.makespan_seconds;
+  }
+  return result;
+}
+
+}  // namespace ibfs

@@ -1,0 +1,40 @@
+#ifndef IBFS_CORE_CLUSTER_ENGINE_H_
+#define IBFS_CORE_CLUSTER_ENGINE_H_
+
+#include <span>
+
+#include "core/engine.h"
+#include "gpusim/cluster.h"
+#include "graph/csr.h"
+
+namespace ibfs {
+
+/// Result of running a concurrent-BFS workload on a simulated GPU cluster
+/// (the paper's Section 8.3 experiment as a first-class API).
+struct ClusterRunResult {
+  /// Time if all groups ran on one device.
+  double single_device_seconds = 0.0;
+  /// Placement of groups onto devices and the resulting makespan (the
+  /// paper reports the slowest device's time).
+  gpusim::ClusterRun schedule;
+  /// single_device_seconds / makespan.
+  double speedup = 0.0;
+  /// Aggregate traversal rate at this device count.
+  double teps = 0.0;
+  /// Number of schedulable groups (the placement granularity; speedup is
+  /// capped by group_count / max-groups-per-device).
+  int64_t group_count = 0;
+};
+
+/// Runs the engine once to obtain per-group simulated times, then places
+/// the groups onto `device_count` devices. Since iBFS groups are fully
+/// independent, no inter-GPU communication is modeled — matching the
+/// paper's multi-GPU design.
+Result<ClusterRunResult> RunOnCluster(
+    const graph::Csr& graph, std::span<const graph::VertexId> sources,
+    const EngineOptions& options, int device_count,
+    gpusim::PlacementPolicy policy = gpusim::PlacementPolicy::kRoundRobin);
+
+}  // namespace ibfs
+
+#endif  // IBFS_CORE_CLUSTER_ENGINE_H_

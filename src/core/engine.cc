@@ -1,0 +1,127 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ibfs/status_array.h"
+#include "util/logging.h"
+
+namespace ibfs {
+
+double EngineResult::SharingRatio(int direction) const {
+  int64_t private_sum = 0;
+  int64_t joint_sum = 0;
+  int64_t instances = 0;
+  int64_t group_count = 0;
+  for (const GroupResult& g : groups) {
+    for (const LevelTrace& lt : g.trace.levels) {
+      if (direction == 0 && lt.bottom_up) continue;
+      if (direction == 1 && !lt.bottom_up) continue;
+      private_sum += lt.private_fq_sum;
+      joint_sum += lt.jfq_size;
+    }
+    instances += g.trace.instance_count;
+    ++group_count;
+  }
+  if (joint_sum == 0 || group_count == 0 || instances == 0) return 0.0;
+  const double avg_instances =
+      static_cast<double>(instances) / static_cast<double>(group_count);
+  const double sd =
+      static_cast<double>(private_sum) / static_cast<double>(joint_sum);
+  return sd / avg_instances;
+}
+
+int EngineResult::DepthOf(size_t g, size_t k, graph::VertexId v) const {
+  IBFS_CHECK(g < groups.size());
+  IBFS_CHECK(k < groups[g].depths.size());
+  const uint8_t d = groups[g].depths[k][v];
+  return d == kUnvisitedDepth ? -1 : d;
+}
+
+Engine::Engine(const graph::Csr* graph, EngineOptions options)
+    : graph_(graph), options_(std::move(options)) {
+  IBFS_CHECK(graph_ != nullptr);
+}
+
+int64_t Engine::MaxGroupSize(const graph::Csr& graph,
+                             const gpusim::DeviceSpec& spec) {
+  const int64_t m = spec.global_memory_bytes;
+  const int64_t s = graph.StorageBytes();
+  const int64_t jfq = graph.vertex_count() *
+                      static_cast<int64_t>(sizeof(graph::VertexId));
+  const int64_t sa = graph.vertex_count();  // one byte per vertex and instance
+  if (m <= s + jfq || sa == 0) return 0;
+  return (m - s - jfq) / sa;
+}
+
+Result<EngineResult> Engine::Run(
+    std::span<const graph::VertexId> sources) const {
+  IBFS_RETURN_NOT_OK(options_.Validate());
+  if (sources.empty()) {
+    return Status::InvalidArgument("no source vertices given");
+  }
+  for (graph::VertexId s : sources) {
+    if (static_cast<int64_t>(s) >= graph_->vertex_count()) {
+      return Status::OutOfRange("source vertex outside graph");
+    }
+  }
+
+  // The device-memory cap on N (Section 3). With the default 12 GB spec and
+  // laptop-scale graphs this never binds, but a small spec exercises it.
+  int group_size = options_.group_size;
+  const int64_t cap = MaxGroupSize(*graph_, options_.device);
+  if (cap < 1) {
+    return Status::FailedPrecondition(
+        "graph does not fit in simulated device memory");
+  }
+  group_size = static_cast<int>(std::min<int64_t>(group_size, cap));
+
+  Grouping grouping;
+  switch (options_.grouping) {
+    case GroupingPolicy::kInOrder:
+      grouping = ChunkGrouping(sources, group_size);
+      break;
+    case GroupingPolicy::kRandom:
+      grouping = RandomGrouping(sources, group_size, options_.seed);
+      break;
+    case GroupingPolicy::kGroupBy: {
+      GroupByParams params = options_.groupby;
+      params.group_size = group_size;
+      grouping = GroupByOutdegree(*graph_, sources, params);
+      break;
+    }
+  }
+
+  gpusim::Device device(options_.device);
+  EngineResult result;
+  result.rule_matched = grouping.rule_matched;
+  TraversalOptions traversal = options_.traversal;
+  traversal.record_depths = options_.keep_depths;
+
+  for (auto& group : grouping.groups) {
+    const double before = device.elapsed_seconds();
+    Result<GroupResult> group_result =
+        RunGroup(options_.strategy, *graph_, group, traversal, &device);
+    IBFS_RETURN_NOT_OK(group_result.status());
+    result.group_seconds.push_back(device.elapsed_seconds() - before);
+    result.groups.push_back(std::move(group_result).value());
+    result.group_sources.push_back(std::move(group));
+  }
+
+  result.sim_seconds = device.elapsed_seconds();
+  result.totals = device.totals();
+  result.phases = device.phases();
+  const double edges = static_cast<double>(graph_->edge_count()) *
+                       static_cast<double>(sources.size());
+  result.teps = result.sim_seconds > 0.0 ? edges / result.sim_seconds : 0.0;
+  return result;
+}
+
+Result<EngineResult> Engine::RunAllSources() const {
+  std::vector<graph::VertexId> sources(
+      static_cast<size_t>(graph_->vertex_count()));
+  std::iota(sources.begin(), sources.end(), 0);
+  return Run(sources);
+}
+
+}  // namespace ibfs

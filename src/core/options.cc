@@ -1,0 +1,45 @@
+#include "core/options.h"
+
+namespace ibfs {
+
+const char* GroupingPolicyName(GroupingPolicy policy) {
+  switch (policy) {
+    case GroupingPolicy::kInOrder:
+      return "in-order";
+    case GroupingPolicy::kRandom:
+      return "random";
+    case GroupingPolicy::kGroupBy:
+      return "groupby";
+  }
+  return "unknown";
+}
+
+Status EngineOptions::Validate() const {
+  if (group_size < 1) {
+    return Status::InvalidArgument("group_size must be >= 1");
+  }
+  if (group_size > 4096) {
+    return Status::InvalidArgument("group_size above supported maximum 4096");
+  }
+  if (traversal.max_level < 1 ||
+      traversal.max_level > TraversalOptions::kMaxTraversalLevel) {
+    return Status::InvalidArgument("traversal.max_level out of range");
+  }
+  if (traversal.alpha <= 0.0 || traversal.beta <= 0.0) {
+    return Status::InvalidArgument("direction parameters must be positive");
+  }
+  if (groupby.q < 0) {
+    return Status::InvalidArgument("groupby.q must be non-negative");
+  }
+  if (groupby.p_sequence.empty()) {
+    return Status::InvalidArgument("groupby.p_sequence must not be empty");
+  }
+  if (device.sm_count <= 0 || device.parallel_warp_slots <= 0 ||
+      device.clock_ghz <= 0.0 || device.mem_bandwidth_gbps <= 0.0 ||
+      device.transaction_bytes <= 0) {
+    return Status::InvalidArgument("device spec fields must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace ibfs

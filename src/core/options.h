@@ -1,0 +1,48 @@
+#ifndef IBFS_CORE_OPTIONS_H_
+#define IBFS_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "gpusim/device_spec.h"
+#include "ibfs/groupby.h"
+#include "ibfs/runner.h"
+#include "util/status.h"
+
+namespace ibfs {
+
+/// How the engine batches BFS sources into concurrent groups.
+enum class GroupingPolicy {
+  /// Chunk in the order given (deterministic, no shuffling).
+  kInOrder,
+  /// Shuffle, then chunk — the "random grouping" baseline of Figures 9/16.
+  kRandom,
+  /// Outdegree-based GroupBy rules (Section 5).
+  kGroupBy,
+};
+
+/// Returns a short display name ("in-order", "random", "groupby").
+const char* GroupingPolicyName(GroupingPolicy policy);
+
+/// Top-level configuration for running i concurrent BFS instances.
+struct EngineOptions {
+  Strategy strategy = Strategy::kBitwise;
+  GroupingPolicy grouping = GroupingPolicy::kGroupBy;
+  /// Group size N (the paper's default is 128); clamped to the
+  /// device-memory bound (Section 3) computed by Engine::MaxGroupSize.
+  int group_size = 128;
+  GroupByParams groupby;
+  TraversalOptions traversal;
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::K40();
+  /// Seed for random grouping.
+  uint64_t seed = 1;
+  /// Keep per-instance depth vectors in the result (memory-heavy for large
+  /// i; benches that only need timing turn it off).
+  bool keep_depths = true;
+
+  /// Validates field ranges and cross-field consistency.
+  Status Validate() const;
+};
+
+}  // namespace ibfs
+
+#endif  // IBFS_CORE_OPTIONS_H_

@@ -1,0 +1,65 @@
+#include "core/shortest_paths.h"
+
+#include <numeric>
+
+#include "ibfs/status_array.h"
+#include "util/logging.h"
+
+namespace ibfs {
+
+Result<DistanceMatrix> DistanceMatrix::Compute(
+    const graph::Csr& graph, std::span<const graph::VertexId> sources,
+    const EngineOptions& options) {
+  EngineOptions opts = options;
+  opts.keep_depths = true;
+  Engine engine(&graph, opts);
+  Result<EngineResult> run = engine.Run(sources);
+  IBFS_RETURN_NOT_OK(run.status());
+  const EngineResult& res = run.value();
+
+  DistanceMatrix matrix;
+  matrix.vertex_count_ = graph.vertex_count();
+  matrix.sim_seconds_ = res.sim_seconds;
+  matrix.row_of_.assign(static_cast<size_t>(graph.vertex_count()), -1);
+  matrix.hops_.reserve(sources.size() *
+                       static_cast<size_t>(graph.vertex_count()));
+  for (size_t g = 0; g < res.groups.size(); ++g) {
+    for (size_t j = 0; j < res.group_sources[g].size(); ++j) {
+      const graph::VertexId s = res.group_sources[g][j];
+      // A vertex may appear as a source more than once; keep its first row.
+      if (matrix.row_of_[s] < 0) {
+        matrix.row_of_[s] =
+            static_cast<int64_t>(matrix.sources_.size());
+      }
+      matrix.sources_.push_back(s);
+      const auto& depths = res.groups[g].depths[j];
+      matrix.hops_.insert(matrix.hops_.end(), depths.begin(), depths.end());
+    }
+  }
+  return matrix;
+}
+
+Result<DistanceMatrix> DistanceMatrix::AllPairs(const graph::Csr& graph,
+                                                const EngineOptions& options) {
+  std::vector<graph::VertexId> sources(
+      static_cast<size_t>(graph.vertex_count()));
+  std::iota(sources.begin(), sources.end(), 0);
+  return Compute(graph, sources, options);
+}
+
+int DistanceMatrix::Distance(int64_t source_index,
+                             graph::VertexId target) const {
+  IBFS_CHECK(source_index >= 0 &&
+             source_index < static_cast<int64_t>(sources_.size()));
+  IBFS_CHECK(static_cast<int64_t>(target) < vertex_count_);
+  const uint8_t d =
+      hops_[source_index * vertex_count_ + static_cast<int64_t>(target)];
+  return d == kUnvisitedDepth ? -1 : d;
+}
+
+int64_t DistanceMatrix::RowOf(graph::VertexId source) const {
+  IBFS_CHECK(static_cast<int64_t>(source) < vertex_count_);
+  return row_of_[source];
+}
+
+}  // namespace ibfs

@@ -1,0 +1,61 @@
+#ifndef IBFS_CORE_SHORTEST_PATHS_H_
+#define IBFS_CORE_SHORTEST_PATHS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/csr.h"
+
+namespace ibfs {
+
+/// Dense hop-distance matrix over a set of sources, computed by one
+/// concurrent-BFS sweep. This is the paper's framing of iBFS as a
+/// shortest-path engine on unweighted graphs: i = 1 is SSSP, 1 < i < |V|
+/// is MSSP, i = |V| is APSP (Section 1).
+class DistanceMatrix {
+ public:
+  /// Runs iBFS from `sources` and materializes the distances.
+  static Result<DistanceMatrix> Compute(const graph::Csr& graph,
+                                        std::span<const graph::VertexId>
+                                            sources,
+                                        const EngineOptions& options = {});
+
+  /// APSP: one BFS per vertex of the graph.
+  static Result<DistanceMatrix> AllPairs(const graph::Csr& graph,
+                                         const EngineOptions& options = {});
+
+  /// Hop distance from the i-th source to `target`; -1 when unreachable.
+  int Distance(int64_t source_index, graph::VertexId target) const;
+
+  /// The source vertex behind row `source_index` (rows follow the
+  /// engine's group order, not the input order).
+  graph::VertexId SourceAt(int64_t source_index) const {
+    return sources_[source_index];
+  }
+
+  /// Row index for a source vertex; -1 if the vertex was not a source.
+  int64_t RowOf(graph::VertexId source) const;
+
+  int64_t source_count() const {
+    return static_cast<int64_t>(sources_.size());
+  }
+  int64_t vertex_count() const { return vertex_count_; }
+
+  /// Simulated seconds of the underlying traversal.
+  double sim_seconds() const { return sim_seconds_; }
+
+ private:
+  DistanceMatrix() = default;
+
+  int64_t vertex_count_ = 0;
+  std::vector<graph::VertexId> sources_;
+  std::vector<int64_t> row_of_;  // vertex -> row or -1
+  std::vector<uint8_t> hops_;    // row-major [source][vertex]
+  double sim_seconds_ = 0.0;
+};
+
+}  // namespace ibfs
+
+#endif  // IBFS_CORE_SHORTEST_PATHS_H_

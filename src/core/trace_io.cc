@@ -1,0 +1,47 @@
+#include "core/trace_io.h"
+
+#include "util/csv.h"
+
+namespace ibfs {
+
+void WriteLevelTracesCsv(const EngineResult& result, std::ostream& os) {
+  CsvTable table({"group", "level", "direction", "jfq_size",
+                  "private_fq_sum", "sharing_degree", "edges_inspected",
+                  "new_visits"});
+  for (size_t g = 0; g < result.groups.size(); ++g) {
+    for (const LevelTrace& lt : result.groups[g].trace.levels) {
+      table.Row()
+          .Add(static_cast<int64_t>(g))
+          .Add(lt.level)
+          .Add(std::string(lt.bottom_up ? "bottom-up" : "top-down"))
+          .Add(lt.jfq_size)
+          .Add(lt.private_fq_sum)
+          .Add(lt.jfq_size > 0 ? static_cast<double>(lt.private_fq_sum) /
+                                     static_cast<double>(lt.jfq_size)
+                               : 0.0,
+               2)
+          .Add(lt.edges_inspected)
+          .Add(lt.new_visits);
+    }
+  }
+  table.Print(os);
+}
+
+void WritePhasesCsv(const EngineResult& result, std::ostream& os) {
+  CsvTable table({"phase", "seconds", "launches", "load_txn", "store_txn",
+                  "load_requests", "atomics", "shared_bytes"});
+  for (const auto& [tag, st] : result.phases) {
+    table.Row()
+        .Add(tag)
+        .Add(st.seconds, 9)
+        .Add(st.launch_count)
+        .Add(st.mem.load_transactions)
+        .Add(st.mem.store_transactions)
+        .Add(st.mem.load_requests)
+        .Add(st.mem.atomic_ops)
+        .Add(st.mem.shared_bytes);
+  }
+  table.Print(os);
+}
+
+}  // namespace ibfs

@@ -1,0 +1,21 @@
+#ifndef IBFS_CORE_TRACE_IO_H_
+#define IBFS_CORE_TRACE_IO_H_
+
+#include <ostream>
+
+#include "core/engine.h"
+
+namespace ibfs {
+
+/// Writes per-(group, level) traversal traces as CSV rows — direction,
+/// joint/private frontier sizes, sharing degree, inspections, new visits —
+/// for offline plotting of the paper's level-resolved figures (e.g. the
+/// Figure 6 sharing-degree trends).
+void WriteLevelTracesCsv(const EngineResult& result, std::ostream& os);
+
+/// Writes the per-phase profiler counters of a run as CSV rows.
+void WritePhasesCsv(const EngineResult& result, std::ostream& os);
+
+}  // namespace ibfs
+
+#endif  // IBFS_CORE_TRACE_IO_H_

@@ -1,0 +1,117 @@
+#include "core/validate.h"
+
+#include <string>
+
+#include "ibfs/status_array.h"
+
+namespace ibfs {
+namespace {
+
+std::string At(graph::VertexId v) {
+  return " (vertex " + std::to_string(v) + ")";
+}
+
+}  // namespace
+
+Status ValidateBfsDepths(const graph::Csr& graph, graph::VertexId source,
+                         std::span<const uint8_t> depths, int max_level) {
+  const int64_t n = graph.vertex_count();
+  if (static_cast<int64_t>(depths.size()) != n) {
+    return Status::InvalidArgument("depth array size mismatch");
+  }
+  if (static_cast<int64_t>(source) >= n) {
+    return Status::OutOfRange("source outside graph");
+  }
+  if (depths[source] != 0) {
+    return Status::Internal("source depth is not 0");
+  }
+  for (int64_t v = 0; v < n; ++v) {
+    const uint8_t d = depths[v];
+    if (d == kUnvisitedDepth) continue;
+    if (d > max_level) {
+      return Status::Internal("depth exceeds max_level" +
+                              At(static_cast<graph::VertexId>(v)));
+    }
+    if (d == 0 && static_cast<graph::VertexId>(v) != source) {
+      return Status::Internal("non-source vertex at depth 0" +
+                              At(static_cast<graph::VertexId>(v)));
+    }
+    // Edge condition: a visited vertex's out-neighbors must be visited
+    // within one level (unless the search was truncated at max_level).
+    if (d < max_level) {
+      for (graph::VertexId w : graph.OutNeighbors(
+               static_cast<graph::VertexId>(v))) {
+        if (depths[w] == kUnvisitedDepth || depths[w] > d + 1) {
+          return Status::Internal(
+              "edge spans more than one level: " + std::to_string(v) +
+              " (depth " + std::to_string(d) + ") -> " + std::to_string(w));
+        }
+      }
+    }
+    // Parent existence: some in-neighbor sits exactly one level up.
+    if (d > 0) {
+      bool has_parent = false;
+      for (graph::VertexId w : graph.InNeighbors(
+               static_cast<graph::VertexId>(v))) {
+        if (depths[w] != kUnvisitedDepth && depths[w] + 1 == d) {
+          has_parent = true;
+          break;
+        }
+      }
+      if (!has_parent) {
+        return Status::Internal("no parent one level up" +
+                                At(static_cast<graph::VertexId>(v)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateBfsTree(const graph::Csr& graph, graph::VertexId source,
+                       std::span<const graph::VertexId> parents,
+                       std::span<const uint8_t> depths) {
+  const int64_t n = graph.vertex_count();
+  if (static_cast<int64_t>(parents.size()) != n ||
+      static_cast<int64_t>(depths.size()) != n) {
+    return Status::InvalidArgument("array size mismatch");
+  }
+  if (parents[source] != source) {
+    return Status::Internal("source is not its own parent");
+  }
+  for (int64_t v = 0; v < n; ++v) {
+    const auto vid = static_cast<graph::VertexId>(v);
+    const uint8_t d = depths[v];
+    if (d == kUnvisitedDepth) {
+      if (parents[v] != graph::kInvalidVertex) {
+        return Status::Internal("unreached vertex has a parent" + At(vid));
+      }
+      continue;
+    }
+    if (vid == source) continue;
+    const graph::VertexId p = parents[v];
+    if (p == graph::kInvalidVertex || static_cast<int64_t>(p) >= n) {
+      return Status::Internal("reached vertex lacks a valid parent" +
+                              At(vid));
+    }
+    if (depths[p] == kUnvisitedDepth || depths[p] + 1 != d) {
+      return Status::Internal("parent not exactly one level up" + At(vid));
+    }
+    // Parent must be an actual in-neighbor.
+    bool is_neighbor = false;
+    for (graph::VertexId w : graph.InNeighbors(vid)) {
+      if (w == p) {
+        is_neighbor = true;
+        break;
+      }
+    }
+    if (!is_neighbor) {
+      return Status::Internal("parent is not an in-neighbor" + At(vid));
+    }
+  }
+  // Depth-consistency above already rules out parent-pointer cycles
+  // (depths strictly decrease along parent chains), so the structure is a
+  // forest rooted at the source.
+  return Status::OK();
+}
+
+}  // namespace ibfs

@@ -1,0 +1,38 @@
+#ifndef IBFS_CORE_VALIDATE_H_
+#define IBFS_CORE_VALIDATE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace ibfs {
+
+/// Graph500-style BFS result validation — oracle-free structural checks
+/// instead of a second traversal, so they scale to any instance count.
+///
+/// Depth-array checks (kernels 1/2 of the Graph500 validator):
+///  - the source has depth 0 and is the only depth-0 vertex;
+///  - every edge (v, w) with v visited has w visited within one level
+///    (|d(v) - d(w)| <= 1 over undirected pairs; d(w) <= d(v)+1 directed);
+///  - every visited non-source vertex has an in-neighbor one level up
+///    (a parent actually exists);
+///  - no depth exceeds `max_level`.
+/// `depths` uses 0xFF (kUnvisitedDepth) for unreached vertices.
+Status ValidateBfsDepths(const graph::Csr& graph, graph::VertexId source,
+                         std::span<const uint8_t> depths,
+                         int max_level = 0xFE);
+
+/// Validates a BFS parent tree: parent[source] == source; every other
+/// reached vertex's parent is a real in-neighbor whose depth is exactly
+/// one smaller; unreached vertices have kInvalidVertex parents; and the
+/// parent pointers contain no cycles (tree property).
+Status ValidateBfsTree(const graph::Csr& graph, graph::VertexId source,
+                       std::span<const graph::VertexId> parents,
+                       std::span<const uint8_t> depths);
+
+}  // namespace ibfs
+
+#endif  // IBFS_CORE_VALIDATE_H_

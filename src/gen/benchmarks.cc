@@ -1,0 +1,80 @@
+#include "gen/benchmarks.h"
+
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace ibfs::gen {
+
+// Relative shapes follow the paper's Section 8.1 inventory: KG0 has by far
+// the highest average outdegree, KG2 is the largest, RD is uniform, TW is
+// the most skewed with a low edge factor, HW/OR are dense social graphs.
+const std::vector<BenchmarkSpec>& AllBenchmarks() {
+  static const auto* specs = new std::vector<BenchmarkSpec>{
+      {BenchmarkId::kFB, "FB", 14, 12, 0.57, 0.19, 0.19, false},
+      {BenchmarkId::kFR, "FR", 14, 13, 0.55, 0.20, 0.20, false},
+      {BenchmarkId::kHW, "HW", 13, 28, 0.52, 0.22, 0.22, false},
+      {BenchmarkId::kKG0, "KG0", 12, 96, 0.57, 0.19, 0.19, false},
+      {BenchmarkId::kKG1, "KG1", 13, 18, 0.57, 0.19, 0.19, false},
+      {BenchmarkId::kKG2, "KG2", 14, 16, 0.57, 0.19, 0.19, false},
+      {BenchmarkId::kLJ, "LJ", 13, 14, 0.57, 0.19, 0.19, false},
+      {BenchmarkId::kOR, "OR", 13, 19, 0.55, 0.20, 0.20, false},
+      {BenchmarkId::kPK, "PK", 12, 10, 0.57, 0.19, 0.19, false},
+      {BenchmarkId::kRD, "RD", 14, 8, 0.0, 0.0, 0.0, true},
+      {BenchmarkId::kRM, "RM", 13, 32, 0.45, 0.15, 0.15, false},
+      {BenchmarkId::kTW, "TW", 14, 6, 0.62, 0.18, 0.14, false},
+      {BenchmarkId::kWK, "WK", 13, 6, 0.60, 0.19, 0.15, false},
+  };
+  return *specs;
+}
+
+const BenchmarkSpec& GetBenchmark(BenchmarkId id) {
+  for (const auto& spec : AllBenchmarks()) {
+    if (spec.id == id) return spec;
+  }
+  IBFS_LOG(Fatal) << "unknown benchmark id";
+  return AllBenchmarks().front();  // unreachable
+}
+
+std::optional<BenchmarkId> BenchmarkByName(const std::string& name) {
+  for (const auto& spec : AllBenchmarks()) {
+    if (spec.name == name) return spec.id;
+  }
+  return std::nullopt;
+}
+
+Result<graph::Csr> GenerateBenchmark(BenchmarkId id, int scale_delta) {
+  const BenchmarkSpec& spec = GetBenchmark(id);
+  const int scale = spec.base_scale + scale_delta;
+  if (scale < 1) {
+    return Status::InvalidArgument("scale_delta makes " + spec.name +
+                                   " smaller than 2 vertices");
+  }
+  // Seed derives from the benchmark id so every graph is distinct but
+  // reproducible.
+  const uint64_t seed = 0x5EED0000u + static_cast<uint64_t>(spec.id);
+  if (spec.uniform) {
+    UniformParams params;
+    params.vertex_count = int64_t{1} << scale;
+    params.outdegree = spec.edge_factor;
+    params.undirected = true;
+    params.seed = seed;
+    return GenerateUniform(params);
+  }
+  RmatParams params;
+  params.scale = scale;
+  params.edge_factor = spec.edge_factor;
+  params.a = spec.a;
+  params.b = spec.b;
+  params.c = spec.c;
+  params.undirected = true;
+  params.seed = seed;
+  return GenerateRmat(params);
+}
+
+int EnvScaleDelta() {
+  return static_cast<int>(EnvInt64("IBFS_SCALE", 0));
+}
+
+}  // namespace ibfs::gen

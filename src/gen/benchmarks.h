@@ -1,0 +1,64 @@
+#ifndef IBFS_GEN_BENCHMARKS_H_
+#define IBFS_GEN_BENCHMARKS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace ibfs::gen {
+
+/// The paper's 13 graph benchmarks (Section 8.1, Figure 14).
+enum class BenchmarkId {
+  kFB,   // Facebook friendship
+  kFR,   // Friendster
+  kHW,   // Hollywood collaboration (high degree)
+  kKG0,  // Graph500 Kronecker, very high average outdegree
+  kKG1,  // Graph500 Kronecker, large
+  kKG2,  // Graph500 Kronecker, largest
+  kLJ,   // LiveJournal
+  kOR,   // Orkut (dense social)
+  kPK,   // Pokec (smallest real graph)
+  kRD,   // uniform-outdegree random graph
+  kRM,   // R-MAT with (0.45, 0.15, 0.15)
+  kTW,   // Twitter follower (highly skewed)
+  kWK,   // Wikipedia hyperlinks
+};
+
+/// Generator recipe for one benchmark. The real-world graphs are
+/// substituted by R-MAT instances whose skew (a, b, c) and edge factor
+/// mimic each graph's outdegree profile; RD uses the uniform generator.
+/// Sizes are scaled down from the paper (see DESIGN.md §2) and can be grown
+/// uniformly via the scale_delta argument / IBFS_SCALE environment knob.
+struct BenchmarkSpec {
+  BenchmarkId id;
+  std::string name;
+  /// log2(vertex_count) at scale_delta == 0.
+  int base_scale;
+  int edge_factor;
+  /// R-MAT skew; ignored for RD.
+  double a, b, c;
+  bool uniform;  // true => RD-style uniform generator
+};
+
+/// All 13 specs in the paper's (alphabetical) presentation order.
+const std::vector<BenchmarkSpec>& AllBenchmarks();
+
+/// Spec lookup by id.
+const BenchmarkSpec& GetBenchmark(BenchmarkId id);
+
+/// Spec lookup by short name ("FB", "KG0", ...); nullopt if unknown.
+std::optional<BenchmarkId> BenchmarkByName(const std::string& name);
+
+/// Generates the benchmark graph at base_scale + scale_delta.
+Result<graph::Csr> GenerateBenchmark(BenchmarkId id, int scale_delta = 0);
+
+/// Reads the IBFS_SCALE environment variable (default 0) used by the bench
+/// harnesses to grow every preset uniformly.
+int EnvScaleDelta();
+
+}  // namespace ibfs::gen
+
+#endif  // IBFS_GEN_BENCHMARKS_H_

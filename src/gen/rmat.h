@@ -1,0 +1,34 @@
+#ifndef IBFS_GEN_RMAT_H_
+#define IBFS_GEN_RMAT_H_
+
+#include <cstdint>
+
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace ibfs::gen {
+
+/// Parameters for the R-MAT / Graph500 Kronecker generator the paper uses
+/// for its KG*/RM synthetic graphs (Section 8.1).
+struct RmatParams {
+  /// log2 of the vertex count.
+  int scale = 12;
+  /// Average directed edges per vertex (edge factor).
+  int edge_factor = 16;
+  /// Quadrant probabilities. Graph500 default (0.57, 0.19, 0.19);
+  /// d is implied as 1 - a - b - c. The paper's RM uses (0.45, 0.15, 0.15).
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  /// Treat generated edges as undirected (store both directions), matching
+  /// the Graph500 convention.
+  bool undirected = true;
+  uint64_t seed = 1;
+};
+
+/// Generates an R-MAT graph. Deterministic for a fixed parameter set.
+Result<graph::Csr> GenerateRmat(const RmatParams& params);
+
+}  // namespace ibfs::gen
+
+#endif  // IBFS_GEN_RMAT_H_

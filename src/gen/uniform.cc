@@ -1,0 +1,33 @@
+#include "gen/uniform.h"
+
+#include "graph/builder.h"
+#include "util/prng.h"
+
+namespace ibfs::gen {
+
+Result<graph::Csr> GenerateUniform(const UniformParams& params) {
+  if (params.vertex_count <= 0) {
+    return Status::InvalidArgument("vertex_count must be positive");
+  }
+  if (params.outdegree < 0) {
+    return Status::InvalidArgument("outdegree must be >= 0");
+  }
+  const int64_t n = params.vertex_count;
+  Prng prng(params.seed);
+  graph::GraphBuilder builder(n);
+  for (int64_t v = 0; v < n; ++v) {
+    for (int k = 0; k < params.outdegree; ++k) {
+      const auto w = static_cast<graph::VertexId>(
+          prng.NextBounded(static_cast<uint64_t>(n)));
+      const auto u = static_cast<graph::VertexId>(v);
+      if (params.undirected) {
+        builder.AddUndirectedEdge(u, w);
+      } else {
+        builder.AddEdge(u, w);
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace ibfs::gen

@@ -1,0 +1,28 @@
+#ifndef IBFS_GEN_UNIFORM_H_
+#define IBFS_GEN_UNIFORM_H_
+
+#include <cstdint>
+
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace ibfs::gen {
+
+/// Parameters for the uniform-outdegree random generator: the paper's RD
+/// graph, where "each vertex has roughly the same outdegree" (Section 8.1).
+/// Endpoints are sampled uniformly, so there are no hubs and GroupBy Rule 2
+/// has little to bite on — the property Figure 9/17 depend on.
+struct UniformParams {
+  int64_t vertex_count = 1 << 12;
+  /// Directed out-edges drawn per vertex (before dedup).
+  int outdegree = 16;
+  bool undirected = true;
+  uint64_t seed = 1;
+};
+
+/// Generates a uniform random graph. Deterministic for fixed parameters.
+Result<graph::Csr> GenerateUniform(const UniformParams& params);
+
+}  // namespace ibfs::gen
+
+#endif  // IBFS_GEN_UNIFORM_H_

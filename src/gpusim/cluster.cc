@@ -1,0 +1,56 @@
+#include "gpusim/cluster.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ibfs::gpusim {
+
+Cluster::Cluster(int device_count, DeviceSpec spec)
+    : device_count_(device_count), spec_(std::move(spec)) {
+  IBFS_CHECK(device_count_ > 0);
+}
+
+ClusterRun Cluster::Place(std::span<const double> unit_costs,
+                          PlacementPolicy policy) const {
+  ClusterRun run;
+  run.device_seconds.assign(device_count_, 0.0);
+  switch (policy) {
+    case PlacementPolicy::kRoundRobin: {
+      for (size_t i = 0; i < unit_costs.size(); ++i) {
+        run.device_seconds[i % device_count_] += unit_costs[i];
+      }
+      break;
+    }
+    case PlacementPolicy::kLpt: {
+      std::vector<size_t> order(unit_costs.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return unit_costs[a] > unit_costs[b];
+      });
+      for (size_t i : order) {
+        auto least = std::min_element(run.device_seconds.begin(),
+                                      run.device_seconds.end());
+        *least += unit_costs[i];
+      }
+      break;
+    }
+  }
+  run.makespan_seconds =
+      *std::max_element(run.device_seconds.begin(), run.device_seconds.end());
+  run.total_seconds =
+      std::accumulate(unit_costs.begin(), unit_costs.end(), 0.0);
+  return run;
+}
+
+double ClusterSpeedup(std::span<const double> unit_costs, int devices,
+                      PlacementPolicy policy) {
+  if (unit_costs.empty()) return 0.0;
+  Cluster cluster(devices);
+  const ClusterRun run = cluster.Place(unit_costs, policy);
+  if (run.makespan_seconds <= 0.0) return 0.0;
+  return run.total_seconds / run.makespan_seconds;
+}
+
+}  // namespace ibfs::gpusim

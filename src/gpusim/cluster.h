@@ -1,0 +1,61 @@
+#ifndef IBFS_GPUSIM_CLUSTER_H_
+#define IBFS_GPUSIM_CLUSTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device_spec.h"
+
+namespace ibfs::gpusim {
+
+/// How work units (BFS groups) are placed onto devices of the simulated
+/// cluster. The paper's multi-GPU iBFS needs no inter-GPU communication —
+/// each GPU runs independent BFS groups — so scalability is purely a
+/// placement/imbalance question (Section 8.3).
+enum class PlacementPolicy {
+  /// Static round-robin, matching the paper's straightforward partitioning;
+  /// imbalance grows with device count, which is why Fig. 17 tops out at an
+  /// average 85x on 112 GPUs.
+  kRoundRobin,
+  /// Greedy longest-processing-time placement (an upper bound on what a
+  /// smarter scheduler could achieve).
+  kLpt,
+};
+
+/// Result of simulating one cluster run.
+struct ClusterRun {
+  /// Per-device busy seconds.
+  std::vector<double> device_seconds;
+  /// Reported time = slowest device (the paper reports "the longest time
+  /// consumption of all the GPUs").
+  double makespan_seconds = 0.0;
+  /// Sum of work (equals single-device time).
+  double total_seconds = 0.0;
+};
+
+/// A homogeneous cluster of `device_count` simulated GPUs.
+class Cluster {
+ public:
+  Cluster(int device_count, DeviceSpec spec = DeviceSpec::K20());
+
+  int device_count() const { return device_count_; }
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Places independent work units with the given per-unit costs (seconds)
+  /// onto the devices and returns the resulting schedule.
+  ClusterRun Place(std::span<const double> unit_costs,
+                   PlacementPolicy policy) const;
+
+ private:
+  int device_count_;
+  DeviceSpec spec_;
+};
+
+/// Speedup of running `unit_costs` on `devices` GPUs versus one GPU.
+double ClusterSpeedup(std::span<const double> unit_costs, int devices,
+                      PlacementPolicy policy);
+
+}  // namespace ibfs::gpusim
+
+#endif  // IBFS_GPUSIM_CLUSTER_H_

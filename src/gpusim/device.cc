@@ -1,0 +1,194 @@
+#include "gpusim/device.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ibfs::gpusim {
+
+void KernelStats::Add(const KernelStats& other) {
+  mem.Add(other.mem);
+  compute_cycles += other.compute_cycles;
+  max_item_cycles = std::max(max_item_cycles, other.max_item_cycles);
+  item_count += other.item_count;
+  launch_count += other.launch_count;
+  seconds += other.seconds;
+}
+
+KernelScope::KernelScope(Device* device, std::string tag)
+    : device_(device), tag_(std::move(tag)) {}
+
+KernelScope::KernelScope(KernelScope&& other) noexcept
+    : device_(other.device_),
+      tag_(std::move(other.tag_)),
+      mem_(other.mem_),
+      compute_cycles_(other.compute_cycles_),
+      max_item_cycles_(other.max_item_cycles_),
+      item_start_cycles_(other.item_start_cycles_),
+      in_item_(other.in_item_),
+      item_count_(other.item_count_),
+      launch_count_(other.launch_count_),
+      cta_shared_bytes_(other.cta_shared_bytes_) {
+  other.device_ = nullptr;
+}
+
+KernelScope::~KernelScope() { End(); }
+
+double KernelScope::CyclesNow() const {
+  const DeviceSpec& spec = device_->spec();
+  return compute_cycles_ +
+         static_cast<double>(mem_.load_transactions) *
+             spec.cycles_per_load_transaction +
+         static_cast<double>(mem_.store_transactions) *
+             spec.cycles_per_store_transaction +
+         static_cast<double>(mem_.atomic_ops) * spec.cycles_per_atomic +
+         static_cast<double>(mem_.shared_bytes) * spec.cycles_per_shared_byte;
+}
+
+void KernelScope::LoadGather(std::span<const int64_t> indices,
+                             int elem_bytes) {
+  const DeviceSpec& spec = device_->spec();
+  mem_.load_requests += 1;
+  mem_.load_transactions += static_cast<uint64_t>(
+      GatherTransactions(indices, elem_bytes, spec.transaction_bytes));
+}
+
+void KernelScope::LoadContiguous(int64_t start_elem, int64_t count,
+                                 int elem_bytes) {
+  if (count <= 0) return;
+  const DeviceSpec& spec = device_->spec();
+  const int64_t txns = ContiguousTransactions(start_elem, count, elem_bytes,
+                                              spec.transaction_bytes);
+  // One request per warp-worth of lanes touching the run.
+  const int64_t lanes_per_request = spec.warp_size;
+  mem_.load_requests +=
+      static_cast<uint64_t>((count + lanes_per_request - 1) /
+                            lanes_per_request);
+  mem_.load_transactions += static_cast<uint64_t>(txns);
+}
+
+void KernelScope::StoreGather(std::span<const int64_t> indices,
+                              int elem_bytes) {
+  const DeviceSpec& spec = device_->spec();
+  mem_.store_requests += 1;
+  mem_.store_transactions += static_cast<uint64_t>(
+      GatherTransactions(indices, elem_bytes, spec.transaction_bytes));
+}
+
+void KernelScope::StoreContiguous(int64_t start_elem, int64_t count,
+                                  int elem_bytes) {
+  if (count <= 0) return;
+  const DeviceSpec& spec = device_->spec();
+  const int64_t txns = ContiguousTransactions(start_elem, count, elem_bytes,
+                                              spec.transaction_bytes);
+  const int64_t lanes_per_request = spec.warp_size;
+  mem_.store_requests +=
+      static_cast<uint64_t>((count + lanes_per_request - 1) /
+                            lanes_per_request);
+  mem_.store_transactions += static_cast<uint64_t>(txns);
+}
+
+void KernelScope::Atomic(int64_t count) {
+  if (count > 0) mem_.atomic_ops += static_cast<uint64_t>(count);
+}
+
+void KernelScope::SharedBytes(int64_t bytes) {
+  if (bytes > 0) mem_.shared_bytes += static_cast<uint64_t>(bytes);
+}
+
+void KernelScope::Compute(int64_t ops) {
+  if (ops > 0) compute_cycles_ += static_cast<double>(ops) *
+                                  device_->spec().cycles_per_compute_op;
+}
+
+void KernelScope::ExtraLaunches(int64_t count) {
+  if (count > 0) launch_count_ += count;
+}
+
+void KernelScope::SetCtaSharedBytes(int64_t bytes) {
+  cta_shared_bytes_ = std::max(cta_shared_bytes_, bytes);
+}
+
+void KernelScope::BeginItem() {
+  IBFS_CHECK(!in_item_);
+  in_item_ = true;
+  item_start_cycles_ = CyclesNow();
+}
+
+void KernelScope::EndItem() {
+  IBFS_CHECK(in_item_);
+  in_item_ = false;
+  ++item_count_;
+  max_item_cycles_ =
+      std::max(max_item_cycles_, CyclesNow() - item_start_cycles_);
+}
+
+void KernelScope::End() {
+  if (device_ == nullptr) return;
+  device_->FinishKernel(this);
+  device_ = nullptr;
+}
+
+Device::Device(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+KernelScope Device::BeginKernel(std::string_view tag) {
+  return KernelScope(this, std::string(tag));
+}
+
+void Device::FinishKernel(KernelScope* scope) {
+  const double total_cycles = scope->CyclesNow();
+  // Shared-memory occupancy: each resident CTA claims cta_shared bytes,
+  // so an SM hosts at most shared_capacity / cta_shared CTAs. When the
+  // resident-warp count falls below the saturation point, latency hiding
+  // degrades and the effective parallel slots shrink proportionally.
+  double slots = static_cast<double>(spec_.parallel_warp_slots);
+  if (scope->cta_shared_bytes_ > 0) {
+    const double max_ctas_by_shared =
+        static_cast<double>(spec_.shared_mem_per_sm_bytes) /
+        static_cast<double>(scope->cta_shared_bytes_);
+    const double occupancy =
+        std::min(1.0, max_ctas_by_shared *
+                          static_cast<double>(spec_.warps_per_cta) /
+                          static_cast<double>(spec_.resident_warps_per_sm));
+    const double saturation =
+        std::min(1.0, occupancy / spec_.saturation_occupancy);
+    slots = std::max(1.0, slots * saturation);
+  }
+  // Roofline: compute-issue makespan over the parallel warp slots, bounded
+  // below by the slowest single work item and by DRAM bandwidth.
+  const double compute_seconds =
+      std::max(total_cycles / slots, scope->max_item_cycles_) /
+      (spec_.clock_ghz * 1e9);
+  const double dram_seconds =
+      static_cast<double>(scope->mem_.DramBytes(spec_.dram_sector_bytes)) /
+      (spec_.mem_bandwidth_gbps * 1e9);
+  const double seconds =
+      std::max(compute_seconds, dram_seconds) +
+      static_cast<double>(scope->launch_count_) * spec_.kernel_launch_overhead_s;
+
+  KernelStats stats;
+  stats.mem = scope->mem_;
+  stats.compute_cycles = total_cycles;
+  stats.max_item_cycles = scope->max_item_cycles_;
+  stats.item_count = scope->item_count_;
+  stats.launch_count = scope->launch_count_;
+  stats.seconds = seconds;
+
+  elapsed_seconds_ += seconds;
+  totals_.Add(stats);
+  phases_[scope->tag_].Add(stats);
+}
+
+KernelStats Device::PhaseStats(std::string_view tag) const {
+  auto it = phases_.find(std::string(tag));
+  if (it == phases_.end()) return KernelStats{};
+  return it->second;
+}
+
+void Device::ResetStats() {
+  elapsed_seconds_ = 0.0;
+  totals_ = KernelStats{};
+  phases_.clear();
+}
+
+}  // namespace ibfs::gpusim

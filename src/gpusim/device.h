@@ -1,0 +1,152 @@
+#ifndef IBFS_GPUSIM_DEVICE_H_
+#define IBFS_GPUSIM_DEVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "gpusim/device_spec.h"
+#include "gpusim/memory_model.h"
+
+namespace ibfs::gpusim {
+
+class Device;
+
+/// Accounting for one finished kernel launch.
+struct KernelStats {
+  MemCounters mem;
+  double compute_cycles = 0.0;
+  double max_item_cycles = 0.0;
+  int64_t item_count = 0;
+  int64_t launch_count = 0;
+  double seconds = 0.0;
+
+  void Add(const KernelStats& other);
+};
+
+/// RAII accounting scope for one simulated kernel launch. Algorithm code
+/// opens a scope, reports its memory traffic and compute through the typed
+/// methods, and the device converts the totals into simulated time when the
+/// scope finishes.
+///
+/// Work items (BeginItem/EndItem) bracket one schedulable unit — typically
+/// the per-frontier work of one warp — so the device can bound the makespan
+/// by the slowest unit, which is how bottom-up workload imbalance
+/// (Figure 11) becomes visible in simulated time.
+class KernelScope {
+ public:
+  KernelScope(KernelScope&& other) noexcept;
+  KernelScope& operator=(KernelScope&&) = delete;
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+  /// Finishes the kernel if End() was not called explicitly.
+  ~KernelScope();
+
+  /// One warp load request gathering lanes' `indices` into an array of
+  /// `elem_bytes` elements (kInactiveLane masks a lane off).
+  void LoadGather(std::span<const int64_t> indices, int elem_bytes);
+
+  /// One-or-more warp load requests covering `count` contiguous elements.
+  void LoadContiguous(int64_t start_elem, int64_t count, int elem_bytes);
+
+  /// One warp store request scattering to lanes' `indices`.
+  void StoreGather(std::span<const int64_t> indices, int elem_bytes);
+
+  /// Contiguous (coalesced) store of `count` elements.
+  void StoreContiguous(int64_t start_elem, int64_t count, int elem_bytes);
+
+  /// `count` atomic read-modify-writes to global memory.
+  void Atomic(int64_t count = 1);
+
+  /// Shared-memory traffic in bytes (the adjacency cache of Section 4).
+  void SharedBytes(int64_t bytes);
+
+  /// `ops` warp-wide ALU instructions.
+  void Compute(int64_t ops);
+
+  /// Extra kernel launches beyond the implicit one (the naive multi-kernel
+  /// strategy pays one per BFS instance per level).
+  void ExtraLaunches(int64_t count);
+
+  /// Declares the per-CTA shared-memory footprint of this kernel (e.g.
+  /// the adjacency cache). Occupancy drops when resident CTAs cannot all
+  /// fit their footprint into the SM's shared memory, shrinking the
+  /// effective parallel warp slots for this launch.
+  void SetCtaSharedBytes(int64_t bytes);
+
+  /// Brackets one schedulable work item (see class comment).
+  void BeginItem();
+  void EndItem();
+
+  /// Finalizes accounting and charges simulated time to the device.
+  /// Idempotent; also called by the destructor.
+  void End();
+
+  const MemCounters& mem() const { return mem_; }
+  double compute_cycles() const { return compute_cycles_; }
+
+ private:
+  friend class Device;
+  KernelScope(Device* device, std::string tag);
+
+  double CyclesNow() const;
+
+  Device* device_;  // null after End()
+  std::string tag_;
+  MemCounters mem_;
+  double compute_cycles_ = 0.0;
+  double max_item_cycles_ = 0.0;
+  double item_start_cycles_ = 0.0;
+  bool in_item_ = false;
+  int64_t item_count_ = 0;
+  int64_t launch_count_ = 1;
+  int64_t cta_shared_bytes_ = 0;
+};
+
+/// One simulated GPU. Accumulates simulated time and per-phase counters
+/// across kernel launches; strategies tag phases ("td_inspect",
+/// "fq_gen", ...) so the figure harnesses can report phase-local metrics
+/// exactly as the paper does with the NVIDIA profiler.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec::K40());
+
+  /// Opens an accounting scope for one kernel launch tagged `tag`.
+  KernelScope BeginKernel(std::string_view tag);
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Total simulated seconds across all finished kernels.
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+  /// Counter totals across all finished kernels.
+  const KernelStats& totals() const { return totals_; }
+
+  /// Aggregated stats for one phase tag (zeroes if never used).
+  KernelStats PhaseStats(std::string_view tag) const;
+
+  /// All phase tags seen so far.
+  std::map<std::string, KernelStats> phases() const { return phases_; }
+
+  /// Clears all counters and simulated time.
+  void ResetStats();
+
+ private:
+  friend class KernelScope;
+
+  /// Converts a finished scope into simulated seconds (roofline model) and
+  /// folds it into the device totals.
+  void FinishKernel(KernelScope* scope);
+
+  DeviceSpec spec_;
+  double elapsed_seconds_ = 0.0;
+  KernelStats totals_;
+  std::map<std::string, KernelStats> phases_;
+};
+
+}  // namespace ibfs::gpusim
+
+#endif  // IBFS_GPUSIM_DEVICE_H_

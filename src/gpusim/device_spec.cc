@@ -1,0 +1,18 @@
+#include "gpusim/device_spec.h"
+
+namespace ibfs::gpusim {
+
+DeviceSpec DeviceSpec::K40() { return DeviceSpec{}; }
+
+DeviceSpec DeviceSpec::K20() {
+  DeviceSpec spec;
+  spec.name = "K20-sim";
+  spec.sm_count = 13;
+  spec.parallel_warp_slots = 78;  // 2496 cores / 32
+  spec.clock_ghz = 0.706;
+  spec.mem_bandwidth_gbps = 208.0;
+  spec.global_memory_bytes = int64_t{5} * 1024 * 1024 * 1024;
+  return spec;
+}
+
+}  // namespace ibfs::gpusim

@@ -1,0 +1,67 @@
+#include "gpusim/memory_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ibfs::gpusim {
+
+int64_t ContiguousTransactions(int64_t start_elem, int64_t count,
+                               int elem_bytes, int seg_bytes,
+                               int warp_size) {
+  if (count <= 0) return 0;
+  IBFS_CHECK(elem_bytes > 0 && seg_bytes > 0 && warp_size > 0);
+  int64_t transactions = 0;
+  for (int64_t chunk = 0; chunk < count; chunk += warp_size) {
+    const int64_t chunk_count = std::min<int64_t>(warp_size, count - chunk);
+    const int64_t first_byte = (start_elem + chunk) * elem_bytes;
+    const int64_t last_byte =
+        (start_elem + chunk + chunk_count) * elem_bytes - 1;
+    transactions += last_byte / seg_bytes - first_byte / seg_bytes + 1;
+  }
+  return transactions;
+}
+
+int64_t GatherTransactions(std::span<const int64_t> indices, int elem_bytes,
+                           int seg_bytes) {
+  IBFS_CHECK(elem_bytes > 0 && seg_bytes > 0);
+  // Warp-sized inputs: dedupe segment ids with a small stack buffer.
+  int64_t segs[64];
+  size_t n = 0;
+  for (int64_t idx : indices) {
+    if (idx == kInactiveLane) continue;
+    const int64_t seg = idx * elem_bytes / seg_bytes;
+    bool seen = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (segs[i] == seg) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen && n < 64) segs[n++] = seg;
+  }
+  return static_cast<int64_t>(n);
+}
+
+void MemCounters::Add(const MemCounters& other) {
+  load_transactions += other.load_transactions;
+  store_transactions += other.store_transactions;
+  load_requests += other.load_requests;
+  store_requests += other.store_requests;
+  atomic_ops += other.atomic_ops;
+  shared_bytes += other.shared_bytes;
+}
+
+int64_t MemCounters::DramBytes(int transaction_bytes) const {
+  return static_cast<int64_t>(load_transactions + store_transactions +
+                              atomic_ops) *
+         transaction_bytes;
+}
+
+double MemCounters::LoadTransactionsPerRequest() const {
+  if (load_requests == 0) return 0.0;
+  return static_cast<double>(load_transactions) /
+         static_cast<double>(load_requests);
+}
+
+}  // namespace ibfs::gpusim

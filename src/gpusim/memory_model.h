@@ -1,0 +1,61 @@
+#ifndef IBFS_GPUSIM_MEMORY_MODEL_H_
+#define IBFS_GPUSIM_MEMORY_MODEL_H_
+
+#include <cstdint>
+#include <span>
+
+namespace ibfs::gpusim {
+
+/// Coalescing arithmetic for the simulated global-memory system.
+///
+/// CUDA devices service a warp's memory request in 128-byte aligned
+/// segments: lanes touching the same segment share one transaction, lanes
+/// scattered across segments each cost one. This is the mechanism behind the
+/// paper's Figures 18, 19 and 21 — the joint status array turns per-instance
+/// byte probes into contiguous runs, cutting transactions per request from
+/// ~4 to 1, and the bitwise array shrinks the bytes themselves.
+
+/// Sentinel element index for an inactive lane.
+inline constexpr int64_t kInactiveLane = -1;
+
+/// Transactions needed to access `count` contiguous elements of size
+/// `elem_bytes` starting at element index `start_elem` of a segment-aligned
+/// array. Returns 0 when count <= 0. Coalescing happens per warp request:
+/// each 32-element chunk is served separately (two warps never merge into
+/// one transaction, even on adjacent addresses), so a 128-byte status row
+/// read by 128 one-byte threads costs four transactions — while one thread
+/// reading the same statuses as two packed words costs one. This is the
+/// hardware fact behind the bitwise status array's advantage (Section 6).
+int64_t ContiguousTransactions(int64_t start_elem, int64_t count,
+                               int elem_bytes, int seg_bytes,
+                               int warp_size = 32);
+
+/// Transactions needed for one warp gather: each active lane accesses
+/// element `indices[lane]` of a segment-aligned array of `elem_bytes`
+/// elements; kInactiveLane lanes are masked off. Counts distinct segments.
+int64_t GatherTransactions(std::span<const int64_t> indices, int elem_bytes,
+                           int seg_bytes);
+
+/// Counters for one kernel (or one aggregated phase). Mirrors the NVIDIA
+/// profiler metrics the paper reports: gld/gst transactions, requests
+/// (one per warp memory instruction), and atomics.
+struct MemCounters {
+  uint64_t load_transactions = 0;
+  uint64_t store_transactions = 0;
+  uint64_t load_requests = 0;
+  uint64_t store_requests = 0;
+  uint64_t atomic_ops = 0;
+  uint64_t shared_bytes = 0;
+
+  void Add(const MemCounters& other);
+
+  /// DRAM traffic implied by the transaction counts.
+  int64_t DramBytes(int transaction_bytes) const;
+
+  /// Average global load transactions per load request (Figure 19 metric).
+  double LoadTransactionsPerRequest() const;
+};
+
+}  // namespace ibfs::gpusim
+
+#endif  // IBFS_GPUSIM_MEMORY_MODEL_H_

@@ -1,0 +1,40 @@
+#include "gpusim/report.h"
+
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace ibfs::gpusim {
+
+std::string FormatProfile(const std::map<std::string, KernelStats>& phases,
+                          const KernelStats& totals,
+                          double elapsed_seconds) {
+  ibfs::CsvTable table({"phase", "time_ms", "pct", "launches", "gld_txn",
+                        "gst_txn", "gld_per_req", "atomics", "shared_KiB"});
+  auto add_row = [&](const std::string& name, const KernelStats& st) {
+    table.Row()
+        .Add(name)
+        .Add(st.seconds * 1e3, 3)
+        .Add(elapsed_seconds > 0 ? 100.0 * st.seconds / elapsed_seconds
+                                 : 0.0,
+             1)
+        .Add(st.launch_count)
+        .Add(st.mem.load_transactions)
+        .Add(st.mem.store_transactions)
+        .Add(st.mem.LoadTransactionsPerRequest(), 2)
+        .Add(st.mem.atomic_ops)
+        .Add(static_cast<double>(st.mem.shared_bytes) / 1024.0, 1);
+  };
+  for (const auto& [tag, stats] : phases) add_row(tag, stats);
+  add_row("TOTAL", totals);
+  std::ostringstream os;
+  table.Print(os);
+  return os.str();
+}
+
+std::string FormatProfile(const Device& device) {
+  return FormatProfile(device.phases(), device.totals(),
+                       device.elapsed_seconds());
+}
+
+}  // namespace ibfs::gpusim

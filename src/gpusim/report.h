@@ -1,0 +1,24 @@
+#ifndef IBFS_GPUSIM_REPORT_H_
+#define IBFS_GPUSIM_REPORT_H_
+
+#include <map>
+#include <string>
+
+#include "gpusim/device.h"
+
+namespace ibfs::gpusim {
+
+/// Renders a device's accumulated per-phase counters as an
+/// nvprof-style text table: one row per kernel tag with simulated time,
+/// launches, load/store transactions, transactions-per-request, atomics
+/// and shared-memory traffic, plus a totals row. Intended for examples,
+/// the CLI, and debugging — the figure harnesses read the raw counters.
+std::string FormatProfile(const Device& device);
+
+/// Same, for an explicit phase map (e.g. an EngineResult's snapshot).
+std::string FormatProfile(const std::map<std::string, KernelStats>& phases,
+                          const KernelStats& totals, double elapsed_seconds);
+
+}  // namespace ibfs::gpusim
+
+#endif  // IBFS_GPUSIM_REPORT_H_

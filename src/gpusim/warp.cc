@@ -1,0 +1,32 @@
+#include "gpusim/warp.h"
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace ibfs::gpusim {
+
+uint32_t Ballot(std::span<const bool> predicates) {
+  IBFS_CHECK(predicates.size() <= static_cast<size_t>(kWarpSize));
+  uint32_t mask = 0;
+  for (size_t lane = 0; lane < predicates.size(); ++lane) {
+    if (predicates[lane]) mask |= uint32_t{1} << lane;
+  }
+  return mask;
+}
+
+bool Any(std::span<const bool> predicates) {
+  return Ballot(predicates) != 0;
+}
+
+bool All(std::span<const bool> predicates) {
+  const uint32_t mask = Ballot(predicates);
+  const auto n = static_cast<int>(predicates.size());
+  return mask == static_cast<uint32_t>(LowMask(n));
+}
+
+int LeaderLane(uint32_t ballot_mask) {
+  if (ballot_mask == 0) return -1;
+  return LowestSetBit(ballot_mask);
+}
+
+}  // namespace ibfs::gpusim

@@ -1,0 +1,34 @@
+#ifndef IBFS_GPUSIM_WARP_H_
+#define IBFS_GPUSIM_WARP_H_
+
+#include <cstdint>
+#include <span>
+
+namespace ibfs::gpusim {
+
+/// SIMT warp-vote primitives. iBFS's joint frontier queue generation uses
+/// CUDA's __any() to decide whether any instance considers a vertex a
+/// frontier, and __ballot() to record *which* instances share it
+/// (Section 4). In the simulator a warp's lane predicates are explicit, so
+/// the primitives are pure bit math — but they are exercised through this
+/// API so the kernel code reads like its CUDA counterpart.
+
+inline constexpr int kWarpSize = 32;
+
+/// CUDA __ballot(): bit i of the result is lane i's predicate.
+/// Lanes beyond predicates.size() contribute 0. Precondition: <= 32 lanes.
+uint32_t Ballot(std::span<const bool> predicates);
+
+/// CUDA __any(): true if any lane's predicate is set.
+bool Any(std::span<const bool> predicates);
+
+/// CUDA __all(): true if every lane in [0, lane_count) is set.
+bool All(std::span<const bool> predicates);
+
+/// Lane id of the first set bit of a ballot mask (leader election for the
+/// single thread that enqueues a shared frontier); -1 if mask == 0.
+int LeaderLane(uint32_t ballot_mask);
+
+}  // namespace ibfs::gpusim
+
+#endif  // IBFS_GPUSIM_WARP_H_

@@ -1,0 +1,83 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <string>
+
+namespace ibfs::graph {
+namespace {
+
+// Counting-sort an edge list into CSR arrays keyed by `key`, storing `value`.
+void EdgesToCsr(const std::vector<Edge>& edges, int64_t vertex_count,
+                bool key_is_src, std::vector<EdgeIndex>* offsets,
+                std::vector<VertexId>* adjacency) {
+  offsets->assign(static_cast<size_t>(vertex_count) + 1, 0);
+  for (const Edge& e : edges) {
+    const VertexId key = key_is_src ? e.src : e.dst;
+    ++(*offsets)[key + 1];
+  }
+  for (size_t v = 1; v < offsets->size(); ++v) (*offsets)[v] += (*offsets)[v - 1];
+  adjacency->resize(edges.size());
+  std::vector<EdgeIndex> cursor(offsets->begin(), offsets->end() - 1);
+  for (const Edge& e : edges) {
+    const VertexId key = key_is_src ? e.src : e.dst;
+    const VertexId value = key_is_src ? e.dst : e.src;
+    (*adjacency)[cursor[key]++] = value;
+  }
+  // Counting sort preserves no order among a vertex's neighbors; sort each
+  // list so traversal (and early termination) is deterministic.
+  for (int64_t v = 0; v < vertex_count; ++v) {
+    std::sort(adjacency->begin() + static_cast<int64_t>((*offsets)[v]),
+              adjacency->begin() + static_cast<int64_t>((*offsets)[v + 1]));
+  }
+}
+
+}  // namespace
+
+GraphBuilder::GraphBuilder(int64_t vertex_count)
+    : vertex_count_(vertex_count) {}
+
+void GraphBuilder::AddEdge(VertexId src, VertexId dst) {
+  edges_.push_back({src, dst});
+}
+
+void GraphBuilder::AddUndirectedEdge(VertexId u, VertexId v) {
+  edges_.push_back({u, v});
+  edges_.push_back({v, u});
+}
+
+void GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  edges_.insert(edges_.end(), edges.begin(), edges.end());
+}
+
+Result<Csr> GraphBuilder::Build() && {
+  if (vertex_count_ <= 0) {
+    return Status::InvalidArgument("vertex_count must be positive");
+  }
+  if (vertex_count_ > static_cast<int64_t>(kInvalidVertex)) {
+    return Status::InvalidArgument("vertex_count exceeds VertexId range");
+  }
+  for (const Edge& e : edges_) {
+    if (e.src >= vertex_count_ || e.dst >= vertex_count_) {
+      return Status::OutOfRange("edge endpoint " + std::to_string(e.src) +
+                                "->" + std::to_string(e.dst) +
+                                " outside vertex range");
+    }
+  }
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  std::vector<EdgeIndex> out_offsets;
+  std::vector<VertexId> out_adj;
+  EdgesToCsr(edges_, vertex_count_, /*key_is_src=*/true, &out_offsets,
+             &out_adj);
+  std::vector<EdgeIndex> in_offsets;
+  std::vector<VertexId> in_adj;
+  EdgesToCsr(edges_, vertex_count_, /*key_is_src=*/false, &in_offsets,
+             &in_adj);
+  return Csr(std::move(out_offsets), std::move(out_adj), std::move(in_offsets),
+             std::move(in_adj));
+}
+
+}  // namespace ibfs::graph

@@ -1,0 +1,55 @@
+#ifndef IBFS_GRAPH_BUILDER_H_
+#define IBFS_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace ibfs::graph {
+
+/// A directed edge (source, destination).
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Accumulates an edge list and produces a validated Csr.
+///
+/// Matching the paper's preprocessing (Section 8.1): undirected inputs add
+/// each edge in both directions; for directed graphs the reverse adjacency is
+/// materialized as well so bottom-up traversal can search in-neighbors.
+/// Duplicate edges are removed and adjacency lists are sorted so traversal
+/// order — and therefore bottom-up early termination — is deterministic.
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph with `vertex_count` vertices.
+  explicit GraphBuilder(int64_t vertex_count);
+
+  /// Adds a directed edge. Out-of-range endpoints are reported by Build().
+  void AddEdge(VertexId src, VertexId dst);
+
+  /// Adds both (u, v) and (v, u).
+  void AddUndirectedEdge(VertexId u, VertexId v);
+
+  /// Adds every edge from `edges`.
+  void AddEdges(const std::vector<Edge>& edges);
+
+  int64_t edge_count() const { return static_cast<int64_t>(edges_.size()); }
+
+  /// Sorts, deduplicates (keeping self-loops, as Graph500 TEPS counting
+  /// allows them), validates endpoints, and emits the CSR plus its reverse.
+  Result<Csr> Build() &&;
+
+ private:
+  int64_t vertex_count_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ibfs::graph
+
+#endif  // IBFS_GRAPH_BUILDER_H_

@@ -1,0 +1,89 @@
+#include "graph/components.h"
+
+#include <deque>
+
+#include "util/prng.h"
+
+namespace ibfs::graph {
+namespace {
+
+// Marks the weak component containing `start` in `label` with `id`.
+int64_t FloodFill(const Csr& graph, VertexId start, int32_t id,
+                  std::vector<int32_t>* label) {
+  int64_t size = 0;
+  std::deque<VertexId> queue{start};
+  (*label)[start] = id;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    ++size;
+    for (VertexId w : graph.OutNeighbors(v)) {
+      if ((*label)[w] < 0) {
+        (*label)[w] = id;
+        queue.push_back(w);
+      }
+    }
+    for (VertexId w : graph.InNeighbors(v)) {
+      if ((*label)[w] < 0) {
+        (*label)[w] = id;
+        queue.push_back(w);
+      }
+    }
+  }
+  return size;
+}
+
+}  // namespace
+
+ComponentLabels ConnectedComponents(const Csr& graph) {
+  const int64_t n = graph.vertex_count();
+  ComponentLabels result;
+  result.labels.assign(static_cast<size_t>(n), -1);
+  for (int64_t v = 0; v < n; ++v) {
+    if (result.labels[v] >= 0) continue;
+    const int64_t size = FloodFill(graph, static_cast<VertexId>(v),
+                                   result.component_count, &result.labels);
+    result.sizes.push_back(size);
+    if (size > result.sizes[result.giant_id]) {
+      result.giant_id = result.component_count;
+    }
+    ++result.component_count;
+  }
+  return result;
+}
+
+std::vector<bool> GiantComponentMask(const Csr& graph) {
+  const ComponentLabels cc = ConnectedComponents(graph);
+  std::vector<bool> mask(cc.labels.size(), false);
+  for (size_t v = 0; v < cc.labels.size(); ++v) {
+    mask[v] = cc.labels[v] == cc.giant_id;
+  }
+  return mask;
+}
+
+std::vector<VertexId> GiantComponent(const Csr& graph) {
+  const auto mask = GiantComponentMask(graph);
+  std::vector<VertexId> members;
+  for (size_t v = 0; v < mask.size(); ++v) {
+    if (mask[v]) members.push_back(static_cast<VertexId>(v));
+  }
+  return members;
+}
+
+std::vector<VertexId> SampleConnectedSources(const Csr& graph, int64_t count,
+                                             uint64_t seed) {
+  std::vector<VertexId> pool = GiantComponent(graph);
+  if (pool.empty() || count <= 0) return {};
+  Prng prng(seed);
+  for (size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[prng.NextBounded(i)]);
+  }
+  std::vector<VertexId> sources;
+  sources.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    sources.push_back(pool[static_cast<size_t>(i) % pool.size()]);
+  }
+  return sources;
+}
+
+}  // namespace ibfs::graph

@@ -1,0 +1,44 @@
+#ifndef IBFS_GRAPH_COMPONENTS_H_
+#define IBFS_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace ibfs::graph {
+
+/// Weakly-connected component labeling (every edge treated as
+/// undirected). labels[v] is a component id in [0, component_count);
+/// ids are assigned in discovery order from vertex 0.
+struct ComponentLabels {
+  std::vector<int32_t> labels;
+  std::vector<int64_t> sizes;  // indexed by component id
+  int32_t component_count = 0;
+  /// Id of the largest component (smallest id wins ties).
+  int32_t giant_id = 0;
+};
+
+/// Labels every weakly-connected component with one BFS sweep.
+ComponentLabels ConnectedComponents(const Csr& graph);
+
+/// Membership mask of the largest weakly-connected component (treating
+/// every edge as undirected, i.e. following both out- and in-neighbors).
+std::vector<bool> GiantComponentMask(const Csr& graph);
+
+/// Vertices of the largest weakly-connected component, ascending.
+std::vector<VertexId> GiantComponent(const Csr& graph);
+
+/// Samples `count` distinct vertices from the giant component, shuffled
+/// deterministically by `seed` — the paper's source-selection discipline
+/// (Graph500 requires search keys with degree >= 1 that reach the bulk of
+/// the graph; a source in a tiny component degenerates the traversal and,
+/// for concurrent BFS, forecloses bottom-up early termination because its
+/// instance can never visit most vertices). If the component has fewer
+/// than `count` vertices, wraps around (duplicates allowed).
+std::vector<VertexId> SampleConnectedSources(const Csr& graph, int64_t count,
+                                             uint64_t seed);
+
+}  // namespace ibfs::graph
+
+#endif  // IBFS_GRAPH_COMPONENTS_H_

@@ -1,0 +1,30 @@
+#include "graph/csr.h"
+
+#include "util/logging.h"
+
+namespace ibfs::graph {
+
+Csr::Csr(std::vector<EdgeIndex> row_offsets, std::vector<VertexId> adjacency,
+         std::vector<EdgeIndex> in_row_offsets,
+         std::vector<VertexId> in_adjacency)
+    : row_offsets_(std::move(row_offsets)),
+      adjacency_(std::move(adjacency)),
+      in_row_offsets_(std::move(in_row_offsets)),
+      in_adjacency_(std::move(in_adjacency)) {
+  IBFS_CHECK(!row_offsets_.empty());
+  IBFS_CHECK(row_offsets_.size() == in_row_offsets_.size());
+  IBFS_CHECK(row_offsets_.front() == 0);
+  IBFS_CHECK(row_offsets_.back() == adjacency_.size());
+  IBFS_CHECK(in_row_offsets_.front() == 0);
+  IBFS_CHECK(in_row_offsets_.back() == in_adjacency_.size());
+  IBFS_CHECK(adjacency_.size() == in_adjacency_.size());
+}
+
+int64_t Csr::StorageBytes() const {
+  return static_cast<int64_t>(row_offsets_.size() * sizeof(EdgeIndex) +
+                              adjacency_.size() * sizeof(VertexId) +
+                              in_row_offsets_.size() * sizeof(EdgeIndex) +
+                              in_adjacency_.size() * sizeof(VertexId));
+}
+
+}  // namespace ibfs::graph

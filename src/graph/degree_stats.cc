@@ -1,0 +1,54 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats_math.h"
+
+namespace ibfs::graph {
+
+DegreeStats ComputeDegreeStats(const Csr& graph) {
+  DegreeStats stats;
+  stats.vertex_count = graph.vertex_count();
+  stats.edge_count = graph.edge_count();
+  RunningStats deg;
+  for (int64_t v = 0; v < stats.vertex_count; ++v) {
+    const int64_t d = graph.OutDegree(static_cast<VertexId>(v));
+    deg.Add(static_cast<double>(d));
+    stats.max_outdegree = std::max(stats.max_outdegree, d);
+    if (d == 0) ++stats.zero_degree_count;
+  }
+  stats.avg_outdegree = deg.mean();
+  stats.stddev_outdegree = deg.stddev();
+  return stats;
+}
+
+std::vector<VertexId> HighOutDegreeVertices(const Csr& graph,
+                                            int64_t threshold) {
+  std::vector<VertexId> hubs;
+  const int64_t n = graph.vertex_count();
+  for (int64_t v = 0; v < n; ++v) {
+    if (graph.OutDegree(static_cast<VertexId>(v)) > threshold) {
+      hubs.push_back(static_cast<VertexId>(v));
+    }
+  }
+  return hubs;
+}
+
+std::vector<int64_t> DegreeHistogram(const Csr& graph) {
+  std::vector<int64_t> histogram;
+  const int64_t n = graph.vertex_count();
+  for (int64_t v = 0; v < n; ++v) {
+    const int64_t d = graph.OutDegree(static_cast<VertexId>(v));
+    const int bucket =
+        d <= 1 ? 0 : static_cast<int>(std::floor(std::log2(
+                         static_cast<double>(d))));
+    if (static_cast<size_t>(bucket) >= histogram.size()) {
+      histogram.resize(bucket + 1, 0);
+    }
+    ++histogram[bucket];
+  }
+  return histogram;
+}
+
+}  // namespace ibfs::graph

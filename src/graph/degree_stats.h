@@ -1,0 +1,37 @@
+#ifndef IBFS_GRAPH_DEGREE_STATS_H_
+#define IBFS_GRAPH_DEGREE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace ibfs::graph {
+
+/// Aggregate outdegree statistics; the GroupBy rules (Section 5.2) are
+/// driven entirely by outdegrees, so this is the analysis the grouper runs.
+struct DegreeStats {
+  int64_t vertex_count = 0;
+  int64_t edge_count = 0;
+  double avg_outdegree = 0.0;
+  int64_t max_outdegree = 0;
+  double stddev_outdegree = 0.0;
+  /// Vertices with outdegree 0 (never frontiers in top-down expansion).
+  int64_t zero_degree_count = 0;
+};
+
+/// Computes aggregate outdegree statistics for `graph`.
+DegreeStats ComputeDegreeStats(const Csr& graph);
+
+/// Returns all vertices with outdegree > threshold, ascending by id — the
+/// "high-outdegree vertices" of GroupBy Rule 2.
+std::vector<VertexId> HighOutDegreeVertices(const Csr& graph,
+                                            int64_t threshold);
+
+/// Histogram of log2(outdegree) buckets: bucket b counts vertices with
+/// outdegree in [2^b, 2^(b+1)); bucket 0 also counts degree 0 and 1.
+std::vector<int64_t> DegreeHistogram(const Csr& graph);
+
+}  // namespace ibfs::graph
+
+#endif  // IBFS_GRAPH_DEGREE_STATS_H_

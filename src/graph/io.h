@@ -1,0 +1,40 @@
+#ifndef IBFS_GRAPH_IO_H_
+#define IBFS_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/builder.h"
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace ibfs::graph {
+
+/// Loads a whitespace-separated edge list ("src dst" per line; '#' and '%'
+/// comment lines skipped — the SNAP dataset format the paper's real graphs
+/// ship in). Vertex ids must be < vertex_count; when vertex_count is -1 it
+/// is inferred as max id + 1.
+Result<Csr> LoadEdgeList(const std::string& path, int64_t vertex_count = -1,
+                         bool undirected = false);
+
+/// Writes a graph's out-edges as an edge list (one "src dst" per line).
+Status SaveEdgeList(const Csr& graph, const std::string& path);
+
+/// Writes the CSR (both directions) in a compact binary format — magic,
+/// version, counts, then the four arrays — so large generated benchmarks
+/// load without re-sorting. Little-endian, not portable across
+/// architectures of different endianness.
+Status SaveBinary(const Csr& graph, const std::string& path);
+
+/// Loads a graph written by SaveBinary, validating header and sizes.
+Result<Csr> LoadBinary(const std::string& path);
+
+/// Loads a Matrix Market coordinate file (the format the paper's
+/// University-of-Florida / SuiteSparse graphs such as WK ship in).
+/// Supports `matrix coordinate pattern|integer|real general|symmetric`;
+/// symmetric matrices add both directions; entry values are ignored
+/// (pattern connectivity only); 1-based indices are converted.
+Result<Csr> LoadMatrixMarket(const std::string& path);
+
+}  // namespace ibfs::graph
+
+#endif  // IBFS_GRAPH_IO_H_

@@ -1,0 +1,46 @@
+#include "graph/relabel.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.h"
+
+namespace ibfs::graph {
+
+Result<RelabeledGraph> RelabelByDegree(const Csr& graph) {
+  const int64_t n = graph.vertex_count();
+  std::vector<VertexId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](VertexId a, VertexId b) {
+                     return graph.OutDegree(a) > graph.OutDegree(b);
+                   });
+
+  std::vector<VertexId> new_id(static_cast<size_t>(n));
+  for (int64_t rank = 0; rank < n; ++rank) {
+    new_id[order[rank]] = static_cast<VertexId>(rank);
+  }
+
+  GraphBuilder builder(n);
+  for (int64_t v = 0; v < n; ++v) {
+    const auto vid = static_cast<VertexId>(v);
+    for (VertexId w : graph.OutNeighbors(vid)) {
+      builder.AddEdge(new_id[vid], new_id[w]);
+    }
+  }
+  Result<Csr> rebuilt = std::move(builder).Build();
+  IBFS_RETURN_NOT_OK(rebuilt.status());
+  return RelabeledGraph{std::move(rebuilt).value(), std::move(new_id),
+                        std::move(order)};
+}
+
+std::vector<uint8_t> MapDepthsToOriginal(const RelabeledGraph& relabeled,
+                                         const std::vector<uint8_t>& depths) {
+  std::vector<uint8_t> out(depths.size());
+  for (size_t new_v = 0; new_v < depths.size(); ++new_v) {
+    out[relabeled.old_id[new_v]] = depths[new_v];
+  }
+  return out;
+}
+
+}  // namespace ibfs::graph

@@ -1,0 +1,34 @@
+#ifndef IBFS_GRAPH_RELABEL_H_
+#define IBFS_GRAPH_RELABEL_H_
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace ibfs::graph {
+
+/// A relabeled graph plus the id mappings between old and new worlds.
+struct RelabeledGraph {
+  Csr graph;
+  /// new_id[old] — apply to sources before traversing the relabeled graph.
+  std::vector<VertexId> new_id;
+  /// old_id[new] — apply to results to map back.
+  std::vector<VertexId> old_id;
+};
+
+/// Renumbers vertices by descending outdegree (ties by old id). A standard
+/// GPU-BFS preprocessing step (Enterprise uses it): hubs get small ids, so
+/// frontier queues and status-array accesses for the hot vertices land in
+/// the same memory segments, and sorted adjacency lists place hubs first —
+/// which also makes bottom-up parent searches hit sooner.
+Result<RelabeledGraph> RelabelByDegree(const Csr& graph);
+
+/// Maps a depth array computed on the relabeled graph back to original
+/// vertex ids.
+std::vector<uint8_t> MapDepthsToOriginal(const RelabeledGraph& relabeled,
+                                         const std::vector<uint8_t>& depths);
+
+}  // namespace ibfs::graph
+
+#endif  // IBFS_GRAPH_RELABEL_H_

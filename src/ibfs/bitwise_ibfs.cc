@@ -1,0 +1,398 @@
+#include <algorithm>
+#include <vector>
+
+#include "gpusim/warp.h"
+#include "ibfs/bitwise_status_array.h"
+#include "ibfs/status_array.h"
+#include "ibfs/strategies.h"
+#include "util/bitops.h"
+
+namespace ibfs::internal_strategies {
+namespace {
+
+using graph::VertexId;
+
+// Neighbors per schedulable top-down expansion item: high-degree frontiers
+// are expanded by many thread groups in parallel (Enterprise-style
+// classification), unlike bottom-up where one thread owns a frontier's
+// serial parent scan — the imbalance Figure 11 measures.
+constexpr int64_t kExpandChunk = 256;
+
+// Bitwise iBFS (Section 6): the status of a vertex for all N instances is
+// packed into ceil(N/64) words, so a single thread inspects a vertex for
+// the whole group with a couple of OR instructions (Algorithm 1), and
+// frontier identification is XOR / NOT over whole rows (Algorithm 2).
+// Because the array accumulates *all* visited bits across levels, bottom-up
+// inspection can stop as soon as a frontier's row is all ones — the early
+// termination that MS-BFS's per-level reset forecloses.
+class BitwiseRunner {
+ public:
+  BitwiseRunner(const graph::Csr& graph,
+                std::span<const graph::VertexId> sources,
+                const TraversalOptions& options, gpusim::Device* device)
+      : graph_(graph),
+        options_(options),
+        device_(device),
+        n_(static_cast<int>(sources.size())),
+        words_(static_cast<int>(CeilDiv(static_cast<uint64_t>(n_), 64))),
+        cur_(graph.vertex_count(), n_),
+        prev_(graph.vertex_count(), n_),
+        sources_(sources.begin(), sources.end()) {}
+
+  GroupResult Run();
+
+ private:
+  void InitSources();
+  int64_t RunTopDownLevel(gpusim::KernelScope* scope);
+  int64_t RunBottomUpLevel(gpusim::KernelScope* scope);
+  void GenerateFrontier(gpusim::KernelScope* scope);
+  void ChooseDirection();
+
+  // Share mask of JFQ entry i (which instances claim it — the paper's
+  // per-frontier __ballot variable).
+  std::span<const uint64_t> JfqMask(size_t i) const {
+    return {jfq_masks_.data() + i * words_, static_cast<size_t>(words_)};
+  }
+
+  const graph::Csr& graph_;
+  const TraversalOptions& options_;
+  gpusim::Device* device_;
+  const int n_;
+  const int words_;
+  BitwiseStatusArray cur_;
+  BitwiseStatusArray prev_;
+  std::vector<VertexId> sources_;
+  std::vector<VertexId> jfq_;
+  std::vector<uint64_t> jfq_masks_;
+  // depths[j][v]; recorded as frontier identification discovers new bits.
+  std::vector<std::vector<uint8_t>> depths_;
+  GroupTrace trace_;
+
+  int level_ = 1;
+  bool bottom_up_ = false;
+  bool finished_ = false;
+  int64_t level_new_visits_ = 0;
+  int64_t level_inspections_ = 0;
+  int64_t pending_private_fq_sum_ = 0;
+  // Σ outdegrees of the (vertex, instance) pairs discovered at the level
+  // that just ran — the candidate top-down frontier edge count.
+  int64_t new_frontier_edges_ = 0;
+  int64_t unexplored_edges_ = 0;
+};
+
+void BitwiseRunner::InitSources() {
+  unexplored_edges_ = static_cast<int64_t>(n_) * graph_.edge_count();
+  if (options_.record_depths) {
+    depths_.assign(n_, std::vector<uint8_t>(
+                           static_cast<size_t>(graph_.vertex_count()),
+                           kUnvisitedDepth));
+  }
+  for (int j = 0; j < n_; ++j) {
+    const VertexId s = sources_[j];
+    if (cur_.RowAllClear(s)) {
+      jfq_.push_back(s);
+      jfq_masks_.resize(jfq_masks_.size() + words_, 0);
+    }
+    cur_.SetBit(s, j);
+    if (options_.record_depths) depths_[j][s] = 0;
+    new_frontier_edges_ += graph_.OutDegree(s);
+    unexplored_edges_ -= graph_.OutDegree(s);
+  }
+  // Source share masks: all bits the source holds in cur_.
+  for (size_t i = 0; i < jfq_.size(); ++i) {
+    const auto row = cur_.Row(jfq_[i]);
+    std::copy(row.begin(), row.end(), jfq_masks_.begin() + i * words_);
+  }
+  prev_.CopyFrom(cur_);
+  pending_private_fq_sum_ = n_;
+}
+
+int64_t BitwiseRunner::RunTopDownLevel(gpusim::KernelScope* scope) {
+  int64_t new_visits = 0;
+  if (options_.adjacency_cache) {
+    scope->SetCtaSharedBytes(options_.cache_tile_bytes);
+  }
+  for (size_t i = 0; i < jfq_.size(); ++i) {
+    const VertexId f = jfq_[i];
+    scope->BeginItem();
+    // One thread serves the whole group: load the frontier's full visited
+    // mask (Algorithm 1 line 5 ORs BSA_k[f], not just the new bits — the
+    // extra bits are harmless because their neighbors are already visited).
+    scope->LoadContiguous(prev_.ElementIndex(f, 0), words_, 8);
+    const auto mask_f = prev_.Row(f);
+
+    // Logical inspections: each instance sharing f inspects each edge.
+    int share_count = 0;
+    for (uint64_t word : JfqMask(i)) share_count += PopCount(word);
+
+    const auto neighbors = graph_.OutNeighbors(f);
+    scope->LoadContiguous(static_cast<int64_t>(graph_.row_offsets()[f]),
+                          static_cast<int64_t>(neighbors.size()),
+                          sizeof(VertexId));
+    if (options_.adjacency_cache) {
+      scope->SharedBytes(static_cast<int64_t>(neighbors.size()) *
+                         static_cast<int64_t>(sizeof(VertexId)));
+    }
+
+    int64_t chunk_progress = 0;
+    for (VertexId v : neighbors) {
+      if (++chunk_progress > kExpandChunk) {
+        scope->EndItem();
+        scope->BeginItem();
+        chunk_progress = 1;
+      }
+      // Updates are merged in shared memory within the CTA first (the
+      // paper's scheme for avoiding per-neighbor atomic overhead); only
+      // words that actually change are pushed to global memory with an
+      // atomic OR — the synchronization MS-BFS's single-thread formulation
+      // does not need (Section 6).
+      scope->SharedBytes(8 * words_);
+      scope->Compute(words_);
+      auto row_v = cur_.MutableRow(v);
+      int changed_words = 0;
+      for (int w = 0; w < words_; ++w) {
+        const uint64_t before = row_v[w];
+        const uint64_t after = before | mask_f[w];
+        if (after != before) {
+          row_v[w] = after;
+          ++changed_words;
+          new_visits += PopCount(after ^ before);
+        }
+      }
+      if (changed_words > 0) scope->Atomic(changed_words);
+      level_inspections_ += share_count;
+    }
+    scope->EndItem();
+  }
+  return new_visits;
+}
+
+int64_t BitwiseRunner::RunBottomUpLevel(gpusim::KernelScope* scope) {
+  const bool can_terminate_early =
+      options_.early_termination && !options_.msbfs_reset;
+  int64_t new_visits = 0;
+  for (VertexId f : jfq_) {
+    scope->BeginItem();
+    scope->LoadContiguous(cur_.ElementIndex(f, 0), words_, 8);
+    auto row_f = cur_.MutableRow(f);
+
+    const auto neighbors = graph_.InNeighbors(f);
+    int64_t scanned = 0;
+    bool changed = false;
+    for (VertexId w : neighbors) {
+      if (can_terminate_early && cur_.RowAllSet(f)) {
+        // Early termination: every instance has found f's parent; the
+        // thread is freed for other frontiers (Section 6).
+        break;
+      }
+      ++scanned;
+      scope->LoadContiguous(prev_.ElementIndex(w, 0), words_, 8);
+      scope->Compute(words_);
+      // Logical inspections: instances still lacking a parent for f.
+      for (int wi = 0; wi < words_; ++wi) {
+        const uint64_t valid =
+            wi + 1 == words_ ? cur_.LastWordMask() : ~uint64_t{0};
+        level_inspections_ += PopCount(~row_f[wi] & valid);
+      }
+      const auto row_w = prev_.Row(w);
+      for (int wi = 0; wi < words_; ++wi) {
+        const uint64_t before = row_f[wi];
+        const uint64_t after = before | row_w[wi];
+        if (after != before) {
+          row_f[wi] = after;
+          changed = true;
+          new_visits += PopCount(after ^ before);
+        }
+      }
+    }
+    scope->LoadContiguous(static_cast<int64_t>(graph_.in_row_offsets()[f]),
+                          scanned, sizeof(VertexId));
+    if (changed) {
+      // One thread owns row f: plain (non-atomic) write-back, as the
+      // paper's warp/CTA tree-merging avoids atomics in bottom-up.
+      scope->StoreContiguous(cur_.ElementIndex(f, 0), words_, 8);
+    }
+    if (options_.collect_instance_stats) {
+      // One thread's bottom-up workload for this frontier: the number of
+      // neighbors it scanned before early termination (or exhaustion).
+      // The spread of these scan lengths is the warp imbalance Figure 11
+      // reports; GroupBy narrows it because grouped instances fill the
+      // row early and together.
+      trace_.bottom_up_search_lengths.Add(static_cast<double>(scanned));
+    }
+    scope->EndItem();
+  }
+  return new_visits;
+}
+
+void BitwiseRunner::ChooseDirection() {
+  if (options_.force_top_down) {
+    bottom_up_ = false;
+    return;
+  }
+  const int64_t n_pairs = static_cast<int64_t>(n_) * graph_.vertex_count();
+  if (!bottom_up_) {
+    if (new_frontier_edges_ >
+        static_cast<int64_t>(static_cast<double>(unexplored_edges_) /
+                             options_.alpha)) {
+      bottom_up_ = true;
+    }
+  } else {
+    if (level_new_visits_ <
+        static_cast<int64_t>(static_cast<double>(n_pairs) / options_.beta)) {
+      bottom_up_ = false;
+    }
+  }
+}
+
+void BitwiseRunner::GenerateFrontier(gpusim::KernelScope* scope) {
+  const int64_t n_vertices = graph_.vertex_count();
+
+  // Pass 1 — newly visited bits (XOR of the level's BSAs, Algorithm 2):
+  // record depths, update the direction-heuristic accumulators.
+  scope->LoadContiguous(0, n_vertices * words_, 8);
+  scope->LoadContiguous(0, n_vertices * words_, 8);
+  scope->Compute(n_vertices * words_);
+  new_frontier_edges_ = 0;
+  for (int64_t v = 0; v < n_vertices; ++v) {
+    const auto vid = static_cast<VertexId>(v);
+    const auto row_cur = cur_.Row(vid);
+    const auto row_prev = prev_.Row(vid);
+    int new_bits = 0;
+    for (int w = 0; w < words_; ++w) {
+      uint64_t diff = row_cur[w] ^ row_prev[w];
+      new_bits += PopCount(diff);
+      if (options_.record_depths) {
+        while (diff != 0) {
+          const int bit = LowestSetBit(diff);
+          diff &= diff - 1;
+          depths_[w * 64 + bit][v] = static_cast<uint8_t>(level_);
+        }
+      }
+    }
+    if (new_bits > 0) {
+      const int64_t d = graph_.OutDegree(vid);
+      new_frontier_edges_ += static_cast<int64_t>(new_bits) * d;
+      unexplored_edges_ -= static_cast<int64_t>(new_bits) * d;
+      if (options_.record_depths) {
+        // Depth write-out: one coalesced store touching v's depth row.
+        scope->StoreContiguous(static_cast<int64_t>(v) * n_, new_bits, 1);
+      }
+    }
+  }
+
+  // Depths are recorded above even when terminating, so a max_level
+  // truncation (the k-hop reachability workload) keeps its last level.
+  if (level_new_visits_ == 0 || level_ >= options_.max_level) {
+    finished_ = true;
+    jfq_.clear();
+    prev_.CopyFrom(cur_);
+    return;
+  }
+
+  ChooseDirection();
+
+  // Pass 2 — build the next JFQ under the chosen direction's predicate.
+  jfq_.clear();
+  jfq_masks_.clear();
+  int64_t private_sum = 0;
+  for (int64_t v = 0; v < n_vertices; ++v) {
+    const auto vid = static_cast<VertexId>(v);
+    const auto row_cur = cur_.Row(vid);
+    const auto row_prev = prev_.Row(vid);
+    if (!bottom_up_) {
+      // Top-down frontier: any bit changed this level (XOR != 0).
+      int new_bits = 0;
+      bool any = false;
+      for (int w = 0; w < words_; ++w) {
+        new_bits += PopCount(row_cur[w] ^ row_prev[w]);
+        any |= (row_cur[w] ^ row_prev[w]) != 0;
+      }
+      if (any) {
+        jfq_.push_back(vid);
+        for (int w = 0; w < words_; ++w) {
+          jfq_masks_.push_back(row_cur[w] ^ row_prev[w]);
+        }
+        private_sum += new_bits;
+      }
+    } else {
+      // Bottom-up frontier: any instance still unvisited (NOT all-ones).
+      if (!cur_.RowAllSet(vid)) {
+        jfq_.push_back(vid);
+        int unvisited = 0;
+        for (int w = 0; w < words_; ++w) {
+          const uint64_t valid =
+              w + 1 == words_ ? cur_.LastWordMask() : ~uint64_t{0};
+          const uint64_t mask = ~row_cur[w] & valid;
+          jfq_masks_.push_back(mask);
+          unvisited += PopCount(mask);
+        }
+        private_sum += unvisited;
+      }
+    }
+  }
+
+  // JFQ write-out: one enqueue per entry regardless of sharing.
+  scope->StoreContiguous(0, static_cast<int64_t>(jfq_.size()),
+                         sizeof(VertexId));
+  scope->Atomic((static_cast<int64_t>(jfq_.size()) + gpusim::kWarpSize - 1) /
+                gpusim::kWarpSize);
+
+  // BSA_{k+1} <- BSA_k (Algorithm 1 line 1): stream copy.
+  prev_.CopyFrom(cur_);
+  scope->LoadContiguous(0, n_vertices * words_, 8);
+  scope->StoreContiguous(0, n_vertices * words_, 8);
+  if (options_.msbfs_reset) {
+    // MS-BFS-style per-level reset of the visit array: extra streaming
+    // store (and the loss of early termination, handled in bottom-up).
+    scope->StoreContiguous(0, n_vertices * words_, 8);
+  }
+
+  pending_private_fq_sum_ = private_sum;
+  if (jfq_.empty()) finished_ = true;
+  ++level_;
+}
+
+GroupResult BitwiseRunner::Run() {
+  InitSources();
+  while (!finished_) {
+    LevelTrace lt;
+    lt.level = level_;
+    lt.bottom_up = bottom_up_;
+    lt.jfq_size = static_cast<int64_t>(jfq_.size());
+    lt.private_fq_sum = pending_private_fq_sum_;
+    level_new_visits_ = 0;
+    level_inspections_ = 0;
+    {
+      auto scope =
+          device_->BeginKernel(bottom_up_ ? "bu_inspect" : "td_inspect");
+      level_new_visits_ =
+          bottom_up_ ? RunBottomUpLevel(&scope) : RunTopDownLevel(&scope);
+    }
+    {
+      auto scope = device_->BeginKernel("fq_gen");
+      GenerateFrontier(&scope);
+    }
+    lt.edges_inspected = level_inspections_;
+    lt.new_visits = level_new_visits_;
+    trace_.levels.push_back(lt);
+  }
+
+  GroupResult result;
+  result.trace = std::move(trace_);
+  result.trace.instance_count = n_;
+  result.depths = std::move(depths_);
+  return result;
+}
+
+}  // namespace
+
+Result<GroupResult> RunBitwiseGroup(const graph::Csr& graph,
+                                    std::span<const graph::VertexId> sources,
+                                    const TraversalOptions& options,
+                                    gpusim::Device* device) {
+  BitwiseRunner runner(graph, sources, options, device);
+  return runner.Run();
+}
+
+}  // namespace ibfs::internal_strategies

@@ -1,0 +1,63 @@
+#include "ibfs/bitwise_status_array.h"
+
+#include "util/logging.h"
+
+namespace ibfs {
+
+BitwiseStatusArray::BitwiseStatusArray(int64_t vertex_count,
+                                       int instance_count)
+    : vertex_count_(vertex_count),
+      instance_count_(instance_count),
+      words_(static_cast<int>(CeilDiv(static_cast<uint64_t>(instance_count),
+                                      64))) {
+  IBFS_CHECK(vertex_count > 0);
+  IBFS_CHECK(instance_count > 0);
+  const int rem = instance_count_ % 64;
+  last_word_mask_ = rem == 0 ? ~uint64_t{0} : LowMask(rem);
+  data_.assign(static_cast<size_t>(vertex_count) * words_, 0);
+}
+
+bool BitwiseStatusArray::OrRowFrom(graph::VertexId v,
+                                   const BitwiseStatusArray& src,
+                                   graph::VertexId src_vertex) {
+  uint64_t* dst = data_.data() + RowOffset(v);
+  const uint64_t* from = src.data_.data() + src.RowOffset(src_vertex);
+  bool changed = false;
+  for (int w = 0; w < words_; ++w) {
+    const uint64_t updated = dst[w] | from[w];
+    changed |= updated != dst[w];
+    dst[w] = updated;
+  }
+  return changed;
+}
+
+bool BitwiseStatusArray::RowAllSet(graph::VertexId v) const {
+  const uint64_t* row = data_.data() + RowOffset(v);
+  for (int w = 0; w + 1 < words_; ++w) {
+    if (row[w] != ~uint64_t{0}) return false;
+  }
+  return (row[words_ - 1] & last_word_mask_) == last_word_mask_;
+}
+
+bool BitwiseStatusArray::RowAllClear(graph::VertexId v) const {
+  const uint64_t* row = data_.data() + RowOffset(v);
+  for (int w = 0; w < words_; ++w) {
+    if (row[w] != 0) return false;
+  }
+  return true;
+}
+
+int BitwiseStatusArray::RowPopCount(graph::VertexId v) const {
+  const uint64_t* row = data_.data() + RowOffset(v);
+  int count = 0;
+  for (int w = 0; w < words_; ++w) count += PopCount(row[w]);
+  return count;
+}
+
+void BitwiseStatusArray::CopyFrom(const BitwiseStatusArray& other) {
+  IBFS_CHECK(other.vertex_count_ == vertex_count_);
+  IBFS_CHECK(other.instance_count_ == instance_count_);
+  data_ = other.data_;
+}
+
+}  // namespace ibfs

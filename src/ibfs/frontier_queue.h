@@ -1,0 +1,43 @@
+#ifndef IBFS_IBFS_FRONTIER_QUEUE_H_
+#define IBFS_IBFS_FRONTIER_QUEUE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace ibfs {
+
+/// Frontier queue: the vertices to expand at the next level. Used both as a
+/// per-instance private queue and as the Joint Frontier Queue (Section 4),
+/// where a vertex that is a frontier for several instances appears exactly
+/// once — which is why the JFQ needs at most |V| slots while private queues
+/// need i x |V| in aggregate.
+class FrontierQueue {
+ public:
+  FrontierQueue() = default;
+
+  void Clear() { vertices_.clear(); }
+
+  /// Appends a frontier; callers guarantee enqueue-once semantics (the
+  /// kernels elect a single enqueuing thread via warp votes).
+  void Push(graph::VertexId v) { vertices_.push_back(v); }
+
+  int64_t size() const { return static_cast<int64_t>(vertices_.size()); }
+  bool empty() const { return vertices_.empty(); }
+
+  std::span<const graph::VertexId> vertices() const { return vertices_; }
+
+  void Reserve(int64_t n) { vertices_.reserve(static_cast<size_t>(n)); }
+
+  /// Swaps contents with `other` (double-buffering across levels).
+  void Swap(FrontierQueue& other) { vertices_.swap(other.vertices_); }
+
+ private:
+  std::vector<graph::VertexId> vertices_;
+};
+
+}  // namespace ibfs
+
+#endif  // IBFS_IBFS_FRONTIER_QUEUE_H_

@@ -1,0 +1,159 @@
+#include "ibfs/groupby.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace ibfs {
+namespace {
+
+using graph::VertexId;
+
+void ChunkInto(std::span<const VertexId> sources, int group_size,
+               std::vector<std::vector<VertexId>>* groups) {
+  for (size_t i = 0; i < sources.size(); i += group_size) {
+    const size_t end = std::min(sources.size(), i + group_size);
+    groups->emplace_back(sources.begin() + i, sources.begin() + end);
+  }
+}
+
+}  // namespace
+
+Grouping GroupByOutdegree(const graph::Csr& graph,
+                          std::span<const graph::VertexId> sources,
+                          const GroupByParams& params) {
+  Grouping result;
+  const int group_size = std::max(1, params.group_size);
+
+  // Rule 2 bucket key: a common vertex with outdegree > q among a source's
+  // out-neighbors. Sources sharing a hub will share that hub as a frontier
+  // within the first levels, which by Theorem 1 keeps their sharing ratio
+  // high at later levels. Among qualifying neighbors we bucket on the
+  // best-connected one: its (large) neighborhood becomes the group's
+  // shared level-2 frontier. A q above every outdegree matches no one
+  // (Figure 8's right end) and the rules fall back to random grouping.
+  // Bound on neighbor-of-neighbor probes per source for depth-2 search,
+  // keeping the grouping pass linear-ish even around mega-hubs.
+  constexpr int64_t kTwoHopScanLimit = 64;
+  auto find_hub = [&](VertexId s) -> int64_t {
+    int64_t hub = -1;
+    int64_t hub_degree = 0;
+    auto consider = [&](VertexId w) {
+      const int64_t d = graph.OutDegree(w);
+      if (d > params.q && d > hub_degree) {
+        hub = static_cast<int64_t>(w);
+        hub_degree = d;
+      }
+    };
+    for (VertexId w : graph.OutNeighbors(s)) consider(w);
+    if (hub < 0 && params.hub_search_depth >= 2) {
+      int64_t scanned = 0;
+      for (VertexId w : graph.OutNeighbors(s)) {
+        for (VertexId x : graph.OutNeighbors(w)) {
+          consider(x);
+          if (++scanned >= kTwoHopScanLimit) break;
+        }
+        if (scanned >= kTwoHopScanLimit) break;
+      }
+    }
+    return hub;
+  };
+
+  // p ascending: smaller-degree sources are grouped first so that high
+  // outdegrees at the source do not dilute the shared hub's contribution
+  // (Rule 1's rationale).
+  std::vector<int64_t> p_seq = params.p_sequence;
+  std::sort(p_seq.begin(), p_seq.end());
+
+  // Buckets are keyed by hub alone: the paper combines the small per-p
+  // groups of one hub ("several small groups, likely using different
+  // values of p, will be combined and run together"). Sources are placed
+  // in ascending-p order, so within a bucket low-degree sources — whose
+  // non-shared edges dilute the hub's contribution least — group first.
+  std::map<int64_t, std::vector<VertexId>> buckets;
+  std::vector<VertexId> leftovers;
+  for (size_t pi = 0; pi < p_seq.size(); ++pi) {
+    const int64_t p = p_seq[pi];
+    const int64_t prev_p = pi == 0 ? -1 : p_seq[pi - 1];
+    for (VertexId s : sources) {
+      const int64_t outdeg = graph.OutDegree(s);
+      if (outdeg >= p || outdeg < prev_p) continue;  // other p's band
+      const int64_t hub = find_hub(s);
+      if (hub >= 0) {
+        buckets[hub].push_back(s);
+        ++result.rule_matched;
+      } else {
+        leftovers.push_back(s);
+      }
+    }
+  }
+  // Sources failing Rule 1 entirely (outdegree >= every p).
+  for (VertexId s : sources) {
+    if (graph.OutDegree(s) >= p_seq.back()) leftovers.push_back(s);
+  }
+
+  // Uniform-graph fallback (the paper's RD rule): no hubs exist, so group
+  // sources that share a common neighbor instead.
+  if (buckets.empty() && params.uniform_fallback) {
+    std::vector<VertexId> still_left;
+    for (VertexId s : leftovers) {
+      const auto neighbors = graph.OutNeighbors(s);
+      if (!neighbors.empty()) {
+        buckets[static_cast<int64_t>(neighbors.front())].push_back(s);
+        ++result.rule_matched;
+      } else {
+        still_left.push_back(s);
+      }
+    }
+    leftovers.swap(still_left);
+  }
+
+  // Emit full groups per bucket; combine the sub-N tails of different
+  // buckets (the paper: "several small groups, likely using different
+  // values of p, will be combined and run together", then across hubs).
+  std::vector<VertexId> tail_pool;
+  for (auto& [key, members] : buckets) {
+    size_t i = 0;
+    for (; i + group_size <= members.size(); i += group_size) {
+      result.groups.emplace_back(members.begin() + i,
+                                 members.begin() + i + group_size);
+    }
+    tail_pool.insert(tail_pool.end(), members.begin() + i, members.end());
+  }
+
+  // Rule-failing leftovers are shuffled and appended behind the bucket
+  // tails, then everything is chunked in one pass so at most one group
+  // ends up smaller than N.
+  if (!leftovers.empty()) {
+    Prng prng(params.seed);
+    for (size_t i = leftovers.size(); i > 1; --i) {
+      std::swap(leftovers[i - 1], leftovers[prng.NextBounded(i)]);
+    }
+    tail_pool.insert(tail_pool.end(), leftovers.begin(), leftovers.end());
+  }
+  ChunkInto(tail_pool, group_size, &result.groups);
+  return result;
+}
+
+Grouping RandomGrouping(std::span<const graph::VertexId> sources,
+                        int group_size, uint64_t seed) {
+  Grouping result;
+  std::vector<VertexId> shuffled(sources.begin(), sources.end());
+  Prng prng(seed);
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[prng.NextBounded(i)]);
+  }
+  ChunkInto(shuffled, std::max(1, group_size), &result.groups);
+  return result;
+}
+
+Grouping ChunkGrouping(std::span<const graph::VertexId> sources,
+                       int group_size) {
+  Grouping result;
+  ChunkInto(sources, std::max(1, group_size), &result.groups);
+  return result;
+}
+
+}  // namespace ibfs

@@ -1,0 +1,61 @@
+#ifndef IBFS_IBFS_GROUPBY_H_
+#define IBFS_IBFS_GROUPBY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace ibfs {
+
+/// Parameters for the outdegree-based GroupBy rules (Section 5.2):
+///   Rule 1 — the source's outdegree is less than p;
+///   Rule 2 — sources in a group connect to a common vertex whose
+///            outdegree is greater than q.
+struct GroupByParams {
+  /// p candidates tried in ascending order (the paper's 4, 16, 64, 128).
+  std::vector<int64_t> p_sequence = {4, 16, 64, 128};
+  /// Hub threshold. The paper defaults to 128 on graphs of 10^6..10^7
+  /// vertices; the scaled presets default lower (Figure 8 sweeps this).
+  int64_t q = 32;
+  /// Maximum group size N (bounded by device memory, Section 3).
+  int group_size = 128;
+  /// Seed for the random placement of rule-failing leftovers.
+  uint64_t seed = 7;
+  /// How many hops from the source to search for a qualifying hub. The
+  /// paper: "It is not required that the source vertex directly connects
+  /// to a high-outdegree vertex, as long as within the first several
+  /// levels." Depth 1 = direct neighbors only; depth 2 also considers
+  /// neighbors-of-neighbors (bounded scan, see kTwoHopScanLimit).
+  int hub_search_depth = 1;
+  /// Fallback for uniform-outdegree graphs (the paper's RD rule): when no
+  /// vertex exceeds q, group sources that share a low-id common neighbor.
+  bool uniform_fallback = true;
+};
+
+/// A grouping of BFS sources into concurrently-executed batches.
+struct Grouping {
+  std::vector<std::vector<graph::VertexId>> groups;
+  /// Sources placed via Rules 1+2 (the rest were grouped randomly).
+  int64_t rule_matched = 0;
+};
+
+/// Applies the GroupBy rules: sources with outdegree < p that reach a
+/// common hub (outdegree > q) are batched together; groups are padded and
+/// merged to size `group_size`; leftovers are grouped randomly.
+Grouping GroupByOutdegree(const graph::Csr& graph,
+                          std::span<const graph::VertexId> sources,
+                          const GroupByParams& params);
+
+/// Random grouping baseline (shuffle, then chunk into `group_size`).
+Grouping RandomGrouping(std::span<const graph::VertexId> sources,
+                        int group_size, uint64_t seed);
+
+/// In-order chunking (no shuffle); the "as given" policy.
+Grouping ChunkGrouping(std::span<const graph::VertexId> sources,
+                       int group_size);
+
+}  // namespace ibfs
+
+#endif  // IBFS_IBFS_GROUPBY_H_

@@ -1,0 +1,369 @@
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "gpusim/warp.h"
+#include "ibfs/frontier_queue.h"
+#include "ibfs/status_array.h"
+#include "ibfs/strategies.h"
+
+namespace ibfs::internal_strategies {
+namespace {
+
+using graph::VertexId;
+
+// Neighbors per schedulable top-down expansion item (Enterprise-style
+// parallel expansion of high-degree frontiers).
+constexpr int64_t kExpandChunk = 256;
+
+// Joint-traversal runner state (Section 4): one kernel per level over a
+// Joint Frontier Queue, with the Joint Status Array providing coalesced
+// per-vertex status rows.
+class JointRunner {
+ public:
+  JointRunner(const graph::Csr& graph,
+              std::span<const graph::VertexId> sources,
+              const TraversalOptions& options, gpusim::Device* device)
+      : graph_(graph),
+        options_(options),
+        device_(device),
+        n_(static_cast<int>(sources.size())),
+        jsa_(graph.vertex_count(), n_),
+        sources_(sources.begin(), sources.end()),
+        bu_inspections_per_instance_(n_, 0) {}
+
+  GroupResult Run();
+
+ private:
+  void InitSources();
+  // Expansion + inspection over the JFQ for the current level.
+  int64_t RunTopDownLevel(gpusim::KernelScope* scope);
+  int64_t RunBottomUpLevel(gpusim::KernelScope* scope);
+  // Scans the JSA, chooses the next direction, and rebuilds the JFQ.
+  void GenerateFrontier(gpusim::KernelScope* scope);
+  void ChooseDirection();
+
+  const graph::Csr& graph_;
+  const TraversalOptions& options_;
+  gpusim::Device* device_;
+  const int n_;
+  JointStatusArray jsa_;
+  std::vector<VertexId> sources_;
+  FrontierQueue jfq_;
+  GroupTrace trace_;
+  std::vector<int64_t> bu_inspections_per_instance_;
+
+  int level_ = 1;
+  bool bottom_up_ = false;
+  bool finished_ = false;
+  int64_t level_new_visits_ = 0;
+  int64_t level_inspections_ = 0;
+  // Pending stats computed by the previous GenerateFrontier for the level
+  // about to run.
+  int64_t pending_private_fq_sum_ = 0;
+  // Direction-heuristic accumulators (summed over all instances).
+  int64_t td_frontier_edges_ = 0;
+  int64_t unexplored_edges_ = 0;
+  int64_t visited_pairs_ = 0;
+};
+
+void JointRunner::InitSources() {
+  const int64_t e = graph_.edge_count();
+  unexplored_edges_ = static_cast<int64_t>(n_) * e;
+  for (int j = 0; j < n_; ++j) {
+    const VertexId s = sources_[j];
+    if (!jsa_.IsVisited(s, j)) {
+      // A vertex may serve as source for several instances; enqueue once.
+      bool already_queued = false;
+      for (VertexId q : jfq_.vertices()) already_queued |= (q == s);
+      if (!already_queued) jfq_.Push(s);
+    }
+    jsa_.SetDepth(s, j, 0);
+    td_frontier_edges_ += graph_.OutDegree(s);
+    unexplored_edges_ -= graph_.OutDegree(s);
+    ++visited_pairs_;
+  }
+  pending_private_fq_sum_ = n_;
+}
+
+int64_t JointRunner::RunTopDownLevel(gpusim::KernelScope* scope) {
+  int64_t new_visits = 0;
+  if (options_.adjacency_cache) {
+    scope->SetCtaSharedBytes(options_.cache_tile_bytes);
+  }
+  std::vector<int> active;
+  active.reserve(n_);
+  for (VertexId f : jfq_.vertices()) {
+    scope->BeginItem();
+    // All N contiguous threads read the frontier's status row: coalesced.
+    scope->LoadContiguous(jsa_.ElementIndex(f, 0), n_, 1);
+    active.clear();
+    const auto row_f = jsa_.Row(f);
+    for (int j = 0; j < n_; ++j) {
+      if (row_f[j] == static_cast<uint8_t>(level_ - 1)) active.push_back(j);
+    }
+    scope->Compute(n_);
+    if (active.empty()) {
+      scope->EndItem();
+      continue;
+    }
+
+    const auto neighbors = graph_.OutNeighbors(f);
+    // The adjacency list is loaded from global memory once and served to
+    // every instance from the shared-memory cache (Section 4). Without the
+    // cache, each instance's threads reload it.
+    const int64_t adj_start = static_cast<int64_t>(graph_.row_offsets()[f]);
+    const int64_t deg = static_cast<int64_t>(neighbors.size());
+    if (options_.adjacency_cache) {
+      scope->LoadContiguous(adj_start, deg, sizeof(VertexId));
+      scope->SharedBytes(deg * static_cast<int64_t>(sizeof(VertexId)));
+    } else {
+      for (size_t rep = 0; rep < active.size(); ++rep) {
+        scope->LoadContiguous(adj_start, deg, sizeof(VertexId));
+      }
+    }
+
+    int64_t chunk_progress = 0;
+    for (VertexId w : neighbors) {
+      // Large frontiers are expanded by many thread groups in parallel
+      // (Enterprise's workload classification); re-open the schedulable
+      // item every kExpandChunk neighbors so a hub does not serialize.
+      if (++chunk_progress > kExpandChunk) {
+        scope->EndItem();
+        scope->BeginItem();
+        chunk_progress = 1;
+      }
+      // N contiguous threads inspect w's status row: one coalesced request.
+      scope->LoadContiguous(jsa_.ElementIndex(w, 0), n_, 1);
+      scope->Compute(2 * static_cast<int64_t>(active.size()));
+      auto row_w = jsa_.MutableRow(w);
+      bool any_update = false;
+      for (int j : active) {
+        ++level_inspections_;
+        if (row_w[j] == kUnvisitedDepth) {
+          row_w[j] = static_cast<uint8_t>(level_);
+          any_update = true;
+          ++new_visits;
+          td_frontier_edges_ += graph_.OutDegree(w);
+          unexplored_edges_ -= graph_.OutDegree(w);
+        }
+      }
+      if (any_update) {
+        // Updates from contiguous threads coalesce into one store request.
+        scope->StoreContiguous(jsa_.ElementIndex(w, 0), n_, 1);
+      }
+    }
+    scope->EndItem();
+  }
+  return new_visits;
+}
+
+int64_t JointRunner::RunBottomUpLevel(gpusim::KernelScope* scope) {
+  int64_t new_visits = 0;
+  if (options_.adjacency_cache) {
+    scope->SetCtaSharedBytes(options_.cache_tile_bytes);
+  }
+  std::vector<int> active;
+  active.reserve(n_);
+  for (VertexId f : jfq_.vertices()) {
+    scope->BeginItem();
+    scope->LoadContiguous(jsa_.ElementIndex(f, 0), n_, 1);
+    active.clear();
+    auto row_f = jsa_.MutableRow(f);
+    for (int j = 0; j < n_; ++j) {
+      if (row_f[j] == kUnvisitedDepth) active.push_back(j);
+    }
+    scope->Compute(n_);
+
+    const auto neighbors = graph_.InNeighbors(f);
+    int64_t scanned = 0;
+    bool any_update = false;
+    for (VertexId w : neighbors) {
+      // Each instance's thread exits as soon as it finds a parent; the
+      // frontier is done when every instance has.
+      if (active.empty()) break;
+      ++scanned;
+      scope->LoadContiguous(jsa_.ElementIndex(w, 0), n_, 1);
+      scope->Compute(2 * static_cast<int64_t>(active.size()));
+      const auto row_w = jsa_.Row(w);
+      size_t i = 0;
+      while (i < active.size()) {
+        const int j = active[i];
+        ++level_inspections_;
+        if (options_.collect_instance_stats) {
+          ++bu_inspections_per_instance_[j];
+        }
+        if (row_w[j] < static_cast<uint8_t>(level_)) {
+          row_f[j] = static_cast<uint8_t>(level_);
+          any_update = true;
+          ++new_visits;
+          td_frontier_edges_ += graph_.OutDegree(f);
+          unexplored_edges_ -= graph_.OutDegree(f);
+          if (options_.collect_instance_stats) {
+            // Parent found after `scanned` probes: one sample of the
+            // bottom-up search-length distribution (Figure 11).
+            trace_.bottom_up_search_lengths.Add(
+                static_cast<double>(scanned));
+          }
+          active[i] = active.back();
+          active.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+    if (options_.collect_instance_stats) {
+      // Searches that exhausted the neighbor list without finding a parent
+      // also contribute their full scan length.
+      for (size_t i = 0; i < active.size(); ++i) {
+        trace_.bottom_up_search_lengths.Add(static_cast<double>(scanned));
+      }
+    }
+    scope->LoadContiguous(static_cast<int64_t>(graph_.in_row_offsets()[f]),
+                          scanned, sizeof(VertexId));
+    if (options_.adjacency_cache) {
+      scope->SharedBytes(scanned * static_cast<int64_t>(sizeof(VertexId)));
+    }
+    if (any_update) {
+      scope->StoreContiguous(jsa_.ElementIndex(f, 0), n_, 1);
+    }
+    scope->EndItem();
+  }
+  return new_visits;
+}
+
+void JointRunner::ChooseDirection() {
+  if (options_.force_top_down) {
+    bottom_up_ = false;
+    return;
+  }
+  const int64_t n_pairs =
+      static_cast<int64_t>(n_) * graph_.vertex_count();
+  if (!bottom_up_) {
+    if (td_frontier_edges_ >
+        static_cast<int64_t>(static_cast<double>(unexplored_edges_) /
+                             options_.alpha)) {
+      bottom_up_ = true;
+    }
+  } else {
+    if (level_new_visits_ <
+        static_cast<int64_t>(static_cast<double>(n_pairs) / options_.beta)) {
+      bottom_up_ = false;
+    }
+  }
+}
+
+void JointRunner::GenerateFrontier(gpusim::KernelScope* scope) {
+  visited_pairs_ += level_new_visits_;
+  if (level_new_visits_ == 0 || level_ >= options_.max_level) {
+    finished_ = true;
+    jfq_.Clear();
+    return;
+  }
+  // td_frontier_edges_ holds the outdegree sum of the pairs discovered at
+  // the level that just ran (accumulated during inspection) — exactly the
+  // candidate top-down frontier's edge count.
+  ChooseDirection();
+
+  const int64_t n_vertices = graph_.vertex_count();
+  jfq_.Clear();
+  int64_t private_sum = 0;
+  std::unique_ptr<bool[]> lane_preds(new bool[n_]);
+  const int next_level = level_ + 1;
+  for (int64_t v = 0; v < n_vertices; ++v) {
+    const auto vid = static_cast<VertexId>(v);
+    // One warp scans each vertex's status row (Figure 4) and votes.
+    scope->LoadContiguous(jsa_.ElementIndex(vid, 0), n_, 1);
+    scope->Compute(n_);
+    const auto row = jsa_.Row(vid);
+    int hits = 0;
+    for (int j = 0; j < n_; ++j) {
+      const bool is_frontier =
+          bottom_up_ ? row[j] == kUnvisitedDepth
+                     : row[j] == static_cast<uint8_t>(next_level - 1);
+      lane_preds[j] = is_frontier;
+      if (is_frontier) ++hits;
+    }
+    // Warp vote (__any over 32-lane chunks): any instance claims v.
+    bool any = false;
+    for (int base = 0; base < n_; base += gpusim::kWarpSize) {
+      const int chunk = std::min(gpusim::kWarpSize, n_ - base);
+      any |= gpusim::Any({lane_preds.get() + base,
+                          static_cast<size_t>(chunk)});
+      if (any) break;
+    }
+    if (any) {
+      jfq_.Push(vid);
+      private_sum += hits;
+    }
+  }
+  // Shared frontiers are enqueued exactly once: the store (and its atomic
+  // cursor bump) happens per JFQ entry, not per instance — the saving of
+  // Figure 18.
+  scope->StoreContiguous(0, jfq_.size(), sizeof(VertexId));
+  scope->Atomic((jfq_.size() + gpusim::kWarpSize - 1) / gpusim::kWarpSize);
+  pending_private_fq_sum_ = private_sum;
+  if (jfq_.empty()) finished_ = true;
+  ++level_;
+}
+
+GroupResult JointRunner::Run() {
+  InitSources();
+  while (!finished_) {
+    LevelTrace lt;
+    lt.level = level_;
+    lt.bottom_up = bottom_up_;
+    lt.jfq_size = jfq_.size();
+    lt.private_fq_sum = pending_private_fq_sum_;
+    level_new_visits_ = 0;
+    level_inspections_ = 0;
+    // Accumulates the discovered pairs' outdegrees during this level only,
+    // feeding the direction heuristic (kept identical to the bitwise
+    // runner's so both take the same per-level decisions).
+    td_frontier_edges_ = 0;
+    {
+      auto scope =
+          device_->BeginKernel(bottom_up_ ? "bu_inspect" : "td_inspect");
+      level_new_visits_ =
+          bottom_up_ ? RunBottomUpLevel(&scope) : RunTopDownLevel(&scope);
+    }
+    {
+      auto scope = device_->BeginKernel("fq_gen");
+      GenerateFrontier(&scope);
+    }
+    lt.edges_inspected = level_inspections_;
+    lt.new_visits = level_new_visits_;
+    trace_.levels.push_back(lt);
+  }
+
+  GroupResult result;
+  result.trace = std::move(trace_);
+  result.trace.instance_count = n_;
+  if (options_.collect_instance_stats) {
+    result.trace.bottom_up_inspections_per_instance =
+        std::move(bu_inspections_per_instance_);
+  }
+  if (options_.record_depths) {
+    result.depths.assign(n_, {});
+    for (int j = 0; j < n_; ++j) {
+      auto& d = result.depths[j];
+      d.resize(static_cast<size_t>(graph_.vertex_count()));
+      for (int64_t v = 0; v < graph_.vertex_count(); ++v) {
+        d[v] = jsa_.Depth(static_cast<VertexId>(v), j);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<GroupResult> RunJointGroup(const graph::Csr& graph,
+                                  std::span<const graph::VertexId> sources,
+                                  const TraversalOptions& options,
+                                  gpusim::Device* device) {
+  JointRunner runner(graph, sources, options, device);
+  return runner.Run();
+}
+
+}  // namespace ibfs::internal_strategies

@@ -1,0 +1,87 @@
+#include <memory>
+#include <vector>
+
+#include "ibfs/single_bfs.h"
+#include "ibfs/strategies.h"
+
+namespace ibfs::internal_strategies {
+
+// All instances in flight at once as separate kernels (Hyper-Q style), with
+// fully private data structures: the paper's "naive" concurrent BFS. The
+// kernels of one level overlap on the device (the simulator folds their work
+// into one accounting scope), but nothing is shared, each instance still
+// pays its own launch, and at direction-switch levels every instance wants
+// the whole machine — which is why the paper measures it at roughly
+// sequential speed (Section 2).
+Result<GroupResult> RunNaiveGroup(const graph::Csr& graph,
+                                  std::span<const graph::VertexId> sources,
+                                  const TraversalOptions& options,
+                                  gpusim::Device* device) {
+  GroupResult result;
+  result.trace.instance_count = static_cast<int>(sources.size());
+
+  std::vector<std::unique_ptr<SingleBfs>> instances;
+  instances.reserve(sources.size());
+  for (graph::VertexId source : sources) {
+    instances.push_back(std::make_unique<SingleBfs>(graph, source, options));
+  }
+
+  int level = 1;
+  for (;;) {
+    int64_t active = 0;
+    for (const auto& bfs : instances) {
+      if (!bfs->finished()) ++active;
+    }
+    if (active == 0) break;
+
+    LevelTrace lt;
+    lt.level = level;
+
+    // Expansion + inspection: one overlapping kernel per active instance,
+    // routed into direction-tagged scopes.
+    {
+      auto td_scope = device->BeginKernel("td_inspect");
+      auto bu_scope = device->BeginKernel("bu_inspect");
+      int64_t td_kernels = 0;
+      int64_t bu_kernels = 0;
+      for (auto& bfs : instances) {
+        if (bfs->finished()) continue;
+        const bool bottom_up = bfs->bottom_up();
+        lt.bottom_up = lt.bottom_up || bottom_up;
+        lt.jfq_size += bfs->frontier_size();
+        lt.private_fq_sum += bfs->frontier_size();
+        const int64_t before = bfs->total_inspections();
+        lt.new_visits += bfs->RunLevel(bottom_up ? &bu_scope : &td_scope);
+        lt.edges_inspected += bfs->total_inspections() - before;
+        ++(bottom_up ? bu_kernels : td_kernels);
+      }
+      if (td_kernels > 1) td_scope.ExtraLaunches(td_kernels - 1);
+      if (bu_kernels > 1) bu_scope.ExtraLaunches(bu_kernels - 1);
+    }
+    // Frontier queue generation, again one kernel per active instance.
+    {
+      auto scope = device->BeginKernel("fq_gen");
+      int64_t kernels = 0;
+      for (auto& bfs : instances) {
+        if (bfs->finished()) continue;
+        bfs->GenerateNextFrontier(&scope);
+        ++kernels;
+      }
+      if (kernels > 1) scope.ExtraLaunches(kernels - 1);
+    }
+    result.trace.levels.push_back(lt);
+    ++level;
+  }
+
+  for (auto& bfs : instances) {
+    if (options.collect_instance_stats) {
+      result.trace.bottom_up_inspections_per_instance.push_back(
+          bfs->bottom_up_inspections());
+    }
+    if (options.record_parents) result.parents.push_back(bfs->TakeParents());
+    result.depths.push_back(bfs->TakeDepths());
+  }
+  return result;
+}
+
+}  // namespace ibfs::internal_strategies

@@ -1,0 +1,64 @@
+#include "ibfs/runner.h"
+
+#include <string>
+
+#include "ibfs/strategies.h"
+
+namespace ibfs {
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kSequential:
+      return "sequential";
+    case Strategy::kNaiveConcurrent:
+      return "naive";
+    case Strategy::kJointTraversal:
+      return "joint";
+    case Strategy::kBitwise:
+      return "bitwise";
+  }
+  return "unknown";
+}
+
+Result<GroupResult> RunGroup(Strategy strategy, const graph::Csr& graph,
+                             std::span<const graph::VertexId> sources,
+                             const TraversalOptions& options,
+                             gpusim::Device* device) {
+  if (device == nullptr) {
+    return Status::InvalidArgument("device must not be null");
+  }
+  if (sources.empty()) {
+    return Status::InvalidArgument("group must contain at least one source");
+  }
+  for (graph::VertexId s : sources) {
+    if (static_cast<int64_t>(s) >= graph.vertex_count()) {
+      return Status::OutOfRange("source " + std::to_string(s) +
+                                " outside vertex range");
+    }
+  }
+  if (options.max_level < 1 ||
+      options.max_level > TraversalOptions::kMaxTraversalLevel) {
+    return Status::InvalidArgument("max_level out of range");
+  }
+  if (options.alpha <= 0.0 || options.beta <= 0.0) {
+    return Status::InvalidArgument("direction parameters must be positive");
+  }
+
+  switch (strategy) {
+    case Strategy::kSequential:
+      return internal_strategies::RunSequentialGroup(graph, sources, options,
+                                                     device);
+    case Strategy::kNaiveConcurrent:
+      return internal_strategies::RunNaiveGroup(graph, sources, options,
+                                                device);
+    case Strategy::kJointTraversal:
+      return internal_strategies::RunJointGroup(graph, sources, options,
+                                                device);
+    case Strategy::kBitwise:
+      return internal_strategies::RunBitwiseGroup(graph, sources, options,
+                                                  device);
+  }
+  return Status::InvalidArgument("unknown strategy");
+}
+
+}  // namespace ibfs

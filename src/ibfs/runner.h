@@ -1,0 +1,106 @@
+#ifndef IBFS_IBFS_RUNNER_H_
+#define IBFS_IBFS_RUNNER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "graph/csr.h"
+#include "ibfs/trace.h"
+#include "util/status.h"
+
+namespace ibfs {
+
+/// The execution strategies evaluated in Figure 15, in increasing order of
+/// sophistication.
+enum class Strategy {
+  /// Run every instance's BFS back to back (state-of-the-art single BFS).
+  kSequential,
+  /// All instances in flight at once as independent kernels (Hyper-Q), with
+  /// private queues/status arrays and no sharing.
+  kNaiveConcurrent,
+  /// Single kernel, Joint Frontier Queue + Joint Status Array (Section 4).
+  kJointTraversal,
+  /// Joint traversal with the Bitwise Status Array (Section 6).
+  kBitwise,
+};
+
+/// Returns a short display name ("sequential", "bitwise", ...).
+const char* StrategyName(Strategy strategy);
+
+/// Knobs shared by all strategies. Defaults reproduce the paper's system;
+/// the non-default settings exist for baselines and ablation benches.
+struct TraversalOptions {
+  /// Stop after this many levels (Table 1's k-hop reachability truncation).
+  int max_level = kMaxTraversalLevel;
+
+  /// Bottom-up early termination for the bitwise strategy (Section 6).
+  /// Disabling reproduces the MS-BFS-style baseline of Figure 20.
+  bool early_termination = true;
+
+  /// MS-BFS resets its bit array each level instead of accumulating
+  /// visited bits; enabling adds that per-level reset traffic and disables
+  /// the cumulative-row early-termination test.
+  bool msbfs_reset = false;
+
+  /// Shared-memory adjacency cache: load each joint frontier's neighbor
+  /// list from global memory once for all instances (Section 4).
+  bool adjacency_cache = true;
+
+  /// Per-CTA shared-memory footprint of the cache (a tile of neighbor
+  /// ids). Larger tiles amortize more reloads but cost occupancy — the
+  /// simulator's occupancy model kicks in past ~24 KiB per CTA.
+  int64_t cache_tile_bytes = 8192;
+
+  /// Record per-(vertex, instance) discovery depths (the traversal result).
+  /// All strategies pay the same coalesced store cost for it.
+  bool record_depths = true;
+
+  /// Also record BFS parent trees (GroupResult::parents). Supported by the
+  /// per-instance strategies (sequential, naive); the joint/bitwise
+  /// kernels, like the paper's, output depths only — parent attribution
+  /// would cost i x |V| extra words of device memory.
+  bool record_parents = false;
+
+  /// Collect per-instance private frontier counts and bottom-up inspection
+  /// counts (needed by Figures 2, 6, 9, 11; costs host time, not simulated
+  /// time).
+  bool collect_instance_stats = true;
+
+  /// Direction-optimizing switch parameters (Beamer-style, as Enterprise):
+  /// go bottom-up when frontier-edges > unexplored-edges / alpha; return to
+  /// top-down when the frontier shrinks below |V| / beta per instance.
+  double alpha = 14.0;
+  double beta = 24.0;
+
+  /// Never switch to bottom-up (the SpMM-BC-like baseline of Figure 22
+  /// "does not support bottom-up BFS").
+  bool force_top_down = false;
+
+  static constexpr int kMaxTraversalLevel = 0xFE;
+};
+
+/// Result of traversing one group of BFS instances.
+struct GroupResult {
+  /// depths[j][v] = BFS depth of vertex v from source j, or kUnvisitedDepth.
+  std::vector<std::vector<uint8_t>> depths;
+  /// parents[j][v] = BFS-tree parent of v in instance j (kInvalidVertex
+  /// when unreached; the source is its own parent). Only populated when
+  /// TraversalOptions::record_parents is set on a supporting strategy.
+  std::vector<std::vector<graph::VertexId>> parents;
+  GroupTrace trace;
+};
+
+/// Runs one group of concurrent BFS instances (all `sources` together)
+/// under the given strategy, charging simulated work to `device`.
+/// Group size is limited only by memory accounting fidelity; the paper's
+/// hardware bound is modeled by Engine::MaxGroupSize.
+Result<GroupResult> RunGroup(Strategy strategy, const graph::Csr& graph,
+                             std::span<const graph::VertexId> sources,
+                             const TraversalOptions& options,
+                             gpusim::Device* device);
+
+}  // namespace ibfs
+
+#endif  // IBFS_IBFS_RUNNER_H_

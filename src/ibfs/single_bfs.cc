@@ -1,0 +1,216 @@
+#include "ibfs/single_bfs.h"
+
+#include <array>
+
+#include "gpusim/memory_model.h"
+#include "gpusim/warp.h"
+
+namespace ibfs {
+namespace {
+
+// Charges one warp-sized batch of random single-byte status probes.
+class GatherBatcher {
+ public:
+  GatherBatcher(gpusim::KernelScope* scope, int elem_bytes)
+      : scope_(scope), elem_bytes_(elem_bytes) {}
+
+  void Add(int64_t element_index) {
+    lanes_[count_++] = element_index;
+    if (count_ == gpusim::kWarpSize) Flush();
+  }
+
+  void Flush() {
+    if (count_ == 0) return;
+    scope_->LoadGather({lanes_.data(), static_cast<size_t>(count_)},
+                       elem_bytes_);
+    count_ = 0;
+  }
+
+ private:
+  gpusim::KernelScope* scope_;
+  int elem_bytes_;
+  std::array<int64_t, gpusim::kWarpSize> lanes_{};
+  int count_ = 0;
+};
+
+// Same, for scattered stores.
+class ScatterBatcher {
+ public:
+  ScatterBatcher(gpusim::KernelScope* scope, int elem_bytes)
+      : scope_(scope), elem_bytes_(elem_bytes) {}
+
+  void Add(int64_t element_index) {
+    lanes_[count_++] = element_index;
+    if (count_ == gpusim::kWarpSize) Flush();
+  }
+
+  void Flush() {
+    if (count_ == 0) return;
+    scope_->StoreGather({lanes_.data(), static_cast<size_t>(count_)},
+                        elem_bytes_);
+    count_ = 0;
+  }
+
+ private:
+  gpusim::KernelScope* scope_;
+  int elem_bytes_;
+  std::array<int64_t, gpusim::kWarpSize> lanes_{};
+  int count_ = 0;
+};
+
+}  // namespace
+
+SingleBfs::SingleBfs(const graph::Csr& graph, graph::VertexId source,
+                     const TraversalOptions& options)
+    : graph_(graph), options_(options) {
+  depths_.assign(static_cast<size_t>(graph.vertex_count()), kUnvisitedDepth);
+  parents_.assign(static_cast<size_t>(graph.vertex_count()),
+                  graph::kInvalidVertex);
+  depths_[source] = 0;
+  parents_[source] = source;
+  frontier_.Push(source);
+  visited_count_ = 1;
+  frontier_edges_ = graph.OutDegree(source);
+  unexplored_edges_ = graph.edge_count() - frontier_edges_;
+}
+
+int64_t SingleBfs::RunLevel(gpusim::KernelScope* scope) {
+  if (finished_) return 0;
+  int64_t new_visits = 0;
+  GatherBatcher status_loads(scope, /*elem_bytes=*/1);
+  ScatterBatcher status_stores(scope, /*elem_bytes=*/1);
+
+  if (!bottom_up_) {
+    // Top-down: mark unvisited out-neighbors of each frontier. Large
+    // frontiers are expanded by many thread groups in parallel
+    // (Enterprise's workload classification), so the schedulable item is
+    // re-opened every 256 neighbors.
+    constexpr int64_t kExpandChunk = 256;
+    for (graph::VertexId f : frontier_.vertices()) {
+      scope->BeginItem();
+      const auto neighbors = graph_.OutNeighbors(f);
+      scope->LoadContiguous(
+          static_cast<int64_t>(graph_.row_offsets()[f]),
+          static_cast<int64_t>(neighbors.size()), sizeof(graph::VertexId));
+      int64_t chunk_progress = 0;
+      for (graph::VertexId w : neighbors) {
+        if (++chunk_progress > kExpandChunk) {
+          scope->EndItem();
+          scope->BeginItem();
+          chunk_progress = 1;
+        }
+        ++total_inspections_;
+        status_loads.Add(w);
+        scope->Compute(2);
+        if (depths_[w] == kUnvisitedDepth) {
+          depths_[w] = static_cast<uint8_t>(level_);
+          parents_[w] = f;
+          status_stores.Add(w);
+          ++new_visits;
+        }
+      }
+      scope->EndItem();
+    }
+  } else {
+    // Bottom-up: each unvisited vertex searches its in-neighbors for a
+    // parent visited at an earlier level, stopping at the first hit.
+    for (graph::VertexId v : frontier_.vertices()) {
+      scope->BeginItem();
+      const auto neighbors = graph_.InNeighbors(v);
+      int64_t scanned = 0;
+      for (graph::VertexId w : neighbors) {
+        ++scanned;
+        ++bu_inspections_;
+        ++total_inspections_;
+        status_loads.Add(w);
+        scope->Compute(2);
+        if (depths_[w] < level_) {  // kUnvisitedDepth compares greater
+          depths_[v] = static_cast<uint8_t>(level_);
+          parents_[v] = w;
+          status_stores.Add(v);
+          ++new_visits;
+          break;  // per-instance early exit inherent to bottom-up
+        }
+      }
+      scope->LoadContiguous(
+          static_cast<int64_t>(graph_.in_row_offsets()[v]), scanned,
+          sizeof(graph::VertexId));
+      scope->EndItem();
+    }
+  }
+  status_loads.Flush();
+  status_stores.Flush();
+  last_new_visits_ = new_visits;
+  return new_visits;
+}
+
+void SingleBfs::GenerateNextFrontier(gpusim::KernelScope* scope) {
+  if (finished_) return;
+  const int64_t n = graph_.vertex_count();
+  visited_count_ += last_new_visits_;
+  if (last_new_visits_ == 0 || level_ >= options_.max_level ||
+      visited_count_ >= n) {
+    finished_ = true;
+    frontier_.Clear();
+    return;
+  }
+
+  // Scan the status array once: collect the newly visited set's stats and
+  // decide the next direction before materializing the queue.
+  scope->LoadContiguous(0, n, /*elem_bytes=*/1);
+  scope->Compute(n);
+  int64_t new_frontier_edges = 0;
+  for (int64_t v = 0; v < n; ++v) {
+    if (depths_[v] == level_) {
+      new_frontier_edges +=
+          graph_.OutDegree(static_cast<graph::VertexId>(v));
+    }
+  }
+  unexplored_edges_ -= new_frontier_edges;
+  frontier_edges_ = new_frontier_edges;
+  UpdateDirection();
+
+  frontier_.Clear();
+  if (!bottom_up_) {
+    for (int64_t v = 0; v < n; ++v) {
+      if (depths_[v] == level_) {
+        frontier_.Push(static_cast<graph::VertexId>(v));
+      }
+    }
+  } else {
+    for (int64_t v = 0; v < n; ++v) {
+      if (depths_[v] == kUnvisitedDepth) {
+        frontier_.Push(static_cast<graph::VertexId>(v));
+      }
+    }
+  }
+  scope->StoreContiguous(0, frontier_.size(), sizeof(graph::VertexId));
+  scope->Atomic((frontier_.size() + gpusim::kWarpSize - 1) /
+                gpusim::kWarpSize);
+  if (frontier_.empty()) finished_ = true;
+  ++level_;
+}
+
+void SingleBfs::UpdateDirection() {
+  if (options_.force_top_down) {
+    bottom_up_ = false;
+    return;
+  }
+  const int64_t n = graph_.vertex_count();
+  if (!bottom_up_) {
+    // Frontier is "hot" enough that scanning unvisited vertices is cheaper.
+    if (frontier_edges_ >
+        static_cast<int64_t>(static_cast<double>(unexplored_edges_) /
+                             options_.alpha)) {
+      bottom_up_ = true;
+    }
+  } else {
+    // Frontier (newly visited set) has shrunk: go back to top-down.
+    if (last_new_visits_ <
+        static_cast<int64_t>(static_cast<double>(n) / options_.beta)) {
+      bottom_up_ = false;
+    }
+  }
+}
+
+}  // namespace ibfs

@@ -1,0 +1,15 @@
+#include "ibfs/status_array.h"
+
+#include "util/logging.h"
+
+namespace ibfs {
+
+JointStatusArray::JointStatusArray(int64_t vertex_count, int instance_count)
+    : vertex_count_(vertex_count), instance_count_(instance_count) {
+  IBFS_CHECK(vertex_count > 0);
+  IBFS_CHECK(instance_count > 0);
+  data_.assign(static_cast<size_t>(vertex_count) * instance_count,
+               kUnvisitedDepth);
+}
+
+}  // namespace ibfs

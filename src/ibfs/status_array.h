@@ -1,0 +1,82 @@
+#ifndef IBFS_IBFS_STATUS_ARRAY_H_
+#define IBFS_IBFS_STATUS_ARRAY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace ibfs {
+
+/// Depth value meaning "unvisited" in a status array.
+inline constexpr uint8_t kUnvisitedDepth = 0xFF;
+
+/// Maximum representable BFS depth (one byte per status, as in the paper's
+/// JSA where four bytes serve four instances — Figure 4).
+inline constexpr int kMaxDepth = 0xFE;
+
+/// Joint Status Array (Section 4): per-vertex statuses of all instances of
+/// a group stored contiguously, so that the N contiguous threads inspecting
+/// one vertex coalesce into ceil(N/128) global transactions instead of N.
+///
+/// A status is the vertex's BFS depth, or kUnvisitedDepth. "Frontier" is a
+/// per-level predicate (depth == level-1 for top-down; unvisited for
+/// bottom-up), exactly as the paper's F/U/depth markings.
+///
+/// With instance_count() == 1 this doubles as the private status array of a
+/// single BFS.
+class JointStatusArray {
+ public:
+  /// Creates an all-unvisited array for `vertex_count` vertices and
+  /// `instance_count` concurrent BFS instances.
+  JointStatusArray(int64_t vertex_count, int instance_count);
+
+  int64_t vertex_count() const { return vertex_count_; }
+  int instance_count() const { return instance_count_; }
+
+  /// Depth of `v` in instance `j`, or kUnvisitedDepth.
+  uint8_t Depth(graph::VertexId v, int j) const {
+    return data_[RowOffset(v) + j];
+  }
+
+  void SetDepth(graph::VertexId v, int j, uint8_t depth) {
+    data_[RowOffset(v) + j] = depth;
+  }
+
+  bool IsVisited(graph::VertexId v, int j) const {
+    return Depth(v, j) != kUnvisitedDepth;
+  }
+
+  /// The contiguous status row of one vertex (the unit the simulator's
+  /// coalescing model charges as ceil(N / 128) transactions).
+  std::span<const uint8_t> Row(graph::VertexId v) const {
+    return {data_.data() + RowOffset(v), static_cast<size_t>(instance_count_)};
+  }
+  std::span<uint8_t> MutableRow(graph::VertexId v) {
+    return {data_.data() + RowOffset(v), static_cast<size_t>(instance_count_)};
+  }
+
+  /// Element index of (v, j) in the flat array, used for address-level
+  /// transaction accounting.
+  int64_t ElementIndex(graph::VertexId v, int j) const {
+    return RowOffset(v) + j;
+  }
+
+  /// Bytes of device memory the array occupies (the |SA| term of the
+  /// group-size bound in Section 3).
+  int64_t StorageBytes() const { return static_cast<int64_t>(data_.size()); }
+
+ private:
+  int64_t RowOffset(graph::VertexId v) const {
+    return static_cast<int64_t>(v) * instance_count_;
+  }
+
+  int64_t vertex_count_;
+  int instance_count_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace ibfs
+
+#endif  // IBFS_IBFS_STATUS_ARRAY_H_

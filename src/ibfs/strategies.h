@@ -1,0 +1,38 @@
+#ifndef IBFS_IBFS_STRATEGIES_H_
+#define IBFS_IBFS_STRATEGIES_H_
+
+#include <span>
+
+#include "gpusim/device.h"
+#include "graph/csr.h"
+#include "ibfs/runner.h"
+
+namespace ibfs::internal_strategies {
+
+/// Per-strategy group runners behind RunGroup(). Inputs are validated by
+/// the dispatcher; each runner may assume sources are in range and the
+/// group is non-empty.
+
+Result<GroupResult> RunSequentialGroup(const graph::Csr& graph,
+                                       std::span<const graph::VertexId> sources,
+                                       const TraversalOptions& options,
+                                       gpusim::Device* device);
+
+Result<GroupResult> RunNaiveGroup(const graph::Csr& graph,
+                                  std::span<const graph::VertexId> sources,
+                                  const TraversalOptions& options,
+                                  gpusim::Device* device);
+
+Result<GroupResult> RunJointGroup(const graph::Csr& graph,
+                                  std::span<const graph::VertexId> sources,
+                                  const TraversalOptions& options,
+                                  gpusim::Device* device);
+
+Result<GroupResult> RunBitwiseGroup(const graph::Csr& graph,
+                                    std::span<const graph::VertexId> sources,
+                                    const TraversalOptions& options,
+                                    gpusim::Device* device);
+
+}  // namespace ibfs::internal_strategies
+
+#endif  // IBFS_IBFS_STRATEGIES_H_

@@ -1,0 +1,55 @@
+#include "ibfs/trace.h"
+
+namespace ibfs {
+
+double GroupTrace::SharingDegree() const {
+  int64_t private_sum = 0;
+  int64_t joint_sum = 0;
+  for (const LevelTrace& lt : levels) {
+    private_sum += lt.private_fq_sum;
+    joint_sum += lt.jfq_size;
+  }
+  if (joint_sum == 0) return 0.0;
+  return static_cast<double>(private_sum) / static_cast<double>(joint_sum);
+}
+
+double GroupTrace::SharingRatio() const {
+  if (instance_count == 0) return 0.0;
+  return SharingDegree() / static_cast<double>(instance_count);
+}
+
+double GroupTrace::DirectionSharingDegree(bool bottom_up) const {
+  int64_t private_sum = 0;
+  int64_t joint_sum = 0;
+  for (const LevelTrace& lt : levels) {
+    if (lt.bottom_up != bottom_up) continue;
+    private_sum += lt.private_fq_sum;
+    joint_sum += lt.jfq_size;
+  }
+  if (joint_sum == 0) return 0.0;
+  return static_cast<double>(private_sum) / static_cast<double>(joint_sum);
+}
+
+double GroupTrace::DirectionSharingRatio(bool bottom_up) const {
+  if (instance_count == 0) return 0.0;
+  return DirectionSharingDegree(bottom_up) /
+         static_cast<double>(instance_count);
+}
+
+double GroupTrace::LevelSharingDegree(int level) const {
+  for (const LevelTrace& lt : levels) {
+    if (lt.level == level && lt.jfq_size > 0) {
+      return static_cast<double>(lt.private_fq_sum) /
+             static_cast<double>(lt.jfq_size);
+    }
+  }
+  return 0.0;
+}
+
+int64_t GroupTrace::TotalInspections() const {
+  int64_t total = 0;
+  for (const LevelTrace& lt : levels) total += lt.edges_inspected;
+  return total;
+}
+
+}  // namespace ibfs

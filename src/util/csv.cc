@@ -1,0 +1,71 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace ibfs {
+namespace {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+CsvTable& CsvTable::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+CsvTable& CsvTable::Add(const std::string& cell) {
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+CsvTable& CsvTable::Add(double value, int precision) {
+  return Add(FormatDouble(value, precision));
+}
+
+CsvTable& CsvTable::Add(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return Add(std::string(buf));
+}
+
+CsvTable& CsvTable::Add(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return Add(std::string(buf));
+}
+
+CsvTable& CsvTable::Add(int value) { return Add(static_cast<int64_t>(value)); }
+
+void CsvTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ", ";
+      os << row[c];
+      if (c + 1 < row.size() && c < widths.size()) {
+        for (size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace ibfs

@@ -1,0 +1,38 @@
+#ifndef IBFS_UTIL_CSV_H_
+#define IBFS_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ibfs {
+
+/// Emits aligned, comma-separated tables to a stream. Used by the benchmark
+/// harnesses so every figure/table of the paper prints in a uniform,
+/// machine-parsable format.
+class CsvTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit CsvTable(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent Add* calls fill it left to right.
+  CsvTable& Row();
+  CsvTable& Add(const std::string& cell);
+  CsvTable& Add(double value, int precision = 3);
+  CsvTable& Add(int64_t value);
+  CsvTable& Add(uint64_t value);
+  CsvTable& Add(int value);
+
+  /// Writes header plus all rows, comma-separated with aligned columns.
+  void Print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ibfs
+
+#endif  // IBFS_UTIL_CSV_H_

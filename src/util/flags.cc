@@ -1,0 +1,72 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace ibfs {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = body.substr(0, eq);
+      if (key.empty()) return Status::InvalidArgument("empty flag name");
+      flags.values_[key] = body.substr(eq + 1);
+      continue;
+    }
+    if (body.empty()) return Status::InvalidArgument("empty flag name");
+    // `--key value` when the next token is not itself a flag; otherwise a
+    // bare boolean switch.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') return def;
+  return parsed;
+}
+
+double Flags::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') return def;
+  return parsed;
+}
+
+bool Flags::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> Flags::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace ibfs

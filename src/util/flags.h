@@ -1,0 +1,48 @@
+#ifndef IBFS_UTIL_FLAGS_H_
+#define IBFS_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ibfs {
+
+/// Minimal command-line parser for the CLI tool: accepts
+/// `--key=value` and `--key value` pairs plus bare `--switch` booleans;
+/// everything else is a positional argument.
+class Flags {
+ public:
+  /// Parses argv; returns an error for malformed input (`--=x`).
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// String value or `def` when absent.
+  std::string GetString(const std::string& key,
+                        const std::string& def = "") const;
+
+  /// Integer value or `def` when absent/unparsable.
+  int64_t GetInt(const std::string& key, int64_t def) const;
+
+  /// Double value or `def` when absent/unparsable.
+  double GetDouble(const std::string& key, double def) const;
+
+  /// True when the switch is present (and not "false"/"0").
+  bool GetBool(const std::string& key, bool def = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were parsed, for unknown-flag detection.
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ibfs
+
+#endif  // IBFS_UTIL_FLAGS_H_

@@ -1,0 +1,45 @@
+#ifndef IBFS_UTIL_LOGGING_H_
+#define IBFS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ibfs {
+
+/// Severity for the minimal logging facility. kFatal aborts the process; it
+/// backs IBFS_CHECK, the library's invariant-violation path (exceptions are
+/// not used).
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace ibfs
+
+#define IBFS_LOG(severity)                                              \
+  ::ibfs::internal_logging::LogMessage(::ibfs::LogSeverity::k##severity, \
+                                       __FILE__, __LINE__)              \
+      .stream()
+
+/// Aborts with a message when `cond` is false. Used for programmer-error
+/// invariants (never for recoverable conditions, which return Status).
+#define IBFS_CHECK(cond)                                  \
+  if (!(cond)) IBFS_LOG(Fatal) << "Check failed: " #cond " "
+
+#endif  // IBFS_UTIL_LOGGING_H_

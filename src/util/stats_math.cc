@@ -1,0 +1,48 @@
+#include "util/stats_math.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ibfs {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double StdDev(std::span<const double> values) {
+  RunningStats s;
+  for (double v : values) s.Add(v);
+  return s.stddev();
+}
+
+double Mean(std::span<const double> values) {
+  RunningStats s;
+  for (double v : values) s.Add(v);
+  return s.mean();
+}
+
+double GeoMean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace ibfs

@@ -1,0 +1,47 @@
+#ifndef IBFS_UTIL_STATS_MATH_H_
+#define IBFS_UTIL_STATS_MATH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ibfs {
+
+/// Streaming mean/variance accumulator (Welford's algorithm). Numerically
+/// stable for the long counter series produced by the benchmark harnesses.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const;
+  /// Population standard deviation.
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Population standard deviation of a sequence (convenience wrapper).
+double StdDev(std::span<const double> values);
+
+/// Arithmetic mean; returns 0 for an empty span.
+double Mean(std::span<const double> values);
+
+/// Geometric mean; all values must be > 0. Returns 0 for an empty span.
+double GeoMean(std::span<const double> values);
+
+}  // namespace ibfs
+
+#endif  // IBFS_UTIL_STATS_MATH_H_

@@ -1,0 +1,99 @@
+#include <numeric>
+
+#include "core/cluster_engine.h"
+#include "gpusim/report.h"
+#include "graph/components.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ibfs {
+namespace {
+
+using graph::VertexId;
+
+EngineOptions SmallGroups() {
+  EngineOptions options;
+  options.strategy = Strategy::kBitwise;
+  options.grouping = GroupingPolicy::kGroupBy;
+  options.group_size = 16;
+  options.keep_depths = false;
+  options.traversal.collect_instance_stats = false;
+  return options;
+}
+
+TEST(ClusterEngineTest, OneDeviceIsIdentity) {
+  const graph::Csr g = testing::MakeRmatGraph(8, 8);
+  const auto sources = graph::SampleConnectedSources(g, 64, 1);
+  auto result = RunOnCluster(g, sources, SmallGroups(), 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().speedup, 1.0, 1e-9);
+  EXPECT_NEAR(result.value().schedule.makespan_seconds,
+              result.value().single_device_seconds, 1e-12);
+}
+
+TEST(ClusterEngineTest, SpeedupBoundedByDevicesAndGroups) {
+  const graph::Csr g = testing::MakeRmatGraph(8, 8);
+  const auto sources = graph::SampleConnectedSources(g, 128, 1);
+  for (int gpus : {2, 4, 8}) {
+    auto result = RunOnCluster(g, sources, SmallGroups(), gpus);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result.value().speedup, 1.0);
+    EXPECT_LE(result.value().speedup, static_cast<double>(gpus) + 1e-9);
+    EXPECT_LE(result.value().speedup,
+              static_cast<double>(result.value().group_count) + 1e-9);
+  }
+}
+
+TEST(ClusterEngineTest, LptAtLeastAsGoodAsRoundRobin) {
+  const graph::Csr g = testing::MakeRmatGraph(8, 12);
+  const auto sources = graph::SampleConnectedSources(g, 128, 1);
+  auto rr = RunOnCluster(g, sources, SmallGroups(), 4,
+                         gpusim::PlacementPolicy::kRoundRobin);
+  auto lpt = RunOnCluster(g, sources, SmallGroups(), 4,
+                          gpusim::PlacementPolicy::kLpt);
+  ASSERT_TRUE(rr.ok() && lpt.ok());
+  EXPECT_GE(lpt.value().speedup, rr.value().speedup - 1e-9);
+}
+
+TEST(ClusterEngineTest, WorkConserved) {
+  const graph::Csr g = testing::MakeRmatGraph(8, 8);
+  const auto sources = graph::SampleConnectedSources(g, 96, 1);
+  auto result = RunOnCluster(g, sources, SmallGroups(), 3);
+  ASSERT_TRUE(result.ok());
+  double device_sum = 0.0;
+  for (double s : result.value().schedule.device_seconds) device_sum += s;
+  EXPECT_NEAR(device_sum, result.value().single_device_seconds, 1e-12);
+}
+
+TEST(ClusterEngineTest, RejectsBadDeviceCount) {
+  const graph::Csr g = testing::MakeSmallGraph();
+  const std::vector<VertexId> sources = {0};
+  EXPECT_FALSE(RunOnCluster(g, sources, SmallGroups(), 0).ok());
+}
+
+TEST(ProfileReportTest, ContainsPhasesAndTotals) {
+  gpusim::Device device;
+  {
+    auto scope = device.BeginKernel("td_inspect");
+    scope.LoadContiguous(0, 1024, 4);
+    scope.Atomic(5);
+  }
+  {
+    auto scope = device.BeginKernel("fq_gen");
+    scope.StoreContiguous(0, 64, 4);
+  }
+  const std::string report = gpusim::FormatProfile(device);
+  EXPECT_NE(report.find("td_inspect"), std::string::npos);
+  EXPECT_NE(report.find("fq_gen"), std::string::npos);
+  EXPECT_NE(report.find("TOTAL"), std::string::npos);
+  EXPECT_NE(report.find("gld_txn"), std::string::npos);
+}
+
+TEST(ProfileReportTest, EmptyDeviceStillRenders) {
+  gpusim::Device device;
+  const std::string report = gpusim::FormatProfile(device);
+  EXPECT_NE(report.find("TOTAL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibfs

@@ -1,0 +1,74 @@
+#include <algorithm>
+#include <set>
+
+#include "graph/builder.h"
+#include "graph/components.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ibfs::graph {
+namespace {
+
+TEST(ComponentsTest, SingleComponentCoversAll) {
+  const Csr g = ibfs::testing::MakeSmallGraph();
+  const auto mask = GiantComponentMask(g);
+  for (bool m : mask) EXPECT_TRUE(m);
+  EXPECT_EQ(GiantComponent(g).size(), static_cast<size_t>(g.vertex_count()));
+}
+
+TEST(ComponentsTest, PicksLargerComponent) {
+  // Chain of 10 plus an island pair: giant = the chain.
+  const Csr g = ibfs::testing::MakeDisconnectedGraph(12);
+  const auto members = GiantComponent(g);
+  ASSERT_EQ(members.size(), 10u);
+  EXPECT_EQ(members.front(), 0u);
+  EXPECT_EQ(members.back(), 9u);
+  const auto mask = GiantComponentMask(g);
+  EXPECT_FALSE(mask[10]);
+  EXPECT_FALSE(mask[11]);
+}
+
+TEST(ComponentsTest, WeaklyConnectedFollowsBothDirections) {
+  // Directed chain 0 -> 1 -> 2; weak connectivity must still join them.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  auto g = std::move(builder).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(GiantComponent(g.value()).size(), 3u);
+}
+
+TEST(ComponentsTest, SampleStaysInGiantComponent) {
+  const Csr g = ibfs::testing::MakeDisconnectedGraph(12);
+  const auto sources = SampleConnectedSources(g, 8, 1);
+  ASSERT_EQ(sources.size(), 8u);
+  for (VertexId s : sources) EXPECT_LT(s, 10u);
+}
+
+TEST(ComponentsTest, SampleIsDeterministicAndSeedSensitive) {
+  const Csr g = ibfs::testing::MakeRmatGraph(8, 8);
+  const auto a = SampleConnectedSources(g, 32, 5);
+  const auto b = SampleConnectedSources(g, 32, 5);
+  const auto c = SampleConnectedSources(g, 32, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ComponentsTest, SampleDistinctUntilPoolExhausted) {
+  const Csr g = ibfs::testing::MakeDisconnectedGraph(12);  // pool size 10
+  const auto small = SampleConnectedSources(g, 10, 2);
+  std::set<VertexId> unique(small.begin(), small.end());
+  EXPECT_EQ(unique.size(), 10u);
+  // Larger than the pool: wraps around with duplicates, but still valid.
+  const auto large = SampleConnectedSources(g, 15, 2);
+  EXPECT_EQ(large.size(), 15u);
+  for (VertexId s : large) EXPECT_LT(s, 10u);
+}
+
+TEST(ComponentsTest, EmptyRequestYieldsEmpty) {
+  const Csr g = ibfs::testing::MakeSmallGraph();
+  EXPECT_TRUE(SampleConnectedSources(g, 0, 1).empty());
+}
+
+}  // namespace
+}  // namespace ibfs::graph

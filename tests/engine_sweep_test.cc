@@ -1,0 +1,86 @@
+// Exhaustive engine sweep: every strategy x grouping x group size on two
+// graph shapes, checked with the oracle-free validator plus determinism
+// (same options + seed => identical simulated time and depths).
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/validate.h"
+#include "graph/components.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ibfs {
+namespace {
+
+using graph::VertexId;
+
+class EngineSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<Strategy, GroupingPolicy, int, bool>> {};
+
+TEST_P(EngineSweepTest, ValidatesAndIsDeterministic) {
+  const auto [strategy, grouping, group_size, uniform] = GetParam();
+  const graph::Csr g = uniform ? testing::MakeUniformGraph(256, 5)
+                               : testing::MakeRmatGraph(8, 8);
+  const auto sources = graph::SampleConnectedSources(g, 48, 3);
+
+  EngineOptions options;
+  options.strategy = strategy;
+  options.grouping = grouping;
+  options.group_size = group_size;
+  options.groupby.group_size = group_size;
+  options.seed = 17;
+  Engine engine(&g, options);
+
+  auto first = engine.Run(sources);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = engine.Run(sources);
+  ASSERT_TRUE(second.ok());
+
+  // Determinism: identical grouping, depths, counters and time.
+  EXPECT_DOUBLE_EQ(first.value().sim_seconds, second.value().sim_seconds);
+  ASSERT_EQ(first.value().groups.size(), second.value().groups.size());
+  EXPECT_EQ(first.value().totals.mem.load_transactions,
+            second.value().totals.mem.load_transactions);
+
+  // Structural validity of every instance's result.
+  for (size_t grp = 0; grp < first.value().groups.size(); ++grp) {
+    ASSERT_EQ(first.value().group_sources[grp],
+              second.value().group_sources[grp]);
+    for (size_t j = 0; j < first.value().group_sources[grp].size(); ++j) {
+      const VertexId s = first.value().group_sources[grp][j];
+      const auto& depths = first.value().groups[grp].depths[j];
+      EXPECT_TRUE(ValidateBfsDepths(g, s, depths).ok())
+          << StrategyName(strategy) << "/" << GroupingPolicyName(grouping)
+          << " N=" << group_size;
+      ASSERT_EQ(depths, second.value().groups[grp].depths[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineSweepTest,
+    ::testing::Combine(
+        ::testing::Values(Strategy::kSequential, Strategy::kNaiveConcurrent,
+                          Strategy::kJointTraversal, Strategy::kBitwise),
+        ::testing::Values(GroupingPolicy::kInOrder, GroupingPolicy::kRandom,
+                          GroupingPolicy::kGroupBy),
+        ::testing::Values(1, 17, 64),
+        ::testing::Bool()),
+    [](const auto& info) {
+      std::string name = StrategyName(std::get<0>(info.param));
+      name += "_";
+      const char* g = GroupingPolicyName(std::get<1>(info.param));
+      for (const char* p = g; *p; ++p) {
+        if (*p != '-') name += *p;
+      }
+      name += "_n";
+      name += std::to_string(std::get<2>(info.param));
+      name += std::get<3>(info.param) ? "_uniform" : "_rmat";
+      return name;
+    });
+
+}  // namespace
+}  // namespace ibfs

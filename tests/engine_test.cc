@@ -1,0 +1,231 @@
+#include <numeric>
+
+#include "baselines/reference_bfs.h"
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ibfs {
+namespace {
+
+using graph::VertexId;
+
+TEST(EngineOptionsTest, DefaultsValidate) {
+  EngineOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(EngineOptionsTest, RejectsBadFields) {
+  EngineOptions options;
+  options.group_size = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.group_size = 100000;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.traversal.alpha = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.groupby.p_sequence.clear();
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.device.clock_ghz = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(EngineOptionsTest, PolicyNames) {
+  EXPECT_STREQ(GroupingPolicyName(GroupingPolicy::kInOrder), "in-order");
+  EXPECT_STREQ(GroupingPolicyName(GroupingPolicy::kRandom), "random");
+  EXPECT_STREQ(GroupingPolicyName(GroupingPolicy::kGroupBy), "groupby");
+}
+
+TEST(EngineTest, RunRejectsBadSources) {
+  const graph::Csr g = testing::MakeSmallGraph();
+  Engine engine(&g, {});
+  EXPECT_FALSE(engine.Run({}).ok());
+  const std::vector<VertexId> bad = {100};
+  EXPECT_FALSE(engine.Run(bad).ok());
+}
+
+TEST(EngineTest, AllStrategiesAllPoliciesMatchReference) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 8);
+  std::vector<VertexId> sources(64);
+  std::iota(sources.begin(), sources.end(), 0);
+  for (Strategy strategy :
+       {Strategy::kSequential, Strategy::kNaiveConcurrent,
+        Strategy::kJointTraversal, Strategy::kBitwise}) {
+    for (GroupingPolicy policy :
+         {GroupingPolicy::kInOrder, GroupingPolicy::kRandom,
+          GroupingPolicy::kGroupBy}) {
+      EngineOptions options;
+      options.strategy = strategy;
+      options.grouping = policy;
+      options.group_size = 16;
+      Engine engine(&g, options);
+      auto result = engine.Run(sources);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      const EngineResult& res = result.value();
+      // In-order and random chunk exactly; GroupBy may emit extra partial
+      // groups when bucket tails are merged.
+      if (policy != GroupingPolicy::kGroupBy) {
+        EXPECT_EQ(res.groups.size(), 4u);
+      }
+      int64_t total_sources = 0;
+      for (const auto& gs : res.group_sources) {
+        total_sources += static_cast<int64_t>(gs.size());
+      }
+      EXPECT_EQ(total_sources, 64);
+      for (size_t grp = 0; grp < res.groups.size(); ++grp) {
+        for (size_t j = 0; j < res.group_sources[grp].size(); ++j) {
+          EXPECT_TRUE(baselines::DepthsMatchReference(
+              g, res.group_sources[grp][j], res.groups[grp].depths[j]))
+              << StrategyName(strategy) << "/" << GroupingPolicyName(policy);
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineTest, TepsIsEdgesTimesInstancesOverTime) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 8);
+  std::vector<VertexId> sources(32);
+  std::iota(sources.begin(), sources.end(), 0);
+  EngineOptions options;
+  options.grouping = GroupingPolicy::kInOrder;
+  Engine engine(&g, options);
+  auto result = engine.Run(sources);
+  ASSERT_TRUE(result.ok());
+  const EngineResult& res = result.value();
+  EXPECT_GT(res.sim_seconds, 0.0);
+  EXPECT_NEAR(res.teps,
+              32.0 * static_cast<double>(g.edge_count()) / res.sim_seconds,
+              1e-6 * res.teps);
+}
+
+TEST(EngineTest, GroupSecondsSumToTotal) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 8);
+  std::vector<VertexId> sources(48);
+  std::iota(sources.begin(), sources.end(), 0);
+  EngineOptions options;
+  options.group_size = 16;
+  options.grouping = GroupingPolicy::kInOrder;
+  Engine engine(&g, options);
+  auto result = engine.Run(sources);
+  ASSERT_TRUE(result.ok());
+  double sum = 0.0;
+  for (double s : result.value().group_seconds) sum += s;
+  EXPECT_NEAR(sum, result.value().sim_seconds, 1e-12);
+}
+
+TEST(EngineTest, KeepDepthsOffDropsDepths) {
+  const graph::Csr g = testing::MakeRmatGraph(6, 8);
+  std::vector<VertexId> sources(8);
+  std::iota(sources.begin(), sources.end(), 0);
+  EngineOptions options;
+  options.keep_depths = false;
+  Engine engine(&g, options);
+  auto result = engine.Run(sources);
+  ASSERT_TRUE(result.ok());
+  for (const auto& grp : result.value().groups) {
+    EXPECT_TRUE(grp.depths.empty());
+  }
+}
+
+TEST(EngineTest, RunAllSourcesCoversEveryVertex) {
+  const graph::Csr g = testing::MakeSmallGraph();
+  EngineOptions options;
+  options.group_size = 4;
+  Engine engine(&g, options);
+  auto result = engine.RunAllSources();
+  ASSERT_TRUE(result.ok());
+  int64_t total = 0;
+  for (const auto& src : result.value().group_sources) {
+    total += static_cast<int64_t>(src.size());
+  }
+  EXPECT_EQ(total, g.vertex_count());
+}
+
+TEST(EngineTest, MaxGroupSizeFollowsSectionThreeBound) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 8);
+  gpusim::DeviceSpec spec;
+  const int64_t n = Engine::MaxGroupSize(g, spec);
+  const int64_t expected =
+      (spec.global_memory_bytes - g.StorageBytes() -
+       g.vertex_count() * static_cast<int64_t>(sizeof(graph::VertexId))) /
+      g.vertex_count();
+  EXPECT_EQ(n, expected);
+  // A tiny device cannot even hold the graph.
+  spec.global_memory_bytes = 1024;
+  EXPECT_EQ(Engine::MaxGroupSize(g, spec), 0);
+}
+
+TEST(EngineTest, DeviceMemoryCapClampsGroupSize) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 8);
+  EngineOptions options;
+  options.group_size = 64;
+  options.grouping = GroupingPolicy::kInOrder;
+  // Size the device so only ~8 instances fit.
+  options.device.global_memory_bytes =
+      g.StorageBytes() +
+      g.vertex_count() * static_cast<int64_t>(sizeof(graph::VertexId)) +
+      g.vertex_count() * 8;
+  std::vector<VertexId> sources(16);
+  std::iota(sources.begin(), sources.end(), 0);
+  Engine engine(&g, options);
+  auto result = engine.Run(sources);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().groups.size(), 2u);
+  // Graph that cannot fit at all is a failed precondition.
+  options.device.global_memory_bytes = 10;
+  Engine tiny(&g, options);
+  EXPECT_EQ(tiny.Run(sources).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, GroupByPolicyReportsRuleMatches) {
+  const graph::Csr g = testing::MakeRmatGraph(8, 16);
+  std::vector<VertexId> sources(static_cast<size_t>(g.vertex_count()));
+  std::iota(sources.begin(), sources.end(), 0);
+  EngineOptions options;
+  options.grouping = GroupingPolicy::kGroupBy;
+  options.groupby.q = 32;
+  options.keep_depths = false;
+  Engine engine(&g, options);
+  auto result = engine.Run(sources);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().rule_matched, 0);
+}
+
+TEST(EngineTest, SharingRatioDirectionSplit) {
+  const graph::Csr g = testing::MakeRmatGraph(8, 16);
+  std::vector<VertexId> sources(64);
+  std::iota(sources.begin(), sources.end(), 0);
+  EngineOptions options;
+  options.strategy = Strategy::kJointTraversal;
+  options.grouping = GroupingPolicy::kInOrder;
+  options.keep_depths = false;
+  Engine engine(&g, options);
+  auto result = engine.Run(sources);
+  ASSERT_TRUE(result.ok());
+  const EngineResult& res = result.value();
+  EXPECT_GT(res.SharingRatio(-1), 0.0);
+  EXPECT_LE(res.SharingRatio(-1), 1.0 + 1e-9);
+  // Bottom-up sharing exceeds top-down sharing (Figure 2's observation).
+  EXPECT_GT(res.SharingRatio(1), res.SharingRatio(0));
+}
+
+TEST(EngineTest, PhasesReported) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 8);
+  std::vector<VertexId> sources(16);
+  std::iota(sources.begin(), sources.end(), 0);
+  EngineOptions options;
+  options.grouping = GroupingPolicy::kInOrder;
+  Engine engine(&g, options);
+  auto result = engine.Run(sources);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().phases.count("fq_gen"));
+  EXPECT_TRUE(result.value().phases.count("td_inspect"));
+}
+
+}  // namespace
+}  // namespace ibfs

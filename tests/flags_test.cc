@@ -1,0 +1,76 @@
+#include "gtest/gtest.h"
+#include "util/flags.h"
+
+namespace ibfs {
+namespace {
+
+Flags MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.ok());
+  return std::move(flags).value();
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const Flags f = MustParse({"--name=value", "--n=42"});
+  EXPECT_EQ(f.GetString("name"), "value");
+  EXPECT_EQ(f.GetInt("n", 0), 42);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  const Flags f = MustParse({"--name", "value", "--n", "42"});
+  EXPECT_EQ(f.GetString("name"), "value");
+  EXPECT_EQ(f.GetInt("n", 0), 42);
+}
+
+TEST(FlagsTest, BareSwitchIsTrue) {
+  const Flags f = MustParse({"--verbose", "--quiet=false", "--off=0"});
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_FALSE(f.GetBool("quiet"));
+  EXPECT_FALSE(f.GetBool("off"));
+  EXPECT_FALSE(f.GetBool("absent"));
+  EXPECT_TRUE(f.GetBool("absent", true));
+}
+
+TEST(FlagsTest, PositionalsCollected) {
+  const Flags f = MustParse({"run", "--x=1", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "run");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(FlagsTest, SwitchBeforeFlagStaysBare) {
+  // `--a --b=1`: a must not swallow --b as its value.
+  const Flags f = MustParse({"--a", "--b=1"});
+  EXPECT_TRUE(f.GetBool("a"));
+  EXPECT_EQ(f.GetInt("b", 0), 1);
+}
+
+TEST(FlagsTest, DefaultsOnMissingOrUnparsable) {
+  const Flags f = MustParse({"--bad=oops"});
+  EXPECT_EQ(f.GetInt("bad", 7), 7);
+  EXPECT_EQ(f.GetDouble("bad", 1.5), 1.5);
+  EXPECT_EQ(f.GetInt("missing", -1), -1);
+  EXPECT_EQ(f.GetString("missing", "d"), "d");
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  const Flags f = MustParse({"--alpha=14.5"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("alpha", 0.0), 14.5);
+}
+
+TEST(FlagsTest, EmptyFlagNameIsError) {
+  const char* argv[] = {"prog", "--=x"};
+  EXPECT_FALSE(Flags::Parse(2, argv).ok());
+  const char* argv2[] = {"prog", "--"};
+  EXPECT_FALSE(Flags::Parse(2, argv2).ok());
+}
+
+TEST(FlagsTest, KeysEnumerated) {
+  const Flags f = MustParse({"--a=1", "--b=2"});
+  const auto keys = f.Keys();
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ibfs

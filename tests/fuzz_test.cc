@@ -1,0 +1,164 @@
+// Randomized stress tests: random graphs (including pathological shapes)
+// through every strategy, checked against the structural BFS validator
+// and the reference oracle. Catches crashes and invariant breaks that
+// fixed fixtures miss.
+#include <vector>
+
+#include "baselines/cpu_bfs.h"
+#include "baselines/reference_bfs.h"
+#include "core/validate.h"
+#include "gpusim/device.h"
+#include "graph/builder.h"
+#include "gtest/gtest.h"
+#include "ibfs/runner.h"
+#include "util/prng.h"
+
+namespace ibfs {
+namespace {
+
+using graph::Csr;
+using graph::VertexId;
+
+// Random graph with a seed-dependent shape: size, density, direction mix,
+// self-loops, multi-edges (deduped by the builder), isolated vertices.
+Csr FuzzGraph(uint64_t seed) {
+  Prng prng(seed);
+  const int64_t n = 2 + static_cast<int64_t>(prng.NextBounded(200));
+  const int64_t m = prng.NextBounded(static_cast<uint64_t>(4 * n) + 1);
+  const bool undirected = prng.NextBool(0.5);
+  graph::GraphBuilder builder(n);
+  for (int64_t e = 0; e < m; ++e) {
+    const auto u = static_cast<VertexId>(prng.NextBounded(n));
+    const auto v = prng.NextBool(0.05)
+                       ? u  // occasional self-loop
+                       : static_cast<VertexId>(prng.NextBounded(n));
+    if (undirected) {
+      builder.AddUndirectedEdge(u, v);
+    } else {
+      builder.AddEdge(u, v);
+    }
+  }
+  auto result = std::move(builder).Build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+class FuzzStrategiesTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzStrategiesTest, AllStrategiesMatchOracleAndValidate) {
+  const uint64_t seed = GetParam();
+  const Csr g = FuzzGraph(seed);
+  Prng prng(seed ^ 0xF00D);
+  std::vector<VertexId> sources;
+  const int group = 1 + static_cast<int>(prng.NextBounded(70));
+  for (int i = 0; i < group; ++i) {
+    sources.push_back(static_cast<VertexId>(
+        prng.NextBounded(static_cast<uint64_t>(g.vertex_count()))));
+  }
+  for (Strategy s : {Strategy::kSequential, Strategy::kNaiveConcurrent,
+                     Strategy::kJointTraversal, Strategy::kBitwise}) {
+    gpusim::Device device;
+    auto result = RunGroup(s, g, sources, {}, &device);
+    ASSERT_TRUE(result.ok()) << StrategyName(s);
+    for (size_t j = 0; j < sources.size(); ++j) {
+      ASSERT_TRUE(baselines::DepthsMatchReference(g, sources[j],
+                                                  result.value().depths[j]))
+          << StrategyName(s) << " seed " << seed << " instance " << j;
+      ASSERT_TRUE(
+          ValidateBfsDepths(g, sources[j], result.value().depths[j]).ok())
+          << StrategyName(s) << " seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzStrategiesTest,
+                         ::testing::Range(uint64_t{100}, uint64_t{120}));
+
+class FuzzCpuBaselinesTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzCpuBaselinesTest, CpuBaselinesMatchOracle) {
+  const uint64_t seed = GetParam();
+  const Csr g = FuzzGraph(seed);
+  Prng prng(seed ^ 0xBEEF);
+  std::vector<VertexId> sources;
+  const int group = 1 + static_cast<int>(prng.NextBounded(70));
+  for (int i = 0; i < group; ++i) {
+    sources.push_back(static_cast<VertexId>(
+        prng.NextBounded(static_cast<uint64_t>(g.vertex_count()))));
+  }
+  baselines::CpuCostModel cpu;
+  auto ms = baselines::RunMsBfs(g, sources, {}, &cpu);
+  auto ib = baselines::RunCpuIbfs(g, sources, {}, &cpu);
+  ASSERT_TRUE(ms.ok() && ib.ok());
+  for (size_t j = 0; j < sources.size(); ++j) {
+    ASSERT_TRUE(baselines::DepthsMatchReference(g, sources[j],
+                                                ms.value().depths[j]))
+        << "ms-bfs seed " << seed;
+    ASSERT_TRUE(baselines::DepthsMatchReference(g, sources[j],
+                                                ib.value().depths[j]))
+        << "cpu-ibfs seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCpuBaselinesTest,
+                         ::testing::Range(uint64_t{200}, uint64_t{212}));
+
+TEST(FuzzEdgeCasesTest, TwoVertexGraphs) {
+  // Smallest interesting graphs: isolated pair, single edge, self-loop.
+  for (int variant = 0; variant < 3; ++variant) {
+    graph::GraphBuilder builder(2);
+    if (variant == 1) builder.AddEdge(0, 1);
+    if (variant == 2) builder.AddEdge(0, 0);
+    auto g = std::move(builder).Build();
+    ASSERT_TRUE(g.ok());
+    const std::vector<VertexId> sources = {0, 1};
+    for (Strategy s : {Strategy::kSequential, Strategy::kJointTraversal,
+                       Strategy::kBitwise}) {
+      gpusim::Device device;
+      auto result = RunGroup(s, g.value(), sources, {}, &device);
+      ASSERT_TRUE(result.ok());
+      for (size_t j = 0; j < sources.size(); ++j) {
+        EXPECT_TRUE(baselines::DepthsMatchReference(
+            g.value(), sources[j], result.value().depths[j]))
+            << "variant " << variant;
+      }
+    }
+  }
+}
+
+TEST(FuzzEdgeCasesTest, StarAndCompleteGraphs) {
+  // Star: maximal hub sharing. Complete: diameter 1, instant bottom-up.
+  graph::GraphBuilder star(33);
+  for (int leaf = 1; leaf < 33; ++leaf) {
+    star.AddUndirectedEdge(0, static_cast<VertexId>(leaf));
+  }
+  auto star_g = std::move(star).Build();
+  ASSERT_TRUE(star_g.ok());
+
+  graph::GraphBuilder complete(16);
+  for (int u = 0; u < 16; ++u) {
+    for (int v = u + 1; v < 16; ++v) {
+      complete.AddUndirectedEdge(static_cast<VertexId>(u),
+                                 static_cast<VertexId>(v));
+    }
+  }
+  auto complete_g = std::move(complete).Build();
+  ASSERT_TRUE(complete_g.ok());
+
+  for (const Csr* g : {&star_g.value(), &complete_g.value()}) {
+    std::vector<VertexId> sources;
+    for (int64_t v = 0; v < g->vertex_count(); ++v) {
+      sources.push_back(static_cast<VertexId>(v));
+    }
+    gpusim::Device device;
+    auto result = RunGroup(Strategy::kBitwise, *g, sources, {}, &device);
+    ASSERT_TRUE(result.ok());
+    for (size_t j = 0; j < sources.size(); ++j) {
+      EXPECT_TRUE(baselines::DepthsMatchReference(*g, sources[j],
+                                                  result.value().depths[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ibfs

@@ -1,0 +1,207 @@
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/builder.h"
+#include "graph/csr.h"
+#include "graph/degree_stats.h"
+#include "graph/io.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ibfs::graph {
+namespace {
+
+TEST(BuilderTest, BuildsSimpleDirectedGraph) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  auto result = std::move(builder).Build();
+  ASSERT_TRUE(result.ok());
+  const Csr& g = result.value();
+  EXPECT_EQ(g.vertex_count(), 3);
+  EXPECT_EQ(g.edge_count(), 3);
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.OutDegree(2), 0);
+  EXPECT_EQ(g.InDegree(2), 2);
+}
+
+TEST(BuilderTest, UndirectedEdgesStoreBothDirections) {
+  GraphBuilder builder(2);
+  builder.AddUndirectedEdge(0, 1);
+  auto result = std::move(builder).Build();
+  ASSERT_TRUE(result.ok());
+  const Csr& g = result.value();
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_EQ(g.OutDegree(0), 1);
+  EXPECT_EQ(g.OutDegree(1), 1);
+}
+
+TEST(BuilderTest, DeduplicatesEdges) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  auto result = std::move(builder).Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().edge_count(), 1);
+}
+
+TEST(BuilderTest, KeepsSelfLoops) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  auto result = std::move(builder).Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().edge_count(), 2);
+}
+
+TEST(BuilderTest, AdjacencySorted) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 3);
+  auto result = std::move(builder).Build();
+  ASSERT_TRUE(result.ok());
+  const auto nbrs = result.value().OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(BuilderTest, RejectsOutOfRangeEndpoint) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 5);
+  auto result = std::move(builder).Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BuilderTest, RejectsNonPositiveVertexCount) {
+  GraphBuilder builder(0);
+  auto result = std::move(builder).Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, AddEdgesBulk) {
+  GraphBuilder builder(4);
+  builder.AddEdges({{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(builder.edge_count(), 3);
+  auto result = std::move(builder).Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().edge_count(), 3);
+}
+
+TEST(CsrTest, ReverseAdjacencyMirrorsForward) {
+  const Csr g = ibfs::testing::MakeSmallGraph();
+  // For an undirected build, in-neighbors equal out-neighbors.
+  for (int64_t v = 0; v < g.vertex_count(); ++v) {
+    const auto out = g.OutNeighbors(static_cast<VertexId>(v));
+    const auto in = g.InNeighbors(static_cast<VertexId>(v));
+    ASSERT_EQ(out.size(), in.size());
+    for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], in[i]);
+  }
+}
+
+TEST(CsrTest, EdgeCountConsistentWithDegrees) {
+  const Csr g = ibfs::testing::MakeSmallGraph();
+  int64_t total = 0;
+  for (int64_t v = 0; v < g.vertex_count(); ++v) {
+    total += g.OutDegree(static_cast<VertexId>(v));
+  }
+  EXPECT_EQ(total, g.edge_count());
+}
+
+TEST(CsrTest, StorageBytesPositiveAndPlausible) {
+  const Csr g = ibfs::testing::MakeSmallGraph();
+  EXPECT_GT(g.StorageBytes(), g.edge_count() * 4);
+}
+
+TEST(IoTest, RoundTripsEdgeList) {
+  const Csr g = ibfs::testing::MakeSmallGraph();
+  const std::string path = ::testing::TempDir() + "/ibfs_io_test.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto loaded = LoadEdgeList(path, g.vertex_count());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().edge_count(), g.edge_count());
+  for (int64_t v = 0; v < g.vertex_count(); ++v) {
+    const auto a = g.OutNeighbors(static_cast<VertexId>(v));
+    const auto b = loaded.value().OutNeighbors(static_cast<VertexId>(v));
+    ASSERT_EQ(a.size(), b.size());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, SkipsCommentsAndInfersVertexCount) {
+  const std::string path = ::testing::TempDir() + "/ibfs_io_comments.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment\n% comment\n0 1\n1 2\n";
+  }
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().vertex_count(), 3);
+  EXPECT_EQ(loaded.value().edge_count(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, UndirectedLoadDoublesEdges) {
+  const std::string path = ::testing::TempDir() + "/ibfs_io_undirected.txt";
+  {
+    std::ofstream out(path);
+    out << "0 1\n";
+  }
+  auto loaded = LoadEdgeList(path, -1, /*undirected=*/true);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().edge_count(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsIoError) {
+  auto loaded = LoadEdgeList("/nonexistent/path/file.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, MalformedLineIsIoError) {
+  const std::string path = ::testing::TempDir() + "/ibfs_io_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "0 notanumber\n";
+  }
+  auto loaded = LoadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(DegreeStatsTest, ComputesAggregates) {
+  const Csr g = ibfs::testing::MakeSmallGraph();
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.vertex_count, g.vertex_count());
+  EXPECT_EQ(stats.edge_count, g.edge_count());
+  EXPECT_NEAR(stats.avg_outdegree,
+              static_cast<double>(g.edge_count()) / g.vertex_count(), 1e-12);
+  EXPECT_GT(stats.max_outdegree, 0);
+  EXPECT_EQ(stats.zero_degree_count, 0);
+}
+
+TEST(DegreeStatsTest, HighOutDegreeVertices) {
+  const Csr g = ibfs::testing::MakeSmallGraph();
+  const auto hubs = HighOutDegreeVertices(g, 3);
+  for (VertexId h : hubs) EXPECT_GT(g.OutDegree(h), 3);
+  // Threshold above max degree yields nothing.
+  EXPECT_TRUE(HighOutDegreeVertices(g, 100).empty());
+}
+
+TEST(DegreeStatsTest, HistogramCountsAllVertices) {
+  const Csr g = ibfs::testing::MakeRmatGraph(7, 8);
+  const auto hist = DegreeHistogram(g);
+  int64_t total = 0;
+  for (int64_t c : hist) total += c;
+  EXPECT_EQ(total, g.vertex_count());
+}
+
+}  // namespace
+}  // namespace ibfs::graph

@@ -1,0 +1,156 @@
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "gpusim/device.h"
+#include "gtest/gtest.h"
+#include "ibfs/groupby.h"
+#include "ibfs/runner.h"
+#include "test_util.h"
+
+namespace ibfs {
+namespace {
+
+using graph::VertexId;
+
+std::vector<VertexId> AllVertices(const graph::Csr& g) {
+  std::vector<VertexId> v(static_cast<size_t>(g.vertex_count()));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+// Every grouping must be a permutation partition of its input.
+void ExpectPartition(const Grouping& grouping,
+                     std::span<const VertexId> sources, int group_size) {
+  std::multiset<VertexId> in(sources.begin(), sources.end());
+  std::multiset<VertexId> out;
+  for (const auto& group : grouping.groups) {
+    EXPECT_FALSE(group.empty());
+    EXPECT_LE(static_cast<int>(group.size()), group_size);
+    out.insert(group.begin(), group.end());
+  }
+  EXPECT_EQ(in, out);
+}
+
+TEST(GroupingTest, ChunkGroupingPreservesOrder) {
+  const std::vector<VertexId> sources = {5, 3, 8, 1, 9};
+  const Grouping g = ChunkGrouping(sources, 2);
+  ASSERT_EQ(g.groups.size(), 3u);
+  EXPECT_EQ(g.groups[0], (std::vector<VertexId>{5, 3}));
+  EXPECT_EQ(g.groups[2], (std::vector<VertexId>{9}));
+  ExpectPartition(g, sources, 2);
+}
+
+TEST(GroupingTest, RandomGroupingIsPartitionAndSeeded) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 8);
+  const auto sources = AllVertices(g);
+  const Grouping a = RandomGrouping(sources, 16, 42);
+  const Grouping b = RandomGrouping(sources, 16, 42);
+  const Grouping c = RandomGrouping(sources, 16, 43);
+  ExpectPartition(a, sources, 16);
+  EXPECT_EQ(a.groups, b.groups);
+  EXPECT_NE(a.groups, c.groups);
+}
+
+TEST(GroupByTest, IsPartition) {
+  const graph::Csr g = testing::MakeRmatGraph(8, 8);
+  const auto sources = AllVertices(g);
+  GroupByParams params;
+  params.group_size = 32;
+  const Grouping grouping = GroupByOutdegree(g, sources, params);
+  ExpectPartition(grouping, sources, 32);
+}
+
+TEST(GroupByTest, MatchesRulesOnPowerLawGraph) {
+  const graph::Csr g = testing::MakeRmatGraph(8, 16);
+  const auto sources = AllVertices(g);
+  GroupByParams params;
+  params.q = 32;
+  const Grouping grouping = GroupByOutdegree(g, sources, params);
+  // A power-law graph has hubs, so a solid share of sources should match
+  // Rules 1+2.
+  EXPECT_GT(grouping.rule_matched, g.vertex_count() / 4);
+}
+
+TEST(GroupByTest, HugeQMeansNoHubsButStillPartitions) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 8);
+  const auto sources = AllVertices(g);
+  GroupByParams params;
+  params.q = 1 << 30;
+  params.uniform_fallback = false;
+  const Grouping grouping = GroupByOutdegree(g, sources, params);
+  EXPECT_EQ(grouping.rule_matched, 0);
+  ExpectPartition(grouping, sources, params.group_size);
+}
+
+TEST(GroupByTest, UniformFallbackGroupsByCommonNeighbor) {
+  const graph::Csr g = testing::MakeUniformGraph(256, 4);
+  const auto sources = AllVertices(g);
+  GroupByParams params;
+  params.q = 1 << 30;  // no hubs in a uniform graph at this threshold
+  params.uniform_fallback = true;
+  const Grouping grouping = GroupByOutdegree(g, sources, params);
+  EXPECT_GT(grouping.rule_matched, 0);
+  ExpectPartition(grouping, sources, params.group_size);
+}
+
+TEST(GroupByTest, ImprovesSharingDegreeOverRandom) {
+  // The headline property (Figure 9): GroupBy groups share more frontiers
+  // than random groups on a power-law graph.
+  const graph::Csr g = testing::MakeRmatGraph(9, 16);
+  const auto sources = AllVertices(g);
+  GroupByParams params;
+  params.group_size = 32;
+  params.q = 32;
+  const Grouping by_rule = GroupByOutdegree(g, sources, params);
+  const Grouping random = RandomGrouping(sources, 32, 11);
+
+  auto avg_sd = [&](const Grouping& grouping) {
+    double sum = 0.0;
+    int count = 0;
+    for (const auto& group : grouping.groups) {
+      if (static_cast<int>(group.size()) < params.group_size) continue;
+      gpusim::Device device;
+      auto result =
+          RunGroup(Strategy::kJointTraversal, g, group, {}, &device);
+      EXPECT_TRUE(result.ok());
+      sum += result.value().trace.SharingDegree();
+      ++count;
+    }
+    return count > 0 ? sum / count : 0.0;
+  };
+  EXPECT_GT(avg_sd(by_rule), avg_sd(random));
+}
+
+TEST(GroupByTest, GroupSizeOneDegenerates) {
+  const graph::Csr g = testing::MakeRmatGraph(6, 8);
+  const auto sources = AllVertices(g);
+  GroupByParams params;
+  params.group_size = 1;
+  const Grouping grouping = GroupByOutdegree(g, sources, params);
+  EXPECT_EQ(grouping.groups.size(), sources.size());
+}
+
+TEST(GroupByTest, EmptySourcesYieldNoGroups) {
+  const graph::Csr g = testing::MakeSmallGraph();
+  const Grouping grouping = GroupByOutdegree(g, {}, {});
+  EXPECT_TRUE(grouping.groups.empty());
+  EXPECT_TRUE(RandomGrouping({}, 8, 1).groups.empty());
+  EXPECT_TRUE(ChunkGrouping({}, 8).groups.empty());
+}
+
+TEST(GroupByTest, PSequenceOrderInsensitive) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 8);
+  const auto sources = AllVertices(g);
+  GroupByParams a;
+  a.p_sequence = {4, 16, 64, 128};
+  GroupByParams b;
+  b.p_sequence = {128, 4, 64, 16};
+  const Grouping ga = GroupByOutdegree(g, sources, a);
+  const Grouping gb = GroupByOutdegree(g, sources, b);
+  EXPECT_EQ(ga.rule_matched, gb.rule_matched);
+  EXPECT_EQ(ga.groups, gb.groups);
+}
+
+}  // namespace
+}  // namespace ibfs

@@ -1,0 +1,332 @@
+// Property-style invariants spanning modules: BFS validity without an
+// oracle, the paper's Lemma 1 identity, strategy agreement, coalescing
+// arithmetic, and sharing-ratio persistence (Theorem 1's observable form).
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/memory_model.h"
+#include "gtest/gtest.h"
+#include "ibfs/groupby.h"
+#include "ibfs/runner.h"
+#include "ibfs/status_array.h"
+#include "test_util.h"
+#include "util/prng.h"
+
+namespace ibfs {
+namespace {
+
+using graph::VertexId;
+
+std::vector<VertexId> FirstSources(int64_t n) {
+  std::vector<VertexId> s;
+  for (int64_t i = 0; i < n; ++i) s.push_back(static_cast<VertexId>(i));
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// BFS validity without an oracle: the triangle inequality over edges plus
+// source-depth-zero characterizes correct BFS depths.
+// ---------------------------------------------------------------------------
+
+class BfsValidityTest
+    : public ::testing::TestWithParam<std::tuple<Strategy, uint64_t>> {};
+
+TEST_P(BfsValidityTest, EdgeTriangleInequalityHolds) {
+  const auto [strategy, seed] = GetParam();
+  const graph::Csr g = testing::MakeRmatGraph(7, 8, seed);
+  const auto sources = FirstSources(24);
+  gpusim::Device device;
+  auto result = RunGroup(strategy, g, sources, {}, &device);
+  ASSERT_TRUE(result.ok());
+  for (size_t j = 0; j < sources.size(); ++j) {
+    const auto& d = result.value().depths[j];
+    ASSERT_EQ(d[sources[j]], 0);
+    for (int64_t v = 0; v < g.vertex_count(); ++v) {
+      if (d[v] == kUnvisitedDepth) continue;
+      for (VertexId w : g.OutNeighbors(static_cast<VertexId>(v))) {
+        // Reachable neighbor must be visited, and within one level.
+        ASSERT_NE(d[w], kUnvisitedDepth);
+        ASSERT_LE(d[w], d[v] + 1);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Validity, BfsValidityTest,
+    ::testing::Combine(::testing::Values(Strategy::kSequential,
+                                         Strategy::kNaiveConcurrent,
+                                         Strategy::kJointTraversal,
+                                         Strategy::kBitwise),
+                       ::testing::Values(1u, 2u, 3u)));
+
+// ---------------------------------------------------------------------------
+// All four strategies agree bit-for-bit on depths (pairwise, via bitwise as
+// the pivot) across random source sets.
+// ---------------------------------------------------------------------------
+
+class StrategyAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrategyAgreementTest, AllStrategiesAgree) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 10, 7);
+  Prng prng(GetParam());
+  std::vector<VertexId> sources;
+  for (int i = 0; i < 20; ++i) {
+    sources.push_back(static_cast<VertexId>(
+        prng.NextBounded(static_cast<uint64_t>(g.vertex_count()))));
+  }
+  gpusim::Device device;
+  auto pivot = RunGroup(Strategy::kBitwise, g, sources, {}, &device);
+  ASSERT_TRUE(pivot.ok());
+  for (Strategy s : {Strategy::kSequential, Strategy::kNaiveConcurrent,
+                     Strategy::kJointTraversal}) {
+    auto other = RunGroup(s, g, sources, {}, &device);
+    ASSERT_TRUE(other.ok());
+    for (size_t j = 0; j < sources.size(); ++j) {
+      ASSERT_EQ(pivot.value().depths[j], other.value().depths[j])
+          << StrategyName(s) << " instance " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyAgreementTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---------------------------------------------------------------------------
+// Lemma 1 identity: in pure top-down traversal each vertex becomes a
+// frontier exactly once per instance that reaches it, so
+// sum_k sum_j |FQ_j(k)| equals the total reachable pairs, and SD equals
+// reachable_pairs / sum_k |JFQ(k)|.
+// ---------------------------------------------------------------------------
+
+TEST(Lemma1Test, TopDownSharingDegreeIdentity) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 8);
+  const auto sources = FirstSources(32);
+  TraversalOptions options;
+  options.force_top_down = true;
+  gpusim::Device device;
+  auto result =
+      RunGroup(Strategy::kJointTraversal, g, sources, options, &device);
+  ASSERT_TRUE(result.ok());
+  const GroupResult& group = result.value();
+
+  int64_t reachable_pairs = 0;
+  for (const auto& d : group.depths) {
+    for (uint8_t x : d) reachable_pairs += x != kUnvisitedDepth;
+  }
+  int64_t private_sum = 0;
+  int64_t joint_sum = 0;
+  for (const auto& lt : group.trace.levels) {
+    private_sum += lt.private_fq_sum;
+    joint_sum += lt.jfq_size;
+  }
+  EXPECT_EQ(private_sum, reachable_pairs);
+  EXPECT_DOUBLE_EQ(group.trace.SharingDegree(),
+                   static_cast<double>(reachable_pairs) /
+                       static_cast<double>(joint_sum));
+}
+
+// The JFQ is exactly the union of the private frontiers (pure top-down:
+// level-k frontiers are the vertices at reference depth k-1).
+TEST(JfqUnionTest, JfqMatchesUnionOfPrivateFrontiers) {
+  const graph::Csr g = testing::MakeSmallGraph();
+  const std::vector<VertexId> sources = {0, 3, 6, 8};  // the paper's four
+  TraversalOptions options;
+  options.force_top_down = true;
+  gpusim::Device device;
+  auto result =
+      RunGroup(Strategy::kJointTraversal, g, sources, options, &device);
+  ASSERT_TRUE(result.ok());
+  const GroupResult& group = result.value();
+  for (const auto& lt : group.trace.levels) {
+    std::set<VertexId> union_fq;
+    int64_t private_count = 0;
+    for (size_t j = 0; j < sources.size(); ++j) {
+      for (int64_t v = 0; v < g.vertex_count(); ++v) {
+        if (group.depths[j][v] == lt.level - 1) {
+          union_fq.insert(static_cast<VertexId>(v));
+          ++private_count;
+        }
+      }
+    }
+    EXPECT_EQ(lt.jfq_size, static_cast<int64_t>(union_fq.size()))
+        << "level " << lt.level;
+    EXPECT_EQ(lt.private_fq_sum, private_count) << "level " << lt.level;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Joint and bitwise runners take identical per-level decisions: same
+// directions, same joint frontier queues.
+// ---------------------------------------------------------------------------
+
+class JointBitwiseEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JointBitwiseEquivalenceTest, SameLevelStructure) {
+  const int n = GetParam();
+  const graph::Csr g = testing::MakeRmatGraph(7, 12);
+  const auto sources = FirstSources(n);
+  gpusim::Device device;
+  auto joint = RunGroup(Strategy::kJointTraversal, g, sources, {}, &device);
+  auto bitwise = RunGroup(Strategy::kBitwise, g, sources, {}, &device);
+  ASSERT_TRUE(joint.ok() && bitwise.ok());
+  const auto& jl = joint.value().trace.levels;
+  const auto& bl = bitwise.value().trace.levels;
+  ASSERT_EQ(jl.size(), bl.size());
+  for (size_t i = 0; i < jl.size(); ++i) {
+    EXPECT_EQ(jl[i].bottom_up, bl[i].bottom_up) << "level " << i;
+    EXPECT_EQ(jl[i].jfq_size, bl[i].jfq_size) << "level " << i;
+    EXPECT_EQ(jl[i].private_fq_sum, bl[i].private_fq_sum) << "level " << i;
+    EXPECT_EQ(jl[i].new_visits, bl[i].new_visits) << "level " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, JointBitwiseEquivalenceTest,
+                         ::testing::Values(1, 7, 32, 64, 96, 128));
+
+// ---------------------------------------------------------------------------
+// Coalescing arithmetic agrees with a brute-force distinct-segment count.
+// ---------------------------------------------------------------------------
+
+TEST(CoalescingPropertyTest, GatherMatchesBruteForce) {
+  Prng prng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int64_t> idx;
+    const int lanes = 1 + static_cast<int>(prng.NextBounded(32));
+    for (int i = 0; i < lanes; ++i) {
+      if (prng.NextBool(0.1)) {
+        idx.push_back(gpusim::kInactiveLane);
+      } else {
+        idx.push_back(static_cast<int64_t>(prng.NextBounded(10000)));
+      }
+    }
+    const int elem = 1 << prng.NextBounded(4);  // 1, 2, 4, 8 bytes
+    std::set<int64_t> segments;
+    for (int64_t i : idx) {
+      if (i != gpusim::kInactiveLane) segments.insert(i * elem / 128);
+    }
+    EXPECT_EQ(gpusim::GatherTransactions(idx, elem, 128),
+              static_cast<int64_t>(segments.size()));
+  }
+}
+
+TEST(CoalescingPropertyTest, ContiguousMatchesGatherOnSameAddresses) {
+  Prng prng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    // One warp request: gather and contiguous must agree up to 32 lanes.
+    const int64_t start = static_cast<int64_t>(prng.NextBounded(1000));
+    const int64_t count = 1 + static_cast<int64_t>(prng.NextBounded(32));
+    const int elem = 4;
+    std::vector<int64_t> idx;
+    for (int64_t i = 0; i < count; ++i) idx.push_back(start + i);
+    EXPECT_EQ(gpusim::ContiguousTransactions(start, count, elem, 128),
+              gpusim::GatherTransactions(idx, elem, 128));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1, observable form: groups with a higher sharing degree in the
+// first levels keep a higher total sharing degree. We compare the GroupBy
+// and random groupings' level-2 SD ordering against their total SD ordering.
+// ---------------------------------------------------------------------------
+
+TEST(Theorem1Test, EarlySharingPredictsTotalSharing) {
+  const graph::Csr g = testing::MakeRmatGraph(9, 16);
+  std::vector<VertexId> all(static_cast<size_t>(g.vertex_count()));
+  std::iota(all.begin(), all.end(), 0);
+  GroupByParams params;
+  params.group_size = 32;
+  params.q = 32;
+  const Grouping good = GroupByOutdegree(g, all, params);
+  const Grouping random = RandomGrouping(all, 32, 3);
+
+  auto level_and_total_sd = [&](const std::vector<VertexId>& group,
+                                double* early, double* total) {
+    gpusim::Device device;
+    TraversalOptions options;
+    options.record_depths = false;
+    auto result =
+        RunGroup(Strategy::kJointTraversal, g, group, options, &device);
+    ASSERT_TRUE(result.ok());
+    *early = result.value().trace.LevelSharingDegree(2);
+    *total = result.value().trace.SharingDegree();
+  };
+
+  // Average over the first few full groups of each grouping.
+  double early_good = 0, total_good = 0, early_rand = 0, total_rand = 0;
+  int counted = 0;
+  for (size_t i = 0; i < good.groups.size() && counted < 3; ++i) {
+    if (static_cast<int>(good.groups[i].size()) != params.group_size) continue;
+    double e = 0, t = 0;
+    level_and_total_sd(good.groups[i], &e, &t);
+    early_good += e;
+    total_good += t;
+    ++counted;
+  }
+  for (int i = 0; i < 3; ++i) {
+    double e = 0, t = 0;
+    level_and_total_sd(random.groups[i], &e, &t);
+    early_rand += e;
+    total_rand += t;
+  }
+  ASSERT_GT(counted, 0);
+  // GroupBy wins early, and that early advantage persists in the totals.
+  EXPECT_GT(early_good / counted, early_rand / 3);
+  EXPECT_GT(total_good / counted, total_rand / 3);
+}
+
+// ---------------------------------------------------------------------------
+// Early termination monotonicity: never more inspections with ET than
+// without, across seeds and group sizes.
+// ---------------------------------------------------------------------------
+
+class EarlyTerminationTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(EarlyTerminationTest, InspectionsNeverIncrease) {
+  const auto [n, seed] = GetParam();
+  const graph::Csr g = testing::MakeRmatGraph(7, 12, seed);
+  const auto sources = FirstSources(n);
+  TraversalOptions with_et;
+  TraversalOptions without_et;
+  without_et.early_termination = false;
+  gpusim::Device d1;
+  gpusim::Device d2;
+  auto r1 = RunGroup(Strategy::kBitwise, g, sources, with_et, &d1);
+  auto r2 = RunGroup(Strategy::kBitwise, g, sources, without_et, &d2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_LE(d1.PhaseStats("bu_inspect").mem.load_transactions,
+            d2.PhaseStats("bu_inspect").mem.load_transactions);
+  for (size_t j = 0; j < sources.size(); ++j) {
+    ASSERT_EQ(r1.value().depths[j], r2.value().depths[j]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EarlyTerminationTest,
+    ::testing::Combine(::testing::Values(8, 64, 128),
+                       ::testing::Values(1u, 9u)));
+
+// ---------------------------------------------------------------------------
+// Sequential cost scales linearly in the instance count (it shares nothing).
+// ---------------------------------------------------------------------------
+
+TEST(ScalingPropertyTest, SequentialTimeLinearInInstances) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 8);
+  gpusim::Device d1;
+  gpusim::Device d2;
+  TraversalOptions options;
+  options.collect_instance_stats = false;
+  ASSERT_TRUE(
+      RunGroup(Strategy::kSequential, g, FirstSources(8), options, &d1).ok());
+  ASSERT_TRUE(
+      RunGroup(Strategy::kSequential, g, FirstSources(16), options, &d2).ok());
+  const double ratio = d2.elapsed_seconds() / d1.elapsed_seconds();
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.4);
+}
+
+}  // namespace
+}  // namespace ibfs

@@ -1,0 +1,72 @@
+#ifndef IBFS_TESTS_TEST_UTIL_H_
+#define IBFS_TESTS_TEST_UTIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "graph/builder.h"
+#include "graph/csr.h"
+#include "util/logging.h"
+
+namespace ibfs::testing {
+
+/// A small 9-vertex undirected graph in the spirit of the paper's Figure 1
+/// example: a few hubs, one degree-3 vertex 7 with neighbors {5, 6, 8}.
+inline graph::Csr MakeSmallGraph() {
+  graph::GraphBuilder builder(9);
+  const std::vector<std::pair<int, int>> edges = {
+      {0, 1}, {0, 4}, {1, 2}, {1, 5}, {4, 3}, {4, 5},
+      {2, 6}, {3, 6}, {5, 7}, {6, 7}, {7, 8}, {2, 3}};
+  for (auto [u, v] : edges) {
+    builder.AddUndirectedEdge(static_cast<graph::VertexId>(u),
+                              static_cast<graph::VertexId>(v));
+  }
+  auto result = std::move(builder).Build();
+  IBFS_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// A graph with an unreachable island {n-2, n-1} plus a connected chain,
+/// for exercising bottom-up scans over never-visited vertices.
+inline graph::Csr MakeDisconnectedGraph(int n = 12) {
+  graph::GraphBuilder builder(n);
+  for (int v = 0; v + 1 < n - 2; ++v) {
+    builder.AddUndirectedEdge(static_cast<graph::VertexId>(v),
+                              static_cast<graph::VertexId>(v + 1));
+  }
+  builder.AddUndirectedEdge(static_cast<graph::VertexId>(n - 2),
+                            static_cast<graph::VertexId>(n - 1));
+  auto result = std::move(builder).Build();
+  IBFS_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+/// Deterministic power-law test graph.
+inline graph::Csr MakeRmatGraph(int scale = 8, int edge_factor = 8,
+                                uint64_t seed = 42) {
+  gen::RmatParams params;
+  params.scale = scale;
+  params.edge_factor = edge_factor;
+  params.seed = seed;
+  auto result = gen::GenerateRmat(params);
+  IBFS_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+/// Deterministic uniform-outdegree test graph.
+inline graph::Csr MakeUniformGraph(int64_t vertices = 256, int outdegree = 6,
+                                   uint64_t seed = 42) {
+  gen::UniformParams params;
+  params.vertex_count = vertices;
+  params.outdegree = outdegree;
+  params.seed = seed;
+  auto result = gen::GenerateUniform(params);
+  IBFS_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace ibfs::testing
+
+#endif  // IBFS_TESTS_TEST_UTIL_H_

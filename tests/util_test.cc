@@ -1,0 +1,193 @@
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/bitops.h"
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/prng.h"
+#include "util/stats_math.h"
+#include "util/status.h"
+
+namespace ibfs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Status FailsThrough() {
+  IBFS_RETURN_NOT_OK(Status::Internal("inner"));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kInternal);
+}
+
+TEST(PrngTest, DeterministicForSeed) {
+  Prng a(123);
+  Prng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(PrngTest, BoundedStaysInRange) {
+  Prng prng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(prng.NextBounded(17), 17u);
+  }
+}
+
+TEST(PrngTest, BoundedCoversRange) {
+  Prng prng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(prng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(PrngTest, DoubleInUnitInterval) {
+  Prng prng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = prng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(PrngTest, BoolRespectsProbabilityEdges) {
+  Prng prng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(prng.NextBool(0.0));
+    EXPECT_TRUE(prng.NextBool(1.0));
+  }
+}
+
+TEST(BitopsTest, PopCountAndLowestSetBit) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(~uint64_t{0}), 64);
+  EXPECT_EQ(PopCount(0b1011), 3);
+  EXPECT_EQ(LowestSetBit(0b1000), 3);
+  EXPECT_EQ(LowestSetBit(uint64_t{1} << 63), 63);
+}
+
+TEST(BitopsTest, MasksAndBits) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(3), 0b111u);
+  EXPECT_EQ(LowMask(64), ~uint64_t{0});
+  EXPECT_EQ(Bit(0), 1u);
+  EXPECT_TRUE(TestBit(0b100, 2));
+  EXPECT_FALSE(TestBit(0b100, 1));
+}
+
+TEST(BitopsTest, RoundingHelpers) {
+  EXPECT_EQ(RoundUp(5, 4), 8u);
+  EXPECT_EQ(RoundUp(8, 4), 8u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+  EXPECT_EQ(CeilDiv(8, 4), 2u);
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+}
+
+TEST(StatsMathTest, RunningStatsBasics) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  s.Add(2.0);
+  s.Add(4.0);
+  s.Add(6.0);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(StatsMathTest, StdDevMatchesClosedForm) {
+  const std::vector<double> vals = {1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(StdDev(vals), 0.0);
+  const std::vector<double> vals2 = {0, 10};
+  EXPECT_DOUBLE_EQ(StdDev(vals2), 5.0);
+}
+
+TEST(StatsMathTest, MeanAndGeoMean) {
+  const std::vector<double> vals = {1.0, 4.0, 16.0};
+  EXPECT_DOUBLE_EQ(Mean(vals), 7.0);
+  EXPECT_NEAR(GeoMean(vals), 4.0, 1e-12);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(GeoMean({}), 0.0);
+}
+
+TEST(CsvTest, PrintsHeaderAndAlignedRows) {
+  CsvTable table({"graph", "teps"});
+  table.Row().Add("FB").Add(12.345, 2);
+  table.Row().Add("KG0").Add(int64_t{7});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("graph"), std::string::npos);
+  EXPECT_NE(out.find("12.35"), std::string::npos);
+  EXPECT_NE(out.find("KG0"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(EnvTest, DefaultsWhenUnset) {
+  ::unsetenv("IBFS_TEST_KNOB");
+  EXPECT_EQ(EnvInt64("IBFS_TEST_KNOB", 5), 5);
+  EXPECT_EQ(EnvString("IBFS_TEST_KNOB", "dflt"), "dflt");
+}
+
+TEST(EnvTest, ParsesInteger) {
+  ::setenv("IBFS_TEST_KNOB", "42", 1);
+  EXPECT_EQ(EnvInt64("IBFS_TEST_KNOB", 5), 42);
+  ::setenv("IBFS_TEST_KNOB", "not-a-number", 1);
+  EXPECT_EQ(EnvInt64("IBFS_TEST_KNOB", 5), 5);
+  ::unsetenv("IBFS_TEST_KNOB");
+}
+
+}  // namespace
+}  // namespace ibfs

@@ -1,0 +1,149 @@
+#include <vector>
+
+#include "baselines/reference_bfs.h"
+#include "core/validate.h"
+#include "gpusim/device.h"
+#include "gtest/gtest.h"
+#include "ibfs/runner.h"
+#include "ibfs/status_array.h"
+#include "test_util.h"
+
+namespace ibfs {
+namespace {
+
+using graph::VertexId;
+
+std::vector<uint8_t> RefDepths(const graph::Csr& g, VertexId s) {
+  std::vector<uint8_t> depths;
+  for (int32_t d : baselines::ReferenceBfs(g, s)) {
+    depths.push_back(d < 0 ? kUnvisitedDepth : static_cast<uint8_t>(d));
+  }
+  return depths;
+}
+
+TEST(ValidateDepthsTest, AcceptsCorrectDepths) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 8);
+  for (VertexId s : {0u, 5u, 100u}) {
+    EXPECT_TRUE(ValidateBfsDepths(g, s, RefDepths(g, s)).ok());
+  }
+}
+
+TEST(ValidateDepthsTest, RejectsWrongSourceDepth) {
+  const graph::Csr g = testing::MakeSmallGraph();
+  auto depths = RefDepths(g, 0);
+  depths[0] = 1;
+  EXPECT_FALSE(ValidateBfsDepths(g, 0, depths).ok());
+}
+
+TEST(ValidateDepthsTest, RejectsSkippedLevel) {
+  const graph::Csr g = testing::MakeSmallGraph();
+  auto depths = RefDepths(g, 0);
+  // Push one vertex a level too deep: edge condition breaks.
+  for (size_t v = 1; v < depths.size(); ++v) {
+    if (depths[v] == 1) {
+      depths[v] = 2;
+      break;
+    }
+  }
+  EXPECT_FALSE(ValidateBfsDepths(g, 0, depths).ok());
+}
+
+TEST(ValidateDepthsTest, RejectsUnreachedNeighborOfVisited) {
+  const graph::Csr g = testing::MakeSmallGraph();
+  auto depths = RefDepths(g, 0);
+  depths[8] = kUnvisitedDepth;  // vertex 8 is reachable via 7
+  EXPECT_FALSE(ValidateBfsDepths(g, 0, depths).ok());
+}
+
+TEST(ValidateDepthsTest, RejectsSecondZeroDepth) {
+  const graph::Csr g = testing::MakeSmallGraph();
+  auto depths = RefDepths(g, 0);
+  depths[4] = 0;
+  EXPECT_FALSE(ValidateBfsDepths(g, 0, depths).ok());
+}
+
+TEST(ValidateDepthsTest, RespectsMaxLevelTruncation) {
+  const graph::Csr g = testing::MakeDisconnectedGraph(12);
+  std::vector<uint8_t> depths;
+  for (int32_t d : baselines::ReferenceBfs(g, 0, 2)) {
+    depths.push_back(d < 0 ? kUnvisitedDepth : static_cast<uint8_t>(d));
+  }
+  EXPECT_TRUE(ValidateBfsDepths(g, 0, depths, 2).ok());
+  // The same truncated depths fail an untruncated validation (vertex at
+  // depth 2 has an unvisited neighbor).
+  EXPECT_FALSE(ValidateBfsDepths(g, 0, depths).ok());
+}
+
+TEST(ValidateDepthsTest, RejectsSizeMismatch) {
+  const graph::Csr g = testing::MakeSmallGraph();
+  std::vector<uint8_t> depths(3, 0);
+  EXPECT_FALSE(ValidateBfsDepths(g, 0, depths).ok());
+}
+
+TEST(ValidateDepthsTest, AllStrategyOutputsValidate) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 10);
+  std::vector<VertexId> sources;
+  for (int i = 0; i < 16; ++i) sources.push_back(static_cast<VertexId>(i));
+  for (Strategy s : {Strategy::kSequential, Strategy::kNaiveConcurrent,
+                     Strategy::kJointTraversal, Strategy::kBitwise}) {
+    gpusim::Device device;
+    auto result = RunGroup(s, g, sources, {}, &device);
+    ASSERT_TRUE(result.ok());
+    for (size_t j = 0; j < sources.size(); ++j) {
+      EXPECT_TRUE(
+          ValidateBfsDepths(g, sources[j], result.value().depths[j]).ok())
+          << StrategyName(s) << " instance " << j;
+    }
+  }
+}
+
+TEST(ValidateTreeTest, SequentialParentsFormValidTrees) {
+  const graph::Csr g = testing::MakeRmatGraph(7, 8);
+  std::vector<VertexId> sources = {0, 3, 9, 27};
+  TraversalOptions options;
+  options.record_parents = true;
+  for (Strategy s : {Strategy::kSequential, Strategy::kNaiveConcurrent}) {
+    gpusim::Device device;
+    auto result = RunGroup(s, g, sources, options, &device);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.value().parents.size(), sources.size());
+    for (size_t j = 0; j < sources.size(); ++j) {
+      EXPECT_TRUE(ValidateBfsTree(g, sources[j], result.value().parents[j],
+                                  result.value().depths[j])
+                      .ok())
+          << StrategyName(s) << " instance " << j;
+    }
+  }
+}
+
+TEST(ValidateTreeTest, ParentsOffByDefault) {
+  const graph::Csr g = testing::MakeSmallGraph();
+  const std::vector<VertexId> sources = {0};
+  gpusim::Device device;
+  auto result = RunGroup(Strategy::kSequential, g, sources, {}, &device);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().parents.empty());
+}
+
+TEST(ValidateTreeTest, RejectsCorruptedParent) {
+  const graph::Csr g = testing::MakeSmallGraph();
+  const std::vector<VertexId> sources = {0};
+  TraversalOptions options;
+  options.record_parents = true;
+  gpusim::Device device;
+  auto result = RunGroup(Strategy::kSequential, g, sources, options, &device);
+  ASSERT_TRUE(result.ok());
+  auto parents = result.value().parents[0];
+  const auto& depths = result.value().depths[0];
+  ASSERT_TRUE(ValidateBfsTree(g, 0, parents, depths).ok());
+  // Parent that is not one level up.
+  parents[8] = 8;
+  EXPECT_FALSE(ValidateBfsTree(g, 0, parents, depths).ok());
+  // Source not its own parent.
+  auto parents2 = result.value().parents[0];
+  parents2[0] = 1;
+  EXPECT_FALSE(ValidateBfsTree(g, 0, parents2, depths).ok());
+}
+
+}  // namespace
+}  // namespace ibfs

@@ -1,0 +1,121 @@
+#include <vector>
+
+#include "apps/weighted_sssp.h"
+#include "baselines/reference_bfs.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/prng.h"
+
+namespace ibfs::apps {
+namespace {
+
+using graph::Csr;
+using graph::VertexId;
+
+TEST(WeightsTest, InRangeAndSymmetric) {
+  const Csr g = testing::MakeSmallGraph();
+  const EdgeWeights w = GenerateWeights(g, 5, 42);
+  ASSERT_EQ(static_cast<int64_t>(w.weights.size()), g.edge_count());
+  for (uint8_t x : w.weights) {
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 5);
+  }
+  // Symmetry: weight(u->v) == weight(v->u) on the undirected build.
+  for (int64_t u = 0; u < g.vertex_count(); ++u) {
+    const auto neighbors = g.OutNeighbors(static_cast<VertexId>(u));
+    const auto base = static_cast<size_t>(g.row_offsets()[u]);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const VertexId v = neighbors[i];
+      const auto back = g.OutNeighbors(v);
+      const auto vbase = static_cast<size_t>(g.row_offsets()[v]);
+      for (size_t k = 0; k < back.size(); ++k) {
+        if (back[k] == static_cast<VertexId>(u)) {
+          EXPECT_EQ(w.weights[base + i], w.weights[vbase + k]);
+        }
+      }
+    }
+  }
+}
+
+TEST(WeightsTest, DeterministicAndSeedSensitive) {
+  const Csr g = testing::MakeRmatGraph(6, 6);
+  const EdgeWeights a = GenerateWeights(g, 8, 1);
+  const EdgeWeights b = GenerateWeights(g, 8, 1);
+  const EdgeWeights c = GenerateWeights(g, 8, 2);
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_NE(a.weights, c.weights);
+}
+
+TEST(DialSsspTest, UnitWeightsEqualBfs) {
+  const Csr g = testing::MakeRmatGraph(7, 8);
+  const EdgeWeights w = GenerateWeights(g, 1, 3);
+  for (VertexId s : {0u, 17u, 99u}) {
+    auto dial = DialSssp(g, w, s);
+    ASSERT_TRUE(dial.ok());
+    const auto bfs = baselines::ReferenceBfs(g, s);
+    for (int64_t v = 0; v < g.vertex_count(); ++v) {
+      EXPECT_EQ(dial.value()[v], static_cast<int64_t>(bfs[v]))
+          << "vertex " << v;
+    }
+  }
+}
+
+class DialVsDijkstraTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DialVsDijkstraTest, MatchesOracle) {
+  const int max_weight = GetParam();
+  const Csr g = testing::MakeRmatGraph(7, 8, 11);
+  const EdgeWeights w =
+      GenerateWeights(g, static_cast<uint8_t>(max_weight), 7);
+  Prng prng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto s = static_cast<VertexId>(
+        prng.NextBounded(static_cast<uint64_t>(g.vertex_count())));
+    auto dial = DialSssp(g, w, s);
+    ASSERT_TRUE(dial.ok());
+    EXPECT_EQ(dial.value(), DijkstraReference(g, w, s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, DialVsDijkstraTest,
+                         ::testing::Values(1, 2, 5, 13, 255));
+
+TEST(DialSsspTest, DisconnectedStaysMinusOne) {
+  const Csr g = testing::MakeDisconnectedGraph(12);
+  const EdgeWeights w = GenerateWeights(g, 3, 1);
+  auto dial = DialSssp(g, w, 0);
+  ASSERT_TRUE(dial.ok());
+  EXPECT_EQ(dial.value()[10], -1);
+  EXPECT_EQ(dial.value()[11], -1);
+  EXPECT_GE(dial.value()[9], 9);  // at least 9 unit-weight hops
+}
+
+TEST(DialSsspTest, RejectsBadInput) {
+  const Csr g = testing::MakeSmallGraph();
+  EdgeWeights w = GenerateWeights(g, 3, 1);
+  EXPECT_FALSE(DialSssp(g, w, 100).ok());
+  w.weights.pop_back();
+  EXPECT_FALSE(DialSssp(g, w, 0).ok());
+  EdgeWeights zero = GenerateWeights(g, 3, 1);
+  zero.weights[0] = 0;
+  EXPECT_FALSE(DialSssp(g, zero, 0).ok());
+}
+
+TEST(ConcurrentWeightedTest, MatchesPerSourceAndChargesCpu) {
+  const Csr g = testing::MakeRmatGraph(7, 8);
+  const EdgeWeights w = GenerateWeights(g, 4, 9);
+  const std::vector<VertexId> sources = {0, 5, 9, 70};
+  baselines::CpuCostModel cpu;
+  auto result = ConcurrentWeightedSssp(g, w, sources, &cpu);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), sources.size());
+  for (size_t j = 0; j < sources.size(); ++j) {
+    EXPECT_EQ(result.value()[j], DijkstraReference(g, w, sources[j]));
+  }
+  EXPECT_GT(cpu.Seconds(), 0.0);
+  EXPECT_FALSE(ConcurrentWeightedSssp(g, w, {}, &cpu).ok());
+  EXPECT_FALSE(ConcurrentWeightedSssp(g, w, sources, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace ibfs::apps

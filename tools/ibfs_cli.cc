@@ -1,0 +1,356 @@
+// ibfs_cli — command-line driver for the iBFS library.
+//
+//   ibfs_cli generate --benchmark FB --out fb.bin
+//   ibfs_cli generate --rmat-scale 12 --edge-factor 16 --out g.bin
+//   ibfs_cli stats    --graph g.bin
+//   ibfs_cli run      --graph g.bin --strategy bitwise --grouping groupby
+//                     --instances 256 --profile
+//   ibfs_cli cluster  --benchmark RD --gpus 16 --instances 2048
+//
+// Graphs are read/written in the binary CSR format (graph/io.h); the
+// `--benchmark` flag generates one of the paper's 13 presets instead.
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include <fstream>
+#include <iostream>
+
+#include "core/cluster_engine.h"
+#include "core/engine.h"
+#include "core/trace_io.h"
+#include "core/validate.h"
+#include "gen/benchmarks.h"
+#include "gen/rmat.h"
+#include "gen/uniform.h"
+#include "gpusim/report.h"
+#include "graph/components.h"
+#include "graph/degree_stats.h"
+#include "graph/io.h"
+#include "util/flags.h"
+
+namespace ibfs {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ibfs_cli "
+               "<generate|stats|run|validate|traces|cluster> [flags]\n"
+               "  generate: --out PATH and one of --benchmark NAME |\n"
+               "            --rmat-scale N [--edge-factor K] [--seed S] |\n"
+               "            --uniform-vertices N [--outdegree K]\n"
+               "  stats:    --graph PATH | --benchmark NAME\n"
+               "  run:      --graph/--benchmark, --strategy "
+               "sequential|naive|joint|bitwise,\n"
+               "            --grouping inorder|random|groupby, --instances "
+               "I, --group-size N,\n"
+               "            [--q Q] [--no-early-termination] [--max-level "
+               "K] [--profile]\n"
+               "  cluster:  run flags plus --gpus G [--lpt]\n");
+  return 2;
+}
+
+Result<graph::Csr> LoadGraphArg(const Flags& flags) {
+  const std::string path = flags.GetString("graph");
+  if (!path.empty()) return graph::LoadBinary(path);
+  const std::string name = flags.GetString("benchmark");
+  if (!name.empty()) {
+    auto id = gen::BenchmarkByName(name);
+    if (!id.has_value()) {
+      return Status::InvalidArgument("unknown benchmark " + name);
+    }
+    return gen::GenerateBenchmark(
+        *id, static_cast<int>(flags.GetInt("scale-delta", 0)));
+  }
+  return Status::InvalidArgument("need --graph PATH or --benchmark NAME");
+}
+
+Result<EngineOptions> OptionsFromFlags(const Flags& flags) {
+  EngineOptions options;
+  const std::string strategy = flags.GetString("strategy", "bitwise");
+  if (strategy == "sequential") {
+    options.strategy = Strategy::kSequential;
+  } else if (strategy == "naive") {
+    options.strategy = Strategy::kNaiveConcurrent;
+  } else if (strategy == "joint") {
+    options.strategy = Strategy::kJointTraversal;
+  } else if (strategy == "bitwise") {
+    options.strategy = Strategy::kBitwise;
+  } else {
+    return Status::InvalidArgument("unknown strategy " + strategy);
+  }
+  const std::string grouping = flags.GetString("grouping", "groupby");
+  if (grouping == "inorder") {
+    options.grouping = GroupingPolicy::kInOrder;
+  } else if (grouping == "random") {
+    options.grouping = GroupingPolicy::kRandom;
+  } else if (grouping == "groupby") {
+    options.grouping = GroupingPolicy::kGroupBy;
+  } else {
+    return Status::InvalidArgument("unknown grouping " + grouping);
+  }
+  options.group_size = static_cast<int>(flags.GetInt("group-size", 128));
+  options.groupby.q = flags.GetInt("q", options.groupby.q);
+  options.traversal.early_termination =
+      !flags.GetBool("no-early-termination");
+  options.traversal.max_level = static_cast<int>(
+      flags.GetInt("max-level", TraversalOptions::kMaxTraversalLevel));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  options.keep_depths = false;
+  options.traversal.collect_instance_stats = false;
+  return options;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string out = flags.GetString("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: missing --out PATH\n");
+    return 2;
+  }
+  Result<graph::Csr> built = Status::InvalidArgument("no generator chosen");
+  if (!flags.GetString("benchmark").empty()) {
+    built = LoadGraphArg(flags);
+  } else if (flags.Has("rmat-scale")) {
+    gen::RmatParams params;
+    params.scale = static_cast<int>(flags.GetInt("rmat-scale", 12));
+    params.edge_factor = static_cast<int>(flags.GetInt("edge-factor", 16));
+    params.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+    built = gen::GenerateRmat(params);
+  } else if (flags.Has("uniform-vertices")) {
+    gen::UniformParams params;
+    params.vertex_count = flags.GetInt("uniform-vertices", 4096);
+    params.outdegree = static_cast<int>(flags.GetInt("outdegree", 16));
+    params.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+    built = gen::GenerateUniform(params);
+  }
+  if (!built.ok()) {
+    std::fprintf(stderr, "generate: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const Status saved = graph::SaveBinary(built.value(), out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "generate: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %lld vertices, %lld directed edges\n", out.c_str(),
+              static_cast<long long>(built.value().vertex_count()),
+              static_cast<long long>(built.value().edge_count()));
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto graph = LoadGraphArg(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "stats: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const auto stats = graph::ComputeDegreeStats(graph.value());
+  const auto giant = graph::GiantComponent(graph.value());
+  std::printf("vertices:        %lld\n",
+              static_cast<long long>(stats.vertex_count));
+  std::printf("directed edges:  %lld\n",
+              static_cast<long long>(stats.edge_count));
+  std::printf("avg outdegree:   %.2f\n", stats.avg_outdegree);
+  std::printf("max outdegree:   %lld\n",
+              static_cast<long long>(stats.max_outdegree));
+  std::printf("degree stddev:   %.2f\n", stats.stddev_outdegree);
+  std::printf("isolated:        %lld\n",
+              static_cast<long long>(stats.zero_degree_count));
+  std::printf("giant component: %zu vertices (%.1f%%)\n", giant.size(),
+              100.0 * static_cast<double>(giant.size()) /
+                  static_cast<double>(stats.vertex_count));
+  const auto histogram = graph::DegreeHistogram(graph.value());
+  std::printf("outdegree histogram (log2 buckets):\n");
+  for (size_t b = 0; b < histogram.size(); ++b) {
+    std::printf("  [%6lld, %6lld): %lld\n",
+                static_cast<long long>(b == 0 ? 0 : int64_t{1} << b),
+                static_cast<long long>(int64_t{1} << (b + 1)),
+                static_cast<long long>(histogram[b]));
+  }
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  auto graph = LoadGraphArg(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "run: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto options = OptionsFromFlags(flags);
+  if (!options.ok()) {
+    std::fprintf(stderr, "run: %s\n", options.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t instances = flags.GetInt("instances", 128);
+  const auto sources = graph::SampleConnectedSources(
+      graph.value(), instances,
+      static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  Engine engine(&graph.value(), options.value());
+  auto result = engine.Run(sources);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const EngineResult& res = result.value();
+  std::printf("instances:       %lld in %zu groups\n",
+              static_cast<long long>(instances), res.groups.size());
+  std::printf("simulated time:  %.3f ms\n", res.sim_seconds * 1e3);
+  std::printf("traversal rate:  %.2f GTEPS\n", res.teps / 1e9);
+  std::printf("sharing ratio:   %.1f%% (td %.1f%%, bu %.1f%%)\n",
+              100.0 * res.SharingRatio(), 100.0 * res.SharingRatio(0),
+              100.0 * res.SharingRatio(1));
+  if (flags.GetBool("profile")) {
+    gpusim::KernelStats totals = res.totals;
+    std::printf("%s", gpusim::FormatProfile(res.phases, totals,
+                                            res.sim_seconds)
+                          .c_str());
+  }
+  return 0;
+}
+
+// Runs concurrent BFS and validates every instance's depths with the
+// Graph500-style structural checks.
+int CmdValidate(const Flags& flags) {
+  auto graph = LoadGraphArg(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "validate: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  auto options = OptionsFromFlags(flags);
+  if (!options.ok()) {
+    std::fprintf(stderr, "validate: %s\n",
+                 options.status().ToString().c_str());
+    return 1;
+  }
+  EngineOptions opts = options.value();
+  opts.keep_depths = true;
+  const int64_t instances = flags.GetInt("instances", 64);
+  const auto sources = graph::SampleConnectedSources(
+      graph.value(), instances,
+      static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  Engine engine(&graph.value(), opts);
+  auto result = engine.Run(sources);
+  if (!result.ok()) {
+    std::fprintf(stderr, "validate: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  int64_t checked = 0;
+  for (size_t g = 0; g < result.value().groups.size(); ++g) {
+    for (size_t j = 0; j < result.value().group_sources[g].size(); ++j) {
+      const Status st = ValidateBfsDepths(
+          graph.value(), result.value().group_sources[g][j],
+          result.value().groups[g].depths[j], opts.traversal.max_level);
+      if (!st.ok()) {
+        std::fprintf(stderr, "validate: instance %lld FAILED: %s\n",
+                     static_cast<long long>(checked),
+                     st.ToString().c_str());
+        return 1;
+      }
+      ++checked;
+    }
+  }
+  std::printf("validated %lld BFS instances: all OK\n",
+              static_cast<long long>(checked));
+  return 0;
+}
+
+// Runs concurrent BFS and writes per-level traces as CSV (stdout or
+// --out FILE) for offline plotting.
+int CmdTraces(const Flags& flags) {
+  auto graph = LoadGraphArg(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "traces: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto options = OptionsFromFlags(flags);
+  if (!options.ok()) {
+    std::fprintf(stderr, "traces: %s\n",
+                 options.status().ToString().c_str());
+    return 1;
+  }
+  EngineOptions opts = options.value();
+  opts.traversal.collect_instance_stats = true;
+  const int64_t instances = flags.GetInt("instances", 128);
+  const auto sources = graph::SampleConnectedSources(
+      graph.value(), instances,
+      static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  Engine engine(&graph.value(), opts);
+  auto result = engine.Run(sources);
+  if (!result.ok()) {
+    std::fprintf(stderr, "traces: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out_path = flags.GetString("out");
+  if (out_path.empty()) {
+    WriteLevelTracesCsv(result.value(), std::cout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "traces: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    WriteLevelTracesCsv(result.value(), out);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int CmdCluster(const Flags& flags) {
+  auto graph = LoadGraphArg(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cluster: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto options = OptionsFromFlags(flags);
+  if (!options.ok()) {
+    std::fprintf(stderr, "cluster: %s\n",
+                 options.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t instances = flags.GetInt("instances", 1024);
+  const int gpus = static_cast<int>(flags.GetInt("gpus", 4));
+  const auto policy = flags.GetBool("lpt")
+                          ? gpusim::PlacementPolicy::kLpt
+                          : gpusim::PlacementPolicy::kRoundRobin;
+  const auto sources = graph::SampleConnectedSources(
+      graph.value(), instances,
+      static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  auto result =
+      RunOnCluster(graph.value(), sources, options.value(), gpus, policy);
+  if (!result.ok()) {
+    std::fprintf(stderr, "cluster: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const ClusterRunResult& res = result.value();
+  std::printf("groups:          %lld\n",
+              static_cast<long long>(res.group_count));
+  std::printf("1-GPU time:      %.3f ms\n",
+              res.single_device_seconds * 1e3);
+  std::printf("%d-GPU makespan: %.3f ms\n", gpus,
+              res.schedule.makespan_seconds * 1e3);
+  std::printf("speedup:         %.2fx\n", res.speedup);
+  std::printf("aggregate rate:  %.2f GTEPS\n", res.teps / 1e9);
+  return 0;
+}
+
+int Main(int argc, const char* const* argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok() || flags.value().positional().empty()) return Usage();
+  const std::string command = flags.value().positional().front();
+  if (command == "generate") return CmdGenerate(flags.value());
+  if (command == "stats") return CmdStats(flags.value());
+  if (command == "run") return CmdRun(flags.value());
+  if (command == "validate") return CmdValidate(flags.value());
+  if (command == "traces") return CmdTraces(flags.value());
+  if (command == "cluster") return CmdCluster(flags.value());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ibfs
+
+int main(int argc, char** argv) { return ibfs::Main(argc, argv); }
