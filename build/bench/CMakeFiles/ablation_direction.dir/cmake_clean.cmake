@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_direction.dir/ablation_direction.cc.o"
+  "CMakeFiles/ablation_direction.dir/ablation_direction.cc.o.d"
+  "ablation_direction"
+  "ablation_direction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_direction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

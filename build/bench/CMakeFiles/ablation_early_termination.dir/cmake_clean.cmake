@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_early_termination.dir/ablation_early_termination.cc.o"
+  "CMakeFiles/ablation_early_termination.dir/ablation_early_termination.cc.o.d"
+  "ablation_early_termination"
+  "ablation_early_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_early_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

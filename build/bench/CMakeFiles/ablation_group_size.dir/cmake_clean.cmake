@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_group_size.dir/ablation_group_size.cc.o"
+  "CMakeFiles/ablation_group_size.dir/ablation_group_size.cc.o.d"
+  "ablation_group_size"
+  "ablation_group_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_group_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_groupby_rules.dir/ablation_groupby_rules.cc.o"
+  "CMakeFiles/ablation_groupby_rules.dir/ablation_groupby_rules.cc.o.d"
+  "ablation_groupby_rules"
+  "ablation_groupby_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_groupby_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_betweenness.dir/app_betweenness.cc.o"
+  "CMakeFiles/app_betweenness.dir/app_betweenness.cc.o.d"
+  "app_betweenness"
+  "app_betweenness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_betweenness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_frontier_sharing.dir/fig02_frontier_sharing.cc.o"
+  "CMakeFiles/fig02_frontier_sharing.dir/fig02_frontier_sharing.cc.o.d"
+  "fig02_frontier_sharing"
+  "fig02_frontier_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_frontier_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

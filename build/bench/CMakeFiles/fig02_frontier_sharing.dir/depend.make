@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_frontier_sharing.
+# This may be replaced when dependencies are built.

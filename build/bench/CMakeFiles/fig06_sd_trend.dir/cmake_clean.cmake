@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_sd_trend.dir/fig06_sd_trend.cc.o"
+  "CMakeFiles/fig06_sd_trend.dir/fig06_sd_trend.cc.o.d"
+  "fig06_sd_trend"
+  "fig06_sd_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sd_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_q_sweep.dir/fig08_q_sweep.cc.o"
+  "CMakeFiles/fig08_q_sweep.dir/fig08_q_sweep.cc.o.d"
+  "fig08_q_sweep"
+  "fig08_q_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_q_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sharing_ratio.dir/fig09_sharing_ratio.cc.o"
+  "CMakeFiles/fig09_sharing_ratio.dir/fig09_sharing_ratio.cc.o.d"
+  "fig09_sharing_ratio"
+  "fig09_sharing_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sharing_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

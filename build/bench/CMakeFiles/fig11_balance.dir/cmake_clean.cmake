@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_balance.dir/fig11_balance.cc.o"
+  "CMakeFiles/fig11_balance.dir/fig11_balance.cc.o.d"
+  "fig11_balance"
+  "fig11_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_graphs.dir/fig14_graphs.cc.o"
+  "CMakeFiles/fig14_graphs.dir/fig14_graphs.cc.o.d"
+  "fig14_graphs"
+  "fig14_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

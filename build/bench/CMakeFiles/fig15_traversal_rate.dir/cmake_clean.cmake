@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_traversal_rate.dir/fig15_traversal_rate.cc.o"
+  "CMakeFiles/fig15_traversal_rate.dir/fig15_traversal_rate.cc.o.d"
+  "fig15_traversal_rate"
+  "fig15_traversal_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_traversal_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_group_count.dir/fig16_group_count.cc.o"
+  "CMakeFiles/fig16_group_count.dir/fig16_group_count.cc.o.d"
+  "fig16_group_count"
+  "fig16_group_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_group_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_scalability.dir/fig17_scalability.cc.o"
+  "CMakeFiles/fig17_scalability.dir/fig17_scalability.cc.o.d"
+  "fig17_scalability"
+  "fig17_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

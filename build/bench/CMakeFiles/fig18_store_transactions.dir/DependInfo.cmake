@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig18_store_transactions.cc" "bench/CMakeFiles/fig18_store_transactions.dir/fig18_store_transactions.cc.o" "gcc" "bench/CMakeFiles/fig18_store_transactions.dir/fig18_store_transactions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibfs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_store_transactions.dir/fig18_store_transactions.cc.o"
+  "CMakeFiles/fig18_store_transactions.dir/fig18_store_transactions.cc.o.d"
+  "fig18_store_transactions"
+  "fig18_store_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_store_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

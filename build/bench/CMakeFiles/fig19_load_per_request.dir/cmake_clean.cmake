@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_load_per_request.dir/fig19_load_per_request.cc.o"
+  "CMakeFiles/fig19_load_per_request.dir/fig19_load_per_request.cc.o.d"
+  "fig19_load_per_request"
+  "fig19_load_per_request.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_load_per_request.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

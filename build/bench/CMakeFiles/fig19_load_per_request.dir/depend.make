@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_load_per_request.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_bitwise_speedup.dir/fig20_bitwise_speedup.cc.o"
+  "CMakeFiles/fig20_bitwise_speedup.dir/fig20_bitwise_speedup.cc.o.d"
+  "fig20_bitwise_speedup"
+  "fig20_bitwise_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_bitwise_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

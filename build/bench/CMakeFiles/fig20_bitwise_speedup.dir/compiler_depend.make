@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig20_bitwise_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_bitwise_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_load_transactions.dir/fig21_load_transactions.cc.o"
+  "CMakeFiles/fig21_load_transactions.dir/fig21_load_transactions.cc.o.d"
+  "fig21_load_transactions"
+  "fig21_load_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_load_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

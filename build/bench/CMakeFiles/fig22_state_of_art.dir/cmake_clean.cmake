@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_state_of_art.dir/fig22_state_of_art.cc.o"
+  "CMakeFiles/fig22_state_of_art.dir/fig22_state_of_art.cc.o.d"
+  "fig22_state_of_art"
+  "fig22_state_of_art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_state_of_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig22_state_of_art.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph500_bfs.dir/graph500_bfs.cc.o"
+  "CMakeFiles/graph500_bfs.dir/graph500_bfs.cc.o.d"
+  "graph500_bfs"
+  "graph500_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph500_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

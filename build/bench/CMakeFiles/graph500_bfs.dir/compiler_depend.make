@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for graph500_bfs.
+# This may be replaced when dependencies are built.

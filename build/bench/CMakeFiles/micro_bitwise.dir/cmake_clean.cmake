@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bitwise.dir/micro_bitwise.cc.o"
+  "CMakeFiles/micro_bitwise.dir/micro_bitwise.cc.o.d"
+  "micro_bitwise"
+  "micro_bitwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bitwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

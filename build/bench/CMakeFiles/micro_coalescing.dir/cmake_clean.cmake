@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_coalescing.dir/micro_coalescing.cc.o"
+  "CMakeFiles/micro_coalescing.dir/micro_coalescing.cc.o.d"
+  "micro_coalescing"
+  "micro_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

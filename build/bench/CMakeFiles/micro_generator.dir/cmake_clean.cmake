@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_generator.dir/micro_generator.cc.o"
+  "CMakeFiles/micro_generator.dir/micro_generator.cc.o.d"
+  "micro_generator"
+  "micro_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

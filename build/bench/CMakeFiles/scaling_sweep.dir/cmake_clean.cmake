@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_sweep.dir/scaling_sweep.cc.o"
+  "CMakeFiles/scaling_sweep.dir/scaling_sweep.cc.o.d"
+  "scaling_sweep"
+  "scaling_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

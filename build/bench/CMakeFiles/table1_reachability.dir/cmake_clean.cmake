@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_reachability.dir/table1_reachability.cc.o"
+  "CMakeFiles/table1_reachability.dir/table1_reachability.cc.o.d"
+  "table1_reachability"
+  "table1_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centrality_example.dir/centrality.cpp.o"
+  "CMakeFiles/centrality_example.dir/centrality.cpp.o.d"
+  "centrality_example"
+  "centrality_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centrality_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

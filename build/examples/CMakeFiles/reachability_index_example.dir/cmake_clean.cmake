@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reachability_index_example.dir/reachability_index.cpp.o"
+  "CMakeFiles/reachability_index_example.dir/reachability_index.cpp.o.d"
+  "reachability_index_example"
+  "reachability_index_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reachability_index_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

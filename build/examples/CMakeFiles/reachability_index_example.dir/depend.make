@@ -1,0 +1,2 @@
+# Empty dependencies file for reachability_index_example.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_sssp_example.dir/weighted_sssp.cpp.o"
+  "CMakeFiles/weighted_sssp_example.dir/weighted_sssp.cpp.o.d"
+  "weighted_sssp_example"
+  "weighted_sssp_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_sssp_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/betweenness_device.cc" "src/CMakeFiles/ibfs_apps.dir/apps/betweenness_device.cc.o" "gcc" "src/CMakeFiles/ibfs_apps.dir/apps/betweenness_device.cc.o.d"
+  "/root/repo/src/apps/centrality.cc" "src/CMakeFiles/ibfs_apps.dir/apps/centrality.cc.o" "gcc" "src/CMakeFiles/ibfs_apps.dir/apps/centrality.cc.o.d"
+  "/root/repo/src/apps/eccentricity.cc" "src/CMakeFiles/ibfs_apps.dir/apps/eccentricity.cc.o" "gcc" "src/CMakeFiles/ibfs_apps.dir/apps/eccentricity.cc.o.d"
+  "/root/repo/src/apps/reachability_index.cc" "src/CMakeFiles/ibfs_apps.dir/apps/reachability_index.cc.o" "gcc" "src/CMakeFiles/ibfs_apps.dir/apps/reachability_index.cc.o.d"
+  "/root/repo/src/apps/weighted_sssp.cc" "src/CMakeFiles/ibfs_apps.dir/apps/weighted_sssp.cc.o" "gcc" "src/CMakeFiles/ibfs_apps.dir/apps/weighted_sssp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibfs_apps.dir/apps/betweenness_device.cc.o"
+  "CMakeFiles/ibfs_apps.dir/apps/betweenness_device.cc.o.d"
+  "CMakeFiles/ibfs_apps.dir/apps/centrality.cc.o"
+  "CMakeFiles/ibfs_apps.dir/apps/centrality.cc.o.d"
+  "CMakeFiles/ibfs_apps.dir/apps/eccentricity.cc.o"
+  "CMakeFiles/ibfs_apps.dir/apps/eccentricity.cc.o.d"
+  "CMakeFiles/ibfs_apps.dir/apps/reachability_index.cc.o"
+  "CMakeFiles/ibfs_apps.dir/apps/reachability_index.cc.o.d"
+  "CMakeFiles/ibfs_apps.dir/apps/weighted_sssp.cc.o"
+  "CMakeFiles/ibfs_apps.dir/apps/weighted_sssp.cc.o.d"
+  "libibfs_apps.a"
+  "libibfs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibfs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

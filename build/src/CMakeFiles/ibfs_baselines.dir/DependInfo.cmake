@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/b40c_like.cc" "src/CMakeFiles/ibfs_baselines.dir/baselines/b40c_like.cc.o" "gcc" "src/CMakeFiles/ibfs_baselines.dir/baselines/b40c_like.cc.o.d"
+  "/root/repo/src/baselines/cpu_ibfs.cc" "src/CMakeFiles/ibfs_baselines.dir/baselines/cpu_ibfs.cc.o" "gcc" "src/CMakeFiles/ibfs_baselines.dir/baselines/cpu_ibfs.cc.o.d"
+  "/root/repo/src/baselines/cpu_model.cc" "src/CMakeFiles/ibfs_baselines.dir/baselines/cpu_model.cc.o" "gcc" "src/CMakeFiles/ibfs_baselines.dir/baselines/cpu_model.cc.o.d"
+  "/root/repo/src/baselines/ms_bfs.cc" "src/CMakeFiles/ibfs_baselines.dir/baselines/ms_bfs.cc.o" "gcc" "src/CMakeFiles/ibfs_baselines.dir/baselines/ms_bfs.cc.o.d"
+  "/root/repo/src/baselines/reference_bfs.cc" "src/CMakeFiles/ibfs_baselines.dir/baselines/reference_bfs.cc.o" "gcc" "src/CMakeFiles/ibfs_baselines.dir/baselines/reference_bfs.cc.o.d"
+  "/root/repo/src/baselines/spmm_bc_like.cc" "src/CMakeFiles/ibfs_baselines.dir/baselines/spmm_bc_like.cc.o" "gcc" "src/CMakeFiles/ibfs_baselines.dir/baselines/spmm_bc_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

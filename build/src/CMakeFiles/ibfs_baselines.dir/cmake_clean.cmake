@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibfs_baselines.dir/baselines/b40c_like.cc.o"
+  "CMakeFiles/ibfs_baselines.dir/baselines/b40c_like.cc.o.d"
+  "CMakeFiles/ibfs_baselines.dir/baselines/cpu_ibfs.cc.o"
+  "CMakeFiles/ibfs_baselines.dir/baselines/cpu_ibfs.cc.o.d"
+  "CMakeFiles/ibfs_baselines.dir/baselines/cpu_model.cc.o"
+  "CMakeFiles/ibfs_baselines.dir/baselines/cpu_model.cc.o.d"
+  "CMakeFiles/ibfs_baselines.dir/baselines/ms_bfs.cc.o"
+  "CMakeFiles/ibfs_baselines.dir/baselines/ms_bfs.cc.o.d"
+  "CMakeFiles/ibfs_baselines.dir/baselines/reference_bfs.cc.o"
+  "CMakeFiles/ibfs_baselines.dir/baselines/reference_bfs.cc.o.d"
+  "CMakeFiles/ibfs_baselines.dir/baselines/spmm_bc_like.cc.o"
+  "CMakeFiles/ibfs_baselines.dir/baselines/spmm_bc_like.cc.o.d"
+  "libibfs_baselines.a"
+  "libibfs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibfs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

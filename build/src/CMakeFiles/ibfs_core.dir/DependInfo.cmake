@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_engine.cc" "src/CMakeFiles/ibfs_core.dir/core/cluster_engine.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/core/cluster_engine.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/ibfs_core.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/CMakeFiles/ibfs_core.dir/core/options.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/core/options.cc.o.d"
+  "/root/repo/src/core/shortest_paths.cc" "src/CMakeFiles/ibfs_core.dir/core/shortest_paths.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/core/shortest_paths.cc.o.d"
+  "/root/repo/src/core/trace_io.cc" "src/CMakeFiles/ibfs_core.dir/core/trace_io.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/core/trace_io.cc.o.d"
+  "/root/repo/src/core/validate.cc" "src/CMakeFiles/ibfs_core.dir/core/validate.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/core/validate.cc.o.d"
+  "/root/repo/src/ibfs/bitwise_ibfs.cc" "src/CMakeFiles/ibfs_core.dir/ibfs/bitwise_ibfs.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/ibfs/bitwise_ibfs.cc.o.d"
+  "/root/repo/src/ibfs/bitwise_status_array.cc" "src/CMakeFiles/ibfs_core.dir/ibfs/bitwise_status_array.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/ibfs/bitwise_status_array.cc.o.d"
+  "/root/repo/src/ibfs/groupby.cc" "src/CMakeFiles/ibfs_core.dir/ibfs/groupby.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/ibfs/groupby.cc.o.d"
+  "/root/repo/src/ibfs/joint_traversal.cc" "src/CMakeFiles/ibfs_core.dir/ibfs/joint_traversal.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/ibfs/joint_traversal.cc.o.d"
+  "/root/repo/src/ibfs/naive_concurrent.cc" "src/CMakeFiles/ibfs_core.dir/ibfs/naive_concurrent.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/ibfs/naive_concurrent.cc.o.d"
+  "/root/repo/src/ibfs/runner.cc" "src/CMakeFiles/ibfs_core.dir/ibfs/runner.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/ibfs/runner.cc.o.d"
+  "/root/repo/src/ibfs/sequential.cc" "src/CMakeFiles/ibfs_core.dir/ibfs/sequential.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/ibfs/sequential.cc.o.d"
+  "/root/repo/src/ibfs/single_bfs.cc" "src/CMakeFiles/ibfs_core.dir/ibfs/single_bfs.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/ibfs/single_bfs.cc.o.d"
+  "/root/repo/src/ibfs/status_array.cc" "src/CMakeFiles/ibfs_core.dir/ibfs/status_array.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/ibfs/status_array.cc.o.d"
+  "/root/repo/src/ibfs/trace.cc" "src/CMakeFiles/ibfs_core.dir/ibfs/trace.cc.o" "gcc" "src/CMakeFiles/ibfs_core.dir/ibfs/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/benchmarks.cc" "src/CMakeFiles/ibfs_gen.dir/gen/benchmarks.cc.o" "gcc" "src/CMakeFiles/ibfs_gen.dir/gen/benchmarks.cc.o.d"
+  "/root/repo/src/gen/rmat.cc" "src/CMakeFiles/ibfs_gen.dir/gen/rmat.cc.o" "gcc" "src/CMakeFiles/ibfs_gen.dir/gen/rmat.cc.o.d"
+  "/root/repo/src/gen/uniform.cc" "src/CMakeFiles/ibfs_gen.dir/gen/uniform.cc.o" "gcc" "src/CMakeFiles/ibfs_gen.dir/gen/uniform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibfs_gen.dir/gen/benchmarks.cc.o"
+  "CMakeFiles/ibfs_gen.dir/gen/benchmarks.cc.o.d"
+  "CMakeFiles/ibfs_gen.dir/gen/rmat.cc.o"
+  "CMakeFiles/ibfs_gen.dir/gen/rmat.cc.o.d"
+  "CMakeFiles/ibfs_gen.dir/gen/uniform.cc.o"
+  "CMakeFiles/ibfs_gen.dir/gen/uniform.cc.o.d"
+  "libibfs_gen.a"
+  "libibfs_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibfs_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

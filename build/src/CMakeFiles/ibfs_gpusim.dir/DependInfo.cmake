@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cluster.cc" "src/CMakeFiles/ibfs_gpusim.dir/gpusim/cluster.cc.o" "gcc" "src/CMakeFiles/ibfs_gpusim.dir/gpusim/cluster.cc.o.d"
+  "/root/repo/src/gpusim/device.cc" "src/CMakeFiles/ibfs_gpusim.dir/gpusim/device.cc.o" "gcc" "src/CMakeFiles/ibfs_gpusim.dir/gpusim/device.cc.o.d"
+  "/root/repo/src/gpusim/device_spec.cc" "src/CMakeFiles/ibfs_gpusim.dir/gpusim/device_spec.cc.o" "gcc" "src/CMakeFiles/ibfs_gpusim.dir/gpusim/device_spec.cc.o.d"
+  "/root/repo/src/gpusim/memory_model.cc" "src/CMakeFiles/ibfs_gpusim.dir/gpusim/memory_model.cc.o" "gcc" "src/CMakeFiles/ibfs_gpusim.dir/gpusim/memory_model.cc.o.d"
+  "/root/repo/src/gpusim/report.cc" "src/CMakeFiles/ibfs_gpusim.dir/gpusim/report.cc.o" "gcc" "src/CMakeFiles/ibfs_gpusim.dir/gpusim/report.cc.o.d"
+  "/root/repo/src/gpusim/warp.cc" "src/CMakeFiles/ibfs_gpusim.dir/gpusim/warp.cc.o" "gcc" "src/CMakeFiles/ibfs_gpusim.dir/gpusim/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibfs_gpusim.dir/gpusim/cluster.cc.o"
+  "CMakeFiles/ibfs_gpusim.dir/gpusim/cluster.cc.o.d"
+  "CMakeFiles/ibfs_gpusim.dir/gpusim/device.cc.o"
+  "CMakeFiles/ibfs_gpusim.dir/gpusim/device.cc.o.d"
+  "CMakeFiles/ibfs_gpusim.dir/gpusim/device_spec.cc.o"
+  "CMakeFiles/ibfs_gpusim.dir/gpusim/device_spec.cc.o.d"
+  "CMakeFiles/ibfs_gpusim.dir/gpusim/memory_model.cc.o"
+  "CMakeFiles/ibfs_gpusim.dir/gpusim/memory_model.cc.o.d"
+  "CMakeFiles/ibfs_gpusim.dir/gpusim/report.cc.o"
+  "CMakeFiles/ibfs_gpusim.dir/gpusim/report.cc.o.d"
+  "CMakeFiles/ibfs_gpusim.dir/gpusim/warp.cc.o"
+  "CMakeFiles/ibfs_gpusim.dir/gpusim/warp.cc.o.d"
+  "libibfs_gpusim.a"
+  "libibfs_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibfs_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

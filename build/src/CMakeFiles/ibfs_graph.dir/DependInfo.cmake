@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/CMakeFiles/ibfs_graph.dir/graph/builder.cc.o" "gcc" "src/CMakeFiles/ibfs_graph.dir/graph/builder.cc.o.d"
+  "/root/repo/src/graph/components.cc" "src/CMakeFiles/ibfs_graph.dir/graph/components.cc.o" "gcc" "src/CMakeFiles/ibfs_graph.dir/graph/components.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/CMakeFiles/ibfs_graph.dir/graph/csr.cc.o" "gcc" "src/CMakeFiles/ibfs_graph.dir/graph/csr.cc.o.d"
+  "/root/repo/src/graph/degree_stats.cc" "src/CMakeFiles/ibfs_graph.dir/graph/degree_stats.cc.o" "gcc" "src/CMakeFiles/ibfs_graph.dir/graph/degree_stats.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/ibfs_graph.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/ibfs_graph.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/relabel.cc" "src/CMakeFiles/ibfs_graph.dir/graph/relabel.cc.o" "gcc" "src/CMakeFiles/ibfs_graph.dir/graph/relabel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

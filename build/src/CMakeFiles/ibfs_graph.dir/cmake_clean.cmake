@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibfs_graph.dir/graph/builder.cc.o"
+  "CMakeFiles/ibfs_graph.dir/graph/builder.cc.o.d"
+  "CMakeFiles/ibfs_graph.dir/graph/components.cc.o"
+  "CMakeFiles/ibfs_graph.dir/graph/components.cc.o.d"
+  "CMakeFiles/ibfs_graph.dir/graph/csr.cc.o"
+  "CMakeFiles/ibfs_graph.dir/graph/csr.cc.o.d"
+  "CMakeFiles/ibfs_graph.dir/graph/degree_stats.cc.o"
+  "CMakeFiles/ibfs_graph.dir/graph/degree_stats.cc.o.d"
+  "CMakeFiles/ibfs_graph.dir/graph/io.cc.o"
+  "CMakeFiles/ibfs_graph.dir/graph/io.cc.o.d"
+  "CMakeFiles/ibfs_graph.dir/graph/relabel.cc.o"
+  "CMakeFiles/ibfs_graph.dir/graph/relabel.cc.o.d"
+  "libibfs_graph.a"
+  "libibfs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibfs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libibfs_graph.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/ibfs_util.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/ibfs_util.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/env.cc" "src/CMakeFiles/ibfs_util.dir/util/env.cc.o" "gcc" "src/CMakeFiles/ibfs_util.dir/util/env.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/ibfs_util.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/ibfs_util.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/ibfs_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/ibfs_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/prng.cc" "src/CMakeFiles/ibfs_util.dir/util/prng.cc.o" "gcc" "src/CMakeFiles/ibfs_util.dir/util/prng.cc.o.d"
+  "/root/repo/src/util/stats_math.cc" "src/CMakeFiles/ibfs_util.dir/util/stats_math.cc.o" "gcc" "src/CMakeFiles/ibfs_util.dir/util/stats_math.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/ibfs_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/ibfs_util.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibfs_util.dir/util/csv.cc.o"
+  "CMakeFiles/ibfs_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/ibfs_util.dir/util/env.cc.o"
+  "CMakeFiles/ibfs_util.dir/util/env.cc.o.d"
+  "CMakeFiles/ibfs_util.dir/util/flags.cc.o"
+  "CMakeFiles/ibfs_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/ibfs_util.dir/util/logging.cc.o"
+  "CMakeFiles/ibfs_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/ibfs_util.dir/util/prng.cc.o"
+  "CMakeFiles/ibfs_util.dir/util/prng.cc.o.d"
+  "CMakeFiles/ibfs_util.dir/util/stats_math.cc.o"
+  "CMakeFiles/ibfs_util.dir/util/stats_math.cc.o.d"
+  "CMakeFiles/ibfs_util.dir/util/status.cc.o"
+  "CMakeFiles/ibfs_util.dir/util/status.cc.o.d"
+  "libibfs_util.a"
+  "libibfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/betweenness_device_test.dir/betweenness_device_test.cc.o"
+  "CMakeFiles/betweenness_device_test.dir/betweenness_device_test.cc.o.d"
+  "betweenness_device_test"
+  "betweenness_device_test.pdb"
+  "betweenness_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/betweenness_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

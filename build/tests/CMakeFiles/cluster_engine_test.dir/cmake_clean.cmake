@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_engine_test.dir/cluster_engine_test.cc.o"
+  "CMakeFiles/cluster_engine_test.dir/cluster_engine_test.cc.o.d"
+  "cluster_engine_test"
+  "cluster_engine_test.pdb"
+  "cluster_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

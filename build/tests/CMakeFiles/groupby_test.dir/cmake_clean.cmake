@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupby_test.dir/groupby_test.cc.o"
+  "CMakeFiles/groupby_test.dir/groupby_test.cc.o.d"
+  "groupby_test"
+  "groupby_test.pdb"
+  "groupby_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

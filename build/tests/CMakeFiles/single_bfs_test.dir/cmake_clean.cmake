@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_bfs_test.dir/single_bfs_test.cc.o"
+  "CMakeFiles/single_bfs_test.dir/single_bfs_test.cc.o.d"
+  "single_bfs_test"
+  "single_bfs_test.pdb"
+  "single_bfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_bfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/status_array_test.dir/status_array_test.cc.o"
+  "CMakeFiles/status_array_test.dir/status_array_test.cc.o.d"
+  "status_array_test"
+  "status_array_test.pdb"
+  "status_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/status_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_sssp_test.dir/weighted_sssp_test.cc.o"
+  "CMakeFiles/weighted_sssp_test.dir/weighted_sssp_test.cc.o.d"
+  "weighted_sssp_test"
+  "weighted_sssp_test.pdb"
+  "weighted_sssp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_sssp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibfs_cli.dir/ibfs_cli.cc.o"
+  "CMakeFiles/ibfs_cli.dir/ibfs_cli.cc.o.d"
+  "ibfs_cli"
+  "ibfs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibfs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
