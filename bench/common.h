@@ -2,6 +2,7 @@
 #define IBFS_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,8 @@
 #include "gen/benchmarks.h"
 #include "graph/components.h"
 #include "graph/csr.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/env.h"
 #include "util/logging.h"
 
@@ -61,13 +64,59 @@ inline int64_t InstanceCount(int64_t def) {
   return EnvInt64("IBFS_INSTANCES", def);
 }
 
-/// Baseline engine options shared by the figure harnesses.
+/// Process-wide telemetry for the bench harnesses, driven by environment
+/// variables so the figure mains need no flag plumbing:
+///   IBFS_TRACE_OUT=path    Chrome trace-event JSON, written at exit
+///   IBFS_METRICS_OUT=path  global metrics snapshot, written at exit
+/// With neither set this returns a disabled (all-null) observer, keeping
+/// the default bench path at its usual cost.
+inline obs::Observer BenchObserver() {
+  static obs::Tracer tracer;
+  static const std::string trace_out = EnvString("IBFS_TRACE_OUT", "");
+  static const std::string metrics_out = EnvString("IBFS_METRICS_OUT", "");
+  static const bool flush_registered = [] {
+    if (trace_out.empty() && metrics_out.empty()) return false;
+    std::atexit([] {
+      if (!trace_out.empty()) {
+        const Status status = tracer.WriteFile(trace_out);
+        if (status.ok()) {
+          std::fprintf(stderr, "wrote %s\n", trace_out.c_str());
+        } else {
+          std::fprintf(stderr, "trace write failed: %s\n",
+                       status.ToString().c_str());
+        }
+      }
+      if (!metrics_out.empty()) {
+        const Status status =
+            obs::MetricsRegistry::Global().WriteFile(metrics_out);
+        if (status.ok()) {
+          std::fprintf(stderr, "wrote %s\n", metrics_out.c_str());
+        } else {
+          std::fprintf(stderr, "metrics write failed: %s\n",
+                       status.ToString().c_str());
+        }
+      }
+    });
+    return true;
+  }();
+  (void)flush_registered;
+  obs::Observer observer;
+  if (!trace_out.empty()) observer.tracer = &tracer;
+  if (!metrics_out.empty()) {
+    observer.metrics = &obs::MetricsRegistry::Global();
+  }
+  return observer;
+}
+
+/// Baseline engine options shared by the figure harnesses. Telemetry is
+/// attached per BenchObserver() (off unless the env vars are set).
 inline EngineOptions BaseOptions(Strategy strategy, GroupingPolicy grouping) {
   EngineOptions options;
   options.strategy = strategy;
   options.grouping = grouping;
   options.keep_depths = false;
   options.traversal.collect_instance_stats = false;
+  options.observer = BenchObserver();
   return options;
 }
 

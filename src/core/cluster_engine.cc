@@ -1,6 +1,20 @@
 #include "core/cluster_engine.h"
 
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ibfs {
+namespace {
+
+// Cluster device tracks live in their own pid range so they never collide
+// with the single-device track (engine pid, usually 0) or the host track
+// (obs::kHostPid).
+constexpr int kClusterPidBase = 100;
+
+}  // namespace
 
 Result<ClusterRunResult> RunOnCluster(const graph::Csr& graph,
                                       std::span<const graph::VertexId> sources,
@@ -15,9 +29,10 @@ Result<ClusterRunResult> RunOnCluster(const graph::Csr& graph,
   Engine engine(&graph, opts);
   Result<EngineResult> run = engine.Run(sources);
   IBFS_RETURN_NOT_OK(run.status());
-  const EngineResult& res = run.value();
 
   ClusterRunResult result;
+  result.engine = std::move(run).value();
+  const EngineResult& res = result.engine;
   result.single_device_seconds = res.sim_seconds;
   result.group_count = static_cast<int64_t>(res.group_seconds.size());
   gpusim::Cluster cluster(device_count, opts.device);
@@ -28,6 +43,33 @@ Result<ClusterRunResult> RunOnCluster(const graph::Csr& graph,
     const double edges = static_cast<double>(graph.edge_count()) *
                          static_cast<double>(sources.size());
     result.teps = edges / result.schedule.makespan_seconds;
+  }
+
+  const obs::Observer& observer = options.observer;
+  if (observer.tracing()) {
+    const char* policy_name =
+        policy == gpusim::PlacementPolicy::kLpt ? "lpt" : "round-robin";
+    for (int d = 0; d < device_count; ++d) {
+      observer.tracer->SetProcessName(
+          kClusterPidBase + d,
+          "cluster GPU " + std::to_string(d) + " (simulated time)");
+    }
+    for (size_t g = 0; g < result.schedule.unit_device.size(); ++g) {
+      const int dev = result.schedule.unit_device[g];
+      observer.tracer->CompleteSpan(
+          {kClusterPidBase + dev, 0}, "group " + std::to_string(g),
+          "cluster", result.schedule.unit_start_seconds[g] * 1e6,
+          res.group_seconds[g] * 1e6,
+          {obs::Arg("device", static_cast<int64_t>(dev)),
+           obs::Arg("policy", policy_name)});
+    }
+  }
+  if (observer.metering()) {
+    observer.metrics->GetGauge("cluster.devices")
+        ->Set(static_cast<double>(device_count));
+    observer.metrics->GetGauge("cluster.makespan_seconds")
+        ->Set(result.schedule.makespan_seconds);
+    observer.metrics->GetGauge("cluster.speedup")->Set(result.speedup);
   }
   return result;
 }

@@ -24,6 +24,9 @@ struct ClusterRunResult {
   /// Number of schedulable groups (the placement granularity; speedup is
   /// capped by group_count / max-groups-per-device).
   int64_t group_count = 0;
+  /// The single-device run the schedule was derived from (depths dropped);
+  /// feeds the run report's per-group and per-phase sections.
+  EngineResult engine;
 };
 
 /// Runs the engine once to obtain per-group simulated times, then places

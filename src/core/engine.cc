@@ -1,9 +1,12 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
+#include <string>
 
 #include "ibfs/status_array.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace ibfs {
@@ -56,6 +59,20 @@ int64_t Engine::MaxGroupSize(const graph::Csr& graph,
 
 Result<EngineResult> Engine::Run(
     std::span<const graph::VertexId> sources) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const obs::Observer& observer = options_.observer;
+  const auto wall_us = [&wall_start] {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - wall_start)
+        .count();
+  };
+  if (observer.tracing()) {
+    observer.tracer->SetProcessName(
+        observer.track.pid, "GPU " + std::to_string(observer.track.pid) +
+                                " (simulated time)");
+    observer.tracer->SetProcessName(obs::kHostPid, "host (wall clock)");
+  }
+
   IBFS_RETURN_NOT_OK(options_.Validate());
   if (sources.empty()) {
     return Status::InvalidArgument("no source vertices given");
@@ -76,6 +93,7 @@ Result<EngineResult> Engine::Run(
   }
   group_size = static_cast<int>(std::min<int64_t>(group_size, cap));
 
+  const double grouping_start_us = wall_us();
   Grouping grouping;
   switch (options_.grouping) {
     case GroupingPolicy::kInOrder:
@@ -91,19 +109,49 @@ Result<EngineResult> Engine::Run(
       break;
     }
   }
+  if (observer.tracing()) {
+    observer.tracer->CompleteSpan(
+        {obs::kHostPid, 0}, "grouping", "host", grouping_start_us,
+        wall_us() - grouping_start_us,
+        {obs::Arg("policy", GroupingPolicyName(options_.grouping)),
+         obs::Arg("groups", static_cast<int64_t>(grouping.groups.size())),
+         obs::Arg("rule_matched", grouping.rule_matched)});
+  }
+  if (observer.metering()) {
+    observer.metrics->GetCounter("engine.groups")
+        ->Increment(static_cast<int64_t>(grouping.groups.size()));
+    observer.metrics->GetCounter("engine.rule_matched")
+        ->Increment(grouping.rule_matched);
+  }
 
   gpusim::Device device(options_.device);
+  device.SetObserver(observer);
   EngineResult result;
   result.rule_matched = grouping.rule_matched;
+  result.group_hubs = std::move(grouping.group_hubs);
   TraversalOptions traversal = options_.traversal;
   traversal.record_depths = options_.keep_depths;
+  traversal.observer = observer;
 
-  for (auto& group : grouping.groups) {
+  for (size_t g = 0; g < grouping.groups.size(); ++g) {
+    auto& group = grouping.groups[g];
     const double before = device.elapsed_seconds();
     Result<GroupResult> group_result =
         RunGroup(options_.strategy, *graph_, group, traversal, &device);
     IBFS_RETURN_NOT_OK(group_result.status());
-    result.group_seconds.push_back(device.elapsed_seconds() - before);
+    const double seconds = device.elapsed_seconds() - before;
+    if (observer.tracing()) {
+      observer.tracer->CompleteSpan(
+          observer.track, "group " + std::to_string(g), "group",
+          before * 1e6, seconds * 1e6,
+          {obs::Arg("instances", static_cast<int64_t>(group.size())),
+           obs::Arg("levels", static_cast<int64_t>(
+                                  group_result.value().trace.levels.size())),
+           obs::Arg("hub", g < result.group_hubs.size()
+                               ? result.group_hubs[g]
+                               : int64_t{-1})});
+    }
+    result.group_seconds.push_back(seconds);
     result.groups.push_back(std::move(group_result).value());
     result.group_sources.push_back(std::move(group));
   }
@@ -114,6 +162,12 @@ Result<EngineResult> Engine::Run(
   const double edges = static_cast<double>(graph_->edge_count()) *
                        static_cast<double>(sources.size());
   result.teps = result.sim_seconds > 0.0 ? edges / result.sim_seconds : 0.0;
+  result.wall_seconds = wall_us() * 1e-6;
+  if (observer.metering()) {
+    observer.metrics->GetGauge("engine.sim_seconds")
+        ->Set(result.sim_seconds);
+    observer.metrics->GetGauge("engine.teps")->Set(result.teps);
+  }
   return result;
 }
 

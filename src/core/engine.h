@@ -34,6 +34,11 @@ struct EngineResult {
   std::map<std::string, gpusim::KernelStats> phases;
   /// Sources placed by the GroupBy rules (0 unless grouping == kGroupBy).
   int64_t rule_matched = 0;
+  /// Hub vertex each group was bucketed on (-1 = no hub), parallel to
+  /// `groups`; surfaces the grouping decisions in the run report.
+  std::vector<int64_t> group_hubs;
+  /// Host wall-clock seconds spent inside Engine::Run.
+  double wall_seconds = 0.0;
 
   /// Aggregate sharing ratio over all groups, optionally restricted to one
   /// traversal direction (pass -1 for both, 0 for top-down, 1 for

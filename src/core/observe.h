@@ -1,0 +1,34 @@
+#ifndef IBFS_CORE_OBSERVE_H_
+#define IBFS_CORE_OBSERVE_H_
+
+#include <span>
+#include <string>
+
+#include "core/cluster_engine.h"
+#include "core/engine.h"
+#include "core/options.h"
+#include "graph/csr.h"
+#include "obs/report.h"
+
+namespace ibfs {
+
+/// Bridges engine results into the obs run-report schema. The obs layer
+/// holds only plain structs (it sits below core in the dependency order),
+/// so the conversion from EngineResult / ClusterRunResult lives here.
+
+/// Builds a run report from one engine run. `graph_name` is a display
+/// label (benchmark name or file path); `instances` is the number of BFS
+/// sources the run was asked for.
+obs::RunReport BuildRunReport(const std::string& graph_name,
+                              const graph::Csr& graph,
+                              const EngineOptions& options, int64_t instances,
+                              const EngineResult& result);
+
+/// Attaches the multi-GPU section of a cluster run to an existing report.
+void AttachClusterSection(const ClusterRunResult& cluster,
+                          gpusim::PlacementPolicy policy,
+                          obs::RunReport* report);
+
+}  // namespace ibfs
+
+#endif  // IBFS_CORE_OBSERVE_H_

@@ -6,6 +6,7 @@
 #include "gpusim/device_spec.h"
 #include "ibfs/groupby.h"
 #include "ibfs/runner.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace ibfs {
@@ -38,6 +39,13 @@ struct EngineOptions {
   /// Keep per-instance depth vectors in the result (memory-heavy for large
   /// i; benches that only need timing turn it off).
   bool keep_depths = true;
+
+  /// Telemetry sinks (non-owning; both optional). The engine forwards them
+  /// to the device (kernel spans, gpusim.* counters) and the strategy
+  /// runners (level spans, engine.* metrics), and adds group spans and
+  /// host-side wall-clock phases of its own. Defaults to disabled, which
+  /// costs one null check per instrumentation site.
+  obs::Observer observer;
 
   /// Validates field ranges and cross-field consistency.
   Status Validate() const;

@@ -16,10 +16,15 @@ ClusterRun Cluster::Place(std::span<const double> unit_costs,
                           PlacementPolicy policy) const {
   ClusterRun run;
   run.device_seconds.assign(device_count_, 0.0);
+  run.unit_device.assign(unit_costs.size(), 0);
+  run.unit_start_seconds.assign(unit_costs.size(), 0.0);
   switch (policy) {
     case PlacementPolicy::kRoundRobin: {
       for (size_t i = 0; i < unit_costs.size(); ++i) {
-        run.device_seconds[i % device_count_] += unit_costs[i];
+        const int device = static_cast<int>(i % device_count_);
+        run.unit_device[i] = device;
+        run.unit_start_seconds[i] = run.device_seconds[device];
+        run.device_seconds[device] += unit_costs[i];
       }
       break;
     }
@@ -32,6 +37,10 @@ ClusterRun Cluster::Place(std::span<const double> unit_costs,
       for (size_t i : order) {
         auto least = std::min_element(run.device_seconds.begin(),
                                       run.device_seconds.end());
+        const int device =
+            static_cast<int>(least - run.device_seconds.begin());
+        run.unit_device[i] = device;
+        run.unit_start_seconds[i] = *least;
         *least += unit_costs[i];
       }
       break;

@@ -27,6 +27,12 @@ enum class PlacementPolicy {
 struct ClusterRun {
   /// Per-device busy seconds.
   std::vector<double> device_seconds;
+  /// Device each work unit was placed on (parallel to the input costs) —
+  /// the assignment the trace exporter renders as per-GPU tracks.
+  std::vector<int> unit_device;
+  /// Start offset of each unit on its device (units on one device run
+  /// back to back in placement order).
+  std::vector<double> unit_start_seconds;
   /// Reported time = slowest device (the paper reports "the longest time
   /// consumption of all the GPUs").
   double makespan_seconds = 0.0;

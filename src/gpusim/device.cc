@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace ibfs::gpusim {
@@ -174,9 +175,45 @@ void Device::FinishKernel(KernelScope* scope) {
   stats.launch_count = scope->launch_count_;
   stats.seconds = seconds;
 
+  if (observer_.tracing()) {
+    observer_.tracer->CompleteSpan(
+        observer_.track, scope->tag_, "kernel", elapsed_seconds_ * 1e6,
+        seconds * 1e6,
+        {obs::Arg("load_transactions", stats.mem.load_transactions),
+         obs::Arg("store_transactions", stats.mem.store_transactions),
+         obs::Arg("atomic_ops", stats.mem.atomic_ops),
+         obs::Arg("launches", stats.launch_count),
+         obs::Arg("items", stats.item_count)});
+  }
+  if (metric_kernels_ != nullptr) {
+    metric_kernels_->Increment(stats.launch_count);
+    metric_load_txn_->Increment(
+        static_cast<int64_t>(stats.mem.load_transactions));
+    metric_store_txn_->Increment(
+        static_cast<int64_t>(stats.mem.store_transactions));
+    metric_atomics_->Increment(static_cast<int64_t>(stats.mem.atomic_ops));
+  }
+
   elapsed_seconds_ += seconds;
   totals_.Add(stats);
   phases_[scope->tag_].Add(stats);
+}
+
+void Device::SetObserver(const obs::Observer& observer) {
+  observer_ = observer;
+  if (observer_.metering()) {
+    metric_kernels_ = observer_.metrics->GetCounter("gpusim.kernel_launches");
+    metric_load_txn_ =
+        observer_.metrics->GetCounter("gpusim.load_transactions");
+    metric_store_txn_ =
+        observer_.metrics->GetCounter("gpusim.store_transactions");
+    metric_atomics_ = observer_.metrics->GetCounter("gpusim.atomic_ops");
+  } else {
+    metric_kernels_ = nullptr;
+    metric_load_txn_ = nullptr;
+    metric_store_txn_ = nullptr;
+    metric_atomics_ = nullptr;
+  }
 }
 
 KernelStats Device::PhaseStats(std::string_view tag) const {

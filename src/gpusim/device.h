@@ -9,6 +9,11 @@
 
 #include "gpusim/device_spec.h"
 #include "gpusim/memory_model.h"
+#include "obs/trace.h"
+
+namespace ibfs::obs {
+class Counter;
+}  // namespace ibfs::obs
 
 namespace ibfs::gpusim {
 
@@ -134,6 +139,14 @@ class Device {
   /// Clears all counters and simulated time.
   void ResetStats();
 
+  /// Attaches an observer: every finished kernel then emits one trace span
+  /// (cat "kernel", simulated-time track from the observer) and bumps the
+  /// gpusim.* metric counters. Default observer = disabled; the hot path
+  /// then pays one null-pointer check per kernel.
+  void SetObserver(const obs::Observer& observer);
+
+  const obs::Observer& observer() const { return observer_; }
+
  private:
   friend class KernelScope;
 
@@ -145,6 +158,12 @@ class Device {
   double elapsed_seconds_ = 0.0;
   KernelStats totals_;
   std::map<std::string, KernelStats> phases_;
+  obs::Observer observer_;
+  // Metric handles cached at SetObserver time (null when metering is off).
+  obs::Counter* metric_kernels_ = nullptr;
+  obs::Counter* metric_load_txn_ = nullptr;
+  obs::Counter* metric_store_txn_ = nullptr;
+  obs::Counter* metric_atomics_ = nullptr;
 };
 
 }  // namespace ibfs::gpusim

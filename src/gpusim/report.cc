@@ -5,28 +5,62 @@
 #include "util/csv.h"
 
 namespace ibfs::gpusim {
+namespace {
+
+ProfileRow MakeRow(const std::string& name, const KernelStats& st,
+                   double elapsed_seconds) {
+  ProfileRow row;
+  row.phase = name;
+  row.seconds = st.seconds;
+  row.percent =
+      elapsed_seconds > 0 ? 100.0 * st.seconds / elapsed_seconds : 0.0;
+  row.launches = st.launch_count;
+  row.load_transactions = st.mem.load_transactions;
+  row.store_transactions = st.mem.store_transactions;
+  row.load_requests = st.mem.load_requests;
+  row.store_requests = st.mem.store_requests;
+  row.load_transactions_per_request = st.mem.LoadTransactionsPerRequest();
+  row.atomic_ops = st.mem.atomic_ops;
+  row.shared_bytes = st.mem.shared_bytes;
+  return row;
+}
+
+}  // namespace
+
+std::vector<ProfileRow> ProfileRows(
+    const std::map<std::string, KernelStats>& phases,
+    const KernelStats& totals, double elapsed_seconds) {
+  std::vector<ProfileRow> rows;
+  rows.reserve(phases.size() + 1);
+  for (const auto& [tag, stats] : phases) {
+    rows.push_back(MakeRow(tag, stats, elapsed_seconds));
+  }
+  rows.push_back(MakeRow(kTotalRowName, totals, elapsed_seconds));
+  return rows;
+}
+
+std::vector<ProfileRow> ProfileRows(const Device& device) {
+  return ProfileRows(device.phases(), device.totals(),
+                     device.elapsed_seconds());
+}
 
 std::string FormatProfile(const std::map<std::string, KernelStats>& phases,
                           const KernelStats& totals,
                           double elapsed_seconds) {
   ibfs::CsvTable table({"phase", "time_ms", "pct", "launches", "gld_txn",
                         "gst_txn", "gld_per_req", "atomics", "shared_KiB"});
-  auto add_row = [&](const std::string& name, const KernelStats& st) {
+  for (const ProfileRow& row : ProfileRows(phases, totals, elapsed_seconds)) {
     table.Row()
-        .Add(name)
-        .Add(st.seconds * 1e3, 3)
-        .Add(elapsed_seconds > 0 ? 100.0 * st.seconds / elapsed_seconds
-                                 : 0.0,
-             1)
-        .Add(st.launch_count)
-        .Add(st.mem.load_transactions)
-        .Add(st.mem.store_transactions)
-        .Add(st.mem.LoadTransactionsPerRequest(), 2)
-        .Add(st.mem.atomic_ops)
-        .Add(static_cast<double>(st.mem.shared_bytes) / 1024.0, 1);
-  };
-  for (const auto& [tag, stats] : phases) add_row(tag, stats);
-  add_row("TOTAL", totals);
+        .Add(row.phase)
+        .Add(row.seconds * 1e3, 3)
+        .Add(row.percent, 1)
+        .Add(row.launches)
+        .Add(row.load_transactions)
+        .Add(row.store_transactions)
+        .Add(row.load_transactions_per_request, 2)
+        .Add(row.atomic_ops)
+        .Add(static_cast<double>(row.shared_bytes) / 1024.0, 1);
+  }
   std::ostringstream os;
   table.Print(os);
   return os.str();

@@ -1,12 +1,43 @@
 #ifndef IBFS_GPUSIM_REPORT_H_
 #define IBFS_GPUSIM_REPORT_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "gpusim/device.h"
 
 namespace ibfs::gpusim {
+
+/// One row of the per-phase profile: the structured form shared by the
+/// nvprof-style text table and the JSON run report, so both render the
+/// same numbers from one code path. The final row is the totals row,
+/// named kTotalRowName.
+struct ProfileRow {
+  std::string phase;
+  double seconds = 0.0;
+  double percent = 0.0;
+  int64_t launches = 0;
+  uint64_t load_transactions = 0;
+  uint64_t store_transactions = 0;
+  uint64_t load_requests = 0;
+  uint64_t store_requests = 0;
+  double load_transactions_per_request = 0.0;
+  uint64_t atomic_ops = 0;
+  uint64_t shared_bytes = 0;
+};
+
+inline constexpr const char* kTotalRowName = "TOTAL";
+
+/// Builds the profile rows (one per phase tag, plus the totals row last)
+/// from an explicit phase map — e.g. an EngineResult's snapshot.
+std::vector<ProfileRow> ProfileRows(
+    const std::map<std::string, KernelStats>& phases,
+    const KernelStats& totals, double elapsed_seconds);
+
+/// Same, from a device's accumulated counters.
+std::vector<ProfileRow> ProfileRows(const Device& device);
 
 /// Renders a device's accumulated per-phase counters as an
 /// nvprof-style text table: one row per kernel tag with simulated time,

@@ -3,6 +3,7 @@
 
 #include "gpusim/warp.h"
 #include "ibfs/bitwise_status_array.h"
+#include "ibfs/level_observer.h"
 #include "ibfs/status_array.h"
 #include "ibfs/strategies.h"
 #include "util/bitops.h"
@@ -355,12 +356,14 @@ void BitwiseRunner::GenerateFrontier(gpusim::KernelScope* scope) {
 
 GroupResult BitwiseRunner::Run() {
   InitSources();
+  LevelObserver level_observer(options_.observer, device_);
   while (!finished_) {
     LevelTrace lt;
     lt.level = level_;
     lt.bottom_up = bottom_up_;
     lt.jfq_size = static_cast<int64_t>(jfq_.size());
     lt.private_fq_sum = pending_private_fq_sum_;
+    level_observer.LevelStart(lt.jfq_size);
     level_new_visits_ = 0;
     level_inspections_ = 0;
     {
@@ -375,6 +378,7 @@ GroupResult BitwiseRunner::Run() {
     }
     lt.edges_inspected = level_inspections_;
     lt.new_visits = level_new_visits_;
+    level_observer.LevelEnd(lt, bottom_up_, finished_);
     trace_.levels.push_back(lt);
   }
 

@@ -119,6 +119,7 @@ Grouping GroupByOutdegree(const graph::Csr& graph,
     for (; i + group_size <= members.size(); i += group_size) {
       result.groups.emplace_back(members.begin() + i,
                                  members.begin() + i + group_size);
+      result.group_hubs.push_back(key);
     }
     tail_pool.insert(tail_pool.end(), members.begin() + i, members.end());
   }
@@ -134,6 +135,7 @@ Grouping GroupByOutdegree(const graph::Csr& graph,
     tail_pool.insert(tail_pool.end(), leftovers.begin(), leftovers.end());
   }
   ChunkInto(tail_pool, group_size, &result.groups);
+  result.group_hubs.resize(result.groups.size(), -1);
   return result;
 }
 
@@ -146,6 +148,7 @@ Grouping RandomGrouping(std::span<const graph::VertexId> sources,
     std::swap(shuffled[i - 1], shuffled[prng.NextBounded(i)]);
   }
   ChunkInto(shuffled, std::max(1, group_size), &result.groups);
+  result.group_hubs.assign(result.groups.size(), -1);
   return result;
 }
 
@@ -153,6 +156,7 @@ Grouping ChunkGrouping(std::span<const graph::VertexId> sources,
                        int group_size) {
   Grouping result;
   ChunkInto(sources, std::max(1, group_size), &result.groups);
+  result.group_hubs.assign(result.groups.size(), -1);
   return result;
 }
 

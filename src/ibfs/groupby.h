@@ -39,6 +39,11 @@ struct Grouping {
   std::vector<std::vector<graph::VertexId>> groups;
   /// Sources placed via Rules 1+2 (the rest were grouped randomly).
   int64_t rule_matched = 0;
+  /// Parallel to `groups`: the hub vertex each group was bucketed on, or
+  /// -1 when the group was formed without a hub (random / in-order /
+  /// combined leftover tails). Feeds the run report's grouping-decision
+  /// section.
+  std::vector<int64_t> group_hubs;
 };
 
 /// Applies the GroupBy rules: sources with outdegree < p that reach a

@@ -4,6 +4,7 @@
 
 #include "gpusim/warp.h"
 #include "ibfs/frontier_queue.h"
+#include "ibfs/level_observer.h"
 #include "ibfs/status_array.h"
 #include "ibfs/strategies.h"
 
@@ -309,12 +310,14 @@ void JointRunner::GenerateFrontier(gpusim::KernelScope* scope) {
 
 GroupResult JointRunner::Run() {
   InitSources();
+  LevelObserver level_observer(options_.observer, device_);
   while (!finished_) {
     LevelTrace lt;
     lt.level = level_;
     lt.bottom_up = bottom_up_;
     lt.jfq_size = jfq_.size();
     lt.private_fq_sum = pending_private_fq_sum_;
+    level_observer.LevelStart(lt.jfq_size);
     level_new_visits_ = 0;
     level_inspections_ = 0;
     // Accumulates the discovered pairs' outdegrees during this level only,
@@ -333,6 +336,7 @@ GroupResult JointRunner::Run() {
     }
     lt.edges_inspected = level_inspections_;
     lt.new_visits = level_new_visits_;
+    level_observer.LevelEnd(lt, bottom_up_, finished_);
     trace_.levels.push_back(lt);
   }
 

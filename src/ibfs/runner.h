@@ -8,6 +8,7 @@
 #include "gpusim/device.h"
 #include "graph/csr.h"
 #include "ibfs/trace.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace ibfs {
@@ -77,6 +78,12 @@ struct TraversalOptions {
   /// Never switch to bottom-up (the SpMM-BC-like baseline of Figure 22
   /// "does not support bottom-up BFS").
   bool force_top_down = false;
+
+  /// Telemetry sinks (non-owning). When the tracer is set, runners emit a
+  /// span per traversal level plus direction-switch markers; when the
+  /// metrics registry is set, they bump engine.* counters/histograms.
+  /// Default = disabled; the per-level cost is then a null check.
+  obs::Observer observer;
 
   static constexpr int kMaxTraversalLevel = 0xFE;
 };

@@ -1,0 +1,111 @@
+#ifndef IBFS_OBS_JSON_H_
+#define IBFS_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ibfs::obs {
+
+/// Minimal JSON support for the observability layer: a streaming writer
+/// (used by the metrics snapshot, the Chrome-trace serializer, and the run
+/// report) and a small recursive-descent parser (used by ValidateTraceFile
+/// and the tests to parse emitted documents back). No external dependency —
+/// the formats stay verifiable from plain ctest.
+
+/// Appends the JSON string-literal encoding of `s` (including the
+/// surrounding quotes) to `os`, escaping control characters.
+void WriteJsonString(std::ostream& os, std::string_view s);
+
+/// Writes a double the way JSON requires: no NaN/Inf (clamped to 0),
+/// round-trippable precision, integral values without exponent noise.
+void WriteJsonNumber(std::ostream& os, double value);
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///   JsonWriter w(os);
+///   w.BeginObject();
+///   w.Key("name"); w.String("td_inspect");
+///   w.Key("levels"); w.BeginArray(); w.Int(3); w.EndArray();
+///   w.EndObject();
+/// The writer does not pretty-print; documents are single-line.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+  /// Splices a pre-serialized JSON value verbatim (caller guarantees
+  /// validity); used to embed a metrics snapshot into a run report.
+  void Raw(std::string_view json);
+
+ private:
+  void BeforeValue();
+
+  std::ostream& os_;
+  // One frame per open container: true once the first element was written.
+  std::vector<bool> wrote_element_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value (tree form). Arrays/objects own their children.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  static JsonValue Null();
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Reads and parses a JSON file.
+Result<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace ibfs::obs
+
+#endif  // IBFS_OBS_JSON_H_

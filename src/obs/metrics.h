@@ -1,0 +1,139 @@
+#ifndef IBFS_OBS_METRICS_H_
+#define IBFS_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ibfs::obs {
+
+/// Low-overhead metrics: named counters, gauges, and fixed-bucket
+/// histograms held in a registry, exported as one JSON snapshot.
+///
+/// Naming convention (see docs/OBSERVABILITY.md): lower_snake_case path
+/// segments joined by dots, `<subsystem>.<noun>[_<unit>]`, e.g.
+/// `engine.levels`, `gpusim.load_transactions`, `ibfs.bu_search_length`.
+///
+/// Instrumented code caches the handle once (`Counter* c =
+/// registry->GetCounter("engine.levels")`) and then pays one pointer
+/// indirection plus an integer add per event; with no registry configured
+/// the instrumentation sites skip on a null-pointer check, which is the
+/// near-zero-cost disabled path.
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  int64_t value_ = 0;
+};
+
+/// Last-written-value metric.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// finite buckets, ascending; one overflow bucket catches the rest. A
+/// sample v lands in the first bucket with v <= bounds[i].
+class Histogram {
+ public:
+  Histogram(std::string name, std::span<const double> bounds);
+
+  void Observe(double value);
+
+  const std::string& name() const { return name_; }
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double Mean() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<int64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Owns all metrics of one run (or process). Handles returned by the
+/// getters are stable for the registry's lifetime. Not thread-safe — the
+/// simulator is single-threaded; revisit alongside any engine threading.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the named metric, creating it on first use. A histogram's
+  /// bucket bounds are fixed by the first call; later calls ignore theirs.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name,
+                          std::span<const double> bounds);
+
+  /// Lookup without creation; nullptr when the metric does not exist.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Drops every metric (tests; long-lived processes between runs).
+  void Clear();
+
+  /// Snapshot as one JSON object:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"n":{"count":..,"sum":..,"min":..,"max":..,
+  ///                       "bounds":[..],"buckets":[..]}}}
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+  /// Process-wide default registry, used by the bench harness and anything
+  /// without a per-run registry to hand around.
+  static MetricsRegistry& Global();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Geometrically spaced histogram bounds {1, 2, 4, ...}: `count` powers of
+/// two starting at `first` — the workhorse layout for size-like metrics.
+std::vector<double> PowerOfTwoBounds(double first, int count);
+
+}  // namespace ibfs::obs
+
+#endif  // IBFS_OBS_METRICS_H_

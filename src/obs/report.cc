@@ -1,0 +1,170 @@
+#include "obs/report.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace ibfs::obs {
+namespace {
+
+void WritePhase(JsonWriter* w, const ReportPhase& phase) {
+  w->BeginObject();
+  w->Key("name");
+  w->String(phase.name);
+  w->Key("seconds");
+  w->Double(phase.seconds);
+  w->Key("launches");
+  w->Int(phase.launches);
+  w->Key("load_transactions");
+  w->Uint(phase.load_transactions);
+  w->Key("store_transactions");
+  w->Uint(phase.store_transactions);
+  w->Key("load_requests");
+  w->Uint(phase.load_requests);
+  w->Key("store_requests");
+  w->Uint(phase.store_requests);
+  w->Key("load_transactions_per_request");
+  w->Double(phase.load_transactions_per_request);
+  w->Key("atomic_ops");
+  w->Uint(phase.atomic_ops);
+  w->Key("shared_bytes");
+  w->Uint(phase.shared_bytes);
+  w->EndObject();
+}
+
+}  // namespace
+
+void RunReport::WriteJson(std::ostream& os,
+                          const MetricsRegistry* metrics) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("schema");
+  w.String(kSchema);
+  w.Key("schema_version");
+  w.Int(kSchemaVersion);
+
+  w.Key("workload");
+  w.BeginObject();
+  w.Key("graph");
+  w.String(graph);
+  w.Key("vertex_count");
+  w.Int(vertex_count);
+  w.Key("edge_count");
+  w.Int(edge_count);
+  w.Key("strategy");
+  w.String(strategy);
+  w.Key("grouping");
+  w.String(grouping);
+  w.Key("instances");
+  w.Int(instances);
+  w.Key("group_size");
+  w.Int(group_size);
+  w.EndObject();
+
+  w.Key("results");
+  w.BeginObject();
+  w.Key("sim_seconds");
+  w.Double(sim_seconds);
+  w.Key("wall_seconds");
+  w.Double(wall_seconds);
+  w.Key("teps");
+  w.Double(teps);
+  w.Key("sharing_ratio");
+  w.Double(sharing_ratio);
+  w.Key("sharing_ratio_top_down");
+  w.Double(sharing_ratio_top_down);
+  w.Key("sharing_ratio_bottom_up");
+  w.Double(sharing_ratio_bottom_up);
+  w.Key("rule_matched");
+  w.Int(rule_matched);
+  w.EndObject();
+
+  w.Key("groups");
+  w.BeginArray();
+  for (const ReportGroup& g : groups) {
+    w.BeginObject();
+    w.Key("index");
+    w.Int(g.index);
+    w.Key("instance_count");
+    w.Int(g.instance_count);
+    w.Key("sim_seconds");
+    w.Double(g.sim_seconds);
+    w.Key("sharing_degree");
+    w.Double(g.sharing_degree);
+    w.Key("sharing_ratio");
+    w.Double(g.sharing_ratio);
+    w.Key("hub");
+    w.Int(g.hub);
+    w.Key("sources");
+    w.BeginArray();
+    for (int64_t s : g.sources) w.Int(s);
+    w.EndArray();
+    w.Key("levels");
+    w.BeginArray();
+    for (const ReportLevel& l : g.levels) {
+      w.BeginObject();
+      w.Key("level");
+      w.Int(l.level);
+      w.Key("direction");
+      w.String(l.bottom_up ? "bottom_up" : "top_down");
+      w.Key("jfq_size");
+      w.Int(l.jfq_size);
+      w.Key("private_fq_sum");
+      w.Int(l.private_fq_sum);
+      w.Key("edges_inspected");
+      w.Int(l.edges_inspected);
+      w.Key("new_visits");
+      w.Int(l.new_visits);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("phases");
+  w.BeginArray();
+  for (const ReportPhase& phase : phases) WritePhase(&w, phase);
+  w.EndArray();
+  w.Key("totals");
+  WritePhase(&w, totals);
+
+  if (has_cluster) {
+    w.Key("cluster");
+    w.BeginObject();
+    w.Key("device_count");
+    w.Int(cluster.device_count);
+    w.Key("policy");
+    w.String(cluster.policy);
+    w.Key("makespan_seconds");
+    w.Double(cluster.makespan_seconds);
+    w.Key("speedup");
+    w.Double(cluster.speedup);
+    w.Key("teps");
+    w.Double(cluster.teps);
+    w.Key("device_seconds");
+    w.BeginArray();
+    for (double s : cluster.device_seconds) w.Double(s);
+    w.EndArray();
+    w.EndObject();
+  }
+
+  if (metrics != nullptr) {
+    w.Key("metrics");
+    w.Raw(metrics->ToJson());
+  }
+  w.EndObject();
+}
+
+Status RunReport::WriteFile(const std::string& path,
+                            const MetricsRegistry* metrics) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WriteJson(out, metrics);
+  out << '\n';
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace ibfs::obs

@@ -1,0 +1,111 @@
+#ifndef IBFS_OBS_REPORT_H_
+#define IBFS_OBS_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ibfs::obs {
+
+class MetricsRegistry;
+
+/// The machine-readable run report: one JSON document unifying what the
+/// text UI scatters across `--profile` tables, GroupTrace getters, and
+/// stdout lines. Schema name "ibfs.run_report", versioned; see
+/// docs/OBSERVABILITY.md for the field reference. The structs here are
+/// deliberately plain (no engine types) so the obs layer stays below core;
+/// core/observe.h converts an EngineResult into this schema.
+
+/// One traversal level of one group (mirrors ibfs::LevelTrace).
+struct ReportLevel {
+  int level = 0;
+  bool bottom_up = false;
+  int64_t jfq_size = 0;
+  int64_t private_fq_sum = 0;
+  int64_t edges_inspected = 0;
+  int64_t new_visits = 0;
+};
+
+/// One executed BFS group.
+struct ReportGroup {
+  int index = 0;
+  int instance_count = 0;
+  double sim_seconds = 0.0;
+  double sharing_degree = 0.0;
+  double sharing_ratio = 0.0;
+  /// GroupBy hub vertex this group was bucketed on; -1 when the group was
+  /// formed randomly (leftovers, or a non-GroupBy policy).
+  int64_t hub = -1;
+  std::vector<int64_t> sources;
+  std::vector<ReportLevel> levels;
+};
+
+/// One kernel phase's aggregated device counters (mirrors
+/// gpusim::ProfileRow / the nvprof-style table).
+struct ReportPhase {
+  std::string name;
+  double seconds = 0.0;
+  int64_t launches = 0;
+  uint64_t load_transactions = 0;
+  uint64_t store_transactions = 0;
+  uint64_t load_requests = 0;
+  uint64_t store_requests = 0;
+  double load_transactions_per_request = 0.0;
+  uint64_t atomic_ops = 0;
+  uint64_t shared_bytes = 0;
+};
+
+/// Multi-GPU section (present for `cluster` runs).
+struct ReportCluster {
+  int device_count = 0;
+  std::string policy;
+  double makespan_seconds = 0.0;
+  double speedup = 0.0;
+  double teps = 0.0;
+  std::vector<double> device_seconds;
+};
+
+/// Top-level run report.
+struct RunReport {
+  static constexpr const char* kSchema = "ibfs.run_report";
+  static constexpr int kSchemaVersion = 1;
+
+  // Workload.
+  std::string graph;
+  int64_t vertex_count = 0;
+  int64_t edge_count = 0;
+  std::string strategy;
+  std::string grouping;
+  int64_t instances = 0;
+  int64_t group_size = 0;
+
+  // Headline results.
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+  double teps = 0.0;
+  double sharing_ratio = 0.0;
+  double sharing_ratio_top_down = 0.0;
+  double sharing_ratio_bottom_up = 0.0;
+  int64_t rule_matched = 0;
+
+  std::vector<ReportGroup> groups;
+  std::vector<ReportPhase> phases;
+  ReportPhase totals;
+
+  bool has_cluster = false;
+  ReportCluster cluster;
+
+  /// Serializes the report; when `metrics` is non-null its snapshot is
+  /// embedded under the "metrics" key.
+  void WriteJson(std::ostream& os,
+                 const MetricsRegistry* metrics = nullptr) const;
+  Status WriteFile(const std::string& path,
+                   const MetricsRegistry* metrics = nullptr) const;
+};
+
+}  // namespace ibfs::obs
+
+#endif  // IBFS_OBS_REPORT_H_

@@ -1,0 +1,184 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/logging.h"
+
+namespace ibfs::obs {
+
+TraceArg Arg(std::string_view key, std::string_view value) {
+  return {std::string(key), std::string(value), /*quoted=*/true};
+}
+
+TraceArg Arg(std::string_view key, const char* value) {
+  return Arg(key, std::string_view(value));
+}
+
+TraceArg Arg(std::string_view key, int64_t value) {
+  return {std::string(key), std::to_string(value), /*quoted=*/false};
+}
+
+TraceArg Arg(std::string_view key, int value) {
+  return Arg(key, static_cast<int64_t>(value));
+}
+
+TraceArg Arg(std::string_view key, uint64_t value) {
+  return {std::string(key), std::to_string(value), /*quoted=*/false};
+}
+
+TraceArg Arg(std::string_view key, double value) {
+  std::ostringstream os;
+  WriteJsonNumber(os, value);
+  return {std::string(key), os.str(), /*quoted=*/false};
+}
+
+TraceArg Arg(std::string_view key, bool value) {
+  return {std::string(key), value ? "true" : "false", /*quoted=*/false};
+}
+
+void Tracer::SetProcessName(int pid, std::string_view name) {
+  Event e;
+  e.ph = 'M';
+  e.name = "process_name";
+  e.pid = pid;
+  e.tid = 0;
+  e.args.push_back(Arg("name", name));
+  events_.push_back(std::move(e));
+}
+
+void Tracer::SetThreadName(int pid, int tid, std::string_view name) {
+  Event e;
+  e.ph = 'M';
+  e.name = "thread_name";
+  e.pid = pid;
+  e.tid = tid;
+  e.args.push_back(Arg("name", name));
+  events_.push_back(std::move(e));
+}
+
+void Tracer::CompleteSpan(TraceTrack track, std::string_view name,
+                          std::string_view category, double ts_us,
+                          double dur_us, std::vector<TraceArg> args) {
+  Event e;
+  e.ph = 'X';
+  e.name = std::string(name);
+  e.category = std::string(category);
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.pid = track.pid;
+  e.tid = track.tid;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::BeginSpan(TraceTrack track, std::string_view name,
+                       std::string_view category, double ts_us) {
+  open_spans_[{track.pid, track.tid}].push_back(
+      {std::string(name), std::string(category), ts_us});
+}
+
+void Tracer::EndSpan(TraceTrack track, double ts_us,
+                     std::vector<TraceArg> args) {
+  auto it = open_spans_.find({track.pid, track.tid});
+  if (it == open_spans_.end() || it->second.empty()) {
+    IBFS_LOG(Warning) << "EndSpan with no open span on track (" << track.pid
+                      << "," << track.tid << ")";
+    return;
+  }
+  OpenSpan span = std::move(it->second.back());
+  it->second.pop_back();
+  CompleteSpan(track, span.name, span.category, span.ts_us,
+               ts_us - span.ts_us, std::move(args));
+}
+
+size_t Tracer::OpenSpans(TraceTrack track) const {
+  auto it = open_spans_.find({track.pid, track.tid});
+  return it == open_spans_.end() ? 0 : it->second.size();
+}
+
+void Tracer::Instant(TraceTrack track, std::string_view name, double ts_us,
+                     std::vector<TraceArg> args) {
+  Event e;
+  e.ph = 'i';
+  e.name = std::string(name);
+  e.ts_us = ts_us;
+  e.pid = track.pid;
+  e.tid = track.tid;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::CounterValue(TraceTrack track, std::string_view series,
+                          double ts_us, double value) {
+  Event e;
+  e.ph = 'C';
+  e.name = std::string(series);
+  e.ts_us = ts_us;
+  e.pid = track.pid;
+  e.tid = track.tid;
+  e.args.push_back(Arg("value", value));
+  events_.push_back(std::move(e));
+}
+
+void Tracer::WriteJson(std::ostream& os) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const Event& e : events_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(e.name);
+    w.Key("ph");
+    w.String(std::string_view(&e.ph, 1));
+    if (!e.category.empty()) {
+      w.Key("cat");
+      w.String(e.category);
+    }
+    w.Key("ts");
+    w.Double(e.ts_us);
+    if (e.ph == 'X') {
+      w.Key("dur");
+      w.Double(e.dur_us);
+    }
+    if (e.ph == 'i') {
+      w.Key("s");
+      w.String("t");
+    }
+    w.Key("pid");
+    w.Int(e.pid);
+    w.Key("tid");
+    w.Int(e.tid);
+    if (!e.args.empty()) {
+      w.Key("args");
+      w.BeginObject();
+      for (const TraceArg& arg : e.args) {
+        w.Key(arg.key);
+        if (arg.quoted) {
+          w.String(arg.value);
+        } else {
+          w.Raw(arg.value);
+        }
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.EndObject();
+}
+
+Status Tracer::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WriteJson(out);
+  out << '\n';
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace ibfs::obs

@@ -1,0 +1,149 @@
+#ifndef IBFS_OBS_TRACE_H_
+#define IBFS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ibfs::obs {
+
+class MetricsRegistry;
+
+/// Span-based tracing that serializes to the Chrome trace-event JSON format
+/// (the "JSON Array Format" consumed by chrome://tracing and Perfetto).
+///
+/// Track model: a (pid, tid) pair is one horizontal track in the viewer.
+/// The engine emits simulated-time spans on pid = device index (one process
+/// per simulated GPU, so a cluster run renders as per-GPU tracks); host
+/// wall-clock phases (grouping, I/O) live on kHostPid so the two timebases
+/// never share a track. Timestamps are microseconds.
+///
+/// Span taxonomy (docs/OBSERVABILITY.md):
+///   cat "group"     — one BFS group's traversal        (engine)
+///   cat "level"     — one traversal level, args direction/jfq_size/...
+///   cat "kernel"    — one simulated kernel launch      (gpusim::Device)
+///   cat "host"      — wall-clock host phases           (engine, CLI)
+///   cat "cluster"   — scheduled group execution on a cluster GPU
+///   instant "direction_switch" — td/bu flip markers
+///   counter "jfq_size" — joint-frontier-queue occupancy over time
+
+/// Reserved pid for host wall-clock tracks (simulated devices use 0..N-1).
+inline constexpr int kHostPid = 1000;
+
+/// One key/value span annotation, pre-serialized. Use the Arg() helpers.
+struct TraceArg {
+  std::string key;
+  std::string value;  // JSON literal body (unescaped text when quoted)
+  bool quoted = false;
+};
+
+TraceArg Arg(std::string_view key, std::string_view value);
+TraceArg Arg(std::string_view key, const char* value);
+TraceArg Arg(std::string_view key, int64_t value);
+TraceArg Arg(std::string_view key, int value);
+TraceArg Arg(std::string_view key, uint64_t value);
+TraceArg Arg(std::string_view key, double value);
+TraceArg Arg(std::string_view key, bool value);
+
+/// Addressing for one track.
+struct TraceTrack {
+  int pid = 0;
+  int tid = 0;
+};
+
+/// Collects trace events in memory and writes them as one Chrome-trace
+/// JSON document. Event storage is append-only; a disabled trace is
+/// represented by a null Tracer* at the instrumentation site, so the
+/// disabled path is one pointer compare. Not thread-safe (the simulator is
+/// single-threaded).
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Names the viewer track headers ("GPU 0", "host"); last write wins.
+  void SetProcessName(int pid, std::string_view name);
+  void SetThreadName(int pid, int tid, std::string_view name);
+
+  /// A complete span with explicit begin/duration (simulated timelines
+  /// know both up front). "ph":"X".
+  void CompleteSpan(TraceTrack track, std::string_view name,
+                    std::string_view category, double ts_us, double dur_us,
+                    std::vector<TraceArg> args = {});
+
+  /// Nestable spans: Begin pushes onto the track's stack, End pops and
+  /// emits the complete event (args attach at End, when results are
+  /// known). An unmatched End is dropped with a warning.
+  void BeginSpan(TraceTrack track, std::string_view name,
+                 std::string_view category, double ts_us);
+  void EndSpan(TraceTrack track, double ts_us,
+               std::vector<TraceArg> args = {});
+  /// Open (begun, unended) spans on one track — 0 when balanced.
+  size_t OpenSpans(TraceTrack track) const;
+
+  /// A zero-duration marker ("ph":"i", thread scope).
+  void Instant(TraceTrack track, std::string_view name, double ts_us,
+               std::vector<TraceArg> args = {});
+
+  /// A counter sample ("ph":"C") — renders as a stacked area chart.
+  void CounterValue(TraceTrack track, std::string_view series, double ts_us,
+                    double value);
+
+  size_t event_count() const { return events_.size(); }
+
+  /// Serializes {"traceEvents":[...],"displayTimeUnit":"ms"}. Open spans
+  /// are not emitted; call EndSpan first.
+  void WriteJson(std::ostream& os) const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph = 'X';
+    std::string name;
+    std::string category;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    int pid = 0;
+    int tid = 0;
+    std::vector<TraceArg> args;
+  };
+  struct OpenSpan {
+    std::string name;
+    std::string category;
+    double ts_us = 0.0;
+  };
+
+  std::vector<Event> events_;
+  std::map<std::pair<int, int>, std::vector<OpenSpan>> open_spans_;
+};
+
+/// The bundle instrumented code receives: an optional tracer plus the
+/// track to emit on, and an optional metrics registry. Default-constructed
+/// = observability off; every site guards with a null check.
+struct Observer {
+  Tracer* tracer = nullptr;
+  TraceTrack track;
+  MetricsRegistry* metrics = nullptr;
+
+  bool tracing() const { return tracer != nullptr; }
+  bool metering() const { return metrics != nullptr; }
+  bool enabled() const { return tracing() || metering(); }
+
+  /// Same sinks, different track (cluster engines fan out per-GPU).
+  Observer WithTrack(int pid, int tid) const {
+    Observer o = *this;
+    o.track = {pid, tid};
+    return o;
+  }
+};
+
+}  // namespace ibfs::obs
+
+#endif  // IBFS_OBS_TRACE_H_

@@ -1,0 +1,281 @@
+#include "obs/validate.h"
+
+#include <cmath>
+#include <string>
+
+namespace ibfs::obs {
+namespace {
+
+Status Bad(const std::string& what) {
+  return Status::InvalidArgument(what);
+}
+
+const JsonValue* RequireMember(const JsonValue& obj, const std::string& key,
+                               JsonValue::Kind kind, Status* status,
+                               const std::string& where) {
+  const JsonValue* member = obj.Find(key);
+  if (member == nullptr) {
+    *status = Bad(where + ": missing \"" + key + "\"");
+    return nullptr;
+  }
+  if (member->kind() != kind) {
+    *status = Bad(where + ": \"" + key + "\" has wrong type");
+    return nullptr;
+  }
+  return member;
+}
+
+Status ValidatePhaseObject(const JsonValue& phase, const std::string& where) {
+  Status st;
+  if (!phase.is_object()) return Bad(where + ": phase is not an object");
+  if (RequireMember(phase, "name", JsonValue::Kind::kString, &st, where) ==
+      nullptr) {
+    return st;
+  }
+  for (const char* key :
+       {"seconds", "launches", "load_transactions", "store_transactions",
+        "load_requests", "store_requests", "load_transactions_per_request",
+        "atomic_ops", "shared_bytes"}) {
+    if (RequireMember(phase, key, JsonValue::Kind::kNumber, &st, where) ==
+        nullptr) {
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateTrace(const JsonValue& doc, bool require_spans) {
+  if (!doc.is_object()) return Bad("trace: top level is not an object");
+  Status st;
+  const JsonValue* events = RequireMember(
+      doc, "traceEvents", JsonValue::Kind::kArray, &st, "trace");
+  if (events == nullptr) return st;
+  size_t span_count = 0;
+  size_t index = 0;
+  for (const JsonValue& event : events->array()) {
+    const std::string where = "trace event " + std::to_string(index++);
+    if (!event.is_object()) return Bad(where + ": not an object");
+    const JsonValue* ph =
+        RequireMember(event, "ph", JsonValue::Kind::kString, &st, where);
+    if (ph == nullptr) return st;
+    if (ph->string_value().size() != 1) {
+      return Bad(where + ": \"ph\" must be one character");
+    }
+    if (RequireMember(event, "name", JsonValue::Kind::kString, &st, where) ==
+        nullptr) {
+      return st;
+    }
+    for (const char* key : {"pid", "tid"}) {
+      if (RequireMember(event, key, JsonValue::Kind::kNumber, &st, where) ==
+          nullptr) {
+        return st;
+      }
+    }
+    const char phase = ph->string_value()[0];
+    if (phase != 'M') {
+      if (RequireMember(event, "ts", JsonValue::Kind::kNumber, &st, where) ==
+          nullptr) {
+        return st;
+      }
+    }
+    if (phase == 'X') {
+      const JsonValue* dur =
+          RequireMember(event, "dur", JsonValue::Kind::kNumber, &st, where);
+      if (dur == nullptr) return st;
+      if (dur->number_value() < 0.0) {
+        return Bad(where + ": negative span duration");
+      }
+      ++span_count;
+    }
+  }
+  if (require_spans && span_count == 0) {
+    return Bad("trace: no complete spans (\"ph\":\"X\") recorded");
+  }
+  return Status::OK();
+}
+
+Status ValidateTraceFile(const std::string& path, bool require_spans) {
+  Result<JsonValue> doc = ParseJsonFile(path);
+  if (!doc.ok()) return doc.status();
+  return ValidateTrace(doc.value(), require_spans);
+}
+
+Status ValidateRunReport(const JsonValue& doc) {
+  if (!doc.is_object()) return Bad("report: top level is not an object");
+  Status st;
+  const JsonValue* schema =
+      RequireMember(doc, "schema", JsonValue::Kind::kString, &st, "report");
+  if (schema == nullptr) return st;
+  if (schema->string_value() != "ibfs.run_report") {
+    return Bad("report: unexpected schema \"" + schema->string_value() +
+               "\"");
+  }
+  const JsonValue* version = RequireMember(
+      doc, "schema_version", JsonValue::Kind::kNumber, &st, "report");
+  if (version == nullptr) return st;
+  if (version->number_value() < 1) return Bad("report: bad schema_version");
+
+  const JsonValue* workload = RequireMember(
+      doc, "workload", JsonValue::Kind::kObject, &st, "report");
+  if (workload == nullptr) return st;
+  for (const char* key : {"graph", "strategy", "grouping"}) {
+    if (RequireMember(*workload, key, JsonValue::Kind::kString, &st,
+                      "report workload") == nullptr) {
+      return st;
+    }
+  }
+  for (const char* key :
+       {"vertex_count", "edge_count", "instances", "group_size"}) {
+    if (RequireMember(*workload, key, JsonValue::Kind::kNumber, &st,
+                      "report workload") == nullptr) {
+      return st;
+    }
+  }
+
+  const JsonValue* results =
+      RequireMember(doc, "results", JsonValue::Kind::kObject, &st, "report");
+  if (results == nullptr) return st;
+  for (const char* key :
+       {"sim_seconds", "wall_seconds", "teps", "sharing_ratio",
+        "sharing_ratio_top_down", "sharing_ratio_bottom_up",
+        "rule_matched"}) {
+    if (RequireMember(*results, key, JsonValue::Kind::kNumber, &st,
+                      "report results") == nullptr) {
+      return st;
+    }
+  }
+
+  const JsonValue* groups =
+      RequireMember(doc, "groups", JsonValue::Kind::kArray, &st, "report");
+  if (groups == nullptr) return st;
+  size_t gi = 0;
+  for (const JsonValue& group : groups->array()) {
+    const std::string where = "report group " + std::to_string(gi++);
+    if (!group.is_object()) return Bad(where + ": not an object");
+    for (const char* key : {"index", "instance_count", "sim_seconds",
+                            "sharing_degree", "sharing_ratio", "hub"}) {
+      if (RequireMember(group, key, JsonValue::Kind::kNumber, &st, where) ==
+          nullptr) {
+        return st;
+      }
+    }
+    const JsonValue* levels =
+        RequireMember(group, "levels", JsonValue::Kind::kArray, &st, where);
+    if (levels == nullptr) return st;
+    for (const JsonValue& level : levels->array()) {
+      if (!level.is_object()) return Bad(where + ": level is not an object");
+      if (RequireMember(level, "direction", JsonValue::Kind::kString, &st,
+                        where) == nullptr) {
+        return st;
+      }
+      for (const char* key : {"level", "jfq_size", "private_fq_sum",
+                              "edges_inspected", "new_visits"}) {
+        if (RequireMember(level, key, JsonValue::Kind::kNumber, &st,
+                          where) == nullptr) {
+          return st;
+        }
+      }
+    }
+  }
+
+  const JsonValue* phases =
+      RequireMember(doc, "phases", JsonValue::Kind::kArray, &st, "report");
+  if (phases == nullptr) return st;
+  size_t pi = 0;
+  for (const JsonValue& phase : phases->array()) {
+    IBFS_RETURN_NOT_OK(
+        ValidatePhaseObject(phase, "report phase " + std::to_string(pi++)));
+  }
+  const JsonValue* totals =
+      RequireMember(doc, "totals", JsonValue::Kind::kObject, &st, "report");
+  if (totals == nullptr) return st;
+  IBFS_RETURN_NOT_OK(ValidatePhaseObject(*totals, "report totals"));
+
+  if (const JsonValue* cluster = doc.Find("cluster")) {
+    if (!cluster->is_object()) return Bad("report: cluster is not an object");
+    if (RequireMember(*cluster, "policy", JsonValue::Kind::kString, &st,
+                      "report cluster") == nullptr) {
+      return st;
+    }
+    for (const char* key :
+         {"device_count", "makespan_seconds", "speedup", "teps"}) {
+      if (RequireMember(*cluster, key, JsonValue::Kind::kNumber, &st,
+                        "report cluster") == nullptr) {
+        return st;
+      }
+    }
+  }
+
+  if (const JsonValue* metrics = doc.Find("metrics")) {
+    IBFS_RETURN_NOT_OK(ValidateMetrics(*metrics));
+  }
+  return Status::OK();
+}
+
+Status ValidateRunReportFile(const std::string& path) {
+  Result<JsonValue> doc = ParseJsonFile(path);
+  if (!doc.ok()) return doc.status();
+  return ValidateRunReport(doc.value());
+}
+
+Status ValidateMetrics(const JsonValue& doc) {
+  if (!doc.is_object()) return Bad("metrics: top level is not an object");
+  Status st;
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    if (RequireMember(doc, section, JsonValue::Kind::kObject, &st,
+                      "metrics") == nullptr) {
+      return st;
+    }
+  }
+  for (const auto& [name, value] : doc.Find("counters")->object()) {
+    if (!value.is_number()) {
+      return Bad("metrics counter \"" + name + "\" is not a number");
+    }
+  }
+  for (const auto& [name, value] : doc.Find("gauges")->object()) {
+    if (!value.is_number()) {
+      return Bad("metrics gauge \"" + name + "\" is not a number");
+    }
+  }
+  for (const auto& [name, histogram] : doc.Find("histograms")->object()) {
+    const std::string where = "metrics histogram \"" + name + "\"";
+    if (!histogram.is_object()) return Bad(where + " is not an object");
+    for (const char* key : {"count", "sum", "min", "max"}) {
+      if (RequireMember(histogram, key, JsonValue::Kind::kNumber, &st,
+                        where) == nullptr) {
+        return st;
+      }
+    }
+    const JsonValue* bounds =
+        RequireMember(histogram, "bounds", JsonValue::Kind::kArray, &st,
+                      where);
+    if (bounds == nullptr) return st;
+    const JsonValue* buckets =
+        RequireMember(histogram, "buckets", JsonValue::Kind::kArray, &st,
+                      where);
+    if (buckets == nullptr) return st;
+    if (buckets->array().size() != bounds->array().size() + 1) {
+      return Bad(where + ": buckets must have bounds+1 entries");
+    }
+    double bucket_sum = 0.0;
+    for (const JsonValue& b : buckets->array()) {
+      if (!b.is_number()) return Bad(where + ": bucket is not a number");
+      bucket_sum += b.number_value();
+    }
+    const double count = histogram.Find("count")->number_value();
+    if (std::fabs(bucket_sum - count) > 0.5) {
+      return Bad(where + ": bucket counts do not sum to count");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateMetricsFile(const std::string& path) {
+  Result<JsonValue> doc = ParseJsonFile(path);
+  if (!doc.ok()) return doc.status();
+  return ValidateMetrics(doc.value());
+}
+
+}  // namespace ibfs::obs

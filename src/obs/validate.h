@@ -1,0 +1,36 @@
+#ifndef IBFS_OBS_VALIDATE_H_
+#define IBFS_OBS_VALIDATE_H_
+
+#include <string>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace ibfs::obs {
+
+/// Structural validators for the observability output formats, used by the
+/// `ibfs_cli check` command and the ctest smoke tests so every format the
+/// subsystem emits is machine-verified on each `ctest` run — no external
+/// JSON tooling required.
+
+/// Checks a parsed Chrome-trace document: top-level object with a
+/// "traceEvents" array; every event carries name/ph/pid/tid with the right
+/// types; "X" events carry a non-negative "dur"; at least one span when
+/// `require_spans` is set.
+Status ValidateTrace(const JsonValue& doc, bool require_spans = false);
+Status ValidateTraceFile(const std::string& path, bool require_spans = false);
+
+/// Checks a parsed run report against the "ibfs.run_report" schema:
+/// schema/version match, required sections present, group levels and phase
+/// rows carry their numeric fields.
+Status ValidateRunReport(const JsonValue& doc);
+Status ValidateRunReportFile(const std::string& path);
+
+/// Checks a metrics snapshot: counters/gauges/histograms objects; each
+/// histogram's buckets array is bounds+1 long and sums to count.
+Status ValidateMetrics(const JsonValue& doc);
+Status ValidateMetricsFile(const std::string& path);
+
+}  // namespace ibfs::obs
+
+#endif  // IBFS_OBS_VALIDATE_H_

@@ -1,7 +1,12 @@
 #include "util/logging.h"
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+
+#include "util/env.h"
 
 namespace ibfs {
 namespace internal_logging {
@@ -21,18 +26,71 @@ const char* SeverityTag(LogSeverity severity) {
   return "?";
 }
 
+// Wall-clock HH:MM:SS.mmm, local time. Written into `buf` (>= 16 bytes).
+void FormatTimestamp(char* buf, size_t buf_size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_buf{};
+  localtime_r(&seconds, &tm_buf);
+  std::snprintf(buf, buf_size, "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(millis));
+}
+
 }  // namespace
+
+LogSeverity ParseLogLevel(const std::string& value) {
+  std::string lower;
+  lower.reserve(value.size());
+  for (char c : value) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "info" || lower == "i" || lower == "0") {
+    return LogSeverity::kInfo;
+  }
+  if (lower == "warning" || lower == "warn" || lower == "w" || lower == "1") {
+    return LogSeverity::kWarning;
+  }
+  if (lower == "error" || lower == "e" || lower == "2") {
+    return LogSeverity::kError;
+  }
+  if (lower == "fatal" || lower == "f" || lower == "3") {
+    return LogSeverity::kFatal;
+  }
+  return LogSeverity::kInfo;
+}
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity) {
-  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
-          << "] ";
+  char timestamp[16];
+  FormatTimestamp(timestamp, sizeof(timestamp));
+  stream_ << "[" << SeverityTag(severity) << " " << timestamp << " " << file
+          << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  // Fatal lines are never filtered: the process is about to abort and the
+  // message is the only diagnostic.
+  if (severity_ == LogSeverity::kFatal || ShouldLog(severity_)) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
   if (severity_ == LogSeverity::kFatal) std::abort();
 }
 
 }  // namespace internal_logging
+
+LogSeverity LogLevelFloor() {
+  static const LogSeverity floor =
+      internal_logging::ParseLogLevel(EnvString("IBFS_LOG_LEVEL", "info"));
+  return floor;
+}
+
+bool ShouldLog(LogSeverity severity) {
+  return static_cast<int>(severity) >= static_cast<int>(LogLevelFloor());
+}
+
 }  // namespace ibfs

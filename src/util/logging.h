@@ -11,9 +11,23 @@ namespace ibfs {
 /// not used).
 enum class LogSeverity { kInfo, kWarning, kError, kFatal };
 
+/// The runtime severity floor, read once from the IBFS_LOG_LEVEL
+/// environment variable (accepted: "info"/"warning"/"error"/"fatal",
+/// their initials, or 0-3; default info). Lines below the floor are
+/// swallowed at emit time; kFatal always prints and aborts.
+LogSeverity LogLevelFloor();
+
+/// True when a line of `severity` would be emitted under the current floor.
+bool ShouldLog(LogSeverity severity);
+
 namespace internal_logging {
 
-/// Accumulates one log line and emits it (to stderr) on destruction.
+/// Parses an IBFS_LOG_LEVEL value; falls back to kInfo on unknown input.
+/// Exposed for tests; callers use LogLevelFloor().
+LogSeverity ParseLogLevel(const std::string& value);
+
+/// Accumulates one log line and emits it (to stderr) on destruction, as
+/// `[<severity> <HH:MM:SS.mmm> <file>:<line>] <message>`.
 class LogMessage {
  public:
   LogMessage(LogSeverity severity, const char* file, int line);

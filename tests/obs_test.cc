@@ -1,0 +1,441 @@
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/observe.h"
+#include "gen/benchmarks.h"
+#include "graph/components.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "obs/validate.h"
+#include "util/logging.h"
+
+namespace ibfs::obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(Json, WriterProducesParseableDocument) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("name");
+  w.String("a \"quoted\" value\nwith newline");
+  w.Key("count");
+  w.Int(-42);
+  w.Key("big");
+  w.Uint(uint64_t{1} << 63);
+  w.Key("ratio");
+  w.Double(0.125);
+  w.Key("flag");
+  w.Bool(true);
+  w.Key("nothing");
+  w.Null();
+  w.Key("items");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.BeginObject();
+  w.Key("nested");
+  w.Bool(false);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+
+  auto parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = parsed.value();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("name")->string_value(),
+            "a \"quoted\" value\nwith newline");
+  EXPECT_EQ(doc.Find("count")->number_value(), -42.0);
+  EXPECT_EQ(doc.Find("ratio")->number_value(), 0.125);
+  EXPECT_TRUE(doc.Find("flag")->bool_value());
+  EXPECT_TRUE(doc.Find("nothing")->is_null());
+  ASSERT_TRUE(doc.Find("items")->is_array());
+  ASSERT_EQ(doc.Find("items")->array().size(), 3u);
+  EXPECT_FALSE(doc.Find("items")->array()[2].Find("nested")->bool_value());
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("'single'").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+}
+
+TEST(Json, ParserHandlesEscapesAndNumbers) {
+  auto parsed = ParseJson("{\"s\":\"tab\\tu\\u0041\",\"n\":-1.5e2}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Find("s")->string_value(), "tab\tuA");
+  EXPECT_EQ(parsed.value().Find("n")->number_value(), -150.0);
+}
+
+// ------------------------------------------------------------- metrics --
+
+TEST(Metrics, CounterAndGaugeSemantics) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("engine.levels");
+  EXPECT_EQ(c->value(), 0);
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->value(), 5);
+  // Create-on-first-use returns the same handle.
+  EXPECT_EQ(registry.GetCounter("engine.levels"), c);
+  EXPECT_EQ(registry.FindCounter("engine.levels"), c);
+  EXPECT_EQ(registry.FindCounter("missing"), nullptr);
+
+  Gauge* g = registry.GetGauge("engine.teps");
+  g->Set(2.5);
+  g->Set(3.5);
+  EXPECT_EQ(g->value(), 3.5);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Metrics, HistogramBucketPlacement) {
+  MetricsRegistry registry;
+  const auto bounds = PowerOfTwoBounds(1.0, 4);  // 1, 2, 4, 8
+  ASSERT_EQ(bounds.size(), 4u);
+  Histogram* h = registry.GetHistogram("ibfs.jfq_size", bounds);
+  h->Observe(1.0);   // bucket 0 (v <= 1)
+  h->Observe(2.0);   // bucket 1
+  h->Observe(3.0);   // bucket 2
+  h->Observe(8.0);   // bucket 3
+  h->Observe(100.0); // overflow
+  EXPECT_EQ(h->count(), 5);
+  EXPECT_EQ(h->sum(), 114.0);
+  EXPECT_EQ(h->min(), 1.0);
+  EXPECT_EQ(h->max(), 100.0);
+  ASSERT_EQ(h->bucket_counts().size(), 5u);
+  EXPECT_EQ(h->bucket_counts()[0], 1);
+  EXPECT_EQ(h->bucket_counts()[1], 1);
+  EXPECT_EQ(h->bucket_counts()[2], 1);
+  EXPECT_EQ(h->bucket_counts()[3], 1);
+  EXPECT_EQ(h->bucket_counts()[4], 1);
+}
+
+TEST(Metrics, SnapshotRoundTripsThroughValidator) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count")->Increment(7);
+  registry.GetGauge("a.gauge")->Set(1.25);
+  Histogram* h = registry.GetHistogram("a.hist", PowerOfTwoBounds(1.0, 3));
+  h->Observe(2.0);
+  h->Observe(16.0);
+
+  auto parsed = ParseJson(registry.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ValidateMetrics(parsed.value()).ok());
+  const JsonValue* counters = parsed.value().Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("a.count")->number_value(), 7.0);
+}
+
+// ------------------------------------------------------------- tracing --
+
+TEST(Trace, SpanNestingBalancesPerTrack) {
+  Tracer tracer;
+  const TraceTrack track{0, 0};
+  tracer.BeginSpan(track, "outer", "host", 0.0);
+  tracer.BeginSpan(track, "inner", "host", 10.0);
+  EXPECT_EQ(tracer.OpenSpans(track), 2u);
+  tracer.EndSpan(track, 20.0, {Arg("k", int64_t{1})});
+  tracer.EndSpan(track, 30.0);
+  EXPECT_EQ(tracer.OpenSpans(track), 0u);
+  // Unmatched End is dropped, not fatal.
+  tracer.EndSpan(track, 40.0);
+  EXPECT_EQ(tracer.event_count(), 2u);
+}
+
+TEST(Trace, WriteJsonIsValidChromeTrace) {
+  Tracer tracer;
+  tracer.SetProcessName(0, "GPU 0 (simulated time)");
+  tracer.SetThreadName(0, 0, "traversal");
+  tracer.CompleteSpan({0, 0}, "level 0", "level", 0.0, 5.0,
+                      {Arg("direction", "top_down"),
+                       Arg("jfq_size", int64_t{12}), Arg("ratio", 0.5),
+                       Arg("finished", false)});
+  tracer.Instant({0, 0}, "direction_switch", 5.0,
+                 {Arg("to", "bottom_up")});
+  tracer.CounterValue({0, 0}, "jfq_size", 0.0, 12.0);
+
+  std::ostringstream os;
+  tracer.WriteJson(os);
+  auto parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ValidateTrace(parsed.value(), /*require_spans=*/true).ok());
+
+  const JsonValue* events = parsed.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // 2 metadata + 1 span + 1 instant + 1 counter.
+  EXPECT_EQ(events->array().size(), 5u);
+  bool saw_span = false;
+  for (const JsonValue& e : events->array()) {
+    if (e.Find("ph")->string_value() != "X") continue;
+    saw_span = true;
+    EXPECT_EQ(e.Find("name")->string_value(), "level 0");
+    EXPECT_EQ(e.Find("cat")->string_value(), "level");
+    EXPECT_EQ(e.Find("dur")->number_value(), 5.0);
+    const JsonValue* args = e.Find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->Find("direction")->string_value(), "top_down");
+    EXPECT_EQ(args->Find("jfq_size")->number_value(), 12.0);
+    EXPECT_FALSE(args->Find("finished")->bool_value());
+  }
+  EXPECT_TRUE(saw_span);
+}
+
+TEST(Trace, ValidatorRejectsNonTraceDocuments) {
+  auto not_object = ParseJson("[1,2]");
+  ASSERT_TRUE(not_object.ok());
+  EXPECT_FALSE(ValidateTrace(not_object.value()).ok());
+
+  auto no_events = ParseJson("{\"foo\":1}");
+  ASSERT_TRUE(no_events.ok());
+  EXPECT_FALSE(ValidateTrace(no_events.value()).ok());
+
+  // Empty trace is structurally fine unless spans are required.
+  auto empty = ParseJson("{\"traceEvents\":[]}");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(ValidateTrace(empty.value()).ok());
+  EXPECT_FALSE(ValidateTrace(empty.value(), /*require_spans=*/true).ok());
+}
+
+// ---------------------------------------------------------- run report --
+
+RunReport SampleReport() {
+  RunReport report;
+  report.graph = "FB";
+  report.vertex_count = 1024;
+  report.edge_count = 8192;
+  report.strategy = "bitwise";
+  report.grouping = "groupby";
+  report.instances = 64;
+  report.group_size = 32;
+  report.sim_seconds = 0.25;
+  report.wall_seconds = 0.01;
+  report.teps = 2e6;
+  report.sharing_ratio = 0.5;
+  report.rule_matched = 48;
+
+  ReportGroup group;
+  group.index = 0;
+  group.instance_count = 32;
+  group.sim_seconds = 0.125;
+  group.sharing_degree = 16.0;
+  group.sharing_ratio = 0.5;
+  group.hub = 7;
+  group.sources = {1, 2, 3};
+  ReportLevel level;
+  level.level = 0;
+  level.bottom_up = false;
+  level.jfq_size = 3;
+  level.private_fq_sum = 3;
+  level.edges_inspected = 24;
+  level.new_visits = 21;
+  group.levels.push_back(level);
+  report.groups.push_back(group);
+
+  ReportPhase phase;
+  phase.name = "td_inspect";
+  phase.seconds = 0.2;
+  phase.launches = 4;
+  phase.load_transactions = 100;
+  phase.store_transactions = 50;
+  report.phases.push_back(phase);
+  report.totals = phase;
+  report.totals.name = "TOTAL";
+  return report;
+}
+
+TEST(Report, RoundTripsThroughValidator) {
+  const RunReport report = SampleReport();
+  std::ostringstream os;
+  report.WriteJson(os);
+  auto parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ValidateRunReport(parsed.value()).ok())
+      << ValidateRunReport(parsed.value()).ToString();
+
+  const JsonValue& doc = parsed.value();
+  EXPECT_EQ(doc.Find("schema")->string_value(), "ibfs.run_report");
+  EXPECT_EQ(doc.Find("workload")->Find("graph")->string_value(), "FB");
+  EXPECT_EQ(doc.Find("workload")->Find("instances")->number_value(), 64.0);
+  EXPECT_EQ(doc.Find("results")->Find("sharing_ratio")->number_value(), 0.5);
+  ASSERT_EQ(doc.Find("groups")->array().size(), 1u);
+  const JsonValue& group = doc.Find("groups")->array()[0];
+  EXPECT_EQ(group.Find("hub")->number_value(), 7.0);
+  ASSERT_EQ(group.Find("levels")->array().size(), 1u);
+  EXPECT_EQ(group.Find("levels")->array()[0].Find("direction")->string_value(),
+            "top_down");
+}
+
+TEST(Report, EmbedsMetricsWhenGiven) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.levels")->Increment(3);
+  const RunReport report = SampleReport();
+  std::ostringstream os;
+  report.WriteJson(os, &registry);
+  auto parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ValidateRunReport(parsed.value()).ok());
+  const JsonValue* metrics = parsed.value().Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_TRUE(ValidateMetrics(*metrics).ok());
+  EXPECT_EQ(metrics->Find("counters")->Find("engine.levels")->number_value(),
+            3.0);
+}
+
+TEST(Report, ClusterSectionValidates) {
+  RunReport report = SampleReport();
+  report.has_cluster = true;
+  report.cluster.device_count = 4;
+  report.cluster.policy = "round-robin";
+  report.cluster.makespan_seconds = 0.08;
+  report.cluster.speedup = 3.1;
+  report.cluster.teps = 8e6;
+  report.cluster.device_seconds = {0.08, 0.07, 0.06, 0.04};
+  std::ostringstream os;
+  report.WriteJson(os);
+  auto parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ValidateRunReport(parsed.value()).ok())
+      << ValidateRunReport(parsed.value()).ToString();
+  EXPECT_EQ(parsed.value().Find("cluster")->Find("device_count")
+                ->number_value(),
+            4.0);
+}
+
+// ------------------------------------------------ engine integration --
+
+class ObsEngineTest : public ::testing::Test {
+ protected:
+  static constexpr int kInstances = 64;
+
+  graph::Csr MakeGraph() {
+    auto result = gen::GenerateBenchmark(gen::BenchmarkId::kPK, 0);
+    IBFS_CHECK(result.ok());
+    return std::move(result).value();
+  }
+};
+
+TEST_F(ObsEngineTest, InstrumentedRunEmitsSpansPerLevelAndValidates) {
+  const graph::Csr graph = MakeGraph();
+  Tracer tracer;
+  MetricsRegistry metrics;
+  EngineOptions options;
+  options.strategy = Strategy::kBitwise;
+  options.grouping = GroupingPolicy::kGroupBy;
+  options.group_size = 32;
+  options.keep_depths = false;
+  options.observer.tracer = &tracer;
+  options.observer.metrics = &metrics;
+
+  const auto sources = graph::SampleConnectedSources(graph, kInstances, 1);
+  Engine engine(&graph, options);
+  auto result = engine.Run(sources);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const EngineResult& res = result.value();
+  EXPECT_GT(res.wall_seconds, 0.0);
+
+  // One "level" span per traversal level of every group, plus group spans,
+  // kernel spans, and the host-side grouping span.
+  int64_t total_levels = 0;
+  for (const GroupResult& g : res.groups) {
+    total_levels += static_cast<int64_t>(g.trace.levels.size());
+  }
+  ASSERT_GT(total_levels, 0);
+
+  std::ostringstream os;
+  tracer.WriteJson(os);
+  auto parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(ValidateTrace(parsed.value(), /*require_spans=*/true).ok());
+
+  int64_t level_spans = 0;
+  int64_t group_spans = 0;
+  int64_t kernel_spans = 0;
+  int64_t host_spans = 0;
+  for (const JsonValue& e : parsed.value().Find("traceEvents")->array()) {
+    const JsonValue* cat = e.Find("cat");
+    if (cat == nullptr || e.Find("ph")->string_value() != "X") continue;
+    if (cat->string_value() == "level") ++level_spans;
+    if (cat->string_value() == "group") ++group_spans;
+    if (cat->string_value() == "kernel") ++kernel_spans;
+    if (cat->string_value() == "host") ++host_spans;
+  }
+  EXPECT_EQ(level_spans, total_levels);
+  EXPECT_EQ(group_spans, static_cast<int64_t>(res.groups.size()));
+  EXPECT_GT(kernel_spans, 0);
+  EXPECT_GE(host_spans, 1);  // the grouping phase
+
+  // Metrics agree with the trace.
+  const Counter* levels = metrics.FindCounter("engine.levels");
+  ASSERT_NE(levels, nullptr);
+  EXPECT_EQ(levels->value(), total_levels);
+  EXPECT_NE(metrics.FindCounter("gpusim.kernel_launches"), nullptr);
+  EXPECT_EQ(metrics.FindCounter("gpusim.kernel_launches")->value(),
+            kernel_spans);
+}
+
+TEST_F(ObsEngineTest, BuildRunReportMatchesEngineResult) {
+  const graph::Csr graph = MakeGraph();
+  EngineOptions options;
+  options.strategy = Strategy::kBitwise;
+  options.grouping = GroupingPolicy::kGroupBy;
+  options.group_size = 32;
+  options.keep_depths = false;
+  const auto sources = graph::SampleConnectedSources(graph, kInstances, 1);
+  Engine engine(&graph, options);
+  auto result = engine.Run(sources);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const EngineResult& res = result.value();
+
+  const RunReport report =
+      BuildRunReport("PK", graph, options, kInstances, res);
+  EXPECT_EQ(report.graph, "PK");
+  EXPECT_EQ(report.strategy, "bitwise");
+  EXPECT_EQ(report.grouping, "groupby");
+  EXPECT_EQ(report.instances, kInstances);
+  EXPECT_EQ(report.groups.size(), res.groups.size());
+  EXPECT_DOUBLE_EQ(report.sim_seconds, res.sim_seconds);
+  EXPECT_DOUBLE_EQ(report.sharing_ratio, res.SharingRatio());
+  EXPECT_DOUBLE_EQ(report.teps, res.teps);
+  EXPECT_EQ(report.rule_matched, res.rule_matched);
+  // Totals row matches the device counters.
+  EXPECT_EQ(report.totals.load_transactions,
+            res.totals.mem.load_transactions);
+  EXPECT_EQ(report.totals.store_transactions,
+            res.totals.mem.store_transactions);
+  EXPECT_FALSE(report.phases.empty());
+
+  std::ostringstream os;
+  report.WriteJson(os);
+  auto parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ValidateRunReport(parsed.value()).ok())
+      << ValidateRunReport(parsed.value()).ToString();
+}
+
+// ------------------------------------------------------------- logging --
+
+TEST(Logging, ParseLogLevelAcceptsNamesAndNumbers) {
+  using internal_logging::ParseLogLevel;
+  EXPECT_EQ(ParseLogLevel("info"), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogLevel("WARNING"), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogSeverity::kError);
+  EXPECT_EQ(ParseLogLevel("fatal"), LogSeverity::kFatal);
+  EXPECT_EQ(ParseLogLevel("2"), LogSeverity::kError);
+  EXPECT_EQ(ParseLogLevel("bogus"), LogSeverity::kInfo);
+}
+
+}  // namespace
+}  // namespace ibfs::obs

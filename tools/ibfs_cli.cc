@@ -6,6 +6,8 @@
 //   ibfs_cli run      --graph g.bin --strategy bitwise --grouping groupby
 //                     --instances 256 --profile
 //   ibfs_cli cluster  --benchmark RD --gpus 16 --instances 2048
+//   ibfs_cli run      --benchmark FB --trace-out t.json --report-out r.json
+//   ibfs_cli check    --trace t.json --report r.json
 //
 // Graphs are read/written in the binary CSR format (graph/io.h); the
 // `--benchmark` flag generates one of the paper's 13 presets instead.
@@ -18,6 +20,7 @@
 
 #include "core/cluster_engine.h"
 #include "core/engine.h"
+#include "core/observe.h"
 #include "core/trace_io.h"
 #include "core/validate.h"
 #include "gen/benchmarks.h"
@@ -27,6 +30,10 @@
 #include "graph/components.h"
 #include "graph/degree_stats.h"
 #include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "obs/validate.h"
 #include "util/flags.h"
 
 namespace ibfs {
@@ -35,7 +42,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: ibfs_cli "
-               "<generate|stats|run|validate|traces|cluster> [flags]\n"
+               "<generate|stats|run|validate|traces|cluster|check> [flags]\n"
                "  generate: --out PATH and one of --benchmark NAME |\n"
                "            --rmat-scale N [--edge-factor K] [--seed S] |\n"
                "            --uniform-vertices N [--outdegree K]\n"
@@ -46,8 +53,72 @@ int Usage() {
                "I, --group-size N,\n"
                "            [--q Q] [--no-early-termination] [--max-level "
                "K] [--profile]\n"
-               "  cluster:  run flags plus --gpus G [--lpt]\n");
+               "  cluster:  run flags plus --gpus G [--lpt]\n"
+               "  check:    --trace PATH | --report PATH | --metrics PATH "
+               "(validate telemetry files)\n"
+               "telemetry (run and cluster):\n"
+               "  --trace-out PATH    Chrome trace-event JSON "
+               "(chrome://tracing, Perfetto)\n"
+               "  --metrics-out PATH  metrics snapshot JSON\n"
+               "  --report-out PATH   machine-readable run report JSON\n");
   return 2;
+}
+
+// Telemetry sinks for one CLI invocation, driven by --trace-out,
+// --metrics-out, and --report-out. The tracer is live only when a trace
+// file was requested; metrics are live when either a metrics file or a
+// report (which embeds the snapshot) was requested.
+struct ObsSession {
+  std::string trace_out;
+  std::string metrics_out;
+  std::string report_out;
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+
+  explicit ObsSession(const Flags& flags)
+      : trace_out(flags.GetString("trace-out")),
+        metrics_out(flags.GetString("metrics-out")),
+        report_out(flags.GetString("report-out")) {}
+
+  bool want_metrics() const {
+    return !metrics_out.empty() || !report_out.empty();
+  }
+
+  obs::Observer MakeObserver() {
+    obs::Observer observer;
+    if (!trace_out.empty()) observer.tracer = &tracer;
+    if (want_metrics()) observer.metrics = &metrics;
+    return observer;
+  }
+
+  // Writes the requested files; `report` may be null when the command has
+  // no report to offer. Returns 0 on success, 1 on any write failure.
+  int Flush(const char* command, const obs::RunReport* report) {
+    int rc = 0;
+    auto emit = [&](const Status& status, const std::string& path) {
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s: %s\n", command, status.ToString().c_str());
+        rc = 1;
+      } else {
+        std::printf("wrote %s\n", path.c_str());
+      }
+    };
+    if (!trace_out.empty()) emit(tracer.WriteFile(trace_out), trace_out);
+    if (!metrics_out.empty()) {
+      emit(metrics.WriteFile(metrics_out), metrics_out);
+    }
+    if (!report_out.empty() && report != nullptr) {
+      emit(report->WriteFile(report_out, want_metrics() ? &metrics : nullptr),
+           report_out);
+    }
+    return rc;
+  }
+};
+
+// Display label for the report: benchmark name when generated, else path.
+std::string GraphLabel(const Flags& flags) {
+  const std::string name = flags.GetString("benchmark");
+  return name.empty() ? flags.GetString("graph") : name;
 }
 
 Result<graph::Csr> LoadGraphArg(const Flags& flags) {
@@ -185,7 +256,10 @@ int CmdRun(const Flags& flags) {
   const auto sources = graph::SampleConnectedSources(
       graph.value(), instances,
       static_cast<uint64_t>(flags.GetInt("seed", 1)));
-  Engine engine(&graph.value(), options.value());
+  ObsSession session(flags);
+  EngineOptions opts = options.value();
+  opts.observer = session.MakeObserver();
+  Engine engine(&graph.value(), opts);
   auto result = engine.Run(sources);
   if (!result.ok()) {
     std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
@@ -205,7 +279,9 @@ int CmdRun(const Flags& flags) {
                                             res.sim_seconds)
                           .c_str());
   }
-  return 0;
+  const obs::RunReport report = BuildRunReport(
+      GraphLabel(flags), graph.value(), opts, instances, res);
+  return session.Flush("run", &report);
 }
 
 // Runs concurrent BFS and validates every instance's depths with the
@@ -318,8 +394,10 @@ int CmdCluster(const Flags& flags) {
   const auto sources = graph::SampleConnectedSources(
       graph.value(), instances,
       static_cast<uint64_t>(flags.GetInt("seed", 1)));
-  auto result =
-      RunOnCluster(graph.value(), sources, options.value(), gpus, policy);
+  ObsSession session(flags);
+  EngineOptions opts = options.value();
+  opts.observer = session.MakeObserver();
+  auto result = RunOnCluster(graph.value(), sources, opts, gpus, policy);
   if (!result.ok()) {
     std::fprintf(stderr, "cluster: %s\n",
                  result.status().ToString().c_str());
@@ -334,7 +412,48 @@ int CmdCluster(const Flags& flags) {
               res.schedule.makespan_seconds * 1e3);
   std::printf("speedup:         %.2fx\n", res.speedup);
   std::printf("aggregate rate:  %.2f GTEPS\n", res.teps / 1e9);
-  return 0;
+  obs::RunReport report = BuildRunReport(GraphLabel(flags), graph.value(),
+                                         opts, instances, res.engine);
+  AttachClusterSection(res, policy, &report);
+  return session.Flush("cluster", &report);
+}
+
+// Validates telemetry files written by `run`/`cluster` (or anything else
+// claiming the formats) without external tooling.
+int CmdCheck(const Flags& flags) {
+  int checked = 0;
+  int rc = 0;
+  auto check = [&](const char* kind, const std::string& path,
+                   const Status& status) {
+    ++checked;
+    if (status.ok()) {
+      std::printf("%s OK: %s\n", kind, path.c_str());
+    } else {
+      std::fprintf(stderr, "check: %s %s: %s\n", kind, path.c_str(),
+                   status.ToString().c_str());
+      rc = 1;
+    }
+  };
+  const std::string trace = flags.GetString("trace");
+  if (!trace.empty()) {
+    check("trace", trace,
+          obs::ValidateTraceFile(trace, flags.GetBool("require-spans")));
+  }
+  const std::string report = flags.GetString("report");
+  if (!report.empty()) {
+    check("report", report, obs::ValidateRunReportFile(report));
+  }
+  const std::string metrics = flags.GetString("metrics");
+  if (!metrics.empty()) {
+    check("metrics", metrics, obs::ValidateMetricsFile(metrics));
+  }
+  if (checked == 0) {
+    std::fprintf(stderr,
+                 "check: nothing to do; pass --trace, --report, and/or "
+                 "--metrics\n");
+    return 2;
+  }
+  return rc;
 }
 
 int Main(int argc, const char* const* argv) {
@@ -347,6 +466,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "validate") return CmdValidate(flags.value());
   if (command == "traces") return CmdTraces(flags.value());
   if (command == "cluster") return CmdCluster(flags.value());
+  if (command == "check") return CmdCheck(flags.value());
   return Usage();
 }
 
