@@ -110,6 +110,9 @@ inline obs::Observer BenchObserver() {
 
 /// Baseline engine options shared by the figure harnesses. Telemetry is
 /// attached per BenchObserver() (off unless the env vars are set).
+/// IBFS_THREADS sets the host worker count (default 1 = serial so a bench
+/// box's wall-clock numbers stay comparable run to run; 0 = one worker per
+/// hardware thread). Simulated results are bit-identical at any setting.
 inline EngineOptions BaseOptions(Strategy strategy, GroupingPolicy grouping) {
   EngineOptions options;
   options.strategy = strategy;
@@ -117,6 +120,7 @@ inline EngineOptions BaseOptions(Strategy strategy, GroupingPolicy grouping) {
   options.keep_depths = false;
   options.traversal.collect_instance_stats = false;
   options.observer = BenchObserver();
+  options.threads = static_cast<int>(EnvInt64("IBFS_THREADS", 1));
   return options;
 }
 

@@ -1,10 +1,13 @@
 #include "core/cluster_engine.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace ibfs {
 namespace {
@@ -24,6 +27,8 @@ Result<ClusterRunResult> RunOnCluster(const graph::Csr& graph,
   if (device_count < 1) {
     return Status::InvalidArgument("device_count must be >= 1");
   }
+  // Measurement pass: one single-device run yields the per-group costs the
+  // placement policy needs up front (LPT sorts by cost before assigning).
   EngineOptions opts = options;
   opts.keep_depths = false;
   Engine engine(&graph, opts);
@@ -34,9 +39,99 @@ Result<ClusterRunResult> RunOnCluster(const graph::Csr& graph,
   result.engine = std::move(run).value();
   const EngineResult& res = result.engine;
   result.single_device_seconds = res.sim_seconds;
-  result.group_count = static_cast<int64_t>(res.group_seconds.size());
+  const size_t group_count = res.group_seconds.size();
+  result.group_count = static_cast<int64_t>(group_count);
   gpusim::Cluster cluster(device_count, opts.device);
-  result.schedule = cluster.Place(res.group_seconds, policy);
+  const gpusim::ClusterRun placement = cluster.Place(res.group_seconds, policy);
+
+  // Execution pass: run each device's placed unit list for real, one
+  // simulated device per worker thread, instead of replaying the measured
+  // timings. Units on one device execute back to back in placement order
+  // (ascending planned start), on a continuous per-GPU timeline — so the
+  // schedule below carries *measured* starts and busy times. Each device is
+  // sequential within itself, so the measured numbers do not depend on the
+  // worker count.
+  std::vector<std::vector<size_t>> device_units(
+      static_cast<size_t>(device_count));
+  for (size_t g = 0; g < group_count; ++g) {
+    device_units[static_cast<size_t>(placement.unit_device[g])].push_back(g);
+  }
+  for (auto& units : device_units) {
+    std::sort(units.begin(), units.end(), [&](size_t a, size_t b) {
+      if (placement.unit_start_seconds[a] != placement.unit_start_seconds[b]) {
+        return placement.unit_start_seconds[a] <
+               placement.unit_start_seconds[b];
+      }
+      return a < b;
+    });
+  }
+
+  result.schedule.unit_device = placement.unit_device;
+  result.schedule.total_seconds = placement.total_seconds;
+  result.schedule.device_seconds.assign(static_cast<size_t>(device_count),
+                                        0.0);
+  result.schedule.unit_start_seconds.assign(group_count, 0.0);
+
+  const obs::Observer& observer = options.observer;
+  const char* policy_name =
+      policy == gpusim::PlacementPolicy::kLpt ? "lpt" : "round-robin";
+  if (observer.tracing()) {
+    for (int d = 0; d < device_count; ++d) {
+      observer.tracer->SetProcessName(
+          kClusterPidBase + d,
+          "cluster GPU " + std::to_string(d) + " (simulated time)");
+    }
+  }
+  // The execution pass traces (kernel/level/cluster spans on the per-GPU
+  // pids) but does not meter: the measurement run already counted every
+  // kernel and level once, and executing the same groups again would double
+  // the engine.* / gpusim.* counters.
+  obs::Observer exec_observer;
+  exec_observer.tracer = observer.tracer;
+
+  std::vector<Status> device_status(static_cast<size_t>(device_count),
+                                    Status::OK());
+  auto run_device = [&](int64_t d) {
+    gpusim::Device device(opts.device);
+    const obs::Observer dev_observer =
+        exec_observer.WithTrack(kClusterPidBase + static_cast<int>(d), 0);
+    for (size_t g : device_units[static_cast<size_t>(d)]) {
+      const double start = device.elapsed_seconds();
+      Result<GroupResult> group_result =
+          engine.ExecuteGroup(res.group_sources[g], &device, dev_observer);
+      if (!group_result.ok()) {
+        device_status[static_cast<size_t>(d)] = group_result.status();
+        return;
+      }
+      result.schedule.unit_start_seconds[g] = start;
+      if (dev_observer.tracing()) {
+        dev_observer.tracer->CompleteSpan(
+            dev_observer.track, "group " + std::to_string(g), "cluster",
+            start * 1e6, (device.elapsed_seconds() - start) * 1e6,
+            {obs::Arg("device", static_cast<int64_t>(d)),
+             obs::Arg("policy", policy_name)});
+      }
+    }
+    result.schedule.device_seconds[static_cast<size_t>(d)] =
+        device.elapsed_seconds();
+  };
+
+  const int exec_threads = std::min<int>(
+      device_count, opts.threads == 0 ? ThreadPool::HardwareConcurrency()
+                                      : std::max(1, opts.threads));
+  if (exec_threads <= 1) {
+    for (int d = 0; d < device_count; ++d) run_device(d);
+  } else {
+    ThreadPool pool(exec_threads);
+    pool.ParallelFor(device_count, run_device);
+  }
+  for (const Status& s : device_status) IBFS_RETURN_NOT_OK(s);
+
+  result.schedule.makespan_seconds =
+      result.schedule.device_seconds.empty()
+          ? 0.0
+          : *std::max_element(result.schedule.device_seconds.begin(),
+                              result.schedule.device_seconds.end());
   if (result.schedule.makespan_seconds > 0.0) {
     result.speedup =
         result.single_device_seconds / result.schedule.makespan_seconds;
@@ -45,25 +140,6 @@ Result<ClusterRunResult> RunOnCluster(const graph::Csr& graph,
     result.teps = edges / result.schedule.makespan_seconds;
   }
 
-  const obs::Observer& observer = options.observer;
-  if (observer.tracing()) {
-    const char* policy_name =
-        policy == gpusim::PlacementPolicy::kLpt ? "lpt" : "round-robin";
-    for (int d = 0; d < device_count; ++d) {
-      observer.tracer->SetProcessName(
-          kClusterPidBase + d,
-          "cluster GPU " + std::to_string(d) + " (simulated time)");
-    }
-    for (size_t g = 0; g < result.schedule.unit_device.size(); ++g) {
-      const int dev = result.schedule.unit_device[g];
-      observer.tracer->CompleteSpan(
-          {kClusterPidBase + dev, 0}, "group " + std::to_string(g),
-          "cluster", result.schedule.unit_start_seconds[g] * 1e6,
-          res.group_seconds[g] * 1e6,
-          {obs::Arg("device", static_cast<int64_t>(dev)),
-           obs::Arg("policy", policy_name)});
-    }
-  }
   if (observer.metering()) {
     observer.metrics->GetGauge("cluster.devices")
         ->Set(static_cast<double>(device_count));

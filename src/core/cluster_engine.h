@@ -15,7 +15,10 @@ struct ClusterRunResult {
   /// Time if all groups ran on one device.
   double single_device_seconds = 0.0;
   /// Placement of groups onto devices and the resulting makespan (the
-  /// paper reports the slowest device's time).
+  /// paper reports the slowest device's time). Starts, busy times, and the
+  /// makespan are *measured* by actually executing each device's unit list
+  /// on its own simulated device (one host worker per device), not replayed
+  /// from the measurement run.
   gpusim::ClusterRun schedule;
   /// single_device_seconds / makespan.
   double speedup = 0.0;
@@ -29,10 +32,13 @@ struct ClusterRunResult {
   EngineResult engine;
 };
 
-/// Runs the engine once to obtain per-group simulated times, then places
-/// the groups onto `device_count` devices. Since iBFS groups are fully
-/// independent, no inter-GPU communication is modeled — matching the
-/// paper's multi-GPU design.
+/// Runs the engine once to obtain per-group simulated times (the
+/// measurement pass — depths are dropped via keep_depths=false), places the
+/// groups onto `device_count` devices, then executes each device's placed
+/// unit list for real on its own host worker thread (the execution pass).
+/// `options.threads` sizes both passes' worker pools (0 = hardware
+/// concurrency). Since iBFS groups are fully independent, no inter-GPU
+/// communication is modeled — matching the paper's multi-GPU design.
 Result<ClusterRunResult> RunOnCluster(
     const graph::Csr& graph, std::span<const graph::VertexId> sources,
     const EngineOptions& options, int device_count,

@@ -4,10 +4,13 @@
 #include <chrono>
 #include <numeric>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ibfs/status_array.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace ibfs {
 
@@ -124,41 +127,88 @@ Result<EngineResult> Engine::Run(
         ->Increment(grouping.rule_matched);
   }
 
-  gpusim::Device device(options_.device);
-  device.SetObserver(observer);
   EngineResult result;
   result.rule_matched = grouping.rule_matched;
   result.group_hubs = std::move(grouping.group_hubs);
-  TraversalOptions traversal = options_.traversal;
-  traversal.record_depths = options_.keep_depths;
-  traversal.observer = observer;
 
-  for (size_t g = 0; g < grouping.groups.size(); ++g) {
-    auto& group = grouping.groups[g];
-    const double before = device.elapsed_seconds();
-    Result<GroupResult> group_result =
-        RunGroup(options_.strategy, *graph_, group, traversal, &device);
-    IBFS_RETURN_NOT_OK(group_result.status());
-    const double seconds = device.elapsed_seconds() - before;
+  // Each group runs on its own fresh device, so its simulated timeline and
+  // counters start from zero no matter which worker (or how many) executes
+  // it — that is what makes the parallel run bit-identical to the serial
+  // one. Trace spans go to a per-group track (tid 1 + g on the engine's
+  // pid) in group-local simulated time.
+  const size_t group_count = grouping.groups.size();
+  struct GroupRun {
+    Status status = Status::OK();
+    GroupResult result;
+    double seconds = 0.0;
+    gpusim::KernelStats totals;
+    std::map<std::string, gpusim::KernelStats> phases;
+  };
+  std::vector<GroupRun> runs(group_count);
+  auto run_group = [&](int64_t g) {
+    gpusim::Device device(options_.device);
+    const obs::Observer group_observer =
+        observer.WithTrack(observer.track.pid, 1 + static_cast<int>(g));
+    GroupRun& run = runs[static_cast<size_t>(g)];
+    Result<GroupResult> group_result = ExecuteGroup(
+        grouping.groups[static_cast<size_t>(g)], &device, group_observer);
+    if (!group_result.ok()) {
+      run.status = group_result.status();
+      return;
+    }
+    run.result = std::move(group_result).value();
+    run.seconds = device.elapsed_seconds();
+    run.totals = device.totals();
+    run.phases = device.phases();
+  };
+
+  const int threads = ResolveThreads(group_count);
+  const double exec_start_us = wall_us();
+  if (threads <= 1) {
+    for (size_t g = 0; g < group_count; ++g) run_group(static_cast<int64_t>(g));
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(static_cast<int64_t>(group_count), run_group);
+  }
+  if (observer.tracing()) {
+    observer.tracer->CompleteSpan(
+        {obs::kHostPid, 0}, "run_groups", "host", exec_start_us,
+        wall_us() - exec_start_us,
+        {obs::Arg("threads", static_cast<int64_t>(threads)),
+         obs::Arg("groups", static_cast<int64_t>(group_count))});
+  }
+
+  // Deterministic merge, strictly in group order on this thread: the first
+  // failing group's status wins, sim_seconds is the in-order sum of the
+  // per-group seconds, and counter/phase totals fold group by group.
+  for (size_t g = 0; g < group_count; ++g) {
+    GroupRun& run = runs[g];
+    IBFS_RETURN_NOT_OK(run.status);
     if (observer.tracing()) {
+      observer.tracer->SetThreadName(observer.track.pid,
+                                     1 + static_cast<int>(g),
+                                     "group " + std::to_string(g));
       observer.tracer->CompleteSpan(
-          observer.track, "group " + std::to_string(g), "group",
-          before * 1e6, seconds * 1e6,
-          {obs::Arg("instances", static_cast<int64_t>(group.size())),
-           obs::Arg("levels", static_cast<int64_t>(
-                                  group_result.value().trace.levels.size())),
+          {observer.track.pid, 1 + static_cast<int>(g)},
+          "group " + std::to_string(g), "group", 0.0, run.seconds * 1e6,
+          {obs::Arg("instances",
+                    static_cast<int64_t>(grouping.groups[g].size())),
+           obs::Arg("levels",
+                    static_cast<int64_t>(run.result.trace.levels.size())),
            obs::Arg("hub", g < result.group_hubs.size()
                                ? result.group_hubs[g]
                                : int64_t{-1})});
     }
-    result.group_seconds.push_back(seconds);
-    result.groups.push_back(std::move(group_result).value());
-    result.group_sources.push_back(std::move(group));
+    result.sim_seconds += run.seconds;
+    result.totals.Add(run.totals);
+    for (const auto& [phase, stats] : run.phases) {
+      result.phases[phase].Add(stats);
+    }
+    result.group_seconds.push_back(run.seconds);
+    result.groups.push_back(std::move(run.result));
+    result.group_sources.push_back(std::move(grouping.groups[g]));
   }
 
-  result.sim_seconds = device.elapsed_seconds();
-  result.totals = device.totals();
-  result.phases = device.phases();
   const double edges = static_cast<double>(graph_->edge_count()) *
                        static_cast<double>(sources.size());
   result.teps = result.sim_seconds > 0.0 ? edges / result.sim_seconds : 0.0;
@@ -167,8 +217,29 @@ Result<EngineResult> Engine::Run(
     observer.metrics->GetGauge("engine.sim_seconds")
         ->Set(result.sim_seconds);
     observer.metrics->GetGauge("engine.teps")->Set(result.teps);
+    observer.metrics->GetGauge("engine.threads")
+        ->Set(static_cast<double>(threads));
   }
   return result;
+}
+
+Result<GroupResult> Engine::ExecuteGroup(
+    std::span<const graph::VertexId> group, gpusim::Device* device,
+    const obs::Observer& observer) const {
+  IBFS_CHECK(device != nullptr);
+  device->SetObserver(observer);
+  TraversalOptions traversal = options_.traversal;
+  traversal.record_depths = options_.keep_depths;
+  traversal.observer = observer;
+  return RunGroup(options_.strategy, *graph_, group, traversal, device);
+}
+
+int Engine::ResolveThreads(size_t group_count) const {
+  const int requested = options_.threads == 0
+                            ? ThreadPool::HardwareConcurrency()
+                            : options_.threads;
+  const int64_t cap = static_cast<int64_t>(std::max<size_t>(group_count, 1));
+  return static_cast<int>(std::min<int64_t>(requested, cap));
 }
 
 Result<EngineResult> Engine::RunAllSources() const {

@@ -53,6 +53,14 @@ struct EngineResult {
 /// The iBFS engine: groups the requested source vertices (GroupBy, random,
 /// or in-order), runs each group with the configured strategy on a
 /// simulated device, and aggregates timing, counters, and traces.
+///
+/// Groups are independent (separate status arrays, separate simulated
+/// kernels), so with `options.threads > 1` the engine executes them on a
+/// work-stealing host thread pool, one fresh `gpusim::Device` per group,
+/// and merges the per-group results in group order on the calling thread.
+/// Every thread count — including 1 — takes the per-group-device path, so
+/// depths, traces, counters, `sim_seconds`, and `teps` are bit-identical
+/// regardless of parallelism; only `wall_seconds` reflects the speedup.
 class Engine {
  public:
   /// The graph must outlive the engine.
@@ -64,7 +72,21 @@ class Engine {
   /// Runs all-pairs (APSP): one BFS from every vertex of the graph.
   Result<EngineResult> RunAllSources() const;
 
+  /// Runs one already-formed group on `device` with this engine's strategy
+  /// and traversal configuration, attaching `observer` to both the device
+  /// (kernel spans) and the runner (level spans). The device's simulated
+  /// clock keeps whatever offset it has — the cluster engine uses this to
+  /// execute placed groups back-to-back on continuous per-GPU timelines.
+  Result<GroupResult> ExecuteGroup(std::span<const graph::VertexId> group,
+                                   gpusim::Device* device,
+                                   const obs::Observer& observer) const;
+
   const EngineOptions& options() const { return options_; }
+
+  /// Worker count actually used for `group_count` groups: resolves
+  /// `options.threads` (0 = hardware concurrency) and caps it at the number
+  /// of groups — extra workers would only idle.
+  int ResolveThreads(size_t group_count) const;
 
   /// The paper's group-size bound (Section 3):
   /// N <= (M - S - |JFQ|) / |SA|, with M the device memory, S the graph

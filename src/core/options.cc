@@ -28,6 +28,9 @@ Status EngineOptions::Validate() const {
   if (traversal.alpha <= 0.0 || traversal.beta <= 0.0) {
     return Status::InvalidArgument("direction parameters must be positive");
   }
+  if (threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0 (0 = auto)");
+  }
   if (groupby.q < 0) {
     return Status::InvalidArgument("groupby.q must be non-negative");
   }

@@ -39,6 +39,11 @@ struct EngineOptions {
   /// Keep per-instance depth vectors in the result (memory-heavy for large
   /// i; benches that only need timing turn it off).
   bool keep_depths = true;
+  /// Host worker threads running groups concurrently (each group on its own
+  /// simulated device, merged deterministically in group order). 1 = serial;
+  /// 0 = one per hardware thread. Results are bit-identical for every
+  /// setting; only wall_seconds changes.
+  int threads = 1;
 
   /// Telemetry sinks (non-owning; both optional). The engine forwards them
   /// to the device (kernel spans, gpusim.* counters) and the strategy

@@ -38,7 +38,8 @@ class BitwiseRunner {
         words_(static_cast<int>(CeilDiv(static_cast<uint64_t>(n_), 64))),
         cur_(graph.vertex_count(), n_),
         prev_(graph.vertex_count(), n_),
-        sources_(sources.begin(), sources.end()) {}
+        sources_(sources.begin(), sources.end()),
+        row_diff_(static_cast<size_t>(words_), 0) {}
 
   GroupResult Run();
 
@@ -65,6 +66,12 @@ class BitwiseRunner {
   std::vector<VertexId> sources_;
   std::vector<VertexId> jfq_;
   std::vector<uint64_t> jfq_masks_;
+  // Scratch for the fused frontier-generation sweep: the speculative
+  // top-down queue (swapped into jfq_ when top-down wins) and one row's
+  // XOR diff.
+  std::vector<VertexId> next_jfq_;
+  std::vector<uint64_t> next_masks_;
+  std::vector<uint64_t> row_diff_;
   // depths[j][v]; recorded as frontier identification discovers new bits.
   std::vector<std::vector<uint8_t>> depths_;
   GroupTrace trace_;
@@ -177,11 +184,22 @@ int64_t BitwiseRunner::RunBottomUpLevel(gpusim::KernelScope* scope) {
     scope->LoadContiguous(cur_.ElementIndex(f, 0), words_, 8);
     auto row_f = cur_.MutableRow(f);
 
+    // Saturated-word count for row f, kept incrementally below: the
+    // early-termination test becomes one integer compare per neighbor
+    // instead of an O(words) RowAllSet rescan. A word is saturated when
+    // every valid instance bit is set.
+    int saturated_words = 0;
+    for (int wi = 0; wi < words_; ++wi) {
+      const uint64_t valid =
+          wi + 1 == words_ ? cur_.LastWordMask() : ~uint64_t{0};
+      if (row_f[wi] == valid) ++saturated_words;
+    }
+
     const auto neighbors = graph_.InNeighbors(f);
     int64_t scanned = 0;
     bool changed = false;
     for (VertexId w : neighbors) {
-      if (can_terminate_early && cur_.RowAllSet(f)) {
+      if (can_terminate_early && saturated_words == words_) {
         // Early termination: every instance has found f's parent; the
         // thread is freed for other frontiers (Section 6).
         break;
@@ -203,6 +221,9 @@ int64_t BitwiseRunner::RunBottomUpLevel(gpusim::KernelScope* scope) {
           row_f[wi] = after;
           changed = true;
           new_visits += PopCount(after ^ before);
+          const uint64_t valid =
+              wi + 1 == words_ ? cur_.LastWordMask() : ~uint64_t{0};
+          if (after == valid) ++saturated_words;
         }
       }
     }
@@ -249,12 +270,21 @@ void BitwiseRunner::ChooseDirection() {
 void BitwiseRunner::GenerateFrontier(gpusim::KernelScope* scope) {
   const int64_t n_vertices = graph_.vertex_count();
 
-  // Pass 1 — newly visited bits (XOR of the level's BSAs, Algorithm 2):
-  // record depths, update the direction-heuristic accumulators.
+  // Fused sweep — newly visited bits (XOR of the level's BSAs,
+  // Algorithm 2): one pass records depths, updates the direction-heuristic
+  // accumulators, AND builds the candidate top-down JFQ. This used to be
+  // two full O(V*words) sweeps (the second recomputed every XOR after the
+  // direction choice); the direction cannot be chosen mid-sweep, so the
+  // top-down queue is built speculatively into next_jfq_/next_masks_ and
+  // swapped in when top-down wins. The simulated cost is unchanged — the
+  // kernel already billed both status-array reads below.
   scope->LoadContiguous(0, n_vertices * words_, 8);
   scope->LoadContiguous(0, n_vertices * words_, 8);
   scope->Compute(n_vertices * words_);
   new_frontier_edges_ = 0;
+  next_jfq_.clear();
+  next_masks_.clear();
+  int64_t td_private_sum = 0;
   for (int64_t v = 0; v < n_vertices; ++v) {
     const auto vid = static_cast<VertexId>(v);
     const auto row_cur = cur_.Row(vid);
@@ -262,6 +292,7 @@ void BitwiseRunner::GenerateFrontier(gpusim::KernelScope* scope) {
     int new_bits = 0;
     for (int w = 0; w < words_; ++w) {
       uint64_t diff = row_cur[w] ^ row_prev[w];
+      row_diff_[w] = diff;
       new_bits += PopCount(diff);
       if (options_.record_depths) {
         while (diff != 0) {
@@ -275,6 +306,10 @@ void BitwiseRunner::GenerateFrontier(gpusim::KernelScope* scope) {
       const int64_t d = graph_.OutDegree(vid);
       new_frontier_edges_ += static_cast<int64_t>(new_bits) * d;
       unexplored_edges_ -= static_cast<int64_t>(new_bits) * d;
+      next_jfq_.push_back(vid);
+      next_masks_.insert(next_masks_.end(), row_diff_.begin(),
+                         row_diff_.end());
+      td_private_sum += new_bits;
       if (options_.record_depths) {
         // Depth write-out: one coalesced store touching v's depth row.
         scope->StoreContiguous(static_cast<int64_t>(v) * n_, new_bits, 1);
@@ -293,32 +328,23 @@ void BitwiseRunner::GenerateFrontier(gpusim::KernelScope* scope) {
 
   ChooseDirection();
 
-  // Pass 2 — build the next JFQ under the chosen direction's predicate.
-  jfq_.clear();
-  jfq_masks_.clear();
   int64_t private_sum = 0;
-  for (int64_t v = 0; v < n_vertices; ++v) {
-    const auto vid = static_cast<VertexId>(v);
-    const auto row_cur = cur_.Row(vid);
-    const auto row_prev = prev_.Row(vid);
-    if (!bottom_up_) {
-      // Top-down frontier: any bit changed this level (XOR != 0).
-      int new_bits = 0;
-      bool any = false;
-      for (int w = 0; w < words_; ++w) {
-        new_bits += PopCount(row_cur[w] ^ row_prev[w]);
-        any |= (row_cur[w] ^ row_prev[w]) != 0;
-      }
-      if (any) {
-        jfq_.push_back(vid);
-        for (int w = 0; w < words_; ++w) {
-          jfq_masks_.push_back(row_cur[w] ^ row_prev[w]);
-        }
-        private_sum += new_bits;
-      }
-    } else {
-      // Bottom-up frontier: any instance still unvisited (NOT all-ones).
+  if (!bottom_up_) {
+    // Top-down frontier: any bit changed this level (XOR != 0) — exactly
+    // the queue the fused sweep built. Swapping keeps the old vectors as
+    // scratch capacity for the next level.
+    jfq_.swap(next_jfq_);
+    jfq_masks_.swap(next_masks_);
+    private_sum = td_private_sum;
+  } else {
+    // Bottom-up frontier: any instance still unvisited (NOT all-ones).
+    // This predicate reads cur_ only, so it cannot ride the XOR sweep.
+    jfq_.clear();
+    jfq_masks_.clear();
+    for (int64_t v = 0; v < n_vertices; ++v) {
+      const auto vid = static_cast<VertexId>(v);
       if (!cur_.RowAllSet(vid)) {
+        const auto row_cur = cur_.Row(vid);
         jfq_.push_back(vid);
         int unvisited = 0;
         for (int w = 0; w < words_; ++w) {

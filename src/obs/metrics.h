@@ -1,9 +1,11 @@
 #ifndef IBFS_OBS_METRICS_H_
 #define IBFS_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <span>
 #include <string>
@@ -26,19 +28,29 @@ namespace ibfs::obs {
 /// indirection plus an integer add per event; with no registry configured
 /// the instrumentation sites skip on a null-pointer check, which is the
 /// near-zero-cost disabled path.
+///
+/// Thread safety: the registry and every metric handle are safe to use
+/// concurrently (the parallel engine increments from its group workers).
+/// Counters and gauges are lock-free atomics; histograms take a short
+/// per-histogram mutex. Counter totals are deterministic regardless of
+/// thread interleaving (integer adds commute); a histogram's `sum()` of
+/// floating-point samples may differ in the last ulps between runs because
+/// accumulation order varies.
 
 /// Monotonically increasing integer metric.
 class Counter {
  public:
   explicit Counter(std::string name) : name_(std::move(name)) {}
 
-  void Increment(int64_t delta = 1) { value_ += delta; }
-  int64_t value() const { return value_; }
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
   const std::string& name() const { return name_; }
 
  private:
   std::string name_;
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 /// Last-written-value metric.
@@ -46,13 +58,13 @@ class Gauge {
  public:
   explicit Gauge(std::string name) : name_(std::move(name)) {}
 
-  void Set(double value) { value_ = value; }
-  double value() const { return value_; }
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
   const std::string& name() const { return name_; }
 
  private:
   std::string name_;
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
@@ -65,18 +77,26 @@ class Histogram {
   void Observe(double value);
 
   const std::string& name() const { return name_; }
-  int64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return min_; }
-  double max() const { return max_; }
+  int64_t count() const { return Locked(&Histogram::count_); }
+  double sum() const { return Locked(&Histogram::sum_); }
+  double min() const { return Locked(&Histogram::min_); }
+  double max() const { return Locked(&Histogram::max_); }
   double Mean() const;
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
-  const std::vector<int64_t>& bucket_counts() const { return counts_; }
+  /// Returns a snapshot copy (buckets mutate concurrently under Observe).
+  std::vector<int64_t> bucket_counts() const;
 
  private:
+  template <typename T>
+  T Locked(T Histogram::* member) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return this->*member;
+  }
+
   std::string name_;
-  std::vector<double> bounds_;
+  std::vector<double> bounds_;  // immutable after construction
+  mutable std::mutex mu_;       // guards everything below
   std::vector<int64_t> counts_;
   int64_t count_ = 0;
   double sum_ = 0.0;
@@ -85,8 +105,9 @@ class Histogram {
 };
 
 /// Owns all metrics of one run (or process). Handles returned by the
-/// getters are stable for the registry's lifetime. Not thread-safe — the
-/// simulator is single-threaded; revisit alongside any engine threading.
+/// getters are stable for the registry's lifetime. Thread-safe: getters,
+/// lookups, snapshots, and the handles themselves may be used concurrently
+/// (the parallel group engine meters from every worker thread).
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -106,6 +127,7 @@ class MetricsRegistry {
   const Histogram* FindHistogram(std::string_view name) const;
 
   size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -125,6 +147,7 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
+  mutable std::mutex mu_;  // guards the three maps (not the metrics within)
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

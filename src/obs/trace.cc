@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <fstream>
 #include <sstream>
 
@@ -7,6 +8,30 @@
 #include "util/logging.h"
 
 namespace ibfs::obs {
+namespace {
+
+// Monotonic tracer ids let a thread-local cache map "this thread's buffer
+// in this tracer" without dangling across tracer destruction/reuse.
+std::atomic<uint64_t> next_tracer_id{1};
+
+}  // namespace
+
+Tracer::Tracer() : tracer_id_(next_tracer_id.fetch_add(1)) {}
+
+Tracer::EventBuffer* Tracer::ThisThreadBuffer() {
+  thread_local uint64_t cached_id = 0;
+  thread_local EventBuffer* cached = nullptr;
+  if (cached_id != tracer_id_) {
+    // First event from this thread into this tracer: register a buffer.
+    // (A thread alternating between live tracers re-registers per switch —
+    // fine for the engine, which threads exactly one tracer through a run.)
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<EventBuffer>());
+    cached = buffers_.back().get();
+    cached_id = tracer_id_;
+  }
+  return cached;
+}
 
 TraceArg Arg(std::string_view key, std::string_view value) {
   return {std::string(key), std::string(value), /*quoted=*/true};
@@ -45,7 +70,7 @@ void Tracer::SetProcessName(int pid, std::string_view name) {
   e.pid = pid;
   e.tid = 0;
   e.args.push_back(Arg("name", name));
-  events_.push_back(std::move(e));
+  Append(std::move(e));
 }
 
 void Tracer::SetThreadName(int pid, int tid, std::string_view name) {
@@ -55,7 +80,7 @@ void Tracer::SetThreadName(int pid, int tid, std::string_view name) {
   e.pid = pid;
   e.tid = tid;
   e.args.push_back(Arg("name", name));
-  events_.push_back(std::move(e));
+  Append(std::move(e));
 }
 
 void Tracer::CompleteSpan(TraceTrack track, std::string_view name,
@@ -70,30 +95,36 @@ void Tracer::CompleteSpan(TraceTrack track, std::string_view name,
   e.pid = track.pid;
   e.tid = track.tid;
   e.args = std::move(args);
-  events_.push_back(std::move(e));
+  Append(std::move(e));
 }
 
 void Tracer::BeginSpan(TraceTrack track, std::string_view name,
                        std::string_view category, double ts_us) {
+  std::lock_guard<std::mutex> lock(mu_);
   open_spans_[{track.pid, track.tid}].push_back(
       {std::string(name), std::string(category), ts_us});
 }
 
 void Tracer::EndSpan(TraceTrack track, double ts_us,
                      std::vector<TraceArg> args) {
-  auto it = open_spans_.find({track.pid, track.tid});
-  if (it == open_spans_.end() || it->second.empty()) {
-    IBFS_LOG(Warning) << "EndSpan with no open span on track (" << track.pid
-                      << "," << track.tid << ")";
-    return;
+  OpenSpan span;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = open_spans_.find({track.pid, track.tid});
+    if (it == open_spans_.end() || it->second.empty()) {
+      IBFS_LOG(Warning) << "EndSpan with no open span on track ("
+                        << track.pid << "," << track.tid << ")";
+      return;
+    }
+    span = std::move(it->second.back());
+    it->second.pop_back();
   }
-  OpenSpan span = std::move(it->second.back());
-  it->second.pop_back();
   CompleteSpan(track, span.name, span.category, span.ts_us,
                ts_us - span.ts_us, std::move(args));
 }
 
 size_t Tracer::OpenSpans(TraceTrack track) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = open_spans_.find({track.pid, track.tid});
   return it == open_spans_.end() ? 0 : it->second.size();
 }
@@ -107,7 +138,7 @@ void Tracer::Instant(TraceTrack track, std::string_view name, double ts_us,
   e.pid = track.pid;
   e.tid = track.tid;
   e.args = std::move(args);
-  events_.push_back(std::move(e));
+  Append(std::move(e));
 }
 
 void Tracer::CounterValue(TraceTrack track, std::string_view series,
@@ -119,15 +150,25 @@ void Tracer::CounterValue(TraceTrack track, std::string_view series,
   e.pid = track.pid;
   e.tid = track.tid;
   e.args.push_back(Arg("value", value));
-  events_.push_back(std::move(e));
+  Append(std::move(e));
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->events.size();
+  return n;
 }
 
 void Tracer::WriteJson(std::ostream& os) const {
+  // Merge the per-thread buffers in registration order; viewers sort by
+  // timestamp, so cross-thread file order is irrelevant.
+  std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w(os);
   w.BeginObject();
   w.Key("traceEvents");
   w.BeginArray();
-  for (const Event& e : events_) {
+  auto write_event = [&w](const Event& e) {
     w.BeginObject();
     w.Key("name");
     w.String(e.name);
@@ -165,6 +206,9 @@ void Tracer::WriteJson(std::ostream& os) const {
       w.EndObject();
     }
     w.EndObject();
+  };
+  for (const auto& buffer : buffers_) {
+    for (const Event& e : buffer->events) write_event(e);
   }
   w.EndArray();
   w.Key("displayTimeUnit");

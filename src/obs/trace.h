@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -60,11 +62,20 @@ struct TraceTrack {
 /// Collects trace events in memory and writes them as one Chrome-trace
 /// JSON document. Event storage is append-only; a disabled trace is
 /// represented by a null Tracer* at the instrumentation site, so the
-/// disabled path is one pointer compare. Not thread-safe (the simulator is
-/// single-threaded).
+/// disabled path is one pointer compare.
+///
+/// Thread safety: events are appended to per-thread buffers (registered
+/// lazily under a mutex, then written lock-free by their owning thread) and
+/// merged at flush, so the parallel engine's group workers emit spans
+/// concurrently without contending. Event order across threads is therefore
+/// unspecified; Chrome/Perfetto order by timestamp, not file position.
+/// BeginSpan/EndSpan nesting state is keyed by (pid, tid) track under the
+/// same mutex — nest spans from one thread per track at a time. Flushing
+/// (WriteJson/event_count) must not race with concurrent emission; flush
+/// after the instrumented run has joined its workers.
 class Tracer {
  public:
-  Tracer() = default;
+  Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -96,7 +107,7 @@ class Tracer {
   void CounterValue(TraceTrack track, std::string_view series, double ts_us,
                     double value);
 
-  size_t event_count() const { return events_.size(); }
+  size_t event_count() const;
 
   /// Serializes {"traceEvents":[...],"displayTimeUnit":"ms"}. Open spans
   /// are not emitted; call EndSpan first.
@@ -119,8 +130,19 @@ class Tracer {
     std::string category;
     double ts_us = 0.0;
   };
+  /// One thread's private append-only event log.
+  struct EventBuffer {
+    std::vector<Event> events;
+  };
 
-  std::vector<Event> events_;
+  /// The calling thread's buffer, registering one on first use. Only the
+  /// owning thread appends; the mutex covers registration and flush.
+  EventBuffer* ThisThreadBuffer();
+  void Append(Event event) { ThisThreadBuffer()->events.push_back(std::move(event)); }
+
+  const uint64_t tracer_id_;  // distinguishes tracers in thread-local caches
+  mutable std::mutex mu_;     // guards buffers_ (the vector) and open_spans_
+  std::vector<std::unique_ptr<EventBuffer>> buffers_;
   std::map<std::pair<int, int>, std::vector<OpenSpan>> open_spans_;
 };
 

@@ -53,6 +53,9 @@ int Usage() {
                "I, --group-size N,\n"
                "            [--q Q] [--no-early-termination] [--max-level "
                "K] [--profile]\n"
+               "            [--threads T]  host worker threads (0 = one per "
+               "hardware thread,\n"
+               "            1 = serial; results are identical either way)\n"
                "  cluster:  run flags plus --gpus G [--lpt]\n"
                "  check:    --trace PATH | --report PATH | --metrics PATH "
                "(validate telemetry files)\n"
@@ -169,6 +172,10 @@ Result<EngineOptions> OptionsFromFlags(const Flags& flags) {
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   options.keep_depths = false;
   options.traversal.collect_instance_stats = false;
+  // Host worker threads for group execution; 0 = one per hardware thread.
+  // Results are bit-identical at every setting (per-group devices, ordered
+  // merge), so parallel is the safe default.
+  options.threads = static_cast<int>(flags.GetInt("threads", 0));
   return options;
 }
 
