@@ -1,0 +1,144 @@
+// Online-serving bench: drives the same open-loop workload through the
+// BFS query service at a sweep of batching deadlines (--max-delay-ms in
+// the CLI) and records the latency-vs-sharing tradeoff that dynamic
+// batching buys: longer deadlines close bigger batches (better GroupBy
+// sharing, closer to the offline oracle) at the cost of queue latency.
+// Writes BENCH_service.json: {"bench":"serve","points":[{delay_ms, p50,
+// p95, p99, mean_batch_size, sharing_ratio, sharing_fraction, ...}]}.
+// Environment knobs: IBFS_GRAPH (default PK), IBFS_QPS (default 400),
+// IBFS_DURATION (default 1 s), IBFS_SERVE_THREADS (default 2),
+// IBFS_BENCH_OUT (default BENCH_service.json).
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "obs/json.h"
+#include "service/service.h"
+#include "service/workload.h"
+
+namespace ibfs::bench {
+namespace {
+
+struct Point {
+  double delay_ms = 0.0;
+  obs::ServiceReport report;
+};
+
+int Main() {
+  PrintHeader("serve bench",
+              "dynamic-batching deadline sweep: latency vs sharing");
+  const std::string graph_name = EnvString("IBFS_GRAPH", "PK");
+  std::vector<LoadedGraph> loaded_set =
+      LoadNamed(std::vector<std::string>{graph_name});
+  const LoadedGraph& loaded = loaded_set.front();
+  service::WorkloadOptions workload;
+  workload.arrival = service::ArrivalProcess::kPoisson;
+  workload.qps = static_cast<double>(EnvInt64("IBFS_QPS", 400));
+  workload.duration_s = EnvDouble("IBFS_DURATION", 1.0);
+  workload.seed = 2016;
+  auto events = service::GenerateArrivals(loaded.graph, workload);
+  IBFS_CHECK(events.ok()) << events.status().ToString();
+
+  EngineOptions engine = BaseOptions(Strategy::kBitwise,
+                                     GroupingPolicy::kGroupBy);
+  auto oracle =
+      service::OracleSharingRatio(loaded.graph, engine, events.value());
+  IBFS_CHECK(oracle.ok()) << oracle.status().ToString();
+
+  const std::vector<double> delays = {0.5, 1.0, 2.0, 4.0, 8.0};
+  std::vector<Point> points;
+  std::printf("%8s %10s %8s %8s %8s %10s %9s\n", "delay", "mean batch",
+              "p50 ms", "p95 ms", "p99 ms", "sharing", "vs oracle");
+  for (double delay_ms : delays) {
+    service::ServiceOptions options;
+    options.max_batch = 64;
+    options.max_delay_ms = delay_ms;
+    options.execute_threads =
+        static_cast<int>(EnvInt64("IBFS_SERVE_THREADS", 2));
+    options.keep_depths = false;
+    options.engine = engine;
+    auto svc = service::BfsService::Create(&loaded.graph, options);
+    IBFS_CHECK(svc.ok()) << svc.status().ToString();
+    auto drive = service::DriveWorkload(svc.value().get(), events.value());
+    IBFS_CHECK(drive.ok()) << drive.status().ToString();
+    Point point;
+    point.delay_ms = delay_ms;
+    point.report =
+        service::BuildServiceReport(graph_name, loaded.graph, options,
+                                    workload, drive.value(), oracle.value());
+    std::printf("%6.1fms %10.1f %8.2f %8.2f %8.2f %9.1f%% %8.1f%%\n",
+                delay_ms, point.report.mean_batch_size,
+                point.report.total_ms.p50, point.report.total_ms.p95,
+                point.report.total_ms.p99,
+                100.0 * point.report.sharing_ratio,
+                100.0 * point.report.sharing_fraction);
+    points.push_back(std::move(point));
+  }
+
+  const std::string out = EnvString("IBFS_BENCH_OUT", "BENCH_service.json");
+  std::ofstream os(out, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  obs::JsonWriter w(os);
+  w.BeginObject();
+  w.Key("bench");
+  w.String("serve");
+  w.Key("graph");
+  w.String(graph_name);
+  w.Key("arrival");
+  w.String("poisson");
+  w.Key("qps");
+  w.Double(workload.qps);
+  w.Key("duration_seconds");
+  w.Double(workload.duration_s);
+  w.Key("max_batch");
+  w.Int(64);
+  w.Key("oracle_sharing_ratio");
+  w.Double(oracle.value());
+  w.Key("points");
+  w.BeginArray();
+  for (const Point& point : points) {
+    const obs::ServiceReport& r = point.report;
+    w.BeginObject();
+    w.Key("max_delay_ms");
+    w.Double(point.delay_ms);
+    w.Key("queries");
+    w.Int(r.queries);
+    w.Key("completed");
+    w.Int(r.completed);
+    w.Key("batches");
+    w.Int(r.batches);
+    w.Key("mean_batch_size");
+    w.Double(r.mean_batch_size);
+    w.Key("achieved_qps");
+    w.Double(r.achieved_qps);
+    w.Key("p50_ms");
+    w.Double(r.total_ms.p50);
+    w.Key("p95_ms");
+    w.Double(r.total_ms.p95);
+    w.Key("p99_ms");
+    w.Double(r.total_ms.p99);
+    w.Key("queue_p95_ms");
+    w.Double(r.queue_ms.p95);
+    w.Key("teps");
+    w.Double(r.teps);
+    w.Key("sharing_ratio");
+    w.Double(r.sharing_ratio);
+    w.Key("sharing_fraction");
+    w.Double(r.sharing_fraction);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << '\n';
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ibfs::bench
+
+int main() { return ibfs::bench::Main(); }

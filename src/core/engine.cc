@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/group_plan.h"
 #include "ibfs/status_array.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
@@ -77,41 +78,12 @@ Result<EngineResult> Engine::Run(
   }
 
   IBFS_RETURN_NOT_OK(options_.Validate());
-  if (sources.empty()) {
-    return Status::InvalidArgument("no source vertices given");
-  }
-  for (graph::VertexId s : sources) {
-    if (static_cast<int64_t>(s) >= graph_->vertex_count()) {
-      return Status::OutOfRange("source vertex outside graph");
-    }
-  }
-
-  // The device-memory cap on N (Section 3). With the default 12 GB spec and
-  // laptop-scale graphs this never binds, but a small spec exercises it.
-  int group_size = options_.group_size;
-  const int64_t cap = MaxGroupSize(*graph_, options_.device);
-  if (cap < 1) {
-    return Status::FailedPrecondition(
-        "graph does not fit in simulated device memory");
-  }
-  group_size = static_cast<int>(std::min<int64_t>(group_size, cap));
 
   const double grouping_start_us = wall_us();
-  Grouping grouping;
-  switch (options_.grouping) {
-    case GroupingPolicy::kInOrder:
-      grouping = ChunkGrouping(sources, group_size);
-      break;
-    case GroupingPolicy::kRandom:
-      grouping = RandomGrouping(sources, group_size, options_.seed);
-      break;
-    case GroupingPolicy::kGroupBy: {
-      GroupByParams params = options_.groupby;
-      params.group_size = group_size;
-      grouping = GroupByOutdegree(*graph_, sources, params);
-      break;
-    }
-  }
+  Result<GroupPlan> plan =
+      GroupSources(*graph_, sources, options_, DuplicatePolicy::kAllow);
+  if (!plan.ok()) return plan.status();
+  Grouping grouping = std::move(plan.value().grouping);
   if (observer.tracing()) {
     observer.tracer->CompleteSpan(
         {obs::kHostPid, 0}, "grouping", "host", grouping_start_us,

@@ -1,0 +1,63 @@
+#include "core/group_plan.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "core/engine.h"
+
+namespace ibfs {
+
+Result<GroupPlan> GroupSources(const graph::Csr& graph,
+                               std::span<const graph::VertexId> sources,
+                               const EngineOptions& options,
+                               DuplicatePolicy duplicates) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("no source vertices given");
+  }
+  for (graph::VertexId s : sources) {
+    if (static_cast<int64_t>(s) >= graph.vertex_count()) {
+      return Status::OutOfRange("source vertex outside graph");
+    }
+  }
+  if (duplicates == DuplicatePolicy::kReject) {
+    std::unordered_set<graph::VertexId> seen;
+    seen.reserve(sources.size());
+    for (graph::VertexId s : sources) {
+      if (!seen.insert(s).second) {
+        return Status::InvalidArgument(
+            "duplicate source vertex " + std::to_string(s) +
+            " in one batch");
+      }
+    }
+  }
+
+  // The device-memory cap on N (Section 3). With the default 12 GB spec and
+  // laptop-scale graphs this never binds, but a small spec exercises it.
+  const int64_t cap = Engine::MaxGroupSize(graph, options.device);
+  if (cap < 1) {
+    return Status::FailedPrecondition(
+        "graph does not fit in simulated device memory");
+  }
+  GroupPlan plan;
+  plan.group_size =
+      static_cast<int>(std::min<int64_t>(options.group_size, cap));
+
+  switch (options.grouping) {
+    case GroupingPolicy::kInOrder:
+      plan.grouping = ChunkGrouping(sources, plan.group_size);
+      break;
+    case GroupingPolicy::kRandom:
+      plan.grouping = RandomGrouping(sources, plan.group_size, options.seed);
+      break;
+    case GroupingPolicy::kGroupBy: {
+      GroupByParams params = options.groupby;
+      params.group_size = plan.group_size;
+      plan.grouping = GroupByOutdegree(graph, sources, params);
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace ibfs

@@ -1,0 +1,45 @@
+#ifndef IBFS_CORE_GROUP_PLAN_H_
+#define IBFS_CORE_GROUP_PLAN_H_
+
+#include <span>
+
+#include "core/options.h"
+#include "graph/csr.h"
+#include "ibfs/groupby.h"
+#include "util/status.h"
+
+namespace ibfs {
+
+/// Whether GroupSources accepts repeated source vertices. Offline batch
+/// runs allow them (SampleConnectedSources wraps its pool when asked for
+/// more instances than the giant component holds); the online service
+/// dedups identical queries before grouping and treats a repeat reaching
+/// the grouper as a caller bug.
+enum class DuplicatePolicy {
+  kAllow,
+  kReject,
+};
+
+/// The outcome of planning one batch of sources into concurrent groups.
+struct GroupPlan {
+  Grouping grouping;
+  /// Group size actually used: the requested EngineOptions::group_size
+  /// clamped to the device-memory bound (Engine::MaxGroupSize).
+  int group_size = 0;
+};
+
+/// Validates a batch of sources (non-empty, every vertex inside the graph,
+/// optionally duplicate-free) and applies the configured grouping policy
+/// with the device-memory clamp. This is the single grouping code path:
+/// Engine::Run plans its whole workload through it, and the online BFS
+/// service plans each dynamically-closed batch through it, so the two
+/// always agree on how a set of sources becomes groups.
+Result<GroupPlan> GroupSources(const graph::Csr& graph,
+                               std::span<const graph::VertexId> sources,
+                               const EngineOptions& options,
+                               DuplicatePolicy duplicates =
+                                   DuplicatePolicy::kAllow);
+
+}  // namespace ibfs
+
+#endif  // IBFS_CORE_GROUP_PLAN_H_

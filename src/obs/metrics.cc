@@ -36,6 +36,31 @@ double Histogram::Mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double in_bucket = static_cast<double>(counts_[i]);
+    if (cumulative + in_bucket >= target) {
+      // Bucket i covers (bounds[i-1], bounds[i]]; the outermost edges are
+      // the observed extremes, and interior edges are clamped to them so
+      // sparse histograms do not extrapolate past their data.
+      double lo = i == 0 ? min_ : std::max(bounds_[i - 1], min_);
+      double hi = i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+      if (hi < lo) hi = lo;
+      const double fraction =
+          std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
 std::vector<int64_t> Histogram::bucket_counts() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counts_;

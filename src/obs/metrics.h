@@ -82,6 +82,15 @@ class Histogram {
   double min() const { return Locked(&Histogram::min_); }
   double max() const { return Locked(&Histogram::max_); }
   double Mean() const;
+  /// Percentile estimate by linear interpolation over bucket bounds:
+  /// walks the cumulative counts to the bucket containing rank p * count,
+  /// then interpolates within that bucket's [lower, upper] span. The first
+  /// bucket's lower edge and the overflow bucket's upper edge are the
+  /// observed min/max, and every edge is clamped to [min, max], so the
+  /// estimate never leaves the sampled range. p is clamped to [0, 1];
+  /// returns 0 for an empty histogram. Accuracy is bounded by bucket width
+  /// (pick bounds to taste); exact at p = 0 and p = 1.
+  double Percentile(double p) const;
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   /// Returns a snapshot copy (buckets mutate concurrently under Observe).

@@ -167,4 +167,125 @@ Status RunReport::WriteFile(const std::string& path,
   return Status::OK();
 }
 
+namespace {
+
+void WriteLatency(JsonWriter* w, const ReportLatency& latency) {
+  w->BeginObject();
+  w->Key("p50");
+  w->Double(latency.p50);
+  w->Key("p95");
+  w->Double(latency.p95);
+  w->Key("p99");
+  w->Double(latency.p99);
+  w->Key("mean");
+  w->Double(latency.mean);
+  w->Key("max");
+  w->Double(latency.max);
+  w->EndObject();
+}
+
+}  // namespace
+
+void ServiceReport::WriteJson(std::ostream& os,
+                              const MetricsRegistry* metrics) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("schema");
+  w.String(kSchema);
+  w.Key("schema_version");
+  w.Int(kSchemaVersion);
+
+  w.Key("workload");
+  w.BeginObject();
+  w.Key("graph");
+  w.String(graph);
+  w.Key("vertex_count");
+  w.Int(vertex_count);
+  w.Key("edge_count");
+  w.Int(edge_count);
+  w.Key("strategy");
+  w.String(strategy);
+  w.Key("grouping");
+  w.String(grouping);
+  w.Key("arrival");
+  w.String(arrival);
+  w.Key("offered_qps");
+  w.Double(offered_qps);
+  w.Key("duration_seconds");
+  w.Double(duration_seconds);
+  w.Key("queries");
+  w.Int(queries);
+  w.EndObject();
+
+  w.Key("service");
+  w.BeginObject();
+  w.Key("max_batch");
+  w.Int(max_batch);
+  w.Key("max_delay_ms");
+  w.Double(max_delay_ms);
+  w.Key("execute_threads");
+  w.Int(execute_threads);
+  w.Key("batches");
+  w.Int(batches);
+  w.Key("groups");
+  w.Int(groups);
+  w.Key("size_closes");
+  w.Int(size_closes);
+  w.Key("deadline_closes");
+  w.Int(deadline_closes);
+  w.Key("shutdown_closes");
+  w.Int(shutdown_closes);
+  w.Key("mean_batch_size");
+  w.Double(mean_batch_size);
+  w.EndObject();
+
+  w.Key("results");
+  w.BeginObject();
+  w.Key("completed");
+  w.Int(completed);
+  w.Key("failed");
+  w.Int(failed);
+  w.Key("achieved_qps");
+  w.Double(achieved_qps);
+  w.Key("wall_seconds");
+  w.Double(wall_seconds);
+  w.Key("sim_seconds");
+  w.Double(sim_seconds);
+  w.Key("teps");
+  w.Double(teps);
+  w.Key("sharing_ratio");
+  w.Double(sharing_ratio);
+  w.Key("oracle_sharing_ratio");
+  w.Double(oracle_sharing_ratio);
+  w.Key("sharing_fraction");
+  w.Double(sharing_fraction);
+  w.EndObject();
+
+  w.Key("latency_ms");
+  w.BeginObject();
+  w.Key("queue");
+  WriteLatency(&w, queue_ms);
+  w.Key("execute");
+  WriteLatency(&w, execute_ms);
+  w.Key("total");
+  WriteLatency(&w, total_ms);
+  w.EndObject();
+
+  if (metrics != nullptr) {
+    w.Key("metrics");
+    w.Raw(metrics->ToJson());
+  }
+  w.EndObject();
+}
+
+Status ServiceReport::WriteFile(const std::string& path,
+                                const MetricsRegistry* metrics) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WriteJson(out, metrics);
+  out << '\n';
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
 }  // namespace ibfs::obs

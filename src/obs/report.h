@@ -106,6 +106,75 @@ struct RunReport {
                    const MetricsRegistry* metrics = nullptr) const;
 };
 
+/// One latency distribution of the service report, in milliseconds.
+/// Percentiles come from obs::Histogram::Percentile (bucket-interpolated);
+/// mean and max are exact.
+struct ReportLatency {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// The online-serving run report ("ibfs.service_report"): what one
+/// `ibfs_cli serve` run or serve_bench point measured — throughput,
+/// queue/execute/total latency SLOs, and the dynamic batcher's sharing
+/// ratio against the oracle that saw every source up front. Like
+/// RunReport, this is a plain struct so the obs layer stays below core;
+/// service/workload.h builds it from a driven workload.
+struct ServiceReport {
+  static constexpr const char* kSchema = "ibfs.service_report";
+  static constexpr int kSchemaVersion = 1;
+
+  // Workload.
+  std::string graph;
+  int64_t vertex_count = 0;
+  int64_t edge_count = 0;
+  std::string strategy;
+  std::string grouping;
+  std::string arrival;
+  double offered_qps = 0.0;
+  double duration_seconds = 0.0;
+  int64_t queries = 0;
+
+  // Batcher configuration and behavior.
+  int64_t max_batch = 0;
+  double max_delay_ms = 0.0;
+  int64_t execute_threads = 0;
+  int64_t batches = 0;
+  int64_t groups = 0;
+  int64_t size_closes = 0;
+  int64_t deadline_closes = 0;
+  int64_t shutdown_closes = 0;
+  double mean_batch_size = 0.0;
+
+  // Headline results.
+  int64_t completed = 0;
+  int64_t failed = 0;
+  double achieved_qps = 0.0;
+  double wall_seconds = 0.0;
+  double sim_seconds = 0.0;
+  double teps = 0.0;
+  double sharing_ratio = 0.0;
+  double oracle_sharing_ratio = 0.0;
+  /// sharing_ratio / oracle_sharing_ratio (0 when the oracle is 0) — the
+  /// fraction of the offline GroupBy benefit dynamic batching preserved.
+  double sharing_fraction = 0.0;
+
+  // Latency SLO breakdown (milliseconds).
+  ReportLatency queue_ms;
+  ReportLatency execute_ms;
+  ReportLatency total_ms;
+
+  /// Serializes the report; when `metrics` is non-null its snapshot is
+  /// embedded under the "metrics" key.
+  void WriteJson(std::ostream& os,
+                 const MetricsRegistry* metrics = nullptr) const;
+  Status WriteFile(const std::string& path,
+                   const MetricsRegistry* metrics = nullptr) const;
+};
+
 }  // namespace ibfs::obs
 
 #endif  // IBFS_OBS_REPORT_H_

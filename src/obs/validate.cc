@@ -220,6 +220,104 @@ Status ValidateRunReportFile(const std::string& path) {
   return ValidateRunReport(doc.value());
 }
 
+Status ValidateServiceReport(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Bad("service report: top level is not an object");
+  }
+  Status st;
+  const JsonValue* schema = RequireMember(
+      doc, "schema", JsonValue::Kind::kString, &st, "service report");
+  if (schema == nullptr) return st;
+  if (schema->string_value() != "ibfs.service_report") {
+    return Bad("service report: unexpected schema \"" +
+               schema->string_value() + "\"");
+  }
+  const JsonValue* version = RequireMember(
+      doc, "schema_version", JsonValue::Kind::kNumber, &st, "service report");
+  if (version == nullptr) return st;
+  if (version->number_value() < 1) {
+    return Bad("service report: bad schema_version");
+  }
+
+  const JsonValue* workload = RequireMember(
+      doc, "workload", JsonValue::Kind::kObject, &st, "service report");
+  if (workload == nullptr) return st;
+  for (const char* key : {"graph", "strategy", "grouping", "arrival"}) {
+    if (RequireMember(*workload, key, JsonValue::Kind::kString, &st,
+                      "service report workload") == nullptr) {
+      return st;
+    }
+  }
+  for (const char* key : {"vertex_count", "edge_count", "offered_qps",
+                          "duration_seconds", "queries"}) {
+    if (RequireMember(*workload, key, JsonValue::Kind::kNumber, &st,
+                      "service report workload") == nullptr) {
+      return st;
+    }
+  }
+
+  const JsonValue* service = RequireMember(
+      doc, "service", JsonValue::Kind::kObject, &st, "service report");
+  if (service == nullptr) return st;
+  for (const char* key :
+       {"max_batch", "max_delay_ms", "execute_threads", "batches", "groups",
+        "size_closes", "deadline_closes", "shutdown_closes",
+        "mean_batch_size"}) {
+    if (RequireMember(*service, key, JsonValue::Kind::kNumber, &st,
+                      "service report service") == nullptr) {
+      return st;
+    }
+  }
+
+  const JsonValue* results = RequireMember(
+      doc, "results", JsonValue::Kind::kObject, &st, "service report");
+  if (results == nullptr) return st;
+  for (const char* key :
+       {"completed", "failed", "achieved_qps", "wall_seconds", "sim_seconds",
+        "teps", "sharing_ratio", "oracle_sharing_ratio",
+        "sharing_fraction"}) {
+    if (RequireMember(*results, key, JsonValue::Kind::kNumber, &st,
+                      "service report results") == nullptr) {
+      return st;
+    }
+  }
+
+  const JsonValue* latency = RequireMember(
+      doc, "latency_ms", JsonValue::Kind::kObject, &st, "service report");
+  if (latency == nullptr) return st;
+  for (const char* which : {"queue", "execute", "total"}) {
+    const std::string where =
+        std::string("service report latency_ms ") + which;
+    const JsonValue* dist = RequireMember(*latency, which,
+                                          JsonValue::Kind::kObject, &st,
+                                          "service report latency_ms");
+    if (dist == nullptr) return st;
+    for (const char* key : {"p50", "p95", "p99", "mean", "max"}) {
+      if (RequireMember(*dist, key, JsonValue::Kind::kNumber, &st, where) ==
+          nullptr) {
+        return st;
+      }
+    }
+    const double p50 = dist->Find("p50")->number_value();
+    const double p95 = dist->Find("p95")->number_value();
+    const double p99 = dist->Find("p99")->number_value();
+    if (p50 < 0.0 || p50 > p95 || p95 > p99) {
+      return Bad(where + ": percentiles must satisfy 0 <= p50 <= p95 <= p99");
+    }
+  }
+
+  if (const JsonValue* metrics = doc.Find("metrics")) {
+    IBFS_RETURN_NOT_OK(ValidateMetrics(*metrics));
+  }
+  return Status::OK();
+}
+
+Status ValidateServiceReportFile(const std::string& path) {
+  Result<JsonValue> doc = ParseJsonFile(path);
+  if (!doc.ok()) return doc.status();
+  return ValidateServiceReport(doc.value());
+}
+
 Status ValidateMetrics(const JsonValue& doc) {
   if (!doc.is_object()) return Bad("metrics: top level is not an object");
   Status st;

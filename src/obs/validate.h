@@ -26,6 +26,13 @@ Status ValidateTraceFile(const std::string& path, bool require_spans = false);
 Status ValidateRunReport(const JsonValue& doc);
 Status ValidateRunReportFile(const std::string& path);
 
+/// Checks a parsed service report against the "ibfs.service_report"
+/// schema: schema/version match, workload/service/results sections with
+/// their numeric fields, and each latency_ms distribution carrying
+/// ordered p50 <= p95 <= p99 percentiles.
+Status ValidateServiceReport(const JsonValue& doc);
+Status ValidateServiceReportFile(const std::string& path);
+
 /// Checks a metrics snapshot: counters/gauges/histograms objects; each
 /// histogram's buckets array is bounds+1 long and sums to count.
 Status ValidateMetrics(const JsonValue& doc);

@@ -1,0 +1,405 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/group_plan.h"
+#include "ibfs/status_array.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace ibfs::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+uint64_t Fnv1a(const std::vector<uint8_t>& bytes) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+const char* CloseReasonName(int reason) {
+  switch (reason) {
+    case 0:
+      return "size";
+    case 1:
+      return "deadline";
+    default:
+      return "shutdown";
+  }
+}
+
+/// Bucket layouts for the service.* latency and size histograms.
+std::span<const double> LatencyBoundsMs() {
+  static const std::vector<double> bounds =
+      obs::PowerOfTwoBounds(0.001, 32);
+  return bounds;
+}
+
+std::span<const double> BatchSizeBounds() {
+  static const std::vector<double> bounds = obs::PowerOfTwoBounds(1, 13);
+  return bounds;
+}
+
+}  // namespace
+
+Status ServiceOptions::Validate() const {
+  if (max_batch < 1) {
+    return Status::InvalidArgument("max_batch must be >= 1");
+  }
+  if (max_delay_ms < 0.0) {
+    return Status::InvalidArgument("max_delay_ms must be non-negative");
+  }
+  if (execute_threads < 0) {
+    return Status::InvalidArgument(
+        "execute_threads must be >= 0 (0 = auto)");
+  }
+  return engine.Validate();
+}
+
+double BfsService::Stats::SharingRatio() const {
+  if (jfq_sum == 0 || groups == 0 || executed_instances == 0) return 0.0;
+  const double avg_instances = static_cast<double>(executed_instances) /
+                               static_cast<double>(groups);
+  const double sd = static_cast<double>(private_fq_sum) /
+                    static_cast<double>(jfq_sum);
+  return sd / avg_instances;
+}
+
+double BfsService::Stats::Teps(int64_t edge_count) const {
+  if (sim_seconds <= 0.0) return 0.0;
+  return static_cast<double>(executed_instances) *
+         static_cast<double>(edge_count) / sim_seconds;
+}
+
+BfsService::BfsService(const graph::Csr* graph, ServiceOptions options)
+    : graph_(graph),
+      options_(std::move(options)),
+      engine_(graph, options_.engine),
+      start_(Clock::now()) {}
+
+Result<std::unique_ptr<BfsService>> BfsService::Create(
+    const graph::Csr* graph, ServiceOptions options) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("service needs a graph");
+  }
+  // Execution always records depths (the query result) and instance stats
+  // (the achieved-sharing measurement); the keep_depths service knob only
+  // controls whether each QueryResult retains its copy.
+  options.engine.keep_depths = true;
+  options.engine.traversal.collect_instance_stats = true;
+  IBFS_RETURN_NOT_OK(options.Validate());
+
+  const int threads = options.execute_threads == 0
+                          ? ThreadPool::HardwareConcurrency()
+                          : options.execute_threads;
+  std::unique_ptr<BfsService> svc(new BfsService(graph, std::move(options)));
+  if (svc->options_.observer.tracing()) {
+    svc->options_.observer.tracer->SetProcessName(kServicePid,
+                                                  "service (wall clock)");
+  }
+  svc->executor_ = std::make_unique<ThreadPool>(threads);
+  svc->batcher_ = std::thread([s = svc.get()] { s->BatcherLoop(); });
+  return svc;
+}
+
+BfsService::~BfsService() { Shutdown(); }
+
+std::future<QueryResult> BfsService::Submit(graph::VertexId source) {
+  std::promise<QueryResult> promise;
+  std::future<QueryResult> future = promise.get_future();
+  auto reject = [&](Status status) {
+    QueryResult result;
+    result.status = std::move(status);
+    result.source = source;
+    promise.set_value(std::move(result));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.failed;
+  };
+  // Per-query admission check: a bad source fails its own future instead
+  // of poisoning the batch it would have joined.
+  if (static_cast<int64_t>(source) >= graph_->vertex_count()) {
+    reject(Status::OutOfRange("source vertex outside graph"));
+    return future;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) {
+      lock.unlock();
+      reject(Status::FailedPrecondition("service is shut down"));
+      return future;
+    }
+    PendingQuery query;
+    query.promise = std::move(promise);
+    query.source = source;
+    query.query_id = next_query_id_++;
+    query.submitted = Clock::now();
+    pending_.push_back(std::move(query));
+  }
+  cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.queries;
+  }
+  if (options_.observer.metering()) {
+    options_.observer.metrics->GetCounter("service.queries")->Increment();
+  }
+  return future;
+}
+
+void BfsService::BatcherLoop() {
+  const auto delay = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.max_delay_ms));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return shutdown_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    // A batch is open from the oldest pending query; wait until it fills,
+    // its deadline passes, or shutdown flushes it.
+    const auto deadline = pending_.front().submitted + delay;
+    while (!shutdown_ &&
+           pending_.size() < static_cast<size_t>(options_.max_batch)) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+    const size_t take = std::min(
+        pending_.size(), static_cast<size_t>(options_.max_batch));
+    std::vector<PendingQuery> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    const CloseReason reason =
+        take >= static_cast<size_t>(options_.max_batch)
+            ? CloseReason::kSize
+            : (shutdown_ ? CloseReason::kShutdown : CloseReason::kDeadline);
+    lock.unlock();
+    DispatchBatch(std::move(batch), reason);
+    lock.lock();
+  }
+}
+
+void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
+                               CloseReason reason) {
+  const auto closed = Clock::now();
+  const int64_t batch_id = next_batch_id_++;
+  const obs::TraceTrack track{kServicePid, 1 + static_cast<int>(batch_id)};
+  obs::Tracer* tracer = options_.observer.tracer;
+  obs::MetricsRegistry* metrics = options_.observer.metrics;
+
+  if (tracer != nullptr) {
+    tracer->SetThreadName(kServicePid, track.tid,
+                          "batch " + std::to_string(batch_id));
+    const double queue_start_us = SinceStartUs(batch.front().submitted);
+    tracer->CompleteSpan(
+        track, "queue", "service", queue_start_us,
+        SinceStartUs(closed) - queue_start_us,
+        {obs::Arg("queries", static_cast<int64_t>(batch.size())),
+         obs::Arg("close", CloseReasonName(static_cast<int>(reason)))});
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.batches;
+    switch (reason) {
+      case CloseReason::kSize:
+        ++stats_.size_closes;
+        break;
+      case CloseReason::kDeadline:
+        ++stats_.deadline_closes;
+        break;
+      case CloseReason::kShutdown:
+        ++stats_.shutdown_closes;
+        break;
+    }
+  }
+  if (metrics != nullptr) {
+    metrics->GetCounter("service.batches")->Increment();
+    metrics->GetHistogram("service.batch_size", BatchSizeBounds())
+        ->Observe(static_cast<double>(batch.size()));
+    switch (reason) {
+      case CloseReason::kSize:
+        metrics->GetCounter("service.size_closes")->Increment();
+        break;
+      case CloseReason::kDeadline:
+        metrics->GetCounter("service.deadline_closes")->Increment();
+        break;
+      case CloseReason::kShutdown:
+        metrics->GetCounter("service.shutdown_closes")->Increment();
+        break;
+    }
+  }
+
+  // Two clients asking for the same source share one execution: the batch
+  // dedups to unique sources (the grouper's precondition) and fans each
+  // group member's depths out to every query that wanted it.
+  struct BatchState {
+    std::vector<PendingQuery> queries;
+    std::unordered_map<graph::VertexId, std::vector<size_t>> by_source;
+    std::vector<std::vector<graph::VertexId>> groups;
+    Clock::time_point closed;
+    int64_t batch_id = 0;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->closed = closed;
+  state->batch_id = batch_id;
+  std::vector<graph::VertexId> unique;
+  unique.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto& indices = state->by_source[batch[i].source];
+    if (indices.empty()) unique.push_back(batch[i].source);
+    indices.push_back(i);
+  }
+  state->queries = std::move(batch);
+
+  Result<GroupPlan> plan = GroupSources(*graph_, unique, options_.engine,
+                                        DuplicatePolicy::kReject);
+  if (!plan.ok()) {
+    for (PendingQuery& query : state->queries) {
+      QueryResult result;
+      result.status = plan.status();
+      result.source = query.source;
+      result.query_id = query.query_id;
+      result.batch_id = batch_id;
+      query.promise.set_value(std::move(result));
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.failed += static_cast<int64_t>(state->queries.size());
+    return;
+  }
+  state->groups = std::move(plan.value().grouping.groups);
+  if (tracer != nullptr) {
+    tracer->CompleteSpan(
+        track, "group", "service", SinceStartUs(closed),
+        SinceStartUs(Clock::now()) - SinceStartUs(closed),
+        {obs::Arg("sources", static_cast<int64_t>(unique.size())),
+         obs::Arg("groups", static_cast<int64_t>(state->groups.size()))});
+  }
+
+  for (size_t g = 0; g < state->groups.size(); ++g) {
+    executor_->Submit([this, state, g, track] {
+      const std::vector<graph::VertexId>& group = state->groups[g];
+      const auto exec_start = Clock::now();
+      gpusim::Device device(options_.engine.device);
+      // Execution meters into the shared registry but does not trace:
+      // kernel spans carry simulated timestamps, which must not land on
+      // the service's wall-clock batch tracks.
+      obs::Observer exec_observer;
+      exec_observer.metrics = options_.observer.metrics;
+      Result<GroupResult> executed =
+          engine_.ExecuteGroup(group, &device, exec_observer);
+      const auto exec_end = Clock::now();
+
+      obs::Tracer* task_tracer = options_.observer.tracer;
+      if (task_tracer != nullptr) {
+        const double start_us = SinceStartUs(exec_start);
+        task_tracer->CompleteSpan(
+            track, "execute group " + std::to_string(g), "service",
+            start_us, SinceStartUs(exec_end) - start_us,
+            {obs::Arg("instances", static_cast<int64_t>(group.size())),
+             obs::Arg("sim_ms", device.elapsed_seconds() * 1e3)});
+      }
+
+      int64_t completed = 0;
+      int64_t failed = 0;
+      std::vector<std::pair<size_t, QueryResult>> ready;
+      for (size_t j = 0; j < group.size(); ++j) {
+        const auto it = state->by_source.find(group[j]);
+        IBFS_CHECK(it != state->by_source.end());
+        for (size_t qi : it->second) {
+          const PendingQuery& query = state->queries[qi];
+          QueryResult result;
+          result.source = query.source;
+          result.query_id = query.query_id;
+          result.batch_id = state->batch_id;
+          result.group_index = static_cast<int>(g);
+          result.latency.queue_ms =
+              MsBetween(query.submitted, state->closed);
+          result.latency.batch_ms = MsBetween(state->closed, exec_start);
+          result.latency.execute_ms = MsBetween(exec_start, exec_end);
+          result.latency.total_ms = MsBetween(query.submitted, exec_end);
+          if (!executed.ok()) {
+            result.status = executed.status();
+            ++failed;
+          } else {
+            const std::vector<uint8_t>& depths =
+                executed.value().depths[j];
+            result.depth_checksum = Fnv1a(depths);
+            for (uint8_t d : depths) {
+              if (d != kUnvisitedDepth) ++result.reached;
+            }
+            if (options_.keep_depths) result.depths = depths;
+            ++completed;
+          }
+          if (options_.observer.metering()) {
+            obs::MetricsRegistry* m = options_.observer.metrics;
+            m->GetHistogram("service.queue_ms", LatencyBoundsMs())
+                ->Observe(result.latency.queue_ms);
+            m->GetHistogram("service.execute_ms", LatencyBoundsMs())
+                ->Observe(result.latency.execute_ms);
+            m->GetHistogram("service.total_ms", LatencyBoundsMs())
+                ->Observe(result.latency.total_ms);
+            m->GetCounter(result.status.ok() ? "service.completed"
+                                             : "service.failed")
+                ->Increment();
+          }
+          ready.emplace_back(qi, std::move(result));
+        }
+      }
+
+      // Account before completing, so once a client observes its future
+      // ready, its group's contribution to stats() is already visible.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.groups;
+        stats_.executed_instances += static_cast<int64_t>(group.size());
+        stats_.sim_seconds += device.elapsed_seconds();
+        stats_.completed += completed;
+        stats_.failed += failed;
+        if (executed.ok()) {
+          for (const LevelTrace& level : executed.value().trace.levels) {
+            stats_.private_fq_sum += level.private_fq_sum;
+            stats_.jfq_sum += level.jfq_size;
+          }
+        }
+      }
+      for (auto& [qi, result] : ready) {
+        state->queries[qi].promise.set_value(std::move(result));
+      }
+    });
+  }
+}
+
+void BfsService::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (joined_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  batcher_.join();
+  // The pool destructor completes every dispatched group task, so all
+  // futures are resolved once this returns.
+  executor_.reset();
+  joined_ = true;
+}
+
+BfsService::Stats BfsService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace ibfs::service

@@ -1,0 +1,208 @@
+#ifndef IBFS_SERVICE_SERVICE_H_
+#define IBFS_SERVICE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/options.h"
+#include "graph/csr.h"
+#include "obs/trace.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ibfs::service {
+
+/// Online BFS query serving: clients submit single-source BFS queries to a
+/// thread-safe admission queue and receive futures; a dynamic batcher
+/// closes a batch when `max_batch` queries are pending or the oldest one
+/// has waited `max_delay_ms` (whichever first), plans the batch through
+/// the shared GroupSources/GroupBy path, and executes the resulting groups
+/// asynchronously on a host thread pool — the dynamic-batching tradeoff
+/// inference servers make, applied to the paper's GroupBy rules. See
+/// docs/SERVING.md.
+
+/// Reserved trace pid for the service's wall-clock tracks. Each closed
+/// batch gets its own track (tid = batch id + 1) carrying its
+/// queue -> group -> execute spans, so chrome://tracing shows the latency
+/// anatomy per batch.
+inline constexpr int kServicePid = 2000;
+
+/// Configuration of one BfsService.
+struct ServiceOptions {
+  /// Close the open batch once this many queries are pending.
+  int max_batch = 64;
+  /// ... or once the oldest pending query has waited this long (0 = close
+  /// as soon as the batcher wakes, i.e. effectively batch-of-arrivals).
+  double max_delay_ms = 2.0;
+  /// Workers executing closed batches' groups concurrently (0 = one per
+  /// hardware thread). Per-query depths are bit-identical at any setting;
+  /// only latencies change.
+  int execute_threads = 1;
+  /// Return each query's full depth vector in its QueryResult. Costs
+  /// |V| bytes per query; benches that only need latency/checksum turn it
+  /// off (the depth checksum is always computed).
+  bool keep_depths = true;
+  /// Strategy, grouping policy, group size, device spec, and GroupBy
+  /// parameters for batch execution. `engine.threads` is unused here
+  /// (execute_threads governs service parallelism);
+  /// `engine.traversal.collect_instance_stats` is forced on so the
+  /// achieved sharing ratio is measurable.
+  EngineOptions engine;
+  /// Service-level telemetry: per-batch wall-clock trace tracks and
+  /// service.* metrics. Kernel-level simulated-time spans stay off these
+  /// tracks (the two timebases must not share one), but the metrics
+  /// registry is forwarded to execution.
+  obs::Observer observer;
+
+  /// Validates the batching knobs and the embedded engine options.
+  Status Validate() const;
+};
+
+/// Per-query latency breakdown, milliseconds of host wall clock.
+struct QueryLatency {
+  /// Submit -> batch close (admission-queue wait).
+  double queue_ms = 0.0;
+  /// Batch close -> group execution start (grouping + executor wait).
+  double batch_ms = 0.0;
+  /// Group execution (host wall clock of the simulated traversal).
+  double execute_ms = 0.0;
+  /// Submit -> completion.
+  double total_ms = 0.0;
+};
+
+/// What a query's future resolves to.
+struct QueryResult {
+  /// Non-OK when the query failed (invalid source, rejected batch) or the
+  /// service was torn down before execution.
+  Status status;
+  graph::VertexId source = 0;
+  int64_t query_id = -1;
+  /// Which closed batch and which group within it served this query.
+  int64_t batch_id = -1;
+  int group_index = -1;
+  /// depths[v] = BFS depth of v from `source` (kUnvisitedDepth when
+  /// unreached). Empty when ServiceOptions::keep_depths is off.
+  std::vector<uint8_t> depths;
+  /// FNV-1a hash over the depth bytes — always computed, so determinism
+  /// can be checked without retaining |V| bytes per query.
+  uint64_t depth_checksum = 0;
+  /// Vertices reached (depth != kUnvisitedDepth).
+  int64_t reached = 0;
+  QueryLatency latency;
+};
+
+/// The online BFS query service. Thread-safe: Submit may be called from
+/// any number of client threads; results are completed from the executor
+/// pool. Shutdown (or destruction) drains — every pending query's future
+/// completes, none are abandoned.
+class BfsService {
+ public:
+  /// Aggregate counters since Create, snapshot under the stats lock.
+  struct Stats {
+    int64_t queries = 0;
+    int64_t completed = 0;
+    int64_t failed = 0;
+    int64_t batches = 0;
+    int64_t groups = 0;
+    int64_t executed_instances = 0;
+    /// Batch-close reasons: reached max_batch / max_delay_ms expired /
+    /// drained at shutdown.
+    int64_t size_closes = 0;
+    int64_t deadline_closes = 0;
+    int64_t shutdown_closes = 0;
+    /// Total simulated seconds across executed groups.
+    double sim_seconds = 0.0;
+    /// Sharing-ratio accumulators over all executed groups (same
+    /// definition as EngineResult::SharingRatio).
+    int64_t private_fq_sum = 0;
+    int64_t jfq_sum = 0;
+
+    /// Aggregate sharing ratio achieved by dynamic batching so far.
+    double SharingRatio() const;
+    /// i x |E| / sim_seconds over everything executed so far.
+    double Teps(int64_t edge_count) const;
+    double MeanBatchSize() const {
+      return batches == 0
+                 ? 0.0
+                 : static_cast<double>(queries) /
+                       static_cast<double>(batches);
+    }
+  };
+
+  /// Validates options and starts the batcher thread and executor pool.
+  /// The graph must outlive the service.
+  static Result<std::unique_ptr<BfsService>> Create(const graph::Csr* graph,
+                                                    ServiceOptions options);
+
+  /// Drains and joins (equivalent to Shutdown()).
+  ~BfsService();
+
+  BfsService(const BfsService&) = delete;
+  BfsService& operator=(const BfsService&) = delete;
+
+  /// Enqueues one BFS query. The future always becomes ready: with depths
+  /// on success, with a non-OK QueryResult::status on failure (including
+  /// an out-of-range source, reported per-query rather than poisoning the
+  /// whole batch). After Shutdown, completes immediately with
+  /// FailedPrecondition.
+  std::future<QueryResult> Submit(graph::VertexId source);
+
+  /// Closes admission, drains every pending query through execution, and
+  /// joins the batcher and executor. Idempotent; called by the destructor.
+  void Shutdown();
+
+  Stats stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct PendingQuery {
+    std::promise<QueryResult> promise;
+    graph::VertexId source = 0;
+    int64_t query_id = -1;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  BfsService(const graph::Csr* graph, ServiceOptions options);
+
+  /// The batcher thread: waits for size/deadline/shutdown, closes batches,
+  /// plans them, and dispatches their groups to the executor.
+  void BatcherLoop();
+  enum class CloseReason { kSize, kDeadline, kShutdown };
+  void DispatchBatch(std::vector<PendingQuery> batch, CloseReason reason);
+
+  double SinceStartUs(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double, std::micro>(tp - start_).count();
+  }
+
+  const graph::Csr* graph_;
+  ServiceOptions options_;
+  Engine engine_;
+  std::chrono::steady_clock::time_point start_;
+
+  std::mutex mu_;  // guards pending_, next_query_id_, shutdown_
+  std::condition_variable cv_;
+  std::deque<PendingQuery> pending_;
+  int64_t next_query_id_ = 0;
+  bool shutdown_ = false;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+  int64_t next_batch_id_ = 0;  // batcher thread only
+
+  std::unique_ptr<ThreadPool> executor_;
+  std::thread batcher_;
+  bool joined_ = false;  // guarded by shutdown_mu_
+  std::mutex shutdown_mu_;
+};
+
+}  // namespace ibfs::service
+
+#endif  // IBFS_SERVICE_SERVICE_H_

@@ -1,0 +1,252 @@
+#include "service/workload.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "core/engine.h"
+#include "graph/components.h"
+#include "ibfs/runner.h"
+#include "obs/metrics.h"
+#include "util/prng.h"
+
+namespace ibfs::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Exponential inter-arrival sample at `rate` per second.
+double NextExponential(Prng* prng, double rate) {
+  // 1 - u in (0, 1]: log never sees 0.
+  return -std::log(1.0 - prng->NextDouble()) / rate;
+}
+
+}  // namespace
+
+const char* ArrivalProcessName(ArrivalProcess arrival) {
+  switch (arrival) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kBursty:
+      return "bursty";
+    case ArrivalProcess::kUniform:
+      return "uniform";
+  }
+  return "unknown";
+}
+
+std::optional<ArrivalProcess> ParseArrivalProcess(std::string_view name) {
+  if (name == "poisson") return ArrivalProcess::kPoisson;
+  if (name == "bursty") return ArrivalProcess::kBursty;
+  if (name == "uniform") return ArrivalProcess::kUniform;
+  return std::nullopt;
+}
+
+Status WorkloadOptions::Validate() const {
+  if (qps <= 0.0) return Status::InvalidArgument("qps must be positive");
+  if (duration_s <= 0.0) {
+    return Status::InvalidArgument("duration must be positive");
+  }
+  if (burst_size < 1) {
+    return Status::InvalidArgument("burst_size must be >= 1");
+  }
+  if (max_queries < 0) {
+    return Status::InvalidArgument("max_queries must be non-negative");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<WorkloadEvent>> GenerateArrivals(
+    const graph::Csr& graph, const WorkloadOptions& options) {
+  IBFS_RETURN_NOT_OK(options.Validate());
+  const std::vector<graph::VertexId> pool =
+      graph::GiantComponent(graph);
+  if (pool.empty()) {
+    return Status::FailedPrecondition("graph has no connected component");
+  }
+  // Independent streams for arrival times and source picks, so changing
+  // the arrival process does not reshuffle which sources are queried.
+  Prng time_prng(options.seed);
+  Prng source_prng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  std::vector<WorkloadEvent> events;
+  const int64_t cap =
+      options.max_queries > 0
+          ? options.max_queries
+          : static_cast<int64_t>(options.qps * options.duration_s) * 4 + 64;
+  auto emit = [&](double at_s) {
+    WorkloadEvent event;
+    event.at_s = at_s;
+    event.source =
+        pool[static_cast<size_t>(source_prng.NextBounded(pool.size()))];
+    events.push_back(event);
+  };
+  double t = 0.0;
+  switch (options.arrival) {
+    case ArrivalProcess::kPoisson:
+      for (t = NextExponential(&time_prng, options.qps);
+           t < options.duration_s &&
+           static_cast<int64_t>(events.size()) < cap;
+           t += NextExponential(&time_prng, options.qps)) {
+        emit(t);
+      }
+      break;
+    case ArrivalProcess::kBursty: {
+      const double burst_rate =
+          options.qps / static_cast<double>(options.burst_size);
+      for (t = NextExponential(&time_prng, burst_rate);
+           t < options.duration_s &&
+           static_cast<int64_t>(events.size()) < cap;
+           t += NextExponential(&time_prng, burst_rate)) {
+        for (int b = 0;
+             b < options.burst_size &&
+             static_cast<int64_t>(events.size()) < cap;
+             ++b) {
+          emit(t);
+        }
+      }
+      break;
+    }
+    case ArrivalProcess::kUniform: {
+      const double step = 1.0 / options.qps;
+      for (t = step; t < options.duration_s &&
+                     static_cast<int64_t>(events.size()) < cap;
+           t += step) {
+        emit(t);
+      }
+      break;
+    }
+  }
+  if (events.empty()) {
+    return Status::InvalidArgument(
+        "workload generated no arrivals (duration too short for qps)");
+  }
+  return events;
+}
+
+Result<DriveResult> DriveWorkload(BfsService* service,
+                                  std::span<const WorkloadEvent> events) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("no service to drive");
+  }
+  if (events.empty()) {
+    return Status::InvalidArgument("no workload events");
+  }
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(events.size());
+  const auto start = Clock::now();
+  for (const WorkloadEvent& event : events) {
+    // Open loop: hold to the schedule even if the service is behind —
+    // backpressure must show up as queue latency, not as reduced load.
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(event.at_s)));
+    futures.push_back(service->Submit(event.source));
+  }
+  service->Shutdown();
+  const double wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  DriveResult drive;
+  drive.results.reserve(futures.size());
+  int64_t completed = 0;
+  for (std::future<QueryResult>& future : futures) {
+    drive.results.push_back(future.get());
+    if (drive.results.back().status.ok()) ++completed;
+  }
+  drive.wall_seconds = wall_seconds;
+  drive.achieved_qps =
+      wall_seconds > 0.0 ? static_cast<double>(completed) / wall_seconds
+                         : 0.0;
+  drive.stats = service->stats();
+  return drive;
+}
+
+Result<double> OracleSharingRatio(const graph::Csr& graph,
+                                  EngineOptions engine_options,
+                                  std::span<const WorkloadEvent> events) {
+  // The oracle sees the whole workload at once and dedups exactly like
+  // the service's batches do, so the comparison isolates the cost of
+  // grouping online instead of offline.
+  std::vector<graph::VertexId> sources;
+  sources.reserve(events.size());
+  for (const WorkloadEvent& event : events) sources.push_back(event.source);
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+
+  engine_options.keep_depths = false;
+  engine_options.traversal.collect_instance_stats = true;
+  engine_options.observer = obs::Observer();  // do not pollute run sinks
+  Engine engine(&graph, engine_options);
+  Result<EngineResult> run = engine.Run(sources);
+  if (!run.ok()) return run.status();
+  return run.value().SharingRatio();
+}
+
+obs::ServiceReport BuildServiceReport(const std::string& graph_name,
+                                      const graph::Csr& graph,
+                                      const ServiceOptions& service_options,
+                                      const WorkloadOptions& workload,
+                                      const DriveResult& drive,
+                                      double oracle_sharing_ratio) {
+  obs::ServiceReport report;
+  report.graph = graph_name;
+  report.vertex_count = graph.vertex_count();
+  report.edge_count = graph.edge_count();
+  report.strategy = StrategyName(service_options.engine.strategy);
+  report.grouping = GroupingPolicyName(service_options.engine.grouping);
+  report.arrival = ArrivalProcessName(workload.arrival);
+  report.offered_qps = workload.qps;
+  report.duration_seconds = workload.duration_s;
+  report.queries = static_cast<int64_t>(drive.results.size());
+
+  report.max_batch = service_options.max_batch;
+  report.max_delay_ms = service_options.max_delay_ms;
+  report.execute_threads = service_options.execute_threads;
+  report.batches = drive.stats.batches;
+  report.groups = drive.stats.groups;
+  report.size_closes = drive.stats.size_closes;
+  report.deadline_closes = drive.stats.deadline_closes;
+  report.shutdown_closes = drive.stats.shutdown_closes;
+  report.mean_batch_size = drive.stats.MeanBatchSize();
+
+  report.completed = drive.stats.completed;
+  report.failed = drive.stats.failed;
+  report.achieved_qps = drive.achieved_qps;
+  report.wall_seconds = drive.wall_seconds;
+  report.sim_seconds = drive.stats.sim_seconds;
+  report.teps = drive.stats.Teps(graph.edge_count());
+  report.sharing_ratio = drive.stats.SharingRatio();
+  report.oracle_sharing_ratio = oracle_sharing_ratio;
+  report.sharing_fraction = oracle_sharing_ratio > 0.0
+                                ? report.sharing_ratio / oracle_sharing_ratio
+                                : 0.0;
+
+  // Percentiles via the histogram accessor (the satellite this PR adds):
+  // one local histogram per distribution, then interpolated p50/p95/p99.
+  const std::vector<double> bounds = obs::PowerOfTwoBounds(0.001, 32);
+  obs::Histogram queue("queue_ms", bounds);
+  obs::Histogram execute("execute_ms", bounds);
+  obs::Histogram total("total_ms", bounds);
+  for (const QueryResult& result : drive.results) {
+    if (!result.status.ok()) continue;
+    queue.Observe(result.latency.queue_ms);
+    execute.Observe(result.latency.execute_ms);
+    total.Observe(result.latency.total_ms);
+  }
+  auto fill = [](const obs::Histogram& h, obs::ReportLatency* out) {
+    out->p50 = h.Percentile(0.50);
+    out->p95 = h.Percentile(0.95);
+    out->p99 = h.Percentile(0.99);
+    out->mean = h.Mean();
+    out->max = h.max();
+  };
+  fill(queue, &report.queue_ms);
+  fill(execute, &report.execute_ms);
+  fill(total, &report.total_ms);
+  return report;
+}
+
+}  // namespace ibfs::service

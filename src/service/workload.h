@@ -1,0 +1,110 @@
+#ifndef IBFS_SERVICE_WORKLOAD_H_
+#define IBFS_SERVICE_WORKLOAD_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr.h"
+#include "obs/report.h"
+#include "service/service.h"
+#include "util/status.h"
+
+namespace ibfs::service {
+
+/// Open-loop workload generation and driving for the BFS query service:
+/// arrivals are scheduled up front from a seeded Prng (reproducible
+/// run-to-run), submitted at their wall-clock times regardless of how the
+/// service keeps up (open loop — queueing shows up as latency, exactly
+/// what an SLO report must see), and summarized into an
+/// obs::ServiceReport.
+
+/// The arrival processes the driver can generate.
+enum class ArrivalProcess {
+  /// Exponential inter-arrival times at rate qps.
+  kPoisson,
+  /// Back-to-back bursts of `burst_size` queries; burst starts arrive as
+  /// a Poisson process at rate qps / burst_size, so the long-run offered
+  /// load is still qps with maximally bunched arrivals.
+  kBursty,
+  /// Evenly spaced arrivals (1/qps apart) — the no-jitter baseline.
+  kUniform,
+};
+
+/// Display name ("poisson", "bursty", "uniform").
+const char* ArrivalProcessName(ArrivalProcess arrival);
+
+/// Parses a display name back; nullopt for unknown names.
+std::optional<ArrivalProcess> ParseArrivalProcess(std::string_view name);
+
+struct WorkloadOptions {
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  /// Offered load, queries per second.
+  double qps = 1000.0;
+  /// Arrival window in seconds; the last arrival lands before this.
+  double duration_s = 1.0;
+  /// Seed for both arrival times and source selection.
+  uint64_t seed = 1;
+  /// Queries per burst (kBursty only).
+  int burst_size = 16;
+  /// Hard cap on generated queries (0 = none) — guards tiny-duration /
+  /// huge-qps combinations.
+  int64_t max_queries = 0;
+
+  Status Validate() const;
+};
+
+/// One scheduled arrival: submit a BFS query for `source` at `at_s`
+/// seconds after the drive starts.
+struct WorkloadEvent {
+  double at_s = 0.0;
+  graph::VertexId source = 0;
+};
+
+/// Generates the arrival schedule: times from the configured process,
+/// sources sampled from the graph's giant component (wrapping the pool
+/// when the workload outnumbers it, like SampleConnectedSources).
+Result<std::vector<WorkloadEvent>> GenerateArrivals(
+    const graph::Csr& graph, const WorkloadOptions& options);
+
+/// The outcome of driving one workload through a service.
+struct DriveResult {
+  /// Per query, in submit order.
+  std::vector<QueryResult> results;
+  /// Wall seconds from first submit to full drain.
+  double wall_seconds = 0.0;
+  /// Completed-OK queries per wall second.
+  double achieved_qps = 0.0;
+  /// Service counters snapshot after the drain.
+  BfsService::Stats stats;
+};
+
+/// Submits every event at its scheduled time (sleeping between arrivals),
+/// shuts the service down (draining all pending queries), and collects
+/// every future. The service is unusable afterwards.
+Result<DriveResult> DriveWorkload(BfsService* service,
+                                  std::span<const WorkloadEvent> events);
+
+/// Oracle baseline for the sharing-ratio SLO: one offline engine run that
+/// groups every workload source (deduped) with full knowledge, i.e. what
+/// the paper's batch GroupBy would have achieved had all queries been
+/// known up front. Returns its aggregate sharing ratio.
+Result<double> OracleSharingRatio(const graph::Csr& graph,
+                                  EngineOptions engine_options,
+                                  std::span<const WorkloadEvent> events);
+
+/// Builds the "ibfs.service_report" document from a driven workload.
+/// Latency percentiles are computed through obs::Histogram::Percentile.
+obs::ServiceReport BuildServiceReport(const std::string& graph_name,
+                                      const graph::Csr& graph,
+                                      const ServiceOptions& service_options,
+                                      const WorkloadOptions& workload,
+                                      const DriveResult& drive,
+                                      double oracle_sharing_ratio);
+
+}  // namespace ibfs::service
+
+#endif  // IBFS_SERVICE_WORKLOAD_H_

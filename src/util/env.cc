@@ -13,6 +13,15 @@ int64_t EnvInt64(const char* name, int64_t def) {
   return parsed;
 }
 
+double EnvDouble(const char* name, double def) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') return def;
+  return parsed;
+}
+
 std::string EnvString(const char* name, const std::string& def) {
   const char* raw = std::getenv(name);
   if (raw == nullptr) return def;

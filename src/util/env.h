@@ -11,6 +11,10 @@ namespace ibfs {
 /// the scaled-down defaults can be grown without recompiling.
 int64_t EnvInt64(const char* name, int64_t def);
 
+/// Reads a floating-point knob from the environment, falling back to `def`
+/// when unset or unparsable (e.g. IBFS_DURATION for the serving bench).
+double EnvDouble(const char* name, double def);
+
 /// Reads a string knob from the environment.
 std::string EnvString(const char* name, const std::string& def);
 

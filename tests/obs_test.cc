@@ -121,6 +121,64 @@ TEST(Metrics, HistogramBucketPlacement) {
   EXPECT_EQ(h->bucket_counts()[4], 1);
 }
 
+TEST(Metrics, PercentileOfEmptyHistogramIsZero) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("empty", PowerOfTwoBounds(1.0, 4));
+  EXPECT_EQ(h->Percentile(0.0), 0.0);
+  EXPECT_EQ(h->Percentile(0.5), 0.0);
+  EXPECT_EQ(h->Percentile(1.0), 0.0);
+}
+
+TEST(Metrics, PercentileInterpolatesWithinBucket) {
+  // Bounds {1, 2, 4, 8}; 4 samples all land in the (2, 4] bucket, so the
+  // bucket's span is clamped to [min, max] = [2.5, 4.0] and the rank is
+  // interpolated linearly across it.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", PowerOfTwoBounds(1.0, 4));
+  h->Observe(2.5);
+  h->Observe(3.0);
+  h->Observe(3.5);
+  h->Observe(4.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 4.0);
+  // rank 2 of 4 -> halfway through the only occupied bucket.
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 2.5 + 0.5 * (4.0 - 2.5));
+  EXPECT_DOUBLE_EQ(h->Percentile(0.25), 2.5 + 0.25 * (4.0 - 2.5));
+}
+
+TEST(Metrics, PercentileWalksCumulativeCounts) {
+  // 90 samples in bucket (<= 1], 10 in (4, 8]: p50 must sit in the first
+  // bucket, p99 in the second, and the estimates must stay within the
+  // observed [min, max] range.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("skew", PowerOfTwoBounds(1.0, 4));
+  for (int i = 0; i < 90; ++i) h->Observe(1.0);
+  for (int i = 0; i < 10; ++i) h->Observe(8.0);
+  EXPECT_LE(h->Percentile(0.5), 1.0);
+  EXPECT_GT(h->Percentile(0.95), 1.0);
+  EXPECT_LE(h->Percentile(0.99), 8.0);
+  EXPECT_GE(h->Percentile(0.99), 4.0);
+  // Monotone in p.
+  EXPECT_LE(h->Percentile(0.50), h->Percentile(0.95));
+  EXPECT_LE(h->Percentile(0.95), h->Percentile(0.99));
+}
+
+TEST(Metrics, PercentileOverflowBucketClampsToMax) {
+  // All mass beyond the last bound: the overflow bucket's upper edge is
+  // the observed max, so no percentile can exceed it.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("over", PowerOfTwoBounds(1.0, 2));
+  h->Observe(100.0);
+  h->Observe(200.0);
+  h->Observe(300.0);
+  EXPECT_LE(h->Percentile(0.99), 300.0);
+  EXPECT_GE(h->Percentile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 300.0);
+  // Out-of-range p is clamped, not UB.
+  EXPECT_DOUBLE_EQ(h->Percentile(2.0), 300.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(-1.0), h->Percentile(0.0));
+}
+
 TEST(Metrics, SnapshotRoundTripsThroughValidator) {
   MetricsRegistry registry;
   registry.GetCounter("a.count")->Increment(7);
@@ -311,6 +369,101 @@ TEST(Report, ClusterSectionValidates) {
   EXPECT_EQ(parsed.value().Find("cluster")->Find("device_count")
                 ->number_value(),
             4.0);
+}
+
+// ------------------------------------------------------ service report --
+
+ServiceReport SampleServiceReport() {
+  ServiceReport report;
+  report.graph = "PK";
+  report.vertex_count = 4096;
+  report.edge_count = 65536;
+  report.strategy = "bitwise";
+  report.grouping = "groupby";
+  report.arrival = "poisson";
+  report.offered_qps = 500.0;
+  report.duration_seconds = 2.0;
+  report.queries = 1000;
+  report.max_batch = 64;
+  report.max_delay_ms = 2.0;
+  report.execute_threads = 4;
+  report.batches = 20;
+  report.groups = 40;
+  report.size_closes = 12;
+  report.deadline_closes = 7;
+  report.shutdown_closes = 1;
+  report.mean_batch_size = 50.0;
+  report.completed = 998;
+  report.failed = 2;
+  report.achieved_qps = 490.0;
+  report.wall_seconds = 2.04;
+  report.sim_seconds = 0.5;
+  report.teps = 1e8;
+  report.sharing_ratio = 0.45;
+  report.oracle_sharing_ratio = 0.5;
+  report.sharing_fraction = 0.9;
+  report.queue_ms = {0.5, 1.5, 1.9, 0.8, 2.2};
+  report.execute_ms = {1.0, 2.0, 2.5, 1.2, 3.0};
+  report.total_ms = {1.5, 3.5, 4.4, 2.0, 5.2};
+  return report;
+}
+
+TEST(ServiceReportJson, RoundTripsThroughValidator) {
+  const ServiceReport report = SampleServiceReport();
+  std::ostringstream os;
+  report.WriteJson(os);
+  auto parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ValidateServiceReport(parsed.value()).ok())
+      << ValidateServiceReport(parsed.value()).ToString();
+
+  const JsonValue& doc = parsed.value();
+  EXPECT_EQ(doc.Find("schema")->string_value(), "ibfs.service_report");
+  EXPECT_EQ(doc.Find("workload")->Find("arrival")->string_value(),
+            "poisson");
+  EXPECT_EQ(doc.Find("service")->Find("max_batch")->number_value(), 64.0);
+  EXPECT_EQ(doc.Find("results")->Find("sharing_fraction")->number_value(),
+            0.9);
+  const JsonValue* total = doc.Find("latency_ms")->Find("total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->Find("p50")->number_value(), 1.5);
+  EXPECT_EQ(total->Find("p99")->number_value(), 4.4);
+}
+
+TEST(ServiceReportJson, EmbedsMetricsWhenGiven) {
+  MetricsRegistry registry;
+  registry.GetCounter("service.queries")->Increment(7);
+  const ServiceReport report = SampleServiceReport();
+  std::ostringstream os;
+  report.WriteJson(os, &registry);
+  auto parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ValidateServiceReport(parsed.value()).ok());
+  const JsonValue* metrics = parsed.value().Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_TRUE(ValidateMetrics(*metrics).ok());
+}
+
+TEST(ServiceReportJson, ValidatorRejectsBrokenDocuments) {
+  // Wrong schema string.
+  auto wrong = ParseJson("{\"schema\":\"ibfs.run_report\",\"version\":1}");
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_FALSE(ValidateServiceReport(wrong.value()).ok());
+
+  // Structurally valid document with out-of-order percentiles must fail.
+  ServiceReport report = SampleServiceReport();
+  report.total_ms.p50 = 9.0;  // > p95
+  std::ostringstream os;
+  report.WriteJson(os);
+  auto parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(ValidateServiceReport(parsed.value()).ok());
+
+  // Missing sections.
+  auto bare = ParseJson(
+      "{\"schema\":\"ibfs.service_report\",\"version\":1}");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_FALSE(ValidateServiceReport(bare.value()).ok());
 }
 
 // ------------------------------------------------ engine integration --

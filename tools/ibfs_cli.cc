@@ -7,6 +7,8 @@
 //                     --instances 256 --profile
 //   ibfs_cli cluster  --benchmark RD --gpus 16 --instances 2048
 //   ibfs_cli run      --benchmark FB --trace-out t.json --report-out r.json
+//   ibfs_cli serve    --benchmark PK --qps 500 --duration 2 --max-batch 64
+//                     --max-delay-ms 2 --arrival poisson
 //   ibfs_cli check    --trace t.json --report r.json
 //
 // Graphs are read/written in the binary CSR format (graph/io.h); the
@@ -34,6 +36,8 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "obs/validate.h"
+#include "service/service.h"
+#include "service/workload.h"
 #include "util/flags.h"
 
 namespace ibfs {
@@ -42,7 +46,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: ibfs_cli "
-               "<generate|stats|run|validate|traces|cluster|check> [flags]\n"
+               "<generate|stats|run|validate|traces|cluster|serve|check> "
+               "[flags]\n"
                "  generate: --out PATH and one of --benchmark NAME |\n"
                "            --rmat-scale N [--edge-factor K] [--seed S] |\n"
                "            --uniform-vertices N [--outdegree K]\n"
@@ -57,8 +62,15 @@ int Usage() {
                "hardware thread,\n"
                "            1 = serial; results are identical either way)\n"
                "  cluster:  run flags plus --gpus G [--lpt]\n"
-               "  check:    --trace PATH | --report PATH | --metrics PATH "
-               "(validate telemetry files)\n"
+               "  serve:    run flags plus --qps Q --duration SECONDS\n"
+               "            --max-batch N --max-delay-ms MS\n"
+               "            --arrival poisson|bursty|uniform [--burst-size "
+               "B]\n"
+               "            (open-loop online serving; report via "
+               "--report-out)\n"
+               "  check:    --trace PATH | --report PATH | --metrics PATH |\n"
+               "            --service-report PATH (validate telemetry "
+               "files)\n"
                "telemetry (run and cluster):\n"
                "  --trace-out PATH    Chrome trace-event JSON "
                "(chrome://tracing, Perfetto)\n"
@@ -425,6 +437,113 @@ int CmdCluster(const Flags& flags) {
   return session.Flush("cluster", &report);
 }
 
+// Online serving: generates an open-loop workload, drives it through a
+// BfsService, and reports the latency/throughput/sharing SLOs.
+int CmdServe(const Flags& flags) {
+  auto graph = LoadGraphArg(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "serve: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto engine_options = OptionsFromFlags(flags);
+  if (!engine_options.ok()) {
+    std::fprintf(stderr, "serve: %s\n",
+                 engine_options.status().ToString().c_str());
+    return 1;
+  }
+
+  service::WorkloadOptions workload;
+  const std::string arrival = flags.GetString("arrival", "poisson");
+  const auto parsed = service::ParseArrivalProcess(arrival);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "serve: unknown arrival process %s\n",
+                 arrival.c_str());
+    return 1;
+  }
+  workload.arrival = *parsed;
+  workload.qps = flags.GetDouble("qps", 200.0);
+  workload.duration_s = flags.GetDouble("duration", 1.0);
+  workload.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  workload.burst_size = static_cast<int>(flags.GetInt("burst-size", 16));
+  auto events = service::GenerateArrivals(graph.value(), workload);
+  if (!events.ok()) {
+    std::fprintf(stderr, "serve: %s\n", events.status().ToString().c_str());
+    return 1;
+  }
+
+  ObsSession session(flags);
+  service::ServiceOptions service_options;
+  service_options.max_batch =
+      static_cast<int>(flags.GetInt("max-batch", 64));
+  service_options.max_delay_ms = flags.GetDouble("max-delay-ms", 2.0);
+  service_options.execute_threads =
+      static_cast<int>(flags.GetInt("threads", 0));
+  service_options.keep_depths = false;  // checksums suffice for the CLI
+  service_options.engine = engine_options.value();
+  service_options.observer = session.MakeObserver();
+  auto svc = service::BfsService::Create(&graph.value(), service_options);
+  if (!svc.ok()) {
+    std::fprintf(stderr, "serve: %s\n", svc.status().ToString().c_str());
+    return 1;
+  }
+  auto drive = service::DriveWorkload(svc.value().get(), events.value());
+  if (!drive.ok()) {
+    std::fprintf(stderr, "serve: %s\n", drive.status().ToString().c_str());
+    return 1;
+  }
+  auto oracle = service::OracleSharingRatio(
+      graph.value(), engine_options.value(), events.value());
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "serve: %s\n", oracle.status().ToString().c_str());
+    return 1;
+  }
+
+  const obs::ServiceReport report = service::BuildServiceReport(
+      GraphLabel(flags), graph.value(), service_options, workload,
+      drive.value(), oracle.value());
+  std::printf("queries:         %lld (%lld ok, %lld failed)\n",
+              static_cast<long long>(report.queries),
+              static_cast<long long>(report.completed),
+              static_cast<long long>(report.failed));
+  std::printf("offered load:    %.1f qps for %.2f s (%s)\n",
+              report.offered_qps, report.duration_seconds,
+              report.arrival.c_str());
+  std::printf("achieved:        %.1f qps over %.2f s wall\n",
+              report.achieved_qps, report.wall_seconds);
+  std::printf("batches:         %lld (mean size %.1f; closes: %lld size, "
+              "%lld deadline, %lld shutdown)\n",
+              static_cast<long long>(report.batches),
+              report.mean_batch_size,
+              static_cast<long long>(report.size_closes),
+              static_cast<long long>(report.deadline_closes),
+              static_cast<long long>(report.shutdown_closes));
+  std::printf("latency (total): p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+              report.total_ms.p50, report.total_ms.p95, report.total_ms.p99);
+  std::printf("latency (queue): p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+              report.queue_ms.p50, report.queue_ms.p95, report.queue_ms.p99);
+  std::printf("sharing ratio:   %.1f%% (oracle %.1f%%, fraction %.1f%%)\n",
+              100.0 * report.sharing_ratio,
+              100.0 * report.oracle_sharing_ratio,
+              100.0 * report.sharing_fraction);
+  std::printf("traversal rate:  %.2f GTEPS\n", report.teps / 1e9);
+
+  // The service report has its own schema, so write it directly and use
+  // Flush only for the trace/metrics sinks.
+  int rc = session.Flush("serve", nullptr);
+  if (!session.report_out.empty()) {
+    const Status written = report.WriteFile(
+        session.report_out,
+        session.want_metrics() ? &session.metrics : nullptr);
+    if (!written.ok()) {
+      std::fprintf(stderr, "serve: %s\n", written.ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf("wrote %s\n", session.report_out.c_str());
+    }
+  }
+  return rc;
+}
+
 // Validates telemetry files written by `run`/`cluster` (or anything else
 // claiming the formats) without external tooling.
 int CmdCheck(const Flags& flags) {
@@ -454,10 +573,15 @@ int CmdCheck(const Flags& flags) {
   if (!metrics.empty()) {
     check("metrics", metrics, obs::ValidateMetricsFile(metrics));
   }
+  const std::string service_report = flags.GetString("service-report");
+  if (!service_report.empty()) {
+    check("service-report", service_report,
+          obs::ValidateServiceReportFile(service_report));
+  }
   if (checked == 0) {
     std::fprintf(stderr,
-                 "check: nothing to do; pass --trace, --report, and/or "
-                 "--metrics\n");
+                 "check: nothing to do; pass --trace, --report, "
+                 "--metrics, and/or --service-report\n");
     return 2;
   }
   return rc;
@@ -473,6 +597,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "validate") return CmdValidate(flags.value());
   if (command == "traces") return CmdTraces(flags.value());
   if (command == "cluster") return CmdCluster(flags.value());
+  if (command == "serve") return CmdServe(flags.value());
   if (command == "check") return CmdCheck(flags.value());
   return Usage();
 }
