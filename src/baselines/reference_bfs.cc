@@ -25,6 +25,16 @@ std::vector<int32_t> ReferenceBfs(const graph::Csr& graph,
   return depths;
 }
 
+std::vector<uint8_t> ReferenceDepthsU8(const graph::Csr& graph,
+                                       graph::VertexId source, int max_level) {
+  const std::vector<int32_t> ref = ReferenceBfs(graph, source, max_level);
+  std::vector<uint8_t> depths(ref.size(), 0xFF);
+  for (size_t v = 0; v < ref.size(); ++v) {
+    if (ref[v] >= 0) depths[v] = static_cast<uint8_t>(ref[v]);
+  }
+  return depths;
+}
+
 bool DepthsMatchReference(const graph::Csr& graph, graph::VertexId source,
                           const std::vector<uint8_t>& depths, int max_level) {
   const std::vector<int32_t> ref = ReferenceBfs(graph, source, max_level);

@@ -16,6 +16,13 @@ std::vector<int32_t> ReferenceBfs(const graph::Csr& graph,
                                   graph::VertexId source,
                                   int max_level = 0x7fffffff);
 
+/// ReferenceBfs in the engine's depth encoding: one byte per vertex, 0xFF
+/// (kUnvisitedDepth) for unreached. Requires max_level < 255 so every
+/// reachable depth fits the byte; this is the payload the service's
+/// degraded CPU fallback returns in place of a device execution.
+std::vector<uint8_t> ReferenceDepthsU8(const graph::Csr& graph,
+                                       graph::VertexId source, int max_level);
+
 /// True iff `depths` (kUnvisitedDepth == 0xFF for unreached) matches the
 /// reference exactly.
 bool DepthsMatchReference(const graph::Csr& graph, graph::VertexId source,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/group_plan.h"
+#include "core/resilient.h"
 #include "ibfs/status_array.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
@@ -107,7 +108,10 @@ Result<EngineResult> Engine::Run(
   // counters start from zero no matter which worker (or how many) executes
   // it — that is what makes the parallel run bit-identical to the serial
   // one. Trace spans go to a per-group track (tid 1 + g on the engine's
-  // pid) in group-local simulated time.
+  // pid) in group-local simulated time. Group g maps to fleet device
+  // g % faults.device_count, and each attempt runs through the resilient
+  // executor (retry + backoff + transfer checksum); with the default
+  // disabled fault plan that is exactly one ExecuteGroup per group.
   const size_t group_count = grouping.groups.size();
   struct GroupRun {
     Status status = Status::OK();
@@ -115,23 +119,33 @@ Result<EngineResult> Engine::Run(
     double seconds = 0.0;
     gpusim::KernelStats totals;
     std::map<std::string, gpusim::KernelStats> phases;
+    int retries = 0;
+    int transient_faults = 0;
+    int corruptions_detected = 0;
+    double wasted_sim_seconds = 0.0;
   };
   std::vector<GroupRun> runs(group_count);
   auto run_group = [&](int64_t g) {
-    gpusim::Device device(options_.device);
     const obs::Observer group_observer =
         observer.WithTrack(observer.track.pid, 1 + static_cast<int>(g));
     GroupRun& run = runs[static_cast<size_t>(g)];
-    Result<GroupResult> group_result = ExecuteGroup(
-        grouping.groups[static_cast<size_t>(g)], &device, group_observer);
-    if (!group_result.ok()) {
-      run.status = group_result.status();
+    const int device_id =
+        static_cast<int>(g % std::max(1, options_.faults.device_count));
+    ResilientOutcome outcome = ExecuteGroupResilient(
+        *this, grouping.groups[static_cast<size_t>(g)], device_id,
+        static_cast<uint64_t>(g), group_observer);
+    run.retries = outcome.attempts - 1;
+    run.transient_faults = outcome.transient_faults;
+    run.corruptions_detected = outcome.corruptions_detected;
+    run.wasted_sim_seconds = outcome.wasted_sim_seconds;
+    if (!outcome.status.ok()) {
+      run.status = std::move(outcome.status);
       return;
     }
-    run.result = std::move(group_result).value();
-    run.seconds = device.elapsed_seconds();
-    run.totals = device.totals();
-    run.phases = device.phases();
+    run.result = std::move(outcome.result);
+    run.seconds = outcome.sim_seconds;
+    run.totals = outcome.totals;
+    run.phases = std::move(outcome.phases);
   };
 
   const int threads = ResolveThreads(group_count);
@@ -155,6 +169,10 @@ Result<EngineResult> Engine::Run(
   // per-group seconds, and counter/phase totals fold group by group.
   for (size_t g = 0; g < group_count; ++g) {
     GroupRun& run = runs[g];
+    result.retries += run.retries;
+    result.transient_faults += run.transient_faults;
+    result.corruptions_detected += run.corruptions_detected;
+    result.wasted_sim_seconds += run.wasted_sim_seconds;
     IBFS_RETURN_NOT_OK(run.status);
     if (observer.tracing()) {
       observer.tracer->SetThreadName(observer.track.pid,

@@ -40,6 +40,16 @@ struct EngineResult {
   /// Host wall-clock seconds spent inside Engine::Run.
   double wall_seconds = 0.0;
 
+  /// Recovery accounting, nonzero only when options.faults is enabled:
+  /// extra execution attempts beyond the first, injected launch failures
+  /// observed, transfer corruptions caught by the checksum, and simulated
+  /// seconds burned by failed attempts (successful-attempt timing is what
+  /// sim_seconds/teps report, so fault-free numbers are unchanged).
+  int64_t retries = 0;
+  int64_t transient_faults = 0;
+  int64_t corruptions_detected = 0;
+  double wasted_sim_seconds = 0.0;
+
   /// Aggregate sharing ratio over all groups, optionally restricted to one
   /// traversal direction (pass -1 for both, 0 for top-down, 1 for
   /// bottom-up).

@@ -1,6 +1,38 @@
 #include "core/options.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "util/prng.h"
+
 namespace ibfs {
+
+Status RetryPolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("retry.max_attempts must be >= 1");
+  }
+  if (initial_backoff_ms < 0.0 || max_backoff_ms < 0.0) {
+    return Status::InvalidArgument("retry backoff must be non-negative");
+  }
+  if (backoff_multiplier < 1.0) {
+    return Status::InvalidArgument("retry.backoff_multiplier must be >= 1");
+  }
+  if (jitter < 0.0 || jitter >= 1.0) {
+    return Status::InvalidArgument("retry.jitter must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+double RetryPolicy::BackoffMs(uint64_t salt, int attempt) const {
+  const double base = std::min(
+      max_backoff_ms,
+      initial_backoff_ms *
+          std::pow(backoff_multiplier, std::max(0, attempt - 2)));
+  if (jitter == 0.0) return base;
+  Prng prng(seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^
+            (static_cast<uint64_t>(attempt) << 32));
+  return base * (1.0 - jitter + 2.0 * jitter * prng.NextDouble());
+}
 
 const char* GroupingPolicyName(GroupingPolicy policy) {
   switch (policy) {
@@ -42,7 +74,8 @@ Status EngineOptions::Validate() const {
       device.transaction_bytes <= 0) {
     return Status::InvalidArgument("device spec fields must be positive");
   }
-  return Status::OK();
+  IBFS_RETURN_NOT_OK(faults.Validate());
+  return retry.Validate();
 }
 
 }  // namespace ibfs

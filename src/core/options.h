@@ -4,12 +4,38 @@
 #include <cstdint>
 
 #include "gpusim/device_spec.h"
+#include "gpusim/fault.h"
 #include "ibfs/groupby.h"
 #include "ibfs/runner.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
 namespace ibfs {
+
+/// Per-group retry behavior when a (possibly fault-injected) execution
+/// attempt fails. The backoff is exponential with seeded jitter —
+/// attempt k sleeps initial_backoff_ms * multiplier^(k-1), capped at
+/// max_backoff_ms, then scaled by a uniform factor in
+/// [1 - jitter, 1 + jitter] — so retry storms decorrelate while chaos runs
+/// stay reproducible. With no faults configured, attempt 1 always succeeds
+/// and none of this is exercised.
+struct RetryPolicy {
+  /// Total attempts per group (1 = no retry).
+  int max_attempts = 3;
+  double initial_backoff_ms = 0.25;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 8.0;
+  /// Jitter fraction in [0, 1); 0.2 means +/-20%.
+  double jitter = 0.2;
+  /// Seed for the jitter PRNG (mixed with group index and attempt).
+  uint64_t seed = 1;
+
+  Status Validate() const;
+
+  /// Backoff (ms) to sleep before retry `attempt` (2-based) of group
+  /// `salt`; deterministic in (policy, salt, attempt).
+  double BackoffMs(uint64_t salt, int attempt) const;
+};
 
 /// How the engine batches BFS sources into concurrent groups.
 enum class GroupingPolicy {
@@ -44,6 +70,15 @@ struct EngineOptions {
   /// 0 = one per hardware thread. Results are bit-identical for every
   /// setting; only wall_seconds changes.
   int threads = 1;
+
+  /// Fault-injection plan for the simulated devices (disabled by default).
+  /// Group g of a batch run executes on fleet device g % faults.device_count;
+  /// the service routes through its circuit breaker instead.
+  gpusim::FaultPlan faults;
+
+  /// Per-group retry/backoff when an execution attempt faults. Ignored
+  /// (attempt 1 always succeeds) unless `faults` is enabled.
+  RetryPolicy retry;
 
   /// Telemetry sinks (non-owning; both optional). The engine forwards them
   /// to the device (kernel spans, gpusim.* counters) and the strategy

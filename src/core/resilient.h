@@ -1,0 +1,96 @@
+#ifndef IBFS_CORE_RESILIENT_H_
+#define IBFS_CORE_RESILIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "gpusim/fault.h"
+#include "util/status.h"
+
+namespace ibfs {
+
+/// Resilient group execution over the fault-injectable device simulator:
+/// one call = up to retry.max_attempts executions of one group, each on a
+/// fresh simulated device carrying a deterministic FaultInjector, with
+/// exponential-backoff-plus-jitter sleeps between attempts and a transfer
+/// checksum that quarantines corrupted payloads (a poisoned attempt counts
+/// as failed and is re-executed). Consumers: Engine::Run's per-group
+/// workers (batch path) and BfsService's executor tasks (online path,
+/// which adds circuit breaking and a CPU fallback on top). See
+/// docs/RESILIENCE.md.
+
+/// What one resilient group execution did. On final failure `status`
+/// carries the last attempt's error and `result` is empty.
+struct ResilientOutcome {
+  Status status;
+  GroupResult result;
+  /// Simulated seconds / counters of the *successful* attempt only, so
+  /// fault-free timing is unchanged by the retry machinery.
+  double sim_seconds = 0.0;
+  gpusim::KernelStats totals;
+  std::map<std::string, gpusim::KernelStats> phases;
+  /// Simulated seconds burned by failed attempts (retry waste).
+  double wasted_sim_seconds = 0.0;
+  int attempts = 0;
+  /// Injected launch failures observed (transient or permanent).
+  int transient_faults = 0;
+  /// Transfer corruptions caught by the checksum.
+  int corruptions_detected = 0;
+  /// Host milliseconds slept in backoff.
+  double backoff_ms = 0.0;
+};
+
+/// Executes `group` with the engine's strategy on fleet device
+/// `device_id`, retrying per engine.options().retry against
+/// engine.options().faults. `salt` decorrelates the fault/jitter streams
+/// across groups (callers pass a stable per-group value such as the group
+/// index or batch*1000+group). Fault-free fast path: when the plan is
+/// disabled this is exactly one Engine::ExecuteGroup on a fresh device.
+ResilientOutcome ExecuteGroupResilient(const Engine& engine,
+                                       std::span<const graph::VertexId> group,
+                                       int device_id, uint64_t salt,
+                                       const obs::Observer& observer);
+
+/// Round-robin router over the simulated device fleet with one circuit
+/// breaker per device: `failure_threshold` consecutive failures open a
+/// device's breaker and Acquire stops returning it (a success anywhere
+/// before that resets its count). Opened breakers stay open — the injected
+/// permanent failures this guards against do not heal — so when every
+/// breaker is open Acquire returns kNoDevice and the caller degrades to
+/// its fallback. Thread-safe.
+class DeviceRouter {
+ public:
+  static constexpr int kNoDevice = -1;
+
+  DeviceRouter(int device_count, int failure_threshold);
+
+  /// Next healthy device ordinal, or kNoDevice when all breakers are open.
+  int Acquire();
+
+  /// Report one attempt's outcome on `device_id`; failures may open the
+  /// breaker. Returns true when this call opened it.
+  bool ReportFailure(int device_id);
+  void ReportSuccess(int device_id);
+
+  bool IsOpen(int device_id) const;
+  int healthy_count() const;
+  /// Breakers opened since construction.
+  int64_t opened_total() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<int> consecutive_failures_;
+  std::vector<bool> open_;
+  int failure_threshold_;
+  size_t next_ = 0;
+  int64_t opened_total_ = 0;
+};
+
+}  // namespace ibfs
+
+#endif  // IBFS_CORE_RESILIENT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gpusim/fault.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -163,9 +164,27 @@ void Device::FinishKernel(KernelScope* scope) {
   const double dram_seconds =
       static_cast<double>(scope->mem_.DramBytes(spec_.dram_sector_bytes)) /
       (spec_.mem_bandwidth_gbps * 1e9);
-  const double seconds =
+  double seconds =
       std::max(compute_seconds, dram_seconds) +
       static_cast<double>(scope->launch_count_) * spec_.kernel_launch_overhead_s;
+  if (fault_injector_ != nullptr) {
+    seconds *= fault_injector_->straggler_multiplier();
+    if (!faulted()) {
+      Status launch = fault_injector_->OnKernelLaunch();
+      if (!launch.ok()) {
+        fault_status_ = std::move(launch);
+        if (observer_.metering()) {
+          observer_.metrics->GetCounter("fault.kernel_faults")->Increment();
+        }
+        if (observer_.tracing()) {
+          observer_.tracer->Instant(
+              observer_.track, "kernel_fault", elapsed_seconds_ * 1e6,
+              {obs::Arg("tag", scope->tag_),
+               obs::Arg("status", fault_status_.ToString())});
+        }
+      }
+    }
+  }
 
   KernelStats stats;
   stats.mem = scope->mem_;
@@ -197,6 +216,10 @@ void Device::FinishKernel(KernelScope* scope) {
   elapsed_seconds_ += seconds;
   totals_.Add(stats);
   phases_[scope->tag_].Add(stats);
+}
+
+void Device::SetFaultInjector(FaultInjector* injector) {
+  fault_injector_ = injector;
 }
 
 void Device::SetObserver(const obs::Observer& observer) {

@@ -10,6 +10,7 @@
 #include "gpusim/device_spec.h"
 #include "gpusim/memory_model.h"
 #include "obs/trace.h"
+#include "util/status.h"
 
 namespace ibfs::obs {
 class Counter;
@@ -18,6 +19,7 @@ class Counter;
 namespace ibfs::gpusim {
 
 class Device;
+class FaultInjector;
 
 /// Accounting for one finished kernel launch.
 struct KernelStats {
@@ -147,6 +149,21 @@ class Device {
 
   const obs::Observer& observer() const { return observer_; }
 
+  /// Attaches a fault injector (non-owning; null detaches). Every finished
+  /// kernel then has its simulated time stretched by the injector's
+  /// straggler multiplier, and may latch an injected launch failure into
+  /// fault_status(). The default (no injector) leaves the timing model
+  /// byte-identical to a fault-free device.
+  void SetFaultInjector(FaultInjector* injector);
+
+  /// First injected failure since construction/ClearFault (OK = healthy).
+  /// Strategies keep charging work after a fault — the model is a launch
+  /// failure detected at the next synchronization point — so callers check
+  /// this after a group finishes and discard the attempt on non-OK.
+  const Status& fault_status() const { return fault_status_; }
+  bool faulted() const { return !fault_status_.ok(); }
+  void ClearFault() { fault_status_ = Status::OK(); }
+
  private:
   friend class KernelScope;
 
@@ -159,6 +176,8 @@ class Device {
   KernelStats totals_;
   std::map<std::string, KernelStats> phases_;
   obs::Observer observer_;
+  FaultInjector* fault_injector_ = nullptr;
+  Status fault_status_;
   // Metric handles cached at SetObserver time (null when metering is off).
   obs::Counter* metric_kernels_ = nullptr;
   obs::Counter* metric_load_txn_ = nullptr;

@@ -1,0 +1,246 @@
+#include "gpusim/fault.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace ibfs::gpusim {
+namespace {
+
+/// splitmix64 finalizer — mixes plan seed, device id, and attempt salt
+/// into one well-distributed injector seed.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Result<double> ParseDouble(std::string_view text, const std::string& key) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("fault spec: bad number for \"" + key +
+                                   "\"");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt(std::string_view text, const std::string& key) {
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("fault spec: bad integer for \"" + key +
+                                   "\"");
+  }
+  return value;
+}
+
+std::string FormatP(double p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+}  // namespace
+
+bool FaultPlan::enabled() const {
+  if (defaults.any()) return true;
+  for (const auto& [id, faults] : per_device) {
+    if (faults.any()) return true;
+  }
+  return false;
+}
+
+const DeviceFaults& FaultPlan::ForDevice(int device_id) const {
+  const auto it = per_device.find(device_id);
+  return it == per_device.end() ? defaults : it->second;
+}
+
+std::vector<int> FaultPlan::PermanentlyFailedDevices() const {
+  std::vector<int> dead;
+  for (int d = 0; d < device_count; ++d) {
+    if (ForDevice(d).permanent_failure) dead.push_back(d);
+  }
+  return dead;
+}
+
+double FaultPlan::MaxStragglerMultiplier() const {
+  double max_mult = defaults.straggler_multiplier;
+  for (int d = 0; d < device_count; ++d) {
+    max_mult = std::max(max_mult, ForDevice(d).straggler_multiplier);
+  }
+  return max_mult;
+}
+
+Status FaultPlan::Validate() const {
+  if (device_count < 1) {
+    return Status::InvalidArgument("fault plan: device_count must be >= 1");
+  }
+  auto check = [](const DeviceFaults& f) {
+    if (f.launch_failure_p < 0.0 || f.launch_failure_p > 1.0) {
+      return Status::InvalidArgument(
+          "fault plan: launch_failure_p must be in [0, 1]");
+    }
+    if (f.corruption_p < 0.0 || f.corruption_p > 1.0) {
+      return Status::InvalidArgument(
+          "fault plan: corruption_p must be in [0, 1]");
+    }
+    if (f.straggler_multiplier < 1.0 ||
+        !std::isfinite(f.straggler_multiplier)) {
+      return Status::InvalidArgument(
+          "fault plan: straggler_multiplier must be >= 1 and finite");
+    }
+    return Status::OK();
+  };
+  IBFS_RETURN_NOT_OK(check(defaults));
+  for (const auto& [id, faults] : per_device) {
+    if (id < 0 || id >= device_count) {
+      return Status::InvalidArgument(
+          "fault plan: per-device override outside fleet: device " +
+          std::to_string(id));
+    }
+    IBFS_RETURN_NOT_OK(check(faults));
+  }
+  return Status::OK();
+}
+
+Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) {
+      if (comma == spec.size()) break;
+      continue;
+    }
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("fault spec: expected key=value, got \"" +
+                                     std::string(item) + "\"");
+    }
+    const std::string key(item.substr(0, eq));
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "seed") {
+      auto v = ParseInt(value, key);
+      if (!v.ok()) return v.status();
+      plan.seed = static_cast<uint64_t>(v.value());
+    } else if (key == "devices") {
+      auto v = ParseInt(value, key);
+      if (!v.ok()) return v.status();
+      plan.device_count = static_cast<int>(v.value());
+    } else if (key == "p_fail") {
+      auto v = ParseDouble(value, key);
+      if (!v.ok()) return v.status();
+      plan.defaults.launch_failure_p = v.value();
+    } else if (key == "corrupt") {
+      auto v = ParseDouble(value, key);
+      if (!v.ok()) return v.status();
+      plan.defaults.corruption_p = v.value();
+    } else if (key == "perm") {
+      auto v = ParseInt(value, key);
+      if (!v.ok()) return v.status();
+      const int device = static_cast<int>(v.value());
+      auto [it, inserted] = plan.per_device.try_emplace(
+          device, plan.defaults);
+      it->second.permanent_failure = true;
+    } else if (key == "straggle") {
+      const size_t colon = value.find(':');
+      if (colon == std::string_view::npos) {
+        auto mult = ParseDouble(value, key);
+        if (!mult.ok()) return mult.status();
+        plan.defaults.straggler_multiplier = mult.value();
+      } else {
+        auto device = ParseInt(value.substr(0, colon), key);
+        if (!device.ok()) return device.status();
+        auto mult = ParseDouble(value.substr(colon + 1), key);
+        if (!mult.ok()) return mult.status();
+        auto [it, inserted] = plan.per_device.try_emplace(
+            static_cast<int>(device.value()), plan.defaults);
+        it->second.straggler_multiplier = mult.value();
+      }
+    } else {
+      return Status::InvalidArgument("fault spec: unknown key \"" + key +
+                                     "\"");
+    }
+    if (comma == spec.size()) break;
+  }
+  // Overrides created before a later fleet-wide key keep their snapshot of
+  // the defaults; re-apply the final defaults to fields the override never
+  // customized so "p_fail=...,perm=D" and "perm=D,p_fail=..." agree.
+  for (auto& [id, faults] : plan.per_device) {
+    DeviceFaults merged = plan.defaults;
+    merged.permanent_failure = faults.permanent_failure;
+    if (faults.straggler_multiplier != 1.0) {
+      merged.straggler_multiplier = faults.straggler_multiplier;
+    }
+    faults = merged;
+  }
+  IBFS_RETURN_NOT_OK(plan.Validate());
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  if (!enabled()) return "";
+  std::string out = "seed=" + std::to_string(seed) +
+                    ",devices=" + std::to_string(device_count);
+  if (defaults.launch_failure_p > 0.0) {
+    out += ",p_fail=" + FormatP(defaults.launch_failure_p);
+  }
+  if (defaults.corruption_p > 0.0) {
+    out += ",corrupt=" + FormatP(defaults.corruption_p);
+  }
+  if (defaults.straggler_multiplier != 1.0) {
+    out += ",straggle=" + FormatP(defaults.straggler_multiplier);
+  }
+  for (const auto& [id, faults] : per_device) {
+    if (faults.permanent_failure) out += ",perm=" + std::to_string(id);
+    if (faults.straggler_multiplier != defaults.straggler_multiplier) {
+      out += ",straggle=" + std::to_string(id) + ":" +
+             FormatP(faults.straggler_multiplier);
+    }
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int device_id,
+                             uint64_t salt)
+    : faults_(plan.ForDevice(device_id)),
+      device_id_(device_id),
+      prng_(Mix(plan.seed) ^ Mix(static_cast<uint64_t>(device_id) + 1) ^
+            Mix(salt + 0x517cc1b727220a95ULL)) {}
+
+Status FaultInjector::OnKernelLaunch() {
+  if (faults_.permanent_failure) {
+    return Status::Unavailable("injected permanent failure on device " +
+                               std::to_string(device_id_));
+  }
+  if (faults_.launch_failure_p > 0.0 &&
+      prng_.NextBool(faults_.launch_failure_p)) {
+    return Status::Unavailable(
+        "injected transient kernel-launch failure on device " +
+        std::to_string(device_id_));
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::ShouldCorruptTransfer() {
+  return faults_.corruption_p > 0.0 && prng_.NextBool(faults_.corruption_p);
+}
+
+void FaultInjector::CorruptDepths(
+    std::vector<std::vector<uint8_t>>* depths) {
+  if (depths == nullptr) return;
+  for (std::vector<uint8_t>& d : *depths) {
+    if (d.empty()) continue;
+    const size_t at = static_cast<size_t>(prng_.NextBounded(d.size()));
+    d[at] ^= static_cast<uint8_t>(1 + prng_.NextBounded(255));
+  }
+}
+
+}  // namespace ibfs::gpusim

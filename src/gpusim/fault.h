@@ -1,0 +1,121 @@
+#ifndef IBFS_GPUSIM_FAULT_H_
+#define IBFS_GPUSIM_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/prng.h"
+#include "util/status.h"
+
+namespace ibfs::gpusim {
+
+/// Deterministic fault injection for the simulated GPU fleet. A seeded
+/// FaultPlan describes what goes wrong (per-device kernel-launch failure
+/// probability, permanent device death, straggler slowdowns, and
+/// result-corruption on the device-to-host transfer); a FaultInjector
+/// instantiated per execution attempt draws from a PRNG seeded by
+/// (plan seed, device id, attempt salt), so a chaos run replays bit-for-bit
+/// given the same seed and schedule. The consumers (Engine retry loop,
+/// BfsService circuit breaker + CPU fallback) are in core/resilient.h and
+/// service/; see docs/RESILIENCE.md.
+
+/// One device's fault profile.
+struct DeviceFaults {
+  /// Probability that a kernel launch fails transiently (the whole group
+  /// execution on that device aborts; a retry may succeed).
+  double launch_failure_p = 0.0;
+  /// Device is permanently dead: every kernel launch fails. Models a
+  /// failed rank that a circuit breaker must route around.
+  bool permanent_failure = false;
+  /// Multiplies every kernel's simulated time (>= 1). Models a straggler
+  /// rank (thermal throttling, contended PCIe link).
+  double straggler_multiplier = 1.0;
+  /// Probability that a group's depth payload is corrupted in flight on
+  /// the device-to-host transfer (flipped depth words). Detected by the
+  /// resilient executor's transfer checksum.
+  double corruption_p = 0.0;
+
+  bool any() const {
+    return launch_failure_p > 0.0 || permanent_failure ||
+           straggler_multiplier != 1.0 || corruption_p > 0.0;
+  }
+};
+
+/// The whole fleet's fault configuration. Device ids are ordinals
+/// 0..device_count-1; `per_device` overrides the default profile.
+struct FaultPlan {
+  uint64_t seed = 1;
+  /// Size of the simulated device fleet faults are spread over (group g of
+  /// a batch run executes on device g % device_count; the service's router
+  /// assigns ids round-robin, skipping open breakers).
+  int device_count = 1;
+  DeviceFaults defaults;
+  std::map<int, DeviceFaults> per_device;
+
+  /// True when any device can fault at all (the engine skips injector
+  /// setup entirely otherwise, keeping the fault-free path unchanged).
+  bool enabled() const;
+
+  /// The effective profile for one device ordinal.
+  const DeviceFaults& ForDevice(int device_id) const;
+
+  /// Device ordinals whose profile has permanent_failure set.
+  std::vector<int> PermanentlyFailedDevices() const;
+
+  /// Largest straggler multiplier across the fleet.
+  double MaxStragglerMultiplier() const;
+
+  Status Validate() const;
+
+  /// Parses a comma-separated spec, e.g.
+  ///   "seed=7,devices=4,p_fail=0.1,perm=1,straggle=2:8,corrupt=0.05"
+  /// Keys: seed=S, devices=N, p_fail=P (fleet-wide transient launch
+  /// failure), corrupt=P (fleet-wide transfer corruption), perm=D (device D
+  /// permanently fails; repeatable), straggle=D:M (device D runs M times
+  /// slower; repeatable; "straggle=M" applies fleet-wide).
+  static Result<FaultPlan> Parse(std::string_view spec);
+
+  /// Round-trippable display form of the plan ("" when !enabled()).
+  std::string ToString() const;
+};
+
+/// Draws fault decisions for one execution attempt on one device.
+/// Deterministic: the decision stream depends only on (plan seed,
+/// device_id, salt) and the order of calls, never on wall-clock time or
+/// thread scheduling.
+class FaultInjector {
+ public:
+  /// `salt` distinguishes attempts (retry k must not replay attempt k-1's
+  /// coin flips); callers pass a stable per-(group, attempt) value.
+  FaultInjector(const FaultPlan& plan, int device_id, uint64_t salt);
+
+  int device_id() const { return device_id_; }
+
+  /// Simulated-time multiplier for every kernel on this device (>= 1).
+  double straggler_multiplier() const { return faults_.straggler_multiplier; }
+
+  /// Decides whether the next kernel launch fails. Returns OK, or
+  /// Unavailable for an injected failure (permanent devices always fail).
+  Status OnKernelLaunch();
+
+  /// Decides whether this attempt's result payload is corrupted in
+  /// transfer.
+  bool ShouldCorruptTransfer();
+
+  /// Flips one depth word per non-empty instance vector at a seeded
+  /// position — the "result-corruption faults that flip depth words" of
+  /// the plan. No-op on an empty payload.
+  void CorruptDepths(std::vector<std::vector<uint8_t>>* depths);
+
+ private:
+  DeviceFaults faults_;
+  int device_id_;
+  Prng prng_;
+};
+
+}  // namespace ibfs::gpusim
+
+#endif  // IBFS_GPUSIM_FAULT_H_

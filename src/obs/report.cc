@@ -288,4 +288,102 @@ Status ServiceReport::WriteFile(const std::string& path,
   return Status::OK();
 }
 
+void ResilienceReport::WriteJson(std::ostream& os,
+                                 const MetricsRegistry* metrics) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("schema");
+  w.String(kSchema);
+  w.Key("schema_version");
+  w.Int(kSchemaVersion);
+
+  w.Key("workload");
+  w.BeginObject();
+  w.Key("graph");
+  w.String(graph);
+  w.Key("vertex_count");
+  w.Int(vertex_count);
+  w.Key("edge_count");
+  w.Int(edge_count);
+  w.Key("strategy");
+  w.String(strategy);
+  w.Key("grouping");
+  w.String(grouping);
+  w.Key("queries");
+  w.Int(queries);
+  w.Key("offered_qps");
+  w.Double(offered_qps);
+  w.Key("duration_seconds");
+  w.Double(duration_seconds);
+  w.EndObject();
+
+  w.Key("fault_plan");
+  w.BeginObject();
+  w.Key("spec");
+  w.String(fault_spec);
+  w.Key("device_count");
+  w.Int(device_count);
+  w.Key("seed");
+  w.Int(fault_seed);
+  w.Key("max_attempts");
+  w.Int(max_attempts);
+  w.Key("deadline_ms");
+  w.Double(deadline_ms);
+  w.Key("max_pending");
+  w.Int(max_pending);
+  w.Key("cpu_fallback");
+  w.Bool(cpu_fallback);
+  w.EndObject();
+
+  w.Key("outcomes");
+  w.BeginObject();
+  w.Key("completed");
+  w.Int(completed);
+  w.Key("failed");
+  w.Int(failed);
+  w.Key("deadline_exceeded");
+  w.Int(deadline_exceeded);
+  w.Key("shed");
+  w.Int(shed);
+  w.Key("degraded");
+  w.Int(degraded);
+  w.Key("retries");
+  w.Int(retries);
+  w.Key("transient_faults");
+  w.Int(transient_faults);
+  w.Key("corruptions_detected");
+  w.Int(corruptions_detected);
+  w.Key("breaker_opened");
+  w.Int(breaker_opened);
+  w.Key("fallback_groups");
+  w.Int(fallback_groups);
+  w.Key("wall_seconds");
+  w.Double(wall_seconds);
+  w.EndObject();
+
+  w.Key("verification");
+  w.BeginObject();
+  w.Key("checksums_compared");
+  w.Int(checksums_compared);
+  w.Key("checksum_mismatches");
+  w.Int(checksum_mismatches);
+  w.EndObject();
+
+  if (metrics != nullptr) {
+    w.Key("metrics");
+    w.Raw(metrics->ToJson());
+  }
+  w.EndObject();
+}
+
+Status ResilienceReport::WriteFile(const std::string& path,
+                                   const MetricsRegistry* metrics) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WriteJson(out, metrics);
+  out << '\n';
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
 }  // namespace ibfs::obs

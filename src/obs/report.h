@@ -175,6 +175,61 @@ struct ServiceReport {
                    const MetricsRegistry* metrics = nullptr) const;
 };
 
+/// The chaos-run report ("ibfs.resilience_report"): what one
+/// `ibfs_cli chaos` run measured — the injected fault plan, every recovery
+/// action the service took (retries, fallbacks, breakers, sheds,
+/// deadlines), and the checksum verification of every completed query
+/// against a fault-free baseline run. Plain struct like the others so the
+/// obs layer stays below core; service/chaos.h builds it.
+struct ResilienceReport {
+  static constexpr const char* kSchema = "ibfs.resilience_report";
+  static constexpr int kSchemaVersion = 1;
+
+  // Workload.
+  std::string graph;
+  int64_t vertex_count = 0;
+  int64_t edge_count = 0;
+  std::string strategy;
+  std::string grouping;
+  int64_t queries = 0;
+  double offered_qps = 0.0;
+  double duration_seconds = 0.0;
+
+  // Injected fault plan and the resilience configuration facing it.
+  std::string fault_spec;  // canonical FaultPlan::ToString form
+  int64_t device_count = 0;
+  int64_t fault_seed = 0;
+  int64_t max_attempts = 0;
+  double deadline_ms = 0.0;
+  int64_t max_pending = 0;
+  bool cpu_fallback = false;
+
+  // Outcomes: query dispositions and recovery actions.
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t shed = 0;
+  int64_t degraded = 0;
+  int64_t retries = 0;
+  int64_t transient_faults = 0;
+  int64_t corruptions_detected = 0;
+  int64_t breaker_opened = 0;
+  int64_t fallback_groups = 0;
+  double wall_seconds = 0.0;
+
+  // Verification: every completed query's depth checksum compared against
+  // the fault-free baseline execution of the same source.
+  int64_t checksums_compared = 0;
+  int64_t checksum_mismatches = 0;
+
+  /// Serializes the report; when `metrics` is non-null its snapshot is
+  /// embedded under the "metrics" key.
+  void WriteJson(std::ostream& os,
+                 const MetricsRegistry* metrics = nullptr) const;
+  Status WriteFile(const std::string& path,
+                   const MetricsRegistry* metrics = nullptr) const;
+};
+
 }  // namespace ibfs::obs
 
 #endif  // IBFS_OBS_REPORT_H_

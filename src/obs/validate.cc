@@ -318,6 +318,110 @@ Status ValidateServiceReportFile(const std::string& path) {
   return ValidateServiceReport(doc.value());
 }
 
+Status ValidateResilienceReport(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Bad("resilience report: top level is not an object");
+  }
+  Status st;
+  const JsonValue* schema = RequireMember(
+      doc, "schema", JsonValue::Kind::kString, &st, "resilience report");
+  if (schema == nullptr) return st;
+  if (schema->string_value() != "ibfs.resilience_report") {
+    return Bad("resilience report: unexpected schema \"" +
+               schema->string_value() + "\"");
+  }
+  const JsonValue* version =
+      RequireMember(doc, "schema_version", JsonValue::Kind::kNumber, &st,
+                    "resilience report");
+  if (version == nullptr) return st;
+  if (version->number_value() < 1) {
+    return Bad("resilience report: bad schema_version");
+  }
+
+  const JsonValue* workload = RequireMember(
+      doc, "workload", JsonValue::Kind::kObject, &st, "resilience report");
+  if (workload == nullptr) return st;
+  for (const char* key : {"graph", "strategy", "grouping"}) {
+    if (RequireMember(*workload, key, JsonValue::Kind::kString, &st,
+                      "resilience report workload") == nullptr) {
+      return st;
+    }
+  }
+  for (const char* key : {"vertex_count", "edge_count", "queries",
+                          "offered_qps", "duration_seconds"}) {
+    if (RequireMember(*workload, key, JsonValue::Kind::kNumber, &st,
+                      "resilience report workload") == nullptr) {
+      return st;
+    }
+  }
+
+  const JsonValue* plan = RequireMember(
+      doc, "fault_plan", JsonValue::Kind::kObject, &st, "resilience report");
+  if (plan == nullptr) return st;
+  if (RequireMember(*plan, "spec", JsonValue::Kind::kString, &st,
+                    "resilience report fault_plan") == nullptr) {
+    return st;
+  }
+  for (const char* key : {"device_count", "seed", "max_attempts",
+                          "deadline_ms", "max_pending"}) {
+    if (RequireMember(*plan, key, JsonValue::Kind::kNumber, &st,
+                      "resilience report fault_plan") == nullptr) {
+      return st;
+    }
+  }
+  if (plan->Find("cpu_fallback") == nullptr) {
+    return Bad("resilience report fault_plan: missing \"cpu_fallback\"");
+  }
+
+  const JsonValue* outcomes = RequireMember(
+      doc, "outcomes", JsonValue::Kind::kObject, &st, "resilience report");
+  if (outcomes == nullptr) return st;
+  for (const char* key :
+       {"completed", "failed", "deadline_exceeded", "shed", "degraded",
+        "retries", "transient_faults", "corruptions_detected",
+        "breaker_opened", "fallback_groups", "wall_seconds"}) {
+    const JsonValue* value =
+        RequireMember(*outcomes, key, JsonValue::Kind::kNumber, &st,
+                      "resilience report outcomes");
+    if (value == nullptr) return st;
+    if (value->number_value() < 0.0) {
+      return Bad(std::string("resilience report outcomes: \"") + key +
+                 "\" is negative");
+    }
+  }
+
+  const JsonValue* verification =
+      RequireMember(doc, "verification", JsonValue::Kind::kObject, &st,
+                    "resilience report");
+  if (verification == nullptr) return st;
+  for (const char* key : {"checksums_compared", "checksum_mismatches"}) {
+    if (RequireMember(*verification, key, JsonValue::Kind::kNumber, &st,
+                      "resilience report verification") == nullptr) {
+      return st;
+    }
+  }
+  const double compared =
+      verification->Find("checksums_compared")->number_value();
+  const double mismatches =
+      verification->Find("checksum_mismatches")->number_value();
+  if (compared < 0.0 || mismatches < 0.0 || mismatches > compared) {
+    return Bad(
+        "resilience report verification: need 0 <= checksum_mismatches <= "
+        "checksums_compared");
+  }
+
+  if (const JsonValue* metrics = doc.Find("metrics")) {
+    IBFS_RETURN_NOT_OK(ValidateMetrics(*metrics));
+  }
+  return Status::OK();
+}
+
+Status ValidateResilienceReportFile(const std::string& path) {
+  Result<JsonValue> doc = ParseJsonFile(path);
+  if (!doc.ok()) return doc.status();
+  return ValidateResilienceReport(doc.value());
+}
+
 Status ValidateMetrics(const JsonValue& doc) {
   if (!doc.is_object()) return Bad("metrics: top level is not an object");
   Status st;

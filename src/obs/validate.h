@@ -33,6 +33,13 @@ Status ValidateRunReportFile(const std::string& path);
 Status ValidateServiceReport(const JsonValue& doc);
 Status ValidateServiceReportFile(const std::string& path);
 
+/// Checks a parsed resilience report against the "ibfs.resilience_report"
+/// schema: schema/version match, workload/fault_plan/outcomes/verification
+/// sections with their fields, non-negative recovery counters, and
+/// checksum_mismatches <= checksums_compared.
+Status ValidateResilienceReport(const JsonValue& doc);
+Status ValidateResilienceReportFile(const std::string& path);
+
 /// Checks a metrics snapshot: counters/gauges/histograms objects; each
 /// histogram's buckets array is bounds+1 long and sums to count.
 Status ValidateMetrics(const JsonValue& doc);

@@ -1,0 +1,100 @@
+#include "service/chaos.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/checksum.h"
+
+namespace ibfs::service {
+
+Result<obs::ResilienceReport> RunChaos(const std::string& graph_name,
+                                       const graph::Csr& graph,
+                                       const ChaosOptions& options) {
+  IBFS_RETURN_NOT_OK(options.service.Validate());
+  Result<std::vector<WorkloadEvent>> events =
+      GenerateArrivals(graph, options.workload);
+  if (!events.ok()) return events.status();
+
+  // Fault-free baseline: one offline engine run over the deduped workload
+  // sources with injection disabled. BFS depths are unique per source, so
+  // whatever path the chaotic service takes to an OK answer — first try,
+  // retry on another attempt, or the CPU fallback — its depth checksum
+  // must equal this baseline's.
+  std::vector<graph::VertexId> sources;
+  sources.reserve(events.value().size());
+  for (const WorkloadEvent& event : events.value()) {
+    sources.push_back(event.source);
+  }
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+
+  EngineOptions baseline_options = options.service.engine;
+  baseline_options.faults = gpusim::FaultPlan();
+  baseline_options.keep_depths = true;
+  baseline_options.observer = obs::Observer();  // no sinks for the oracle
+  Engine baseline(&graph, baseline_options);
+  Result<EngineResult> base_run = baseline.Run(sources);
+  if (!base_run.ok()) return base_run.status();
+  std::unordered_map<graph::VertexId, uint64_t> expected;
+  expected.reserve(sources.size());
+  const EngineResult& base = base_run.value();
+  for (size_t g = 0; g < base.groups.size(); ++g) {
+    for (size_t k = 0; k < base.group_sources[g].size(); ++k) {
+      expected[base.group_sources[g][k]] = Fnv1a(base.groups[g].depths[k]);
+    }
+  }
+
+  // Chaos drive: same workload, faults armed.
+  Result<std::unique_ptr<BfsService>> service =
+      BfsService::Create(&graph, options.service);
+  if (!service.ok()) return service.status();
+  Result<DriveResult> driven =
+      DriveWorkload(service.value().get(), events.value());
+  if (!driven.ok()) return driven.status();
+  const DriveResult& drive = driven.value();
+
+  obs::ResilienceReport report;
+  report.graph = graph_name;
+  report.vertex_count = graph.vertex_count();
+  report.edge_count = graph.edge_count();
+  report.strategy = StrategyName(options.service.engine.strategy);
+  report.grouping = GroupingPolicyName(options.service.engine.grouping);
+  report.queries = static_cast<int64_t>(drive.results.size());
+  report.offered_qps = options.workload.qps;
+  report.duration_seconds = options.workload.duration_s;
+
+  const gpusim::FaultPlan& plan = options.service.engine.faults;
+  report.fault_spec = plan.ToString();
+  report.device_count = plan.device_count;
+  report.fault_seed = static_cast<int64_t>(plan.seed);
+  report.max_attempts = options.service.engine.retry.max_attempts;
+  report.deadline_ms = options.service.resilience.deadline_ms;
+  report.max_pending = options.service.resilience.max_pending;
+  report.cpu_fallback = options.service.resilience.cpu_fallback;
+
+  report.completed = drive.stats.completed;
+  report.failed = drive.stats.failed;
+  report.deadline_exceeded = drive.stats.deadline_exceeded;
+  report.shed = drive.stats.shed;
+  report.degraded = drive.stats.degraded;
+  report.retries = drive.stats.retries;
+  report.transient_faults = drive.stats.transient_faults;
+  report.corruptions_detected = drive.stats.corruptions_detected;
+  report.breaker_opened = drive.stats.breaker_opened;
+  report.fallback_groups = drive.stats.fallback_groups;
+  report.wall_seconds = drive.wall_seconds;
+
+  for (const QueryResult& result : drive.results) {
+    if (!result.status.ok()) continue;
+    const auto it = expected.find(result.source);
+    if (it == expected.end()) continue;  // unreachable: all sources ran
+    ++report.checksums_compared;
+    if (result.depth_checksum != it->second) ++report.checksum_mismatches;
+  }
+  return report;
+}
+
+}  // namespace ibfs::service

@@ -1,0 +1,38 @@
+#ifndef IBFS_SERVICE_CHAOS_H_
+#define IBFS_SERVICE_CHAOS_H_
+
+#include <string>
+
+#include "graph/csr.h"
+#include "obs/report.h"
+#include "service/service.h"
+#include "service/workload.h"
+#include "util/status.h"
+
+namespace ibfs::service {
+
+/// Chaos harness: drives one workload through a BfsService while the
+/// configured fault plan injects failures, and verifies that every query
+/// the service completed returned depths bit-identical to a fault-free
+/// baseline execution of the same source. The output is an
+/// "ibfs.resilience_report" (obs::ResilienceReport); `ibfs_cli chaos`
+/// turns checksum_mismatches > 0 into a nonzero exit. See
+/// docs/RESILIENCE.md.
+struct ChaosOptions {
+  /// Arrival process, load, and seed for the driven queries.
+  WorkloadOptions workload;
+  /// Service under test; `service.engine.faults` is the injected plan and
+  /// `service.resilience` the recovery configuration facing it.
+  ServiceOptions service;
+};
+
+/// Runs the baseline, the chaos drive, and the verification. Fails only on
+/// setup errors (bad options, unrunnable baseline); injected-fault query
+/// failures are data, reported in the returned document.
+Result<obs::ResilienceReport> RunChaos(const std::string& graph_name,
+                                       const graph::Csr& graph,
+                                       const ChaosOptions& options);
+
+}  // namespace ibfs::service
+
+#endif  // IBFS_SERVICE_CHAOS_H_

@@ -5,9 +5,11 @@
 #include <unordered_map>
 #include <utility>
 
+#include "baselines/reference_bfs.h"
 #include "core/group_plan.h"
 #include "ibfs/status_array.h"
 #include "obs/metrics.h"
+#include "util/checksum.h"
 #include "util/logging.h"
 
 namespace ibfs::service {
@@ -17,15 +19,6 @@ using Clock = std::chrono::steady_clock;
 
 double MsBetween(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
-}
-
-uint64_t Fnv1a(const std::vector<uint8_t>& bytes) {
-  uint64_t hash = 14695981039346656037ULL;
-  for (uint8_t b : bytes) {
-    hash ^= b;
-    hash *= 1099511628211ULL;
-  }
-  return hash;
 }
 
 const char* CloseReasonName(int reason) {
@@ -63,6 +56,18 @@ Status ServiceOptions::Validate() const {
   if (execute_threads < 0) {
     return Status::InvalidArgument(
         "execute_threads must be >= 0 (0 = auto)");
+  }
+  if (resilience.deadline_ms < 0.0) {
+    return Status::InvalidArgument(
+        "resilience.deadline_ms must be non-negative (0 = no deadline)");
+  }
+  if (resilience.max_pending < 0) {
+    return Status::InvalidArgument(
+        "resilience.max_pending must be >= 0 (0 = unbounded)");
+  }
+  if (resilience.breaker_threshold < 1) {
+    return Status::InvalidArgument(
+        "resilience.breaker_threshold must be >= 1");
   }
   return engine.Validate();
 }
@@ -108,6 +113,9 @@ Result<std::unique_ptr<BfsService>> BfsService::Create(
     svc->options_.observer.tracer->SetProcessName(kServicePid,
                                                   "service (wall clock)");
   }
+  svc->router_ = std::make_unique<DeviceRouter>(
+      svc->options_.engine.faults.device_count,
+      svc->options_.resilience.breaker_threshold);
   svc->executor_ = std::make_unique<ThreadPool>(threads);
   svc->batcher_ = std::thread([s = svc.get()] { s->BatcherLoop(); });
   return svc;
@@ -137,6 +145,27 @@ std::future<QueryResult> BfsService::Submit(graph::VertexId source) {
     if (shutdown_) {
       lock.unlock();
       reject(Status::FailedPrecondition("service is shut down"));
+      return future;
+    }
+    // Overload shedding: a bounded admission queue fails fast instead of
+    // letting queue_ms grow without bound under sustained overload.
+    if (options_.resilience.max_pending > 0 &&
+        pending_.size() >=
+            static_cast<size_t>(options_.resilience.max_pending)) {
+      lock.unlock();
+      QueryResult result;
+      result.status = Status::ResourceExhausted(
+          "admission queue full (max_pending=" +
+          std::to_string(options_.resilience.max_pending) + ")");
+      result.source = source;
+      promise.set_value(std::move(result));
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.shed;
+      }
+      if (options_.observer.metering()) {
+        options_.observer.metrics->GetCounter("shed.queries")->Increment();
+      }
       return future;
     }
     PendingQuery query;
@@ -242,6 +271,46 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
     }
   }
 
+  // Per-query deadlines: anything that expired while queued completes with
+  // DeadlineExceeded now instead of occupying device time.
+  if (options_.resilience.deadline_ms > 0.0) {
+    std::vector<PendingQuery> live;
+    live.reserve(batch.size());
+    int64_t expired = 0;
+    for (PendingQuery& query : batch) {
+      const double waited_ms = MsBetween(query.submitted, closed);
+      if (waited_ms > options_.resilience.deadline_ms) {
+        QueryResult result;
+        result.status = Status::DeadlineExceeded(
+            "query deadline expired in admission queue");
+        result.source = query.source;
+        result.query_id = query.query_id;
+        result.batch_id = batch_id;
+        result.latency.queue_ms = waited_ms;
+        result.latency.total_ms = waited_ms;
+        query.promise.set_value(std::move(result));
+        ++expired;
+      } else {
+        live.push_back(std::move(query));
+      }
+    }
+    batch = std::move(live);
+    if (expired > 0) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.deadline_exceeded += expired;
+      }
+      if (metrics != nullptr) {
+        metrics->GetCounter("shed.deadline_exceeded")->Increment(expired);
+      }
+      if (tracer != nullptr) {
+        tracer->Instant(track, "deadline_expired", SinceStartUs(closed),
+                        {obs::Arg("queries", expired)});
+      }
+    }
+    if (batch.empty()) return;
+  }
+
   // Two clients asking for the same source share one execution: the batch
   // dedups to unique sources (the grouper's precondition) and fans each
   // group member's depths out to every query that wanted it.
@@ -292,14 +361,57 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
     executor_->Submit([this, state, g, track] {
       const std::vector<graph::VertexId>& group = state->groups[g];
       const auto exec_start = Clock::now();
-      gpusim::Device device(options_.engine.device);
       // Execution meters into the shared registry but does not trace:
       // kernel spans carry simulated timestamps, which must not land on
       // the service's wall-clock batch tracks.
       obs::Observer exec_observer;
       exec_observer.metrics = options_.observer.metrics;
-      Result<GroupResult> executed =
-          engine_.ExecuteGroup(group, &device, exec_observer);
+      obs::MetricsRegistry* metrics = options_.observer.metrics;
+
+      // Resilient execution: route to a healthy simulated device (circuit
+      // breakers skip devices the injected faults have killed), retry per
+      // engine.retry with the transfer checksum quarantining corrupted
+      // payloads, and finally degrade to the CPU reference path if the
+      // fleet cannot serve the group at all.
+      const uint64_t salt =
+          static_cast<uint64_t>(state->batch_id) * 1000ULL +
+          static_cast<uint64_t>(g);
+      const int device_id = router_->Acquire();
+      ResilientOutcome outcome;
+      bool breaker_opened = false;
+      if (device_id != DeviceRouter::kNoDevice) {
+        outcome = ExecuteGroupResilient(engine_, group, device_id, salt,
+                                        exec_observer);
+        if (outcome.status.ok()) {
+          router_->ReportSuccess(device_id);
+        } else {
+          breaker_opened = router_->ReportFailure(device_id);
+          if (breaker_opened && metrics != nullptr) {
+            metrics->GetCounter("fault.breaker_opened")->Increment();
+          }
+        }
+      } else {
+        outcome.status =
+            Status::Unavailable("all device circuit breakers are open");
+      }
+      bool degraded = false;
+      if (!outcome.status.ok() && options_.resilience.cpu_fallback) {
+        // Graceful degradation: the sequential CPU reference BFS produces
+        // the same (unique) depths a healthy device would have — only the
+        // performance contract is degraded, not correctness.
+        degraded = true;
+        GroupResult fallback;
+        fallback.depths.reserve(group.size());
+        for (graph::VertexId source : group) {
+          fallback.depths.push_back(baselines::ReferenceDepthsU8(
+              *graph_, source, options_.engine.traversal.max_level));
+        }
+        outcome.result = std::move(fallback);
+        outcome.status = Status::OK();
+        if (metrics != nullptr) {
+          metrics->GetCounter("retry.fallbacks")->Increment();
+        }
+      }
       const auto exec_end = Clock::now();
 
       obs::Tracer* task_tracer = options_.observer.tracer;
@@ -309,11 +421,26 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
             track, "execute group " + std::to_string(g), "service",
             start_us, SinceStartUs(exec_end) - start_us,
             {obs::Arg("instances", static_cast<int64_t>(group.size())),
-             obs::Arg("sim_ms", device.elapsed_seconds() * 1e3)});
+             obs::Arg("sim_ms", outcome.sim_seconds * 1e3),
+             obs::Arg("device", static_cast<int64_t>(device_id)),
+             obs::Arg("attempts", static_cast<int64_t>(outcome.attempts)),
+             obs::Arg("degraded", degraded)});
+        if (breaker_opened) {
+          task_tracer->Instant(
+              track, "breaker_opened", SinceStartUs(exec_end),
+              {obs::Arg("device", static_cast<int64_t>(device_id))});
+        }
+        if (degraded) {
+          task_tracer->Instant(
+              track, "cpu_fallback", SinceStartUs(exec_end),
+              {obs::Arg("group", static_cast<int64_t>(g))});
+        }
       }
 
+      const bool deadline_armed = options_.resilience.deadline_ms > 0.0;
       int64_t completed = 0;
       int64_t failed = 0;
+      int64_t expired = 0;
       std::vector<std::pair<size_t, QueryResult>> ready;
       for (size_t j = 0; j < group.size(); ++j) {
         const auto it = state->by_source.find(group[j]);
@@ -325,17 +452,23 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
           result.query_id = query.query_id;
           result.batch_id = state->batch_id;
           result.group_index = static_cast<int>(g);
+          result.degraded = degraded;
+          result.attempts = outcome.attempts;
           result.latency.queue_ms =
               MsBetween(query.submitted, state->closed);
           result.latency.batch_ms = MsBetween(state->closed, exec_start);
           result.latency.execute_ms = MsBetween(exec_start, exec_end);
           result.latency.total_ms = MsBetween(query.submitted, exec_end);
-          if (!executed.ok()) {
-            result.status = executed.status();
+          if (deadline_armed &&
+              result.latency.total_ms > options_.resilience.deadline_ms) {
+            result.status = Status::DeadlineExceeded(
+                "query deadline expired during execution");
+            ++expired;
+          } else if (!outcome.status.ok()) {
+            result.status = outcome.status;
             ++failed;
           } else {
-            const std::vector<uint8_t>& depths =
-                executed.value().depths[j];
+            const std::vector<uint8_t>& depths = outcome.result.depths[j];
             result.depth_checksum = Fnv1a(depths);
             for (uint8_t d : depths) {
               if (d != kUnvisitedDepth) ++result.reached;
@@ -358,6 +491,9 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
           ready.emplace_back(qi, std::move(result));
         }
       }
+      if (expired > 0 && metrics != nullptr) {
+        metrics->GetCounter("shed.deadline_exceeded")->Increment(expired);
+      }
 
       // Account before completing, so once a client observes its future
       // ready, its group's contribution to stats() is already visible.
@@ -365,11 +501,20 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.groups;
         stats_.executed_instances += static_cast<int64_t>(group.size());
-        stats_.sim_seconds += device.elapsed_seconds();
+        stats_.sim_seconds += outcome.sim_seconds;
         stats_.completed += completed;
         stats_.failed += failed;
-        if (executed.ok()) {
-          for (const LevelTrace& level : executed.value().trace.levels) {
+        stats_.deadline_exceeded += expired;
+        if (outcome.attempts > 0) stats_.retries += outcome.attempts - 1;
+        stats_.transient_faults += outcome.transient_faults;
+        stats_.corruptions_detected += outcome.corruptions_detected;
+        if (degraded) {
+          ++stats_.fallback_groups;
+          stats_.degraded += completed;
+        }
+        if (breaker_opened) ++stats_.breaker_opened;
+        if (outcome.status.ok() && !degraded) {
+          for (const LevelTrace& level : outcome.result.trace.levels) {
             stats_.private_fq_sum += level.private_fq_sum;
             stats_.jfq_sum += level.jfq_size;
           }

@@ -13,6 +13,7 @@
 
 #include "core/engine.h"
 #include "core/options.h"
+#include "core/resilient.h"
 #include "graph/csr.h"
 #include "obs/trace.h"
 #include "util/status.h"
@@ -35,6 +36,27 @@ namespace ibfs::service {
 /// anatomy per batch.
 inline constexpr int kServicePid = 2000;
 
+/// Failure-handling knobs of one BfsService. Execution-side fault
+/// injection and retry policy live on EngineOptions (faults / retry);
+/// these govern what the service does around them. See docs/RESILIENCE.md.
+struct ResilienceOptions {
+  /// Per-query completion deadline in host milliseconds since submit
+  /// (0 = no deadline). An expired query completes with DeadlineExceeded —
+  /// at batch close if it expired while queued, or at fan-out if its
+  /// group's execution finished too late.
+  double deadline_ms = 0.0;
+  /// Admission-queue bound: Submit sheds with ResourceExhausted once this
+  /// many queries are pending (0 = unbounded).
+  int max_pending = 0;
+  /// Consecutive failures on one simulated device that open its circuit
+  /// breaker (the router stops offering the device).
+  int breaker_threshold = 3;
+  /// When retries are exhausted or every breaker is open, serve the group
+  /// from the sequential CPU reference BFS and mark its queries
+  /// `degraded` — correct depths, no GPU sharing. Off = fail the queries.
+  bool cpu_fallback = true;
+};
+
 /// Configuration of one BfsService.
 struct ServiceOptions {
   /// Close the open batch once this many queries are pending.
@@ -56,6 +78,8 @@ struct ServiceOptions {
   /// `engine.traversal.collect_instance_stats` is forced on so the
   /// achieved sharing ratio is measurable.
   EngineOptions engine;
+  /// Deadlines, admission bounds, circuit breaking, and degraded fallback.
+  ResilienceOptions resilience;
   /// Service-level telemetry: per-batch wall-clock trace tracks and
   /// service.* metrics. Kernel-level simulated-time spans stay off these
   /// tracks (the two timebases must not share one), but the metrics
@@ -96,6 +120,12 @@ struct QueryResult {
   uint64_t depth_checksum = 0;
   /// Vertices reached (depth != kUnvisitedDepth).
   int64_t reached = 0;
+  /// True when the query was served by the CPU fallback path instead of a
+  /// simulated device (correct depths, degraded performance contract).
+  bool degraded = false;
+  /// Device execution attempts spent on this query's group (1 = first try
+  /// succeeded; 0 = never reached a device, e.g. pure fallback).
+  int attempts = 0;
   QueryLatency latency;
 };
 
@@ -118,6 +148,19 @@ class BfsService {
     int64_t size_closes = 0;
     int64_t deadline_closes = 0;
     int64_t shutdown_closes = 0;
+    /// Resilience accounting: queries shed at admission, queries that
+    /// missed their deadline, queries served degraded (CPU fallback),
+    /// device retries beyond first attempts, injected launch failures
+    /// observed, corruptions caught by the transfer checksum, groups
+    /// served by the CPU fallback, and circuit breakers opened.
+    int64_t shed = 0;
+    int64_t deadline_exceeded = 0;
+    int64_t degraded = 0;
+    int64_t retries = 0;
+    int64_t transient_faults = 0;
+    int64_t corruptions_detected = 0;
+    int64_t fallback_groups = 0;
+    int64_t breaker_opened = 0;
     /// Total simulated seconds across executed groups.
     double sim_seconds = 0.0;
     /// Sharing-ratio accumulators over all executed groups (same
@@ -196,6 +239,10 @@ class BfsService {
   mutable std::mutex stats_mu_;
   Stats stats_;
   int64_t next_batch_id_ = 0;  // batcher thread only
+
+  /// Round-robin device router with per-device circuit breakers over the
+  /// engine's simulated fleet (engine.faults.device_count ordinals).
+  std::unique_ptr<DeviceRouter> router_;
 
   std::unique_ptr<ThreadPool> executor_;
   std::thread batcher_;

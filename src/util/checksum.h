@@ -1,0 +1,46 @@
+#ifndef IBFS_UTIL_CHECKSUM_H_
+#define IBFS_UTIL_CHECKSUM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ibfs {
+
+/// FNV-1a, the one checksum implementation shared by every payload-integrity
+/// path: the service's per-query depth checksums, the resilient executor's
+/// device-to-host transfer verification, and the chaos harness's
+/// fault-free-vs-chaos comparison. Deterministic across platforms (pure
+/// integer arithmetic), cheap (one xor + one multiply per byte), and good
+/// enough to catch flipped depth words — this is corruption *detection*,
+/// not cryptography.
+inline constexpr uint64_t kFnv1aOffsetBasis = 14695981039346656037ULL;
+inline constexpr uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// Folds `bytes` into a running FNV-1a state (pass the previous return
+/// value to chain buffers; start from kFnv1aOffsetBasis).
+inline uint64_t Fnv1aExtend(uint64_t state, std::span<const uint8_t> bytes) {
+  for (uint8_t b : bytes) {
+    state ^= b;
+    state *= kFnv1aPrime;
+  }
+  return state;
+}
+
+/// One-shot hash of a byte buffer.
+inline uint64_t Fnv1a(std::span<const uint8_t> bytes) {
+  return Fnv1aExtend(kFnv1aOffsetBasis, bytes);
+}
+
+/// Hash of a whole group's depth payload (every instance's vector, in
+/// order), used to verify the simulated device-to-host transfer.
+inline uint64_t Fnv1aOfDepths(
+    const std::vector<std::vector<uint8_t>>& depths) {
+  uint64_t state = kFnv1aOffsetBasis;
+  for (const std::vector<uint8_t>& d : depths) state = Fnv1aExtend(state, d);
+  return state;
+}
+
+}  // namespace ibfs
+
+#endif  // IBFS_UTIL_CHECKSUM_H_

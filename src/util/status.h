@@ -17,6 +17,14 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kInternal,
+  /// A transient failure (injected or real); retrying may succeed.
+  kUnavailable,
+  /// A per-query deadline expired before the result was produced.
+  kDeadlineExceeded,
+  /// Admission control shed the request (queue over capacity).
+  kResourceExhausted,
+  /// Payload failed its integrity check (checksum mismatch).
+  kDataLoss,
 };
 
 /// A success-or-error value. Cheap to copy on success (no allocation).
@@ -47,6 +55,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -69,6 +69,30 @@ TEST(ServiceOptionsTest, RejectsInvalidEmbeddedEngineOptions) {
   EXPECT_FALSE(options.Validate().ok());
 }
 
+TEST(ServiceOptionsTest, RejectsNegativeDeadlineWithDistinctMessage) {
+  ServiceOptions options = QuickServiceOptions();
+  options.resilience.deadline_ms = -1.0;
+  const Status status = options.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("deadline_ms"), std::string::npos);
+}
+
+TEST(ServiceOptionsTest, RejectsNegativeMaxPendingWithDistinctMessage) {
+  ServiceOptions options = QuickServiceOptions();
+  options.resilience.max_pending = -1;
+  const Status status = options.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("max_pending"), std::string::npos);
+}
+
+TEST(ServiceOptionsTest, RejectsZeroBreakerThresholdWithDistinctMessage) {
+  ServiceOptions options = QuickServiceOptions();
+  options.resilience.breaker_threshold = 0;
+  const Status status = options.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("breaker_threshold"), std::string::npos);
+}
+
 TEST(ServiceOptionsTest, AcceptsDefaults) {
   ServiceOptions options;
   EXPECT_TRUE(options.Validate().ok());

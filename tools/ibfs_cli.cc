@@ -28,6 +28,7 @@
 #include "gen/benchmarks.h"
 #include "gen/rmat.h"
 #include "gen/uniform.h"
+#include "gpusim/fault.h"
 #include "gpusim/report.h"
 #include "graph/components.h"
 #include "graph/degree_stats.h"
@@ -36,6 +37,7 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "obs/validate.h"
+#include "service/chaos.h"
 #include "service/service.h"
 #include "service/workload.h"
 #include "util/flags.h"
@@ -46,8 +48,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: ibfs_cli "
-               "<generate|stats|run|validate|traces|cluster|serve|check> "
-               "[flags]\n"
+               "<generate|stats|run|validate|traces|cluster|serve|chaos|"
+               "check> [flags]\n"
                "  generate: --out PATH and one of --benchmark NAME |\n"
                "            --rmat-scale N [--edge-factor K] [--seed S] |\n"
                "            --uniform-vertices N [--outdegree K]\n"
@@ -68,9 +70,21 @@ int Usage() {
                "B]\n"
                "            (open-loop online serving; report via "
                "--report-out)\n"
+               "            resilience: [--fault-spec SPEC] [--retries R]\n"
+               "            [--deadline-ms MS] [--max-pending N]\n"
+               "            [--breaker-threshold K] [--no-cpu-fallback]\n"
+               "  chaos:    serve flags; injects --fault-spec, verifies "
+               "every completed\n"
+               "            query against a fault-free baseline, writes an\n"
+               "            ibfs.resilience_report via --report-out; exits "
+               "nonzero on\n"
+               "            checksum mismatches. SPEC example:\n"
+               "            \"seed=7,devices=4,p_fail=0.1,perm=1,"
+               "straggle=2:8\"\n"
                "  check:    --trace PATH | --report PATH | --metrics PATH |\n"
-               "            --service-report PATH (validate telemetry "
-               "files)\n"
+               "            --service-report PATH | --resilience-report "
+               "PATH\n"
+               "            (validate telemetry files)\n"
                "telemetry (run and cluster):\n"
                "  --trace-out PATH    Chrome trace-event JSON "
                "(chrome://tracing, Perfetto)\n"
@@ -188,7 +202,31 @@ Result<EngineOptions> OptionsFromFlags(const Flags& flags) {
   // Results are bit-identical at every setting (per-group devices, ordered
   // merge), so parallel is the safe default.
   options.threads = static_cast<int>(flags.GetInt("threads", 0));
+  // Deterministic fault injection (run/serve/chaos): a fault-plan spec
+  // string arms the injector; --retries adds attempts beyond the first.
+  const std::string fault_spec = flags.GetString("fault-spec");
+  if (!fault_spec.empty()) {
+    Result<gpusim::FaultPlan> plan = gpusim::FaultPlan::Parse(fault_spec);
+    if (!plan.ok()) return plan.status();
+    options.faults = plan.value();
+  }
+  options.retry.max_attempts =
+      1 + static_cast<int>(flags.GetInt(
+              "retries", options.retry.max_attempts - 1));
+  options.retry.seed = options.seed;
   return options;
+}
+
+// Shared by serve and chaos: the service-level resilience knobs.
+service::ResilienceOptions ResilienceFromFlags(const Flags& flags) {
+  service::ResilienceOptions resilience;
+  resilience.deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  resilience.max_pending =
+      static_cast<int>(flags.GetInt("max-pending", 0));
+  resilience.breaker_threshold =
+      static_cast<int>(flags.GetInt("breaker-threshold", 3));
+  resilience.cpu_fallback = !flags.GetBool("no-cpu-fallback");
+  return resilience;
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -480,6 +518,7 @@ int CmdServe(const Flags& flags) {
       static_cast<int>(flags.GetInt("threads", 0));
   service_options.keep_depths = false;  // checksums suffice for the CLI
   service_options.engine = engine_options.value();
+  service_options.resilience = ResilienceFromFlags(flags);
   service_options.observer = session.MakeObserver();
   auto svc = service::BfsService::Create(&graph.value(), service_options);
   if (!svc.ok()) {
@@ -526,6 +565,19 @@ int CmdServe(const Flags& flags) {
               100.0 * report.oracle_sharing_ratio,
               100.0 * report.sharing_fraction);
   std::printf("traversal rate:  %.2f GTEPS\n", report.teps / 1e9);
+  const service::BfsService::Stats& stats = drive.value().stats;
+  if (service_options.engine.faults.enabled() || stats.shed > 0 ||
+      stats.deadline_exceeded > 0) {
+    std::printf("resilience:      %lld shed, %lld deadline, %lld degraded, "
+                "%lld retries, %lld faults, %lld corrupt, %lld breakers\n",
+                static_cast<long long>(stats.shed),
+                static_cast<long long>(stats.deadline_exceeded),
+                static_cast<long long>(stats.degraded),
+                static_cast<long long>(stats.retries),
+                static_cast<long long>(stats.transient_faults),
+                static_cast<long long>(stats.corruptions_detected),
+                static_cast<long long>(stats.breaker_opened));
+  }
 
   // The service report has its own schema, so write it directly and use
   // Flush only for the trace/metrics sinks.
@@ -540,6 +592,97 @@ int CmdServe(const Flags& flags) {
     } else {
       std::printf("wrote %s\n", session.report_out.c_str());
     }
+  }
+  return rc;
+}
+
+// Chaos run: same open-loop workload as `serve`, but with the fault plan
+// armed, and every completed query's depth checksum verified against a
+// fault-free baseline. Exit 1 on any mismatch — resilience must never
+// trade away correctness.
+int CmdChaos(const Flags& flags) {
+  auto graph = LoadGraphArg(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "chaos: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto engine_options = OptionsFromFlags(flags);
+  if (!engine_options.ok()) {
+    std::fprintf(stderr, "chaos: %s\n",
+                 engine_options.status().ToString().c_str());
+    return 1;
+  }
+
+  service::ChaosOptions chaos;
+  const std::string arrival = flags.GetString("arrival", "poisson");
+  const auto parsed = service::ParseArrivalProcess(arrival);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "chaos: unknown arrival process %s\n",
+                 arrival.c_str());
+    return 1;
+  }
+  chaos.workload.arrival = *parsed;
+  chaos.workload.qps = flags.GetDouble("qps", 200.0);
+  chaos.workload.duration_s = flags.GetDouble("duration", 1.0);
+  chaos.workload.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  chaos.workload.burst_size =
+      static_cast<int>(flags.GetInt("burst-size", 16));
+
+  ObsSession session(flags);
+  chaos.service.max_batch = static_cast<int>(flags.GetInt("max-batch", 64));
+  chaos.service.max_delay_ms = flags.GetDouble("max-delay-ms", 2.0);
+  chaos.service.execute_threads =
+      static_cast<int>(flags.GetInt("threads", 0));
+  chaos.service.keep_depths = false;  // the checksum is the verdict
+  chaos.service.engine = engine_options.value();
+  chaos.service.resilience = ResilienceFromFlags(flags);
+  chaos.service.observer = session.MakeObserver();
+
+  auto run = service::RunChaos(GraphLabel(flags), graph.value(), chaos);
+  if (!run.ok()) {
+    std::fprintf(stderr, "chaos: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const obs::ResilienceReport& report = run.value();
+  std::printf("fault plan:      %s\n", report.fault_spec.c_str());
+  std::printf("queries:         %lld (%lld ok, %lld failed, %lld deadline, "
+              "%lld shed)\n",
+              static_cast<long long>(report.queries),
+              static_cast<long long>(report.completed),
+              static_cast<long long>(report.failed),
+              static_cast<long long>(report.deadline_exceeded),
+              static_cast<long long>(report.shed));
+  std::printf("recovery:        %lld retries, %lld transient faults, "
+              "%lld corruptions caught, %lld breakers opened\n",
+              static_cast<long long>(report.retries),
+              static_cast<long long>(report.transient_faults),
+              static_cast<long long>(report.corruptions_detected),
+              static_cast<long long>(report.breaker_opened));
+  std::printf("degraded:        %lld queries via %lld CPU-fallback groups\n",
+              static_cast<long long>(report.degraded),
+              static_cast<long long>(report.fallback_groups));
+  std::printf("verification:    %lld checksums compared, %lld mismatches\n",
+              static_cast<long long>(report.checksums_compared),
+              static_cast<long long>(report.checksum_mismatches));
+
+  int rc = session.Flush("chaos", nullptr);
+  if (!session.report_out.empty()) {
+    const Status written = report.WriteFile(
+        session.report_out,
+        session.want_metrics() ? &session.metrics : nullptr);
+    if (!written.ok()) {
+      std::fprintf(stderr, "chaos: %s\n", written.ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf("wrote %s\n", session.report_out.c_str());
+    }
+  }
+  if (report.checksum_mismatches > 0) {
+    std::fprintf(stderr,
+                 "chaos: FAILED — %lld completed queries returned depths "
+                 "different from the fault-free baseline\n",
+                 static_cast<long long>(report.checksum_mismatches));
+    rc = 1;
   }
   return rc;
 }
@@ -578,10 +721,17 @@ int CmdCheck(const Flags& flags) {
     check("service-report", service_report,
           obs::ValidateServiceReportFile(service_report));
   }
+  const std::string resilience_report =
+      flags.GetString("resilience-report");
+  if (!resilience_report.empty()) {
+    check("resilience-report", resilience_report,
+          obs::ValidateResilienceReportFile(resilience_report));
+  }
   if (checked == 0) {
     std::fprintf(stderr,
                  "check: nothing to do; pass --trace, --report, "
-                 "--metrics, and/or --service-report\n");
+                 "--metrics, --service-report, and/or "
+                 "--resilience-report\n");
     return 2;
   }
   return rc;
@@ -598,6 +748,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "traces") return CmdTraces(flags.value());
   if (command == "cluster") return CmdCluster(flags.value());
   if (command == "serve") return CmdServe(flags.value());
+  if (command == "chaos") return CmdChaos(flags.value());
   if (command == "check") return CmdCheck(flags.value());
   return Usage();
 }
