@@ -1,15 +1,26 @@
-// Online-serving bench: drives the same open-loop workload through the
-// BFS query service at a sweep of batching deadlines (--max-delay-ms in
-// the CLI) and records the latency-vs-sharing tradeoff that dynamic
-// batching buys: longer deadlines close bigger batches (better GroupBy
-// sharing, closer to the offline oracle) at the cost of queue latency.
-// Writes BENCH_service.json: {"bench":"serve","points":[{delay_ms, p50,
-// p95, p99, mean_batch_size, sharing_ratio, sharing_fraction, ...}]}.
+// Online-serving bench, two experiments in one BENCH_service.json:
+//
+// 1. Deadline sweep (cache off, for continuity with earlier runs): the
+//    same open-loop workload at a sweep of batching deadlines
+//    (--max-delay-ms in the CLI), recording the latency-vs-sharing
+//    tradeoff dynamic batching buys — longer deadlines close bigger
+//    batches (better GroupBy sharing, closer to the offline oracle) at
+//    the cost of queue latency. -> "points": [{max_delay_ms, p50, ...}].
+//
+// 2. Hot-source cache comparison: a bursty workload over a small pool of
+//    distinct sources (the traffic shape the result cache exists for),
+//    driven twice over identical arrivals — cache on vs --no-cache — with
+//    every per-query depth checksum compared between the two modes.
+//    -> "hot_source": {uncached: {...}, cached: {...}, p50_speedup,
+//    checksums_match}.
+//
 // Environment knobs: IBFS_GRAPH (default PK), IBFS_QPS (default 400),
 // IBFS_DURATION (default 1 s), IBFS_SERVE_THREADS (default 2),
+// IBFS_HOT_QPS (default 600), IBFS_HOT_SOURCES (default 8),
 // IBFS_BENCH_OUT (default BENCH_service.json).
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/common.h"
@@ -57,6 +68,9 @@ int Main() {
     options.execute_threads =
         static_cast<int>(EnvInt64("IBFS_SERVE_THREADS", 2));
     options.keep_depths = false;
+    // The sweep measures the batching deadline alone; caching would let
+    // repeated sources skip batching and blur the comparison.
+    options.cache.enabled = false;
     options.engine = engine;
     auto svc = service::BfsService::Create(&loaded.graph, options);
     IBFS_CHECK(svc.ok()) << svc.status().ToString();
@@ -75,6 +89,76 @@ int Main() {
                 100.0 * point.report.sharing_fraction);
     points.push_back(std::move(point));
   }
+
+  // Hot-source cache comparison: identical arrivals over a handful of
+  // distinct sources, driven uncached then cached. Depth checksums must
+  // be bit-identical between the two modes (the cache may only change
+  // latency, never answers).
+  service::WorkloadOptions hot;
+  hot.arrival = service::ArrivalProcess::kBursty;
+  hot.qps = static_cast<double>(EnvInt64("IBFS_HOT_QPS", 600));
+  hot.duration_s = EnvDouble("IBFS_DURATION", 1.0);
+  hot.seed = 77;
+  hot.burst_size = 16;
+  hot.source_pool = EnvInt64("IBFS_HOT_SOURCES", 8);
+  auto hot_events = service::GenerateArrivals(loaded.graph, hot);
+  IBFS_CHECK(hot_events.ok()) << hot_events.status().ToString();
+  IBFS_CHECK(hot_events.value().size() >= 200)
+      << "hot-source workload too small: " << hot_events.value().size();
+  auto hot_oracle =
+      service::OracleSharingRatio(loaded.graph, engine, hot_events.value());
+  IBFS_CHECK(hot_oracle.ok()) << hot_oracle.status().ToString();
+
+  auto drive_hot = [&](bool cache_on) {
+    service::ServiceOptions options;
+    options.max_batch = 64;
+    options.max_delay_ms = 2.0;
+    options.execute_threads =
+        static_cast<int>(EnvInt64("IBFS_SERVE_THREADS", 2));
+    options.keep_depths = false;
+    options.cache.enabled = cache_on;
+    options.engine = engine;
+    auto svc = service::BfsService::Create(&loaded.graph, options);
+    IBFS_CHECK(svc.ok()) << svc.status().ToString();
+    auto drive = service::DriveWorkload(svc.value().get(),
+                                        hot_events.value());
+    IBFS_CHECK(drive.ok()) << drive.status().ToString();
+    return std::make_pair(
+        service::BuildServiceReport(graph_name, loaded.graph, options, hot,
+                                    drive.value(), hot_oracle.value()),
+        std::move(drive.value().results));
+  };
+  auto [uncached_report, uncached_results] = drive_hot(false);
+  auto [cached_report, cached_results] = drive_hot(true);
+  IBFS_CHECK(uncached_results.size() == cached_results.size());
+  bool checksums_match = true;
+  for (size_t i = 0; i < uncached_results.size(); ++i) {
+    IBFS_CHECK(uncached_results[i].status.ok())
+        << uncached_results[i].status.ToString();
+    IBFS_CHECK(cached_results[i].status.ok())
+        << cached_results[i].status.ToString();
+    if (uncached_results[i].depth_checksum !=
+        cached_results[i].depth_checksum) {
+      checksums_match = false;
+    }
+  }
+  IBFS_CHECK(checksums_match)
+      << "cached and uncached runs disagreed on depth checksums";
+  const double p50_speedup =
+      cached_report.total_ms.p50 > 0.0
+          ? uncached_report.total_ms.p50 / cached_report.total_ms.p50
+          : 0.0;
+  std::printf(
+      "\nhot-source (%lld sources, %lld queries, bursty %0.f qps):\n",
+      static_cast<long long>(hot.source_pool),
+      static_cast<long long>(hot_events.value().size()), hot.qps);
+  std::printf("  uncached: p50 %8.3f ms  p95 %8.3f ms\n",
+              uncached_report.total_ms.p50, uncached_report.total_ms.p95);
+  std::printf("  cached:   p50 %8.3f ms  p95 %8.3f ms  "
+              "(%.0fx p50; %lld hits, %.1f%% hit ratio)\n",
+              cached_report.total_ms.p50, cached_report.total_ms.p95,
+              p50_speedup, static_cast<long long>(cached_report.cache_hits),
+              100.0 * cached_report.cache_hit_ratio);
 
   const std::string out = EnvString("IBFS_BENCH_OUT", "BENCH_service.json");
   std::ofstream os(out, std::ios::binary);
@@ -132,6 +216,58 @@ int Main() {
     w.EndObject();
   }
   w.EndArray();
+
+  auto write_hot_point = [&w](const obs::ServiceReport& r) {
+    w.BeginObject();
+    w.Key("cache_enabled");
+    w.Bool(r.cache_enabled);
+    w.Key("queries");
+    w.Int(r.queries);
+    w.Key("completed");
+    w.Int(r.completed);
+    w.Key("batches");
+    w.Int(r.batches);
+    w.Key("p50_ms");
+    w.Double(r.total_ms.p50);
+    w.Key("p95_ms");
+    w.Double(r.total_ms.p95);
+    w.Key("p99_ms");
+    w.Double(r.total_ms.p99);
+    w.Key("mean_ms");
+    w.Double(r.total_ms.mean);
+    w.Key("cache_hits");
+    w.Int(r.cache_hits);
+    w.Key("cache_misses");
+    w.Int(r.cache_misses);
+    w.Key("cache_hit_ratio");
+    w.Double(r.cache_hit_ratio);
+    w.Key("cache_bytes_resident");
+    w.Int(r.cache_bytes_resident);
+    w.Key("plan_hits");
+    w.Int(r.plan_hits);
+    w.EndObject();
+  };
+  w.Key("hot_source");
+  w.BeginObject();
+  w.Key("arrival");
+  w.String("bursty");
+  w.Key("qps");
+  w.Double(hot.qps);
+  w.Key("duration_seconds");
+  w.Double(hot.duration_s);
+  w.Key("source_pool");
+  w.Int(hot.source_pool);
+  w.Key("queries");
+  w.Int(static_cast<int64_t>(hot_events.value().size()));
+  w.Key("uncached");
+  write_hot_point(uncached_report);
+  w.Key("cached");
+  write_hot_point(cached_report);
+  w.Key("p50_speedup");
+  w.Double(p50_speedup);
+  w.Key("checksums_match");
+  w.Bool(checksums_match);
+  w.EndObject();
   w.EndObject();
   os << '\n';
   std::printf("wrote %s\n", out.c_str());

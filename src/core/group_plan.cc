@@ -5,8 +5,45 @@
 #include <unordered_set>
 
 #include "core/engine.h"
+#include "util/checksum.h"
 
 namespace ibfs {
+
+namespace {
+
+uint64_t HashU64(uint64_t state, uint64_t v) {
+  return Fnv1aExtend(state,
+                     {reinterpret_cast<const uint8_t*>(&v), sizeof(v)});
+}
+
+}  // namespace
+
+uint64_t SourceSetFingerprint(std::span<const graph::VertexId> sources) {
+  uint64_t state = HashU64(kFnv1aOffsetBasis,
+                           static_cast<uint64_t>(sources.size()));
+  return Fnv1aExtend(
+      state, {reinterpret_cast<const uint8_t*>(sources.data()),
+              sources.size() * sizeof(graph::VertexId)});
+}
+
+uint64_t GroupConfigFingerprint(const EngineOptions& options) {
+  uint64_t state = kFnv1aOffsetBasis;
+  state = HashU64(state, static_cast<uint64_t>(options.grouping));
+  state = HashU64(state, static_cast<uint64_t>(options.group_size));
+  state = HashU64(state, options.seed);
+  // The memory bound feeds the group-size clamp.
+  state = HashU64(state,
+                  static_cast<uint64_t>(options.device.global_memory_bytes));
+  const GroupByParams& gb = options.groupby;
+  for (int64_t p : gb.p_sequence) {
+    state = HashU64(state, static_cast<uint64_t>(p));
+  }
+  state = HashU64(state, static_cast<uint64_t>(gb.q));
+  state = HashU64(state, gb.seed);
+  state = HashU64(state, static_cast<uint64_t>(gb.hub_search_depth));
+  state = HashU64(state, gb.uniform_fallback ? 1 : 0);
+  return state;
+}
 
 Result<GroupPlan> GroupSources(const graph::Csr& graph,
                                std::span<const graph::VertexId> sources,

@@ -40,6 +40,20 @@ Result<GroupPlan> GroupSources(const graph::Csr& graph,
                                DuplicatePolicy duplicates =
                                    DuplicatePolicy::kAllow);
 
+/// FNV-1a digest of a source batch (the raw vertex-id bytes, in the order
+/// given — callers keying on the *set* sort first). The service's plan
+/// cache uses it to memoize GroupSources output for repeated batches; a
+/// digest is a hash, not an identity, so cache entries must still compare
+/// the full key for equality.
+uint64_t SourceSetFingerprint(std::span<const graph::VertexId> sources);
+
+/// Digest of the GroupSources inputs that shape a plan beyond the source
+/// set itself: grouping policy, requested group size, GroupBy parameters,
+/// device spec memory bound, and the random-grouping seed. A plan cache
+/// keyed on (config digest, sorted sources) stays correct when options
+/// change between services sharing one cache.
+uint64_t GroupConfigFingerprint(const EngineOptions& options);
+
 }  // namespace ibfs
 
 #endif  // IBFS_CORE_GROUP_PLAN_H_

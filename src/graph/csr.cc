@@ -1,5 +1,6 @@
 #include "graph/csr.h"
 
+#include "util/checksum.h"
 #include "util/logging.h"
 
 namespace ibfs::graph {
@@ -18,6 +19,25 @@ Csr::Csr(std::vector<EdgeIndex> row_offsets, std::vector<VertexId> adjacency,
   IBFS_CHECK(in_row_offsets_.front() == 0);
   IBFS_CHECK(in_row_offsets_.back() == in_adjacency_.size());
   IBFS_CHECK(adjacency_.size() == in_adjacency_.size());
+}
+
+uint64_t Csr::Fingerprint() const {
+  // The out-CSR determines the in-CSR (the builder derives one from the
+  // other), so hashing row offsets + adjacency identifies the topology.
+  uint64_t state = kFnv1aOffsetBasis;
+  const uint64_t v = static_cast<uint64_t>(vertex_count());
+  const uint64_t e = static_cast<uint64_t>(edge_count());
+  state = Fnv1aExtend(
+      state, {reinterpret_cast<const uint8_t*>(&v), sizeof(v)});
+  state = Fnv1aExtend(
+      state, {reinterpret_cast<const uint8_t*>(&e), sizeof(e)});
+  state = Fnv1aExtend(
+      state, {reinterpret_cast<const uint8_t*>(row_offsets_.data()),
+              row_offsets_.size() * sizeof(EdgeIndex)});
+  state = Fnv1aExtend(
+      state, {reinterpret_cast<const uint8_t*>(adjacency_.data()),
+              adjacency_.size() * sizeof(VertexId)});
+  return state;
 }
 
 int64_t Csr::StorageBytes() const {

@@ -76,6 +76,13 @@ class Csr {
   /// group-size bound N <= (M - S - |JFQ|) / |SA|).
   int64_t StorageBytes() const;
 
+  /// FNV-1a digest of the out-CSR arrays (counts, row offsets, adjacency).
+  /// Two Csr objects with equal topology hash equal; any structural change
+  /// changes it with high probability. O(V + E) — callers that key caches
+  /// on graph identity compute it once and hold the value (the service's
+  /// result cache does this at Create).
+  uint64_t Fingerprint() const;
+
  private:
   std::vector<EdgeIndex> row_offsets_;
   std::vector<VertexId> adjacency_;

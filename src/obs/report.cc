@@ -271,6 +271,32 @@ void ServiceReport::WriteJson(std::ostream& os,
   WriteLatency(&w, total_ms);
   w.EndObject();
 
+  w.Key("cache");
+  w.BeginObject();
+  w.Key("enabled");
+  w.Bool(cache_enabled);
+  w.Key("hits");
+  w.Int(cache_hits);
+  w.Key("misses");
+  w.Int(cache_misses);
+  w.Key("insertions");
+  w.Int(cache_insertions);
+  w.Key("evictions");
+  w.Int(cache_evictions);
+  w.Key("quarantined");
+  w.Int(cache_quarantined);
+  w.Key("entries");
+  w.Int(cache_entries);
+  w.Key("bytes_resident");
+  w.Int(cache_bytes_resident);
+  w.Key("hit_ratio");
+  w.Double(cache_hit_ratio);
+  w.Key("plan_hits");
+  w.Int(plan_hits);
+  w.Key("plan_misses");
+  w.Int(plan_misses);
+  w.EndObject();
+
   if (metrics != nullptr) {
     w.Key("metrics");
     w.Raw(metrics->ToJson());

@@ -125,7 +125,8 @@ struct ReportLatency {
 /// service/workload.h builds it from a driven workload.
 struct ServiceReport {
   static constexpr const char* kSchema = "ibfs.service_report";
-  static constexpr int kSchemaVersion = 1;
+  /// v2 added the "cache" section (result/plan cache counters).
+  static constexpr int kSchemaVersion = 2;
 
   // Workload.
   std::string graph;
@@ -166,6 +167,20 @@ struct ServiceReport {
   ReportLatency queue_ms;
   ReportLatency execute_ms;
   ReportLatency total_ms;
+
+  // Result/plan cache (schema v2). Counters are zero when the cache is
+  // disabled; cache_hit_ratio = hits / (hits + misses).
+  bool cache_enabled = false;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_insertions = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_quarantined = 0;
+  int64_t cache_entries = 0;
+  int64_t cache_bytes_resident = 0;
+  double cache_hit_ratio = 0.0;
+  int64_t plan_hits = 0;
+  int64_t plan_misses = 0;
 
   /// Serializes the report; when `metrics` is non-null its snapshot is
   /// embedded under the "metrics" key.

@@ -306,6 +306,30 @@ Status ValidateServiceReport(const JsonValue& doc) {
     }
   }
 
+  // The cache section arrived in schema v2; v1 documents stay valid.
+  if (version->number_value() >= 2) {
+    const JsonValue* cache = RequireMember(
+        doc, "cache", JsonValue::Kind::kObject, &st, "service report");
+    if (cache == nullptr) return st;
+    if (RequireMember(*cache, "enabled", JsonValue::Kind::kBool, &st,
+                      "service report cache") == nullptr) {
+      return st;
+    }
+    for (const char* key :
+         {"hits", "misses", "insertions", "evictions", "quarantined",
+          "entries", "bytes_resident", "hit_ratio", "plan_hits",
+          "plan_misses"}) {
+      if (RequireMember(*cache, key, JsonValue::Kind::kNumber, &st,
+                        "service report cache") == nullptr) {
+        return st;
+      }
+    }
+    const double ratio = cache->Find("hit_ratio")->number_value();
+    if (ratio < 0.0 || ratio > 1.0) {
+      return Bad("service report cache: hit_ratio must be in [0, 1]");
+    }
+  }
+
   if (const JsonValue* metrics = doc.Find("metrics")) {
     IBFS_RETURN_NOT_OK(ValidateMetrics(*metrics));
   }

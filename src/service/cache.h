@@ -1,0 +1,184 @@
+#ifndef IBFS_SERVICE_CACHE_H_
+#define IBFS_SERVICE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/group_plan.h"
+#include "core/options.h"
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace ibfs::service {
+
+/// Configuration for the serving-layer caches. The result cache holds
+/// completed per-query depth vectors; the plan cache memoizes GroupSources
+/// output for repeated batches. Both are owned by one BfsService and sized
+/// at Create.
+struct CacheOptions {
+  /// Master switch. Disabled means every query executes from scratch
+  /// (the pre-cache serving behavior, and what chaos baselines compare
+  /// against).
+  bool enabled = true;
+  /// Byte budget for resident depth vectors across all shards. Each shard
+  /// gets an equal slice; eviction is LRU within a shard.
+  int64_t result_budget_bytes = int64_t{64} << 20;
+  /// Number of independently-locked result shards. More shards cut
+  /// contention when many executor threads publish completions at once.
+  int shards = 8;
+  /// Entries the plan cache retains (LRU by batch count, not bytes — plans
+  /// are small relative to depth vectors).
+  int plan_capacity = 64;
+
+  Status Validate() const;
+};
+
+/// Counters for one cache (snapshot; taken under the shard locks).
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;
+  /// Entries dropped because their stored checksum no longer matched the
+  /// stored bytes (corruption detected on read; treated as a miss).
+  int64_t quarantined = 0;
+  int64_t entries = 0;
+  int64_t bytes_resident = 0;
+  int64_t plan_hits = 0;
+  int64_t plan_misses = 0;
+  int64_t plan_insertions = 0;
+  int64_t plan_evictions = 0;
+
+  double HitRatio() const {
+    const int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+/// One cached BFS answer: the depth vector, its FNV-1a checksum (computed
+/// at insert, re-verified at every read), and the reached-vertex count so
+/// hits can fill QueryResult without rescanning depths.
+struct CachedDepths {
+  std::vector<uint8_t> depths;
+  uint64_t checksum = 0;
+  int64_t reached = 0;
+};
+
+/// Sharded, byte-budgeted LRU cache of completed BFS results, keyed by
+/// (graph fingerprint, source vertex, strategy). The fingerprint and
+/// strategy are fixed per instance (a service serves one graph with one
+/// engine config), so lookups hash only the source; the fingerprint still
+/// lives in the stored key so Get can reject stale entries after a graph
+/// swap that skipped Invalidate.
+///
+/// Integrity: Get recomputes the FNV-1a checksum of the stored bytes and
+/// compares it to the checksum stored at insert. A mismatch (bit rot, a
+/// torn write, a buggy mutation) quarantines the entry — it is erased,
+/// counted, and the lookup reports a miss — so a corrupted cache can cost
+/// latency but never wrong answers.
+///
+/// Thread safety: all methods are safe to call concurrently; each shard has
+/// its own mutex and LRU list.
+class ResultCache {
+ public:
+  ResultCache(uint64_t graph_fingerprint, Strategy strategy,
+              const CacheOptions& options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached answer for `source`, or nullopt on miss, stale
+  /// fingerprint, or checksum mismatch (the latter also erases the entry
+  /// and bumps `quarantined`). A hit refreshes LRU recency.
+  std::optional<CachedDepths> Get(graph::VertexId source);
+
+  /// Inserts (or refreshes) the answer for `source`, then evicts
+  /// least-recently-used entries until the shard fits its byte budget.
+  /// Entries larger than a whole shard budget are not admitted.
+  void Put(graph::VertexId source, CachedDepths value);
+
+  /// Drops every entry (graph swap / explicit invalidation).
+  void Clear();
+
+  CacheStats stats() const;
+  int64_t bytes_resident() const;
+
+  /// Test hook: flips one byte of the stored depth vector for `source`
+  /// (if present) without updating its checksum, so the next Get exercises
+  /// the quarantine path. Returns true if an entry was corrupted.
+  bool CorruptEntryForTest(graph::VertexId source);
+
+ private:
+  struct Entry {
+    graph::VertexId source = 0;
+    uint64_t fingerprint = 0;
+    CachedDepths value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<graph::VertexId, std::list<Entry>::iterator> index;
+    int64_t bytes = 0;
+    CacheStats stats;
+  };
+
+  Shard& ShardFor(graph::VertexId source);
+  static int64_t EntryBytes(const CachedDepths& value);
+
+  const uint64_t graph_fingerprint_;
+  const Strategy strategy_;
+  const int64_t shard_budget_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Memoizes GroupSources output keyed by the sorted source set, so a batch
+/// whose (deduplicated, sorted) sources match an earlier batch skips the
+/// GroupBy hub search entirely. The key hash is SourceSetFingerprint but
+/// entries store the full source vector and compare it exactly — a digest
+/// collision degrades to a miss, never a wrong plan. Single mutex: plan
+/// lookups happen once per batch, not per query, so contention is nil.
+class PlanCache {
+ public:
+  PlanCache(uint64_t config_fingerprint, int capacity);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns a copy of the memoized plan for this exact sorted source set,
+  /// or nullopt. `sorted_sources` must be sorted and duplicate-free.
+  std::optional<GroupPlan> Get(std::span<const graph::VertexId> sorted_sources);
+
+  void Put(std::span<const graph::VertexId> sorted_sources,
+           const GroupPlan& plan);
+
+  void Clear();
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t hash = 0;
+    std::vector<graph::VertexId> sources;
+    GroupPlan plan;
+  };
+
+  const uint64_t config_fingerprint_;
+  const int capacity_;
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_multimap<uint64_t, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace ibfs::service
+
+#endif  // IBFS_SERVICE_CACHE_H_

@@ -69,6 +69,7 @@ Status ServiceOptions::Validate() const {
     return Status::InvalidArgument(
         "resilience.breaker_threshold must be >= 1");
   }
+  IBFS_RETURN_NOT_OK(cache.Validate());
   return engine.Validate();
 }
 
@@ -116,6 +117,19 @@ Result<std::unique_ptr<BfsService>> BfsService::Create(
   svc->router_ = std::make_unique<DeviceRouter>(
       svc->options_.engine.faults.device_count,
       svc->options_.resilience.breaker_threshold);
+  if (svc->options_.cache.enabled) {
+    // The fingerprint is computed once here (O(V+E)) and baked into every
+    // cache key, so entries surviving a graph swap are detected as stale.
+    svc->result_cache_ = std::make_unique<ResultCache>(
+        graph->Fingerprint(), svc->options_.engine.strategy,
+        svc->options_.cache);
+    svc->plan_cache_ = std::make_unique<PlanCache>(
+        GroupConfigFingerprint(svc->options_.engine),
+        svc->options_.cache.plan_capacity);
+    if (svc->options_.observer.tracing()) {
+      svc->options_.observer.tracer->SetThreadName(kServicePid, 0, "cache");
+    }
+  }
   svc->executor_ = std::make_unique<ThreadPool>(threads);
   svc->batcher_ = std::thread([s = svc.get()] { s->BatcherLoop(); });
   return svc;
@@ -139,6 +153,65 @@ std::future<QueryResult> BfsService::Submit(graph::VertexId source) {
   if (static_cast<int64_t>(source) >= graph_->vertex_count()) {
     reject(Status::OutOfRange("source vertex outside graph"));
     return future;
+  }
+  // Cache hits are stripped before admission: the future resolves here,
+  // without joining a batch or counting against max_pending. (A shutdown
+  // racing the lookup below may still deliver a cached answer — benign:
+  // the answer was correct and the client's future resolves either way.)
+  if (result_cache_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        reject(Status::FailedPrecondition("service is shut down"));
+        return future;
+      }
+    }
+    const auto submitted = Clock::now();
+    std::optional<CachedDepths> hit = result_cache_->Get(source);
+    obs::MetricsRegistry* metrics = options_.observer.metrics;
+    if (hit.has_value()) {
+      QueryResult result;
+      result.source = source;
+      result.cached = true;
+      result.depth_checksum = hit->checksum;
+      result.reached = hit->reached;
+      if (options_.keep_depths) result.depths = std::move(hit->depths);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        result.query_id = next_query_id_++;
+      }
+      result.latency.total_ms = MsBetween(submitted, Clock::now());
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.cache_hits;
+        ++stats_.completed;
+      }
+      if (metrics != nullptr) {
+        metrics->GetCounter("cache.hits")->Increment();
+        metrics->GetCounter("service.completed")->Increment();
+        metrics->GetHistogram("service.total_ms", LatencyBoundsMs())
+            ->Observe(result.latency.total_ms);
+      }
+      if (options_.observer.tracing()) {
+        // Cache activity lands on tid 0 of the service pid (batch tracks
+        // start at tid 1), keeping hits visible next to batch spans.
+        options_.observer.tracer->Instant(
+            obs::TraceTrack{kServicePid, 0}, "cache_hit",
+            SinceStartUs(submitted),
+            {obs::Arg("source", static_cast<int64_t>(source))});
+      }
+      promise.set_value(std::move(result));
+      return future;
+    }
+    if (metrics != nullptr) {
+      metrics->GetCounter("cache.misses")->Increment();
+    }
+    if (options_.observer.tracing()) {
+      options_.observer.tracer->Instant(
+          obs::TraceTrack{kServicePid, 0}, "cache_miss",
+          SinceStartUs(submitted),
+          {obs::Arg("source", static_cast<int64_t>(source))});
+    }
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -333,8 +406,31 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
   }
   state->queries = std::move(batch);
 
-  Result<GroupPlan> plan = GroupSources(*graph_, unique, options_.engine,
-                                        DuplicatePolicy::kReject);
+  // Plan memoization: a batch whose deduplicated source set matches an
+  // earlier batch reuses its GroupBy output instead of redoing the hub
+  // search. Keyed on the *sorted* set — arrival order must not matter —
+  // and the grouping it returns partitions exactly this set, so fan-out
+  // below is unaffected.
+  std::vector<graph::VertexId> sorted_unique;
+  std::optional<GroupPlan> memoized;
+  if (plan_cache_ != nullptr) {
+    sorted_unique = unique;
+    std::sort(sorted_unique.begin(), sorted_unique.end());
+    memoized = plan_cache_->Get(sorted_unique);
+    if (metrics != nullptr) {
+      metrics->GetCounter(memoized.has_value() ? "cache.plan_hits"
+                                               : "cache.plan_misses")
+          ->Increment();
+    }
+  }
+  Result<GroupPlan> plan =
+      memoized.has_value()
+          ? Result<GroupPlan>(std::move(*memoized))
+          : GroupSources(*graph_, unique, options_.engine,
+                         DuplicatePolicy::kReject);
+  if (plan.ok() && plan_cache_ != nullptr && !memoized.has_value()) {
+    plan_cache_->Put(sorted_unique, plan.value());
+  }
   if (!plan.ok()) {
     for (PendingQuery& query : state->queries) {
       QueryResult result;
@@ -443,6 +539,26 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
       int64_t expired = 0;
       std::vector<std::pair<size_t, QueryResult>> ready;
       for (size_t j = 0; j < group.size(); ++j) {
+        // One checksum/reached scan per executed instance, shared by every
+        // query that asked for this source and by the cache entry.
+        uint64_t depth_checksum = 0;
+        int64_t reached = 0;
+        if (outcome.status.ok()) {
+          const std::vector<uint8_t>& depths = outcome.result.depths[j];
+          depth_checksum = Fnv1a(depths);
+          for (uint8_t d : depths) {
+            if (d != kUnvisitedDepth) ++reached;
+          }
+          if (result_cache_ != nullptr) {
+            // Degraded (CPU-fallback) answers are cached too: their depths
+            // are correct, and the cache stores answers, not contracts.
+            result_cache_->Put(group[j],
+                               CachedDepths{depths, depth_checksum, reached});
+            if (metrics != nullptr) {
+              metrics->GetCounter("cache.insertions")->Increment();
+            }
+          }
+        }
         const auto it = state->by_source.find(group[j]);
         IBFS_CHECK(it != state->by_source.end());
         for (size_t qi : it->second) {
@@ -468,12 +584,11 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
             result.status = outcome.status;
             ++failed;
           } else {
-            const std::vector<uint8_t>& depths = outcome.result.depths[j];
-            result.depth_checksum = Fnv1a(depths);
-            for (uint8_t d : depths) {
-              if (d != kUnvisitedDepth) ++result.reached;
+            result.depth_checksum = depth_checksum;
+            result.reached = reached;
+            if (options_.keep_depths) {
+              result.depths = outcome.result.depths[j];
             }
-            if (options_.keep_depths) result.depths = depths;
             ++completed;
           }
           if (options_.observer.metering()) {
@@ -493,6 +608,10 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
       }
       if (expired > 0 && metrics != nullptr) {
         metrics->GetCounter("shed.deadline_exceeded")->Increment(expired);
+      }
+      if (result_cache_ != nullptr && metrics != nullptr) {
+        metrics->GetGauge("cache.bytes_resident")
+            ->Set(static_cast<double>(result_cache_->bytes_resident()));
       }
 
       // Account before completing, so once a client observes its future
@@ -540,6 +659,30 @@ void BfsService::Shutdown() {
   // futures are resolved once this returns.
   executor_.reset();
   joined_ = true;
+}
+
+void BfsService::InvalidateCache() {
+  if (result_cache_ != nullptr) result_cache_->Clear();
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
+  if (options_.observer.metering()) {
+    options_.observer.metrics->GetCounter("cache.invalidations")->Increment();
+    if (result_cache_ != nullptr) {
+      options_.observer.metrics->GetGauge("cache.bytes_resident")->Set(0.0);
+    }
+  }
+}
+
+CacheStats BfsService::cache_stats() const {
+  CacheStats combined;
+  if (result_cache_ != nullptr) combined = result_cache_->stats();
+  if (plan_cache_ != nullptr) {
+    const CacheStats plan = plan_cache_->stats();
+    combined.plan_hits = plan.plan_hits;
+    combined.plan_misses = plan.plan_misses;
+    combined.plan_insertions = plan.plan_insertions;
+    combined.plan_evictions = plan.plan_evictions;
+  }
+  return combined;
 }
 
 BfsService::Stats BfsService::stats() const {

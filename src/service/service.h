@@ -16,6 +16,7 @@
 #include "core/resilient.h"
 #include "graph/csr.h"
 #include "obs/trace.h"
+#include "service/cache.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -80,6 +81,10 @@ struct ServiceOptions {
   EngineOptions engine;
   /// Deadlines, admission bounds, circuit breaking, and degraded fallback.
   ResilienceOptions resilience;
+  /// Result + plan caching (docs/SERVING.md "Caching"). Hits are stripped
+  /// at admission: the future resolves immediately from the cached depth
+  /// vector (checksum re-verified) without ever joining a batch.
+  CacheOptions cache;
   /// Service-level telemetry: per-batch wall-clock trace tracks and
   /// service.* metrics. Kernel-level simulated-time spans stay off these
   /// tracks (the two timebases must not share one), but the metrics
@@ -123,6 +128,9 @@ struct QueryResult {
   /// True when the query was served by the CPU fallback path instead of a
   /// simulated device (correct depths, degraded performance contract).
   bool degraded = false;
+  /// True when the answer came from the result cache at admission (no
+  /// batch joined; batch_id/group_index stay -1 and attempts 0).
+  bool cached = false;
   /// Device execution attempts spent on this query's group (1 = first try
   /// succeeded; 0 = never reached a device, e.g. pure fallback).
   int attempts = 0;
@@ -155,6 +163,10 @@ class BfsService {
     /// served by the CPU fallback, and circuit breakers opened.
     int64_t shed = 0;
     int64_t deadline_exceeded = 0;
+    /// Queries answered from the result cache at admission (counted in
+    /// `completed` but not `queries` — like shed queries they never join
+    /// a batch, so MeanBatchSize stays a statement about executed work).
+    int64_t cache_hits = 0;
     int64_t degraded = 0;
     int64_t retries = 0;
     int64_t transient_faults = 0;
@@ -202,6 +214,19 @@ class BfsService {
   /// joins the batcher and executor. Idempotent; called by the destructor.
   void Shutdown();
 
+  /// Drops every entry from the result and plan caches (e.g. after the
+  /// underlying graph data changed). No-op when caching is disabled.
+  void InvalidateCache();
+
+  /// Combined cache counters (result-cache hits/misses/bytes + plan-cache
+  /// hits/misses). All zeros when caching is disabled.
+  CacheStats cache_stats() const;
+
+  /// Test hook: the underlying result cache (null when caching is
+  /// disabled), so integrity tests can corrupt an entry in place and watch
+  /// the quarantine path fire.
+  ResultCache* result_cache_for_test() { return result_cache_.get(); }
+
   Stats stats() const;
   const ServiceOptions& options() const { return options_; }
 
@@ -243,6 +268,12 @@ class BfsService {
   /// Round-robin device router with per-device circuit breakers over the
   /// engine's simulated fleet (engine.faults.device_count ordinals).
   std::unique_ptr<DeviceRouter> router_;
+
+  /// Cross-batch redundancy elimination (null when options_.cache.enabled
+  /// is false): completed answers keyed by source, and memoized GroupBy
+  /// plans keyed by the sorted source set.
+  std::unique_ptr<ResultCache> result_cache_;
+  std::unique_ptr<PlanCache> plan_cache_;
 
   std::unique_ptr<ThreadPool> executor_;
   std::thread batcher_;

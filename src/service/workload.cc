@@ -55,14 +55,16 @@ Status WorkloadOptions::Validate() const {
   if (max_queries < 0) {
     return Status::InvalidArgument("max_queries must be non-negative");
   }
+  if (source_pool < 0) {
+    return Status::InvalidArgument("source_pool must be non-negative");
+  }
   return Status::OK();
 }
 
 Result<std::vector<WorkloadEvent>> GenerateArrivals(
     const graph::Csr& graph, const WorkloadOptions& options) {
   IBFS_RETURN_NOT_OK(options.Validate());
-  const std::vector<graph::VertexId> pool =
-      graph::GiantComponent(graph);
+  std::vector<graph::VertexId> pool = graph::GiantComponent(graph);
   if (pool.empty()) {
     return Status::FailedPrecondition("graph has no connected component");
   }
@@ -70,6 +72,19 @@ Result<std::vector<WorkloadEvent>> GenerateArrivals(
   // the arrival process does not reshuffle which sources are queried.
   Prng time_prng(options.seed);
   Prng source_prng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  if (options.source_pool > 0 &&
+      options.source_pool < static_cast<int64_t>(pool.size())) {
+    // Hot-source mode: shrink the pool to `source_pool` distinct vertices
+    // via a partial Fisher-Yates draw on the source stream, so the chosen
+    // hot set is deterministic in the seed.
+    for (int64_t i = 0; i < options.source_pool; ++i) {
+      const int64_t j =
+          i + static_cast<int64_t>(source_prng.NextBounded(
+                  pool.size() - static_cast<size_t>(i)));
+      std::swap(pool[static_cast<size_t>(i)], pool[static_cast<size_t>(j)]);
+    }
+    pool.resize(static_cast<size_t>(options.source_pool));
+  }
 
   std::vector<WorkloadEvent> events;
   const int64_t cap =
@@ -161,6 +176,7 @@ Result<DriveResult> DriveWorkload(BfsService* service,
       wall_seconds > 0.0 ? static_cast<double>(completed) / wall_seconds
                          : 0.0;
   drive.stats = service->stats();
+  drive.cache = service->cache_stats();
   return drive;
 }
 
@@ -223,6 +239,18 @@ obs::ServiceReport BuildServiceReport(const std::string& graph_name,
   report.sharing_fraction = oracle_sharing_ratio > 0.0
                                 ? report.sharing_ratio / oracle_sharing_ratio
                                 : 0.0;
+
+  report.cache_enabled = service_options.cache.enabled;
+  report.cache_hits = drive.cache.hits;
+  report.cache_misses = drive.cache.misses;
+  report.cache_insertions = drive.cache.insertions;
+  report.cache_evictions = drive.cache.evictions;
+  report.cache_quarantined = drive.cache.quarantined;
+  report.cache_entries = drive.cache.entries;
+  report.cache_bytes_resident = drive.cache.bytes_resident;
+  report.cache_hit_ratio = drive.cache.HitRatio();
+  report.plan_hits = drive.cache.plan_hits;
+  report.plan_misses = drive.cache.plan_misses;
 
   // Percentiles via the histogram accessor (the satellite this PR adds):
   // one local histogram per distribution, then interpolated p50/p95/p99.

@@ -53,6 +53,11 @@ struct WorkloadOptions {
   /// Hard cap on generated queries (0 = none) — guards tiny-duration /
   /// huge-qps combinations.
   int64_t max_queries = 0;
+  /// Restrict source sampling to this many distinct vertices of the giant
+  /// component, chosen deterministically from the seed (0 = the whole
+  /// component). Small pools model hot-source traffic — the workload the
+  /// result cache exists for.
+  int64_t source_pool = 0;
 
   Status Validate() const;
 };
@@ -80,6 +85,9 @@ struct DriveResult {
   double achieved_qps = 0.0;
   /// Service counters snapshot after the drain.
   BfsService::Stats stats;
+  /// Cache counters snapshot after the drain (all zero when caching is
+  /// disabled on the driven service).
+  CacheStats cache;
 };
 
 /// Submits every event at its scheduled time (sleeping between arrivals),

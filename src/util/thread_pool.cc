@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/logging.h"
+
 namespace ibfs {
 namespace {
 
@@ -110,6 +112,18 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
   if (n <= 0) return;
   if (n == 1) {
     fn(0);
+    return;
+  }
+  // Nested call from one of this pool's own workers: blocking on done_cv
+  // would park the worker that the submitted iterations need (a guaranteed
+  // deadlock at thread_count 1, and a slot leak otherwise). Degrade to
+  // inline execution — same iterations, same thread, no waiting.
+  if (tls_pool == this) {
+    IBFS_LOG(Warning) << "ParallelFor called from worker "
+                      << tls_worker_index
+                      << " of its own pool; running " << n
+                      << " iterations inline to avoid self-deadlock";
+    for (int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
   std::mutex done_mu;

@@ -43,8 +43,10 @@ class ThreadPool {
 
   /// Runs fn(0..n-1) across the pool and blocks until every call returned.
   /// Index order of execution is unspecified; callers needing deterministic
-  /// output must merge by index afterwards. Safe to call from a non-pool
-  /// thread only (nesting would deadlock the waiting worker).
+  /// output must merge by index afterwards. When called from one of this
+  /// pool's own workers (nesting), the iterations run inline on the calling
+  /// thread instead — blocking there would deadlock the worker the
+  /// submitted iterations need — and a warning is logged.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
   /// Index of the calling pool worker in [0, thread_count), or -1 when the

@@ -1,0 +1,463 @@
+// Tests of the serving-layer caches: option validation, result-cache
+// hit/miss/LRU/quarantine semantics, plan-cache memoization, and the
+// service-level integration — cache hits resolve at admission with
+// bit-identical answers, corrupted entries are quarantined and
+// re-executed, and the cache never changes depths under any combination
+// of executor width and injected faults. Every suite name starts with
+// "Cache" so the tsan preset's test filter picks all of it up.
+#include <algorithm>
+#include <future>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/group_plan.h"
+#include "gpusim/fault.h"
+#include "graph/components.h"
+#include "service/cache.h"
+#include "service/service.h"
+#include "service/workload.h"
+#include "test_util.h"
+#include "util/checksum.h"
+
+namespace ibfs::service {
+namespace {
+
+using ::ibfs::testing::MakeRmatGraph;
+using ::ibfs::testing::MakeSmallGraph;
+
+CachedDepths MakeValue(std::vector<uint8_t> depths) {
+  CachedDepths value;
+  value.checksum = Fnv1a(depths);
+  value.reached = static_cast<int64_t>(
+      std::count_if(depths.begin(), depths.end(),
+                    [](uint8_t d) { return d != 0xff; }));
+  value.depths = std::move(depths);
+  return value;
+}
+
+// ------------------------------------------------------------ validation --
+
+TEST(CacheOptionsTest, DefaultsValidate) {
+  EXPECT_TRUE(CacheOptions{}.Validate().ok());
+}
+
+TEST(CacheOptionsTest, RejectsNegativeBudget) {
+  CacheOptions options;
+  options.result_budget_bytes = -1;
+  EXPECT_FALSE(options.Validate().ok());
+  // Zero is a degenerate but legal budget: the result cache admits
+  // nothing while the plan cache keeps memoizing.
+  options.result_budget_bytes = 0;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(CacheOptionsTest, RejectsNonPositiveShards) {
+  CacheOptions options;
+  options.shards = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(CacheOptionsTest, RejectsNegativePlanCapacity) {
+  CacheOptions options;
+  options.plan_capacity = -1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(CacheOptionsTest, ServiceValidateChecksCacheOptions) {
+  ServiceOptions options;
+  options.cache.shards = -4;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+// ---------------------------------------------------------- result cache --
+
+TEST(CacheResultTest, MissThenHitRoundTripsValue) {
+  ResultCache cache(/*graph_fingerprint=*/0xabcd, Strategy::kBitwise,
+                    CacheOptions{});
+  EXPECT_FALSE(cache.Get(7).has_value());
+  cache.Put(7, MakeValue({0, 1, 2, 0xff}));
+  auto hit = cache.Get(7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->depths, (std::vector<uint8_t>{0, 1, 2, 0xff}));
+  EXPECT_EQ(hit->reached, 3);
+  EXPECT_EQ(hit->checksum, Fnv1a(hit->depths));
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_GT(stats.bytes_resident, 0);
+}
+
+TEST(CacheResultTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  CacheOptions options;
+  options.shards = 1;  // one LRU list so recency order is observable
+  // Room for roughly two 64-byte vectors plus per-entry overhead.
+  options.result_budget_bytes = 2 * (64 + 96);
+  ResultCache cache(1, Strategy::kBitwise, options);
+  cache.Put(1, MakeValue(std::vector<uint8_t>(64, 1)));
+  cache.Put(2, MakeValue(std::vector<uint8_t>(64, 2)));
+  ASSERT_TRUE(cache.Get(1).has_value());  // refresh 1; now 2 is LRU
+  cache.Put(3, MakeValue(std::vector<uint8_t>(64, 3)));
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  EXPECT_GE(cache.stats().evictions, 1);
+  EXPECT_LE(cache.bytes_resident(), options.result_budget_bytes);
+}
+
+TEST(CacheResultTest, OversizedEntryIsNotAdmitted) {
+  CacheOptions options;
+  options.shards = 1;
+  options.result_budget_bytes = 128;
+  ResultCache cache(1, Strategy::kBitwise, options);
+  cache.Put(5, MakeValue(std::vector<uint8_t>(4096, 1)));
+  EXPECT_FALSE(cache.Get(5).has_value());
+  EXPECT_EQ(cache.stats().entries, 0);
+}
+
+TEST(CacheResultTest, CorruptedEntryIsQuarantinedAndReinsertable) {
+  ResultCache cache(1, Strategy::kBitwise, CacheOptions{});
+  cache.Put(9, MakeValue({0, 1, 1, 2}));
+  ASSERT_TRUE(cache.CorruptEntryForTest(9));
+  // The read detects the checksum mismatch, drops the entry, and misses.
+  EXPECT_FALSE(cache.Get(9).has_value());
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.quarantined, 1);
+  EXPECT_EQ(stats.entries, 0);
+  // Quarantine is not a ban: the source can be cached again afterwards.
+  cache.Put(9, MakeValue({0, 1, 1, 2}));
+  EXPECT_TRUE(cache.Get(9).has_value());
+}
+
+TEST(CacheResultTest, CorruptEntryForTestReportsAbsentSource) {
+  ResultCache cache(1, Strategy::kBitwise, CacheOptions{});
+  EXPECT_FALSE(cache.CorruptEntryForTest(42));
+}
+
+TEST(CacheResultTest, ClearDropsEverything) {
+  ResultCache cache(1, Strategy::kBitwise, CacheOptions{});
+  cache.Put(1, MakeValue({0, 1}));
+  cache.Put(2, MakeValue({1, 0}));
+  cache.Clear();
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.bytes_resident(), 0);
+}
+
+// ------------------------------------------------------------ plan cache --
+
+TEST(CachePlanTest, MemoizesExactSourceSet) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  EngineOptions engine;
+  engine.strategy = Strategy::kBitwise;
+  engine.grouping = GroupingPolicy::kGroupBy;
+  engine.group_size = 16;
+  const std::vector<graph::VertexId> sources =
+      graph::SampleConnectedSources(graph, 32, 7);
+  std::vector<graph::VertexId> sorted = sources;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  PlanCache cache(GroupConfigFingerprint(engine), /*capacity=*/8);
+  EXPECT_FALSE(cache.Get(sorted).has_value());
+  auto plan = GroupSources(graph, sorted, engine);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  cache.Put(sorted, plan.value());
+  auto memoized = cache.Get(sorted);
+  ASSERT_TRUE(memoized.has_value());
+  EXPECT_EQ(memoized->group_size, plan.value().group_size);
+  EXPECT_EQ(memoized->grouping.groups, plan.value().grouping.groups);
+  EXPECT_EQ(memoized->grouping.group_hubs, plan.value().grouping.group_hubs);
+
+  // A different source set misses even though the config matches.
+  std::vector<graph::VertexId> other(sorted.begin(), sorted.end() - 1);
+  EXPECT_FALSE(cache.Get(other).has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.plan_hits, 1);
+  EXPECT_EQ(stats.plan_misses, 2);
+  EXPECT_EQ(stats.plan_insertions, 1);
+}
+
+TEST(CachePlanTest, EvictsAtCapacity) {
+  PlanCache cache(/*config_fingerprint=*/1, /*capacity=*/2);
+  GroupPlan plan;
+  plan.group_size = 4;
+  const std::vector<graph::VertexId> a = {1}, b = {2}, c = {3};
+  cache.Put(a, plan);
+  cache.Put(b, plan);
+  ASSERT_TRUE(cache.Get(a).has_value());  // refresh a; b becomes LRU
+  cache.Put(c, plan);
+  EXPECT_TRUE(cache.Get(a).has_value());
+  EXPECT_FALSE(cache.Get(b).has_value());
+  EXPECT_TRUE(cache.Get(c).has_value());
+  EXPECT_EQ(cache.stats().plan_evictions, 1);
+}
+
+TEST(CachePlanTest, ClearDropsPlans) {
+  PlanCache cache(1, 8);
+  GroupPlan plan;
+  plan.group_size = 4;
+  const std::vector<graph::VertexId> key = {5};
+  cache.Put(key, plan);
+  cache.Clear();
+  EXPECT_FALSE(cache.Get(key).has_value());
+}
+
+// --------------------------------------------------- service integration --
+
+EngineOptions SmallEngineOptions() {
+  EngineOptions options;
+  options.strategy = Strategy::kBitwise;
+  options.grouping = GroupingPolicy::kGroupBy;
+  options.group_size = 16;
+  return options;
+}
+
+ServiceOptions CachedServiceOptions() {
+  ServiceOptions options;
+  options.max_batch = 16;
+  options.max_delay_ms = 2.0;
+  options.execute_threads = 2;
+  options.engine = SmallEngineOptions();
+  return options;
+}
+
+// Submits every source once and waits; returns the results in order.
+std::vector<QueryResult> SubmitAll(
+    BfsService* svc, const std::vector<graph::VertexId>& sources) {
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(sources.size());
+  for (graph::VertexId s : sources) futures.push_back(svc->Submit(s));
+  std::vector<QueryResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+TEST(CacheServiceTest, SecondWaveResolvesFromCache) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  const std::vector<graph::VertexId> sources =
+      graph::SampleConnectedSources(graph, 12, 7);
+  auto svc = BfsService::Create(&graph, CachedServiceOptions());
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+
+  const auto first = SubmitAll(svc.value().get(), sources);
+  const auto second = SubmitAll(svc.value().get(), sources);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(first[i].status.ok()) << first[i].status.ToString();
+    ASSERT_TRUE(second[i].status.ok()) << second[i].status.ToString();
+    EXPECT_FALSE(first[i].cached);
+    EXPECT_TRUE(second[i].cached);
+    EXPECT_EQ(second[i].batch_id, -1);  // never joined a batch
+    EXPECT_EQ(first[i].depth_checksum, second[i].depth_checksum);
+    EXPECT_EQ(first[i].reached, second[i].reached);
+    EXPECT_EQ(first[i].depths, second[i].depths);  // keep_depths default on
+  }
+  svc.value()->Shutdown();
+  EXPECT_EQ(svc.value()->stats().cache_hits,
+            static_cast<int64_t>(sources.size()));
+  const CacheStats cache = svc.value()->cache_stats();
+  EXPECT_EQ(cache.hits, static_cast<int64_t>(sources.size()));
+  EXPECT_EQ(cache.insertions, static_cast<int64_t>(sources.size()));
+}
+
+TEST(CacheServiceTest, QuarantinedEntryIsReexecutedCorrectly) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  const std::vector<graph::VertexId> sources =
+      graph::SampleConnectedSources(graph, 4, 7);
+  auto svc = BfsService::Create(&graph, CachedServiceOptions());
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+
+  const auto first = SubmitAll(svc.value().get(), sources);
+  for (const QueryResult& r : first) ASSERT_TRUE(r.status.ok());
+  // Corrupt one cached entry in place: the next lookup must detect the
+  // checksum mismatch, quarantine the entry, and re-execute the query.
+  ASSERT_TRUE(
+      svc.value()->result_cache_for_test()->CorruptEntryForTest(sources[0]));
+  const auto again = SubmitAll(svc.value().get(), {sources[0]});
+  ASSERT_TRUE(again[0].status.ok()) << again[0].status.ToString();
+  EXPECT_FALSE(again[0].cached);  // served by execution, not the cache
+  EXPECT_EQ(again[0].depth_checksum, first[0].depth_checksum);
+  EXPECT_EQ(again[0].depths, first[0].depths);
+  svc.value()->Shutdown();
+  EXPECT_EQ(svc.value()->cache_stats().quarantined, 1);
+}
+
+TEST(CacheServiceTest, InvalidateClearsBothCaches) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  const std::vector<graph::VertexId> sources =
+      graph::SampleConnectedSources(graph, 8, 7);
+  auto svc = BfsService::Create(&graph, CachedServiceOptions());
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+  for (const QueryResult& r : SubmitAll(svc.value().get(), sources)) {
+    ASSERT_TRUE(r.status.ok());
+  }
+  EXPECT_GT(svc.value()->cache_stats().entries, 0);
+  svc.value()->InvalidateCache();
+  EXPECT_EQ(svc.value()->cache_stats().entries, 0);
+  EXPECT_EQ(svc.value()->cache_stats().bytes_resident, 0);
+  const auto again = SubmitAll(svc.value().get(), {sources[0]});
+  ASSERT_TRUE(again[0].status.ok());
+  EXPECT_FALSE(again[0].cached);  // cold after invalidation
+  svc.value()->Shutdown();
+}
+
+TEST(CacheServiceTest, DisabledCacheNeverServesHits) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  const std::vector<graph::VertexId> sources =
+      graph::SampleConnectedSources(graph, 6, 7);
+  ServiceOptions options = CachedServiceOptions();
+  options.cache.enabled = false;
+  auto svc = BfsService::Create(&graph, options);
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const QueryResult& r : SubmitAll(svc.value().get(), sources)) {
+      ASSERT_TRUE(r.status.ok());
+      EXPECT_FALSE(r.cached);
+    }
+  }
+  svc.value()->Shutdown();
+  EXPECT_EQ(svc.value()->stats().cache_hits, 0);
+  EXPECT_EQ(svc.value()->cache_stats().hits, 0);
+}
+
+TEST(CacheServiceTest, FirstBatchInsertsIntoPlanCache) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  const std::vector<graph::VertexId> sources =
+      graph::SampleConnectedSources(graph, 16, 7);
+  ServiceOptions options = CachedServiceOptions();
+  options.max_batch = static_cast<int>(sources.size());
+  options.max_delay_ms = 1000.0;  // the size close fires first
+  auto svc = BfsService::Create(&graph, options);
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+  for (const QueryResult& r : SubmitAll(svc.value().get(), sources)) {
+    ASSERT_TRUE(r.status.ok());
+  }
+  svc.value()->Shutdown();
+  const CacheStats cache = svc.value()->cache_stats();
+  EXPECT_GE(cache.plan_insertions, 1);
+  EXPECT_GE(cache.plan_misses, 1);
+}
+
+TEST(CacheServiceTest, PlanCacheHitOnIdenticalResubmittedBatch) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  const std::vector<graph::VertexId> sources =
+      graph::SampleConnectedSources(graph, 16, 7);
+  ServiceOptions options = CachedServiceOptions();
+  options.max_batch = static_cast<int>(sources.size());
+  options.max_delay_ms = 1000.0;
+  // Shrink the result cache below one depth vector so every repeat misses
+  // the result cache and re-enters the batcher — but the plan cache still
+  // remembers the batch's grouping.
+  options.cache.result_budget_bytes = 8;
+  options.cache.shards = 1;
+  auto svc = BfsService::Create(&graph, options);
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const QueryResult& r : SubmitAll(svc.value().get(), sources)) {
+      ASSERT_TRUE(r.status.ok());
+      EXPECT_FALSE(r.cached);  // results never fit the tiny budget
+    }
+  }
+  svc.value()->Shutdown();
+  EXPECT_GE(svc.value()->cache_stats().plan_hits, 1);
+}
+
+// ------------------------------------------------------- determinism SLO --
+
+// Drives `events` through a fresh service and returns each query's
+// (source, checksum) in submission order, asserting every query succeeds.
+std::vector<std::pair<graph::VertexId, uint64_t>> RunStream(
+    const graph::Csr& graph, const std::vector<WorkloadEvent>& events,
+    bool cache_on, int execute_threads,
+    const gpusim::FaultPlan* faults = nullptr) {
+  ServiceOptions options = CachedServiceOptions();
+  options.execute_threads = execute_threads;
+  options.keep_depths = false;
+  options.cache.enabled = cache_on;
+  if (faults != nullptr) {
+    options.engine.faults = *faults;
+    options.engine.retry.max_attempts = 8;
+    options.engine.retry.initial_backoff_ms = 0.0;
+    options.engine.retry.max_backoff_ms = 0.0;
+    options.resilience.cpu_fallback = true;
+  }
+  auto svc = BfsService::Create(&graph, options);
+  IBFS_CHECK(svc.ok()) << svc.status().ToString();
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(events.size());
+  for (const WorkloadEvent& event : events) {
+    futures.push_back(svc.value()->Submit(event.source));
+  }
+  svc.value()->Shutdown();
+  std::vector<std::pair<graph::VertexId, uint64_t>> out;
+  out.reserve(futures.size());
+  for (auto& f : futures) {
+    const QueryResult r = f.get();
+    IBFS_CHECK(r.status.ok()) << r.status.ToString();
+    out.emplace_back(r.source, r.depth_checksum);
+  }
+  return out;
+}
+
+TEST(CacheDeterminismTest, OnOffBitIdenticalAcrossThreadCounts) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  WorkloadOptions workload;
+  workload.arrival = ArrivalProcess::kBursty;
+  workload.qps = 2000.0;
+  workload.duration_s = 0.05;
+  workload.seed = 99;
+  workload.burst_size = 8;
+  workload.source_pool = 6;  // hot sources: plenty of cache hits
+  auto events = GenerateArrivals(graph, workload);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_GT(events.value().size(), 12u);
+
+  const auto baseline = RunStream(graph, events.value(), false, 1);
+  for (bool cache_on : {false, true}) {
+    for (int threads : {1, 4}) {
+      const auto run = RunStream(graph, events.value(), cache_on, threads);
+      // Per-query checksums depend only on (graph, source): the cache and
+      // the executor width may change latency, never answers.
+      EXPECT_EQ(run, baseline)
+          << "cache_on=" << cache_on << " threads=" << threads;
+    }
+  }
+}
+
+TEST(CacheDeterminismTest, OnOffBitIdenticalUnderCorruptingFaults) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  WorkloadOptions workload;
+  workload.arrival = ArrivalProcess::kBursty;
+  workload.qps = 1500.0;
+  workload.duration_s = 0.04;
+  workload.seed = 31;
+  workload.burst_size = 8;
+  workload.source_pool = 5;
+  auto events = GenerateArrivals(graph, workload);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+
+  // Transfers corrupt often; the resilient executor's transfer checksum
+  // catches each one before results reach clients or the cache, so the
+  // cached run must still agree bit for bit with the uncached one.
+  auto faults =
+      gpusim::FaultPlan::Parse("seed=7,devices=4,corrupt=0.3");
+  ASSERT_TRUE(faults.ok()) << faults.status().ToString();
+
+  const auto uncached =
+      RunStream(graph, events.value(), false, 1, &faults.value());
+  for (int threads : {1, 4}) {
+    const auto cached =
+        RunStream(graph, events.value(), true, threads, &faults.value());
+    EXPECT_EQ(cached, uncached) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace ibfs::service

@@ -179,6 +179,56 @@ TEST(Metrics, PercentileOverflowBucketClampsToMax) {
   EXPECT_DOUBLE_EQ(h->Percentile(-1.0), h->Percentile(0.0));
 }
 
+TEST(Metrics, PercentileSaturatedOverflowBucketIsExactlyMax) {
+  // Every sample in the overflow bucket (bounds {1, 2}): its upper edge is
+  // the observed max and its lower edge clamps to the observed min, so the
+  // whole percentile curve interpolates [min, max] exactly — p=1.0 must be
+  // the max itself, not an extrapolation past the last bound.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("sat", PowerOfTwoBounds(1.0, 2));
+  h->Observe(10.0);
+  h->Observe(20.0);
+  h->Observe(30.0);
+  h->Observe(40.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.0), 10.0);
+  // rank p*4 of 4 across the clamped [10, 40] span.
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 10.0 + 0.5 * 30.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.75), 10.0 + 0.75 * 30.0);
+}
+
+TEST(Metrics, PercentileOfSingleSampleIsTheSampleAtEveryP) {
+  // One observation: min == max == the sample, so every percentile —
+  // including the boundary p values — must return it exactly.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("one", PowerOfTwoBounds(1.0, 4));
+  h->Observe(3.0);
+  for (double p : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h->Percentile(p), 3.0) << "p=" << p;
+  }
+}
+
+TEST(Metrics, PercentileSampleExactlyOnBucketBoundStaysInLowerBucket) {
+  // Buckets are right-inclusive — bucket i covers (bounds[i-1], bounds[i]]
+  // — so a sample exactly on a bound counts in the bucket it bounds from
+  // above, and a single such sample reads back exactly.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("edge", PowerOfTwoBounds(1.0, 4));
+  h->Observe(4.0);  // exactly bounds[2] -> bucket (2, 4]
+  ASSERT_EQ(h->bucket_counts()[2], 1);
+  EXPECT_EQ(h->bucket_counts()[3], 0);
+  for (double p : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(h->Percentile(p), 4.0) << "p=" << p;
+  }
+  // Two on-bound samples in different buckets: the interpolated median
+  // never leaves the observed [min, max] range.
+  h->Observe(2.0);  // exactly bounds[1] -> bucket (1, 2]
+  EXPECT_DOUBLE_EQ(h->Percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 4.0);
+  EXPECT_GE(h->Percentile(0.5), 2.0);
+  EXPECT_LE(h->Percentile(0.5), 4.0);
+}
+
 TEST(Metrics, SnapshotRoundTripsThroughValidator) {
   MetricsRegistry registry;
   registry.GetCounter("a.count")->Increment(7);

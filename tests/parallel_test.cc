@@ -7,6 +7,7 @@
 // group on its own fresh simulated device and merging in group order, so
 // no floating-point accumulation order depends on the thread count.
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -90,6 +91,55 @@ TEST(ThreadPool, SubmitFromWorkerIsExecuted) {
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&] { return inner_done == 8; });
   EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerRunsInline) {
+  // Regression: ParallelFor from one of the pool's own workers used to
+  // block that worker on the completion latch while the nested iterations
+  // sat in its deque — a guaranteed deadlock on a 1-thread pool. The fix
+  // detects the nesting and runs the iterations inline on the worker.
+  ThreadPool pool(1);
+  std::atomic<int> inner_calls{0};
+  std::atomic<int> nested_worker{-2};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool outer_done = false;
+  pool.Submit([&] {
+    pool.ParallelFor(4, [&](int64_t) {
+      // Inline execution stays on the calling worker thread.
+      nested_worker.store(ThreadPool::CurrentWorkerIndex());
+      inner_calls.fetch_add(1);
+    });
+    std::lock_guard<std::mutex> lock(mu);
+    outer_done = true;
+    cv.notify_one();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    // Bounded wait: before the fix this timed out (deadlock) instead of
+    // hanging the whole suite.
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return outer_done; }));
+  }
+  EXPECT_EQ(inner_calls.load(), 4);
+  EXPECT_EQ(nested_worker.load(), 0);
+}
+
+TEST(ThreadPool, NestedParallelForStillCoversEveryIndex) {
+  // The multi-thread variant: nesting must preserve exactly-once coverage
+  // whether iterations run inline or not.
+  ThreadPool pool(2);
+  constexpr int64_t kOuter = 4;
+  constexpr int64_t kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](int64_t o) {
+    pool.ParallelFor(kInner, [&](int64_t i) {
+      hits[o * kInner + i].fetch_add(1);
+    });
+  });
+  for (int64_t k = 0; k < kOuter * kInner; ++k) {
+    EXPECT_EQ(hits[k].load(), 1) << "slot " << k;
+  }
 }
 
 TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {

@@ -73,6 +73,8 @@ int Usage() {
                "            resilience: [--fault-spec SPEC] [--retries R]\n"
                "            [--deadline-ms MS] [--max-pending N]\n"
                "            [--breaker-threshold K] [--no-cpu-fallback]\n"
+               "            caching: [--cache-mb MB] [--no-cache]\n"
+               "            [--source-pool N]  restrict to N hot sources\n"
                "  chaos:    serve flags; injects --fault-spec, verifies "
                "every completed\n"
                "            query against a fault-free baseline, writes an\n"
@@ -215,6 +217,15 @@ Result<EngineOptions> OptionsFromFlags(const Flags& flags) {
               "retries", options.retry.max_attempts - 1));
   options.retry.seed = options.seed;
   return options;
+}
+
+// Shared by serve and chaos: the result/plan cache knobs. Default-on with
+// a 64 MB budget; --no-cache restores the execute-everything behavior.
+service::CacheOptions CacheFromFlags(const Flags& flags) {
+  service::CacheOptions cache;
+  cache.enabled = !flags.GetBool("no-cache");
+  cache.result_budget_bytes = flags.GetInt("cache-mb", 64) << 20;
+  return cache;
 }
 
 // Shared by serve and chaos: the service-level resilience knobs.
@@ -503,6 +514,7 @@ int CmdServe(const Flags& flags) {
   workload.duration_s = flags.GetDouble("duration", 1.0);
   workload.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   workload.burst_size = static_cast<int>(flags.GetInt("burst-size", 16));
+  workload.source_pool = flags.GetInt("source-pool", 0);
   auto events = service::GenerateArrivals(graph.value(), workload);
   if (!events.ok()) {
     std::fprintf(stderr, "serve: %s\n", events.status().ToString().c_str());
@@ -519,6 +531,7 @@ int CmdServe(const Flags& flags) {
   service_options.keep_depths = false;  // checksums suffice for the CLI
   service_options.engine = engine_options.value();
   service_options.resilience = ResilienceFromFlags(flags);
+  service_options.cache = CacheFromFlags(flags);
   service_options.observer = session.MakeObserver();
   auto svc = service::BfsService::Create(&graph.value(), service_options);
   if (!svc.ok()) {
@@ -565,6 +578,17 @@ int CmdServe(const Flags& flags) {
               100.0 * report.oracle_sharing_ratio,
               100.0 * report.sharing_fraction);
   std::printf("traversal rate:  %.2f GTEPS\n", report.teps / 1e9);
+  if (report.cache_enabled) {
+    std::printf("cache:           %lld hits / %lld misses (%.1f%%), "
+                "%lld quarantined, %.1f MB resident; plans %lld/%lld\n",
+                static_cast<long long>(report.cache_hits),
+                static_cast<long long>(report.cache_misses),
+                100.0 * report.cache_hit_ratio,
+                static_cast<long long>(report.cache_quarantined),
+                static_cast<double>(report.cache_bytes_resident) / 1048576.0,
+                static_cast<long long>(report.plan_hits),
+                static_cast<long long>(report.plan_misses));
+  }
   const service::BfsService::Stats& stats = drive.value().stats;
   if (service_options.engine.faults.enabled() || stats.shed > 0 ||
       stats.deadline_exceeded > 0) {
@@ -627,6 +651,7 @@ int CmdChaos(const Flags& flags) {
   chaos.workload.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   chaos.workload.burst_size =
       static_cast<int>(flags.GetInt("burst-size", 16));
+  chaos.workload.source_pool = flags.GetInt("source-pool", 0);
 
   ObsSession session(flags);
   chaos.service.max_batch = static_cast<int>(flags.GetInt("max-batch", 64));
@@ -636,6 +661,7 @@ int CmdChaos(const Flags& flags) {
   chaos.service.keep_depths = false;  // the checksum is the verdict
   chaos.service.engine = engine_options.value();
   chaos.service.resilience = ResilienceFromFlags(flags);
+  chaos.service.cache = CacheFromFlags(flags);
   chaos.service.observer = session.MakeObserver();
 
   auto run = service::RunChaos(GraphLabel(flags), graph.value(), chaos);
