@@ -18,13 +18,22 @@
 // IBFS_DURATION (default 1 s), IBFS_SERVE_THREADS (default 2),
 // IBFS_HOT_QPS (default 600), IBFS_HOT_SOURCES (default 8),
 // IBFS_BENCH_OUT (default BENCH_service.json).
+//
+// Live-telemetry knobs (all off by default; any of them arms the shared
+// metrics registry across the sweep): IBFS_ACCESS_LOG (per-query JSONL),
+// IBFS_SLO ("<class>:<ms>:<target>" burn-rate tracker), IBFS_LIVE_OUT
+// (rolling snapshot JSON), IBFS_PROM_OUT (Prometheus text).
 #include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/common.h"
 #include "obs/json.h"
+#include "obs/live.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
 #include "service/service.h"
 #include "service/workload.h"
 
@@ -57,6 +66,38 @@ int Main() {
       service::OracleSharingRatio(loaded.graph, engine, events.value());
   IBFS_CHECK(oracle.ok()) << oracle.status().ToString();
 
+  // Optional live-telemetry exercise: the same sinks `ibfs_cli serve`
+  // wires, shared across every sweep point so the exporter sees a
+  // continuous stream.
+  obs::MetricsRegistry live_metrics;
+  std::unique_ptr<obs::AccessLog> access_log;
+  std::unique_ptr<obs::SloTracker> slo;
+  std::unique_ptr<obs::LiveExporter> exporter;
+  const std::string access_path = EnvString("IBFS_ACCESS_LOG", "");
+  if (!access_path.empty()) {
+    auto opened = obs::AccessLog::Open(access_path);
+    IBFS_CHECK(opened.ok()) << opened.status().ToString();
+    access_log = std::move(opened.value());
+  }
+  const std::string slo_spec = EnvString("IBFS_SLO", "");
+  if (!slo_spec.empty()) {
+    auto spec = obs::SloSpec::Parse(slo_spec);
+    IBFS_CHECK(spec.ok()) << spec.status().ToString();
+    slo = std::make_unique<obs::SloTracker>(spec.value());
+  }
+  const std::string live_out = EnvString("IBFS_LIVE_OUT", "");
+  const std::string prom_out = EnvString("IBFS_PROM_OUT", "");
+  const bool live_enabled = access_log != nullptr || slo != nullptr ||
+                            !live_out.empty() || !prom_out.empty();
+  if (!live_out.empty() || !prom_out.empty()) {
+    obs::LiveExporterOptions live_options;
+    live_options.live_out = live_out;
+    live_options.prom_out = prom_out;
+    exporter = std::make_unique<obs::LiveExporter>(live_options,
+                                                   &live_metrics, nullptr);
+    exporter->Start();
+  }
+
   const std::vector<double> delays = {0.5, 1.0, 2.0, 4.0, 8.0};
   std::vector<Point> points;
   std::printf("%8s %10s %8s %8s %8s %10s %9s\n", "delay", "mean batch",
@@ -72,10 +113,16 @@ int Main() {
     // repeated sources skip batching and blur the comparison.
     options.cache.enabled = false;
     options.engine = engine;
+    if (live_enabled) {
+      options.observer.metrics = &live_metrics;
+      options.access_log = access_log.get();
+      options.slo = slo.get();
+    }
     auto svc = service::BfsService::Create(&loaded.graph, options);
     IBFS_CHECK(svc.ok()) << svc.status().ToString();
     auto drive = service::DriveWorkload(svc.value().get(), events.value());
     IBFS_CHECK(drive.ok()) << drive.status().ToString();
+    if (live_enabled) svc.value()->PublishLiveTelemetry();
     Point point;
     point.delay_ms = delay_ms;
     point.report =
@@ -159,6 +206,24 @@ int Main() {
               cached_report.total_ms.p50, cached_report.total_ms.p95,
               p50_speedup, static_cast<long long>(cached_report.cache_hits),
               100.0 * cached_report.cache_hit_ratio);
+
+  if (exporter != nullptr) {
+    exporter->Stop();
+    if (!live_out.empty()) std::printf("wrote %s\n", live_out.c_str());
+    if (!prom_out.empty()) std::printf("wrote %s\n", prom_out.c_str());
+  }
+  if (access_log != nullptr) {
+    std::printf("access log:      %lld queries -> %s\n",
+                static_cast<long long>(access_log->lines()),
+                access_path.c_str());
+  }
+  if (slo != nullptr) {
+    std::printf("slo %s: %lld good, %lld bad, %lld alerts fired\n",
+                slo->spec().ToString().c_str(),
+                static_cast<long long>(slo->good()),
+                static_cast<long long>(slo->bad()),
+                static_cast<long long>(slo->alerts_fired()));
+  }
 
   const std::string out = EnvString("IBFS_BENCH_OUT", "BENCH_service.json");
   std::ofstream os(out, std::ios::binary);

@@ -178,16 +178,21 @@ Result<EngineResult> Engine::Run(
       observer.tracer->SetThreadName(observer.track.pid,
                                      1 + static_cast<int>(g),
                                      "group " + std::to_string(g));
+      std::vector<obs::TraceArg> span_args = {
+          obs::Arg("instances",
+                   static_cast<int64_t>(grouping.groups[g].size())),
+          obs::Arg("levels",
+                   static_cast<int64_t>(run.result.trace.levels.size())),
+          obs::Arg("hub", g < result.group_hubs.size()
+                              ? result.group_hubs[g]
+                              : int64_t{-1})};
+      if (!observer.context.empty()) {
+        span_args.push_back(obs::Arg("ctx", observer.context));
+      }
       observer.tracer->CompleteSpan(
           {observer.track.pid, 1 + static_cast<int>(g)},
           "group " + std::to_string(g), "group", 0.0, run.seconds * 1e6,
-          {obs::Arg("instances",
-                    static_cast<int64_t>(grouping.groups[g].size())),
-           obs::Arg("levels",
-                    static_cast<int64_t>(run.result.trace.levels.size())),
-           obs::Arg("hub", g < result.group_hubs.size()
-                               ? result.group_hubs[g]
-                               : int64_t{-1})});
+          std::move(span_args));
     }
     result.sim_seconds += run.seconds;
     result.totals.Add(run.totals);

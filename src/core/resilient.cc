@@ -98,11 +98,15 @@ ResilientOutcome ExecuteGroupResilient(const Engine& engine,
       metrics->GetCounter("fault.failed_attempts")->Increment();
     }
     if (observer.tracing()) {
-      observer.tracer->Instant(
-          observer.track, "attempt_failed", 0.0,
-          {obs::Arg("device", static_cast<int64_t>(device_id)),
-           obs::Arg("attempt", static_cast<int64_t>(attempt)),
-           obs::Arg("status", outcome.status.ToString())});
+      std::vector<obs::TraceArg> instant_args = {
+          obs::Arg("device", static_cast<int64_t>(device_id)),
+          obs::Arg("attempt", static_cast<int64_t>(attempt)),
+          obs::Arg("status", outcome.status.ToString())};
+      if (!observer.context.empty()) {
+        instant_args.push_back(obs::Arg("ctx", observer.context));
+      }
+      observer.tracer->Instant(observer.track, "attempt_failed", 0.0,
+                               std::move(instant_args));
     }
   }
   if (metrics != nullptr) {

@@ -195,14 +195,18 @@ void Device::FinishKernel(KernelScope* scope) {
   stats.seconds = seconds;
 
   if (observer_.tracing()) {
-    observer_.tracer->CompleteSpan(
-        observer_.track, scope->tag_, "kernel", elapsed_seconds_ * 1e6,
-        seconds * 1e6,
-        {obs::Arg("load_transactions", stats.mem.load_transactions),
-         obs::Arg("store_transactions", stats.mem.store_transactions),
-         obs::Arg("atomic_ops", stats.mem.atomic_ops),
-         obs::Arg("launches", stats.launch_count),
-         obs::Arg("items", stats.item_count)});
+    std::vector<obs::TraceArg> span_args = {
+        obs::Arg("load_transactions", stats.mem.load_transactions),
+        obs::Arg("store_transactions", stats.mem.store_transactions),
+        obs::Arg("atomic_ops", stats.mem.atomic_ops),
+        obs::Arg("launches", stats.launch_count),
+        obs::Arg("items", stats.item_count)};
+    if (!observer_.context.empty()) {
+      span_args.push_back(obs::Arg("ctx", observer_.context));
+    }
+    observer_.tracer->CompleteSpan(observer_.track, scope->tag_, "kernel",
+                                   elapsed_seconds_ * 1e6, seconds * 1e6,
+                                   std::move(span_args));
   }
   if (metric_kernels_ != nullptr) {
     metric_kernels_->Increment(stats.launch_count);

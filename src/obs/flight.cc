@@ -1,0 +1,105 @@
+#include "obs/flight.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace ibfs::obs {
+
+FlightRecorder::FlightRecorder(Options options)
+    : options_(std::move(options)) {}
+
+void FlightRecorder::RecordQuery(const AccessRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queries_.push_back(record);
+  while (queries_.size() > options_.max_queries) queries_.pop_front();
+}
+
+void FlightRecorder::RecordEvent(double now_s, std::string name,
+                                 std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(FlightEvent{now_s, std::move(name), std::move(detail)});
+  while (events_.size() > options_.max_events) events_.pop_front();
+}
+
+void FlightRecorder::WriteJson(std::ostream& os, std::string_view reason,
+                               double now_s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("schema");
+  w.String("ibfs.flight_record");
+  w.Key("schema_version");
+  w.Int(1);
+  w.Key("trigger");
+  w.String(reason);
+  w.Key("ts_s");
+  w.Double(now_s);
+  w.Key("dump_index");
+  w.Int(dumps_);
+  w.Key("queries");
+  w.BeginArray();
+  for (const AccessRecord& record : queries_) {
+    std::ostringstream one;
+    record.WriteJson(one);
+    w.Raw(one.str());
+  }
+  w.EndArray();
+  w.Key("events");
+  w.BeginArray();
+  for (const FlightEvent& event : events_) {
+    w.BeginObject();
+    w.Key("ts_s");
+    w.Double(event.ts_s);
+    w.Key("name");
+    w.String(event.name);
+    w.Key("detail");
+    w.String(event.detail);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << '\n';
+}
+
+bool FlightRecorder::Trigger(std::string_view reason, double now_s,
+                             Status* error) {
+  if (error != nullptr) *error = Status::OK();
+  std::string content;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.dump_path.empty()) return false;
+    if (last_dump_s_ >= 0.0 &&
+        now_s - last_dump_s_ < options_.min_dump_interval_s) {
+      return false;
+    }
+    last_dump_s_ = now_s;
+    ++dumps_;
+  }
+  std::ostringstream os;
+  WriteJson(os, reason, now_s);
+  content = os.str();
+  const Status st = WriteFileAtomic(options_.dump_path, content);
+  if (!st.ok()) {
+    if (error != nullptr) *error = st;
+    return false;
+  }
+  return true;
+}
+
+int64_t FlightRecorder::dumps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumps_;
+}
+
+size_t FlightRecorder::query_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_.size();
+}
+
+size_t FlightRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+}  // namespace ibfs::obs

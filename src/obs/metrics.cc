@@ -38,19 +38,25 @@ double Histogram::Mean() const {
 
 double Histogram::Percentile(double p) const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (count_ == 0) return 0.0;
+  return BucketPercentile(bounds_, counts_, count_, min_, max_, p);
+}
+
+double BucketPercentile(std::span<const double> bounds,
+                        std::span<const int64_t> counts, int64_t count,
+                        double min, double max, double p) {
+  if (count == 0) return 0.0;
   p = std::clamp(p, 0.0, 1.0);
-  const double target = p * static_cast<double>(count_);
+  const double target = p * static_cast<double>(count);
   double cumulative = 0.0;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] == 0) continue;
-    const double in_bucket = static_cast<double>(counts_[i]);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double in_bucket = static_cast<double>(counts[i]);
     if (cumulative + in_bucket >= target) {
       // Bucket i covers (bounds[i-1], bounds[i]]; the outermost edges are
       // the observed extremes, and interior edges are clamped to them so
       // sparse histograms do not extrapolate past their data.
-      double lo = i == 0 ? min_ : std::max(bounds_[i - 1], min_);
-      double hi = i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+      double lo = i == 0 ? min : std::max(bounds[i - 1], min);
+      double hi = i < bounds.size() ? std::min(bounds[i], max) : max;
       if (hi < lo) hi = lo;
       const double fraction =
           std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
@@ -58,7 +64,7 @@ double Histogram::Percentile(double p) const {
     }
     cumulative += in_bucket;
   }
-  return max_;
+  return max;
 }
 
 std::vector<int64_t> Histogram::bucket_counts() const {
@@ -119,6 +125,32 @@ const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Counter*> MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Counter*> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) out.push_back(counter.get());
+  return out;
+}
+
+std::vector<const Gauge*> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Gauge*> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) out.push_back(gauge.get());
+  return out;
+}
+
+std::vector<const Histogram*> MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Histogram*> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.push_back(histogram.get());
+  }
+  return out;
 }
 
 void MetricsRegistry::Clear() {

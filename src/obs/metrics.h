@@ -140,6 +140,14 @@ class MetricsRegistry {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
+  /// Enumeration for exporters (the Prometheus text renderer, the live
+  /// snapshot publisher): every metric of one kind, in name order. The
+  /// returned handles are stable for the registry's lifetime; the vector
+  /// is a snapshot of which metrics existed at call time.
+  std::vector<const Counter*> Counters() const;
+  std::vector<const Gauge*> Gauges() const;
+  std::vector<const Histogram*> Histograms() const;
+
   /// Drops every metric (tests; long-lived processes between runs).
   void Clear();
 
@@ -165,6 +173,15 @@ class MetricsRegistry {
 /// Geometrically spaced histogram bounds {1, 2, 4, ...}: `count` powers of
 /// two starting at `first` — the workhorse layout for size-like metrics.
 std::vector<double> PowerOfTwoBounds(double first, int count);
+
+/// The bucket-walk percentile estimator behind Histogram::Percentile,
+/// exposed so windowed histograms (obs/live.h) interpolate identically:
+/// `counts` has bounds.size() + 1 entries (last = overflow), `count` their
+/// sum, and `min`/`max` the observed extremes that clamp the outer edges.
+/// Returns 0 for an empty distribution.
+double BucketPercentile(std::span<const double> bounds,
+                        std::span<const int64_t> counts, int64_t count,
+                        double min, double max, double p);
 
 }  // namespace ibfs::obs
 

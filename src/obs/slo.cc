@@ -1,0 +1,172 @@
+#include "obs/slo.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace ibfs::obs {
+
+namespace {
+
+Result<double> ParseDouble(std::string_view text, std::string_view what) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("bad " + std::string(what) + ": '" +
+                                   std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<SloSpec> SloSpec::Parse(std::string_view text) {
+  const size_t first = text.find(':');
+  const size_t second =
+      first == std::string_view::npos ? first : text.find(':', first + 1);
+  if (first == std::string_view::npos || second == std::string_view::npos ||
+      text.find(':', second + 1) != std::string_view::npos) {
+    return Status::InvalidArgument(
+        "SLO spec must be <class>:<objective_ms>:<target>, got '" +
+        std::string(text) + "'");
+  }
+  SloSpec spec;
+  spec.class_name = std::string(text.substr(0, first));
+  if (spec.class_name.empty()) {
+    return Status::InvalidArgument("SLO class name must be non-empty");
+  }
+  auto objective =
+      ParseDouble(text.substr(first + 1, second - first - 1), "objective_ms");
+  if (!objective.ok()) return objective.status();
+  auto target = ParseDouble(text.substr(second + 1), "target");
+  if (!target.ok()) return target.status();
+  spec.objective_ms = objective.value();
+  spec.target = target.value();
+  if (spec.objective_ms <= 0.0) {
+    return Status::InvalidArgument("SLO objective_ms must be positive");
+  }
+  if (spec.target <= 0.0 || spec.target >= 1.0) {
+    return Status::InvalidArgument("SLO target must be in (0, 1)");
+  }
+  return spec;
+}
+
+std::string SloSpec::ToString() const {
+  std::ostringstream os;
+  os << class_name << ":" << objective_ms << ":" << target;
+  return os.str();
+}
+
+SloTracker::SloTracker(SloSpec spec)
+    : SloTracker(std::move(spec), Options()) {}
+
+SloTracker::SloTracker(SloSpec spec, Options options)
+    : spec_(std::move(spec)),
+      options_(options),
+      error_budget_(1.0 - spec_.target),
+      fast_total_(options.fast_window_s, options.slots),
+      fast_bad_(options.fast_window_s, options.slots),
+      slow_total_(options.slow_window_s, options.slots),
+      slow_bad_(options.slow_window_s, options.slots) {
+  IBFS_CHECK(error_budget_ > 0.0) << "SLO target must be < 1";
+}
+
+double SloTracker::Burn(const RollingWindow& bad, const RollingWindow& total,
+                        double error_budget, double now_s) {
+  const double n = total.Sum(now_s);
+  if (n <= 0.0) return 0.0;
+  return (bad.Sum(now_s) / n) / error_budget;
+}
+
+SloTransition SloTracker::Record(double now_s, double latency_ms, bool ok) {
+  const bool good = ok && latency_ms <= spec_.objective_ms;
+  fast_total_.Add(now_s);
+  slow_total_.Add(now_s);
+  if (!good) {
+    fast_bad_.Add(now_s);
+    slow_bad_.Add(now_s);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (good) {
+    ++good_;
+  } else {
+    ++bad_count_;
+  }
+  return EvaluateLocked(now_s);
+}
+
+SloTransition SloTracker::Evaluate(double now_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EvaluateLocked(now_s);
+}
+
+SloTransition SloTracker::EvaluateLocked(double now_s) {
+  const double fast = Burn(fast_bad_, fast_total_, error_budget_, now_s);
+  const double slow = Burn(slow_bad_, slow_total_, error_budget_, now_s);
+  if (!alert_active_) {
+    if (fast >= options_.burn_threshold && slow >= options_.burn_threshold) {
+      alert_active_ = true;
+      ++alerts_fired_;
+      return SloTransition::kFired;
+    }
+  } else if (fast < options_.burn_threshold) {
+    alert_active_ = false;
+    ++alerts_cleared_;
+    return SloTransition::kCleared;
+  }
+  return SloTransition::kNone;
+}
+
+double SloTracker::BurnRateFast(double now_s) const {
+  return Burn(fast_bad_, fast_total_, error_budget_, now_s);
+}
+
+double SloTracker::BurnRateSlow(double now_s) const {
+  return Burn(slow_bad_, slow_total_, error_budget_, now_s);
+}
+
+bool SloTracker::alert_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alert_active_;
+}
+
+int64_t SloTracker::alerts_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alerts_fired_;
+}
+
+int64_t SloTracker::alerts_cleared() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alerts_cleared_;
+}
+
+int64_t SloTracker::good() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return good_;
+}
+
+int64_t SloTracker::bad() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bad_count_;
+}
+
+void SloTracker::PublishTo(MetricsRegistry* metrics, double now_s) const {
+  if (metrics == nullptr) return;
+  metrics->GetGauge("slo.objective_ms")->Set(spec_.objective_ms);
+  metrics->GetGauge("slo.target")->Set(spec_.target);
+  metrics->GetGauge("slo.burn_rate_fast")->Set(BurnRateFast(now_s));
+  metrics->GetGauge("slo.burn_rate_slow")->Set(BurnRateSlow(now_s));
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics->GetGauge("slo.alert_active")->Set(alert_active_ ? 1.0 : 0.0);
+  metrics->GetGauge("slo.good")->Set(static_cast<double>(good_));
+  metrics->GetGauge("slo.bad")->Set(static_cast<double>(bad_count_));
+  metrics->GetGauge("slo.alerts_fired")
+      ->Set(static_cast<double>(alerts_fired_));
+  metrics->GetGauge("slo.alerts_cleared")
+      ->Set(static_cast<double>(alerts_cleared_));
+}
+
+}  // namespace ibfs::obs

@@ -1,0 +1,113 @@
+#ifndef IBFS_OBS_SLO_H_
+#define IBFS_OBS_SLO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/live.h"
+#include "util/status.h"
+
+namespace ibfs::obs {
+
+class MetricsRegistry;
+
+/// Latency-SLO tracking with multi-window burn-rate alerting, the standard
+/// SRE construction: an objective says "at least `target` of queries finish
+/// within `objective_ms`"; the burn rate is how fast the error budget
+/// (1 - target) is being consumed, bad_fraction / (1 - target), so burn 1.0
+/// exactly exhausts the budget over the evaluation period and burn >> 1
+/// means minutes matter. Alerts require BOTH a fast window (quick to react,
+/// noisy alone) and a slow window (confirms the problem is sustained) to
+/// burn above the threshold, and clear when the fast window recovers —
+/// the clear is deliberately quicker than the fire so a resolved incident
+/// stops paging. Same fake-clock model as obs/live.h: explicit `now_s`.
+
+/// One latency objective, parsed from the CLI form
+/// "<class>:<objective_ms>:<target>", e.g. "default:250:0.99".
+struct SloSpec {
+  std::string class_name = "default";
+  double objective_ms = 250.0;
+  /// Fraction of queries that must meet the objective, in (0, 1).
+  double target = 0.99;
+
+  static Result<SloSpec> Parse(std::string_view text);
+  std::string ToString() const;
+};
+
+/// What a Record/Evaluate call did to the alert state.
+enum class SloTransition {
+  kNone = 0,
+  kFired,    // alert went inactive -> active
+  kCleared,  // alert went active -> inactive
+};
+
+/// Tracks one SloSpec over fast and slow sliding windows. Queries are
+/// "good" when they finish OK within objective_ms; failures count as bad
+/// (a shed or failed query did not meet the latency objective either).
+/// Thread-safe.
+class SloTracker {
+ public:
+  struct Options {
+    double fast_window_s = 60.0;
+    double slow_window_s = 600.0;
+    /// Fire when BOTH window burn rates reach this; clear when the fast
+    /// window drops below it.
+    double burn_threshold = 2.0;
+    int slots = 15;
+  };
+
+  explicit SloTracker(SloSpec spec);
+  SloTracker(SloSpec spec, Options options);
+
+  /// Accounts one finished query and re-evaluates the alert.
+  SloTransition Record(double now_s, double latency_ms, bool ok);
+  /// Re-evaluates without new data (periodic tick; lets an alert clear
+  /// while traffic is idle because the bad samples aged out).
+  SloTransition Evaluate(double now_s);
+
+  double BurnRateFast(double now_s) const;
+  double BurnRateSlow(double now_s) const;
+  bool alert_active() const;
+  int64_t alerts_fired() const;
+  int64_t alerts_cleared() const;
+  int64_t good() const;
+  int64_t bad() const;
+
+  const SloSpec& spec() const { return spec_; }
+  const Options& options() const { return options_; }
+
+  /// Writes the slo.* gauge/counter set into `metrics` (no-op when null):
+  /// slo.objective_ms, slo.target, slo.burn_rate_fast, slo.burn_rate_slow,
+  /// slo.alert_active, slo.good, slo.bad, slo.alerts_fired,
+  /// slo.alerts_cleared.
+  void PublishTo(MetricsRegistry* metrics, double now_s) const;
+
+ private:
+  /// Burn of one window; 0 when the window holds no samples (no traffic
+  /// is not an SLO violation).
+  static double Burn(const RollingWindow& bad, const RollingWindow& total,
+                     double error_budget, double now_s);
+  SloTransition EvaluateLocked(double now_s);
+
+  SloSpec spec_;
+  Options options_;
+  double error_budget_;
+
+  RollingWindow fast_total_;
+  RollingWindow fast_bad_;
+  RollingWindow slow_total_;
+  RollingWindow slow_bad_;
+
+  mutable std::mutex mu_;
+  bool alert_active_ = false;
+  int64_t alerts_fired_ = 0;
+  int64_t alerts_cleared_ = 0;
+  int64_t good_ = 0;
+  int64_t bad_count_ = 0;
+};
+
+}  // namespace ibfs::obs
+
+#endif  // IBFS_OBS_SLO_H_

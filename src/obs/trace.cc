@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace ibfs::obs {
@@ -31,6 +32,39 @@ Tracer::EventBuffer* Tracer::ThisThreadBuffer() {
     cached_id = tracer_id_;
   }
   return cached;
+}
+
+void Tracer::Append(Event event) {
+  EventBuffer* buffer = ThisThreadBuffer();
+  const size_t cap = max_events_per_thread_.load(std::memory_order_relaxed);
+  if (buffer->events.size() < cap) {
+    buffer->events.push_back(std::move(event));
+    return;
+  }
+  // At capacity: the buffer is a ring; overwrite the oldest slot.
+  if (buffer->next >= buffer->events.size()) buffer->next = 0;
+  buffer->events[buffer->next] = std::move(event);
+  ++buffer->next;
+  ++buffer->dropped;
+  if (Counter* counter = drop_counter_.load(std::memory_order_relaxed)) {
+    counter->Increment();
+  }
+}
+
+void Tracer::SetMaxEventsPerThread(size_t cap) {
+  IBFS_CHECK(cap >= 1) << "tracer event cap must be >= 1";
+  max_events_per_thread_.store(cap, std::memory_order_relaxed);
+}
+
+void Tracer::SetDropCounter(Counter* counter) {
+  drop_counter_.store(counter, std::memory_order_relaxed);
+}
+
+int64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  for (const auto& buffer : buffers_) dropped += buffer->dropped;
+  return dropped;
 }
 
 TraceArg Arg(std::string_view key, std::string_view value) {

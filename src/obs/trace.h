@@ -1,6 +1,7 @@
 #ifndef IBFS_OBS_TRACE_H_
 #define IBFS_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -15,6 +16,7 @@
 
 namespace ibfs::obs {
 
+class Counter;
 class MetricsRegistry;
 
 /// Span-based tracing that serializes to the Chrome trace-event JSON format
@@ -75,9 +77,28 @@ struct TraceTrack {
 /// after the instrumented run has joined its workers.
 class Tracer {
  public:
+  /// Default per-thread event cap (see SetMaxEventsPerThread): high enough
+  /// that batch runs never hit it, low enough that a long-running `serve`
+  /// with tracing on stays bounded (~256 KiB of Events per thread before
+  /// payload strings).
+  static constexpr size_t kDefaultMaxEventsPerThread = 1 << 18;
+
   Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
+
+  /// Caps each per-thread buffer: once a buffer holds `cap` events it
+  /// becomes a ring and new events overwrite the oldest, so a long-running
+  /// server keeps the most recent window instead of growing without bound.
+  /// Each overwrite counts as one dropped event. Applies to appends from
+  /// the call onward; a buffer already above a lowered cap keeps its size
+  /// but stops growing. `cap` must be >= 1.
+  void SetMaxEventsPerThread(size_t cap);
+  /// Counter incremented per dropped (overwritten) event, typically the
+  /// registry's "trace.dropped_events". Pass nullptr to detach.
+  void SetDropCounter(Counter* counter);
+  /// Total events overwritten across all per-thread rings.
+  int64_t dropped_events() const;
 
   /// Names the viewer track headers ("GPU 0", "host"); last write wins.
   void SetProcessName(int pid, std::string_view name);
@@ -130,17 +151,22 @@ class Tracer {
     std::string category;
     double ts_us = 0.0;
   };
-  /// One thread's private append-only event log.
+  /// One thread's private event log: append-only until it reaches the
+  /// tracer's cap, then a ring overwriting from `next`.
   struct EventBuffer {
     std::vector<Event> events;
+    size_t next = 0;
+    int64_t dropped = 0;
   };
 
   /// The calling thread's buffer, registering one on first use. Only the
   /// owning thread appends; the mutex covers registration and flush.
   EventBuffer* ThisThreadBuffer();
-  void Append(Event event) { ThisThreadBuffer()->events.push_back(std::move(event)); }
+  void Append(Event event);
 
   const uint64_t tracer_id_;  // distinguishes tracers in thread-local caches
+  std::atomic<size_t> max_events_per_thread_{kDefaultMaxEventsPerThread};
+  std::atomic<Counter*> drop_counter_{nullptr};
   mutable std::mutex mu_;     // guards buffers_ (the vector) and open_spans_
   std::vector<std::unique_ptr<EventBuffer>> buffers_;
   std::map<std::pair<int, int>, std::vector<OpenSpan>> open_spans_;
@@ -153,6 +179,12 @@ struct Observer {
   Tracer* tracer = nullptr;
   TraceTrack track;
   MetricsRegistry* metrics = nullptr;
+  /// Trace-context: which queries this work is for, as a comma-joined list
+  /// of query ids ("q12,q40"). The service sets it per batch/group; engine,
+  /// resilient-executor, and gpusim spans attach it as a "ctx" arg so a
+  /// span in the trace joins back to its access-log lines. Empty = no
+  /// context (batch CLI runs).
+  std::string context;
 
   bool tracing() const { return tracer != nullptr; }
   bool metering() const { return metrics != nullptr; }
@@ -162,6 +194,13 @@ struct Observer {
   Observer WithTrack(int pid, int tid) const {
     Observer o = *this;
     o.track = {pid, tid};
+    return o;
+  }
+
+  /// Same sinks and track, new trace-context.
+  Observer WithContext(std::string ctx) const {
+    Observer o = *this;
+    o.context = std::move(ctx);
     return o;
   }
 };

@@ -504,4 +504,93 @@ Status ValidateMetricsFile(const std::string& path) {
   return ValidateMetrics(doc.value());
 }
 
+Status ValidateFlightRecord(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Bad("flight record: top level is not an object");
+  }
+  Status st;
+  const JsonValue* schema = RequireMember(
+      doc, "schema", JsonValue::Kind::kString, &st, "flight record");
+  if (schema == nullptr) return st;
+  if (schema->string_value() != "ibfs.flight_record") {
+    return Bad("flight record: unexpected schema \"" +
+               schema->string_value() + "\"");
+  }
+  const JsonValue* version = RequireMember(
+      doc, "schema_version", JsonValue::Kind::kNumber, &st, "flight record");
+  if (version == nullptr) return st;
+  if (version->number_value() < 1) {
+    return Bad("flight record: bad schema_version");
+  }
+  if (RequireMember(doc, "trigger", JsonValue::Kind::kString, &st,
+                    "flight record") == nullptr) {
+    return st;
+  }
+  for (const char* key : {"ts_s", "dump_index"}) {
+    if (RequireMember(doc, key, JsonValue::Kind::kNumber, &st,
+                      "flight record") == nullptr) {
+      return st;
+    }
+  }
+
+  const JsonValue* queries = RequireMember(
+      doc, "queries", JsonValue::Kind::kArray, &st, "flight record");
+  if (queries == nullptr) return st;
+  size_t qi = 0;
+  for (const JsonValue& query : queries->array()) {
+    const std::string where = "flight record query " + std::to_string(qi++);
+    if (!query.is_object()) return Bad(where + ": not an object");
+    if (RequireMember(query, "status", JsonValue::Kind::kString, &st,
+                      where) == nullptr) {
+      return st;
+    }
+    for (const char* key : {"ok", "cached", "degraded"}) {
+      if (RequireMember(query, key, JsonValue::Kind::kBool, &st, where) ==
+          nullptr) {
+        return st;
+      }
+    }
+    for (const char* key :
+         {"ts_s", "query_id", "source", "attempts", "batch_id",
+          "group_index", "queue_ms", "batch_ms", "execute_ms", "total_ms",
+          "reached"}) {
+      if (RequireMember(query, key, JsonValue::Kind::kNumber, &st, where) ==
+          nullptr) {
+        return st;
+      }
+    }
+    for (const char* key : {"queue_ms", "execute_ms", "total_ms"}) {
+      if (query.Find(key)->number_value() < 0.0) {
+        return Bad(where + ": \"" + key + "\" is negative");
+      }
+    }
+  }
+
+  const JsonValue* events = RequireMember(
+      doc, "events", JsonValue::Kind::kArray, &st, "flight record");
+  if (events == nullptr) return st;
+  size_t ei = 0;
+  for (const JsonValue& event : events->array()) {
+    const std::string where = "flight record event " + std::to_string(ei++);
+    if (!event.is_object()) return Bad(where + ": not an object");
+    if (RequireMember(event, "ts_s", JsonValue::Kind::kNumber, &st, where) ==
+        nullptr) {
+      return st;
+    }
+    for (const char* key : {"name", "detail"}) {
+      if (RequireMember(event, key, JsonValue::Kind::kString, &st, where) ==
+          nullptr) {
+        return st;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateFlightRecordFile(const std::string& path) {
+  Result<JsonValue> doc = ParseJsonFile(path);
+  if (!doc.ok()) return doc.status();
+  return ValidateFlightRecord(doc.value());
+}
+
 }  // namespace ibfs::obs

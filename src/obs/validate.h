@@ -45,6 +45,13 @@ Status ValidateResilienceReportFile(const std::string& path);
 Status ValidateMetrics(const JsonValue& doc);
 Status ValidateMetricsFile(const std::string& path);
 
+/// Checks a flight-recorder dump against the "ibfs.flight_record" schema:
+/// schema/version/trigger present, every queries[] entry carrying the full
+/// access-record field set (ids, flags, latency breakdown), every events[]
+/// entry carrying ts_s/name/detail.
+Status ValidateFlightRecord(const JsonValue& doc);
+Status ValidateFlightRecordFile(const std::string& path);
+
 }  // namespace ibfs::obs
 
 #endif  // IBFS_OBS_VALIDATE_H_

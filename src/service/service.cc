@@ -92,7 +92,98 @@ BfsService::BfsService(const graph::Csr* graph, ServiceOptions options)
     : graph_(graph),
       options_(std::move(options)),
       engine_(graph, options_.engine),
-      start_(Clock::now()) {}
+      start_(Clock::now()),
+      live_stats_(options_.live_window_s > 0.0 ? options_.live_window_s
+                                               : 10.0) {}
+
+void BfsService::RecordCompletion(const QueryResult& result) {
+  const double now_s = NowS();
+  const bool ok = result.status.ok();
+  obs::AccessRecord record;
+  record.ts_s = now_s;
+  record.query_id = result.query_id;
+  record.source = static_cast<int64_t>(result.source);
+  record.status = StatusCodeName(result.status.code());
+  record.ok = ok;
+  record.cached = result.cached;
+  record.degraded = result.degraded;
+  record.attempts = result.attempts;
+  record.batch_id = result.batch_id;
+  record.group_index = result.group_index;
+  record.queue_ms = result.latency.queue_ms;
+  record.batch_ms = result.latency.batch_ms;
+  record.execute_ms = result.latency.execute_ms;
+  record.total_ms = result.latency.total_ms;
+  record.reached = result.reached;
+
+  if (options_.access_log != nullptr) options_.access_log->Append(record);
+  if (options_.flight != nullptr) options_.flight->RecordQuery(record);
+  live_stats_.RecordQuery(now_s, result.latency.total_ms, ok);
+  if (options_.slo != nullptr) {
+    const obs::SloTransition transition =
+        options_.slo->Record(now_s, result.latency.total_ms, ok);
+    HandleSloTransition(transition, now_s);
+  }
+}
+
+void BfsService::HandleSloTransition(obs::SloTransition transition,
+                                     double now_s) {
+  if (transition == obs::SloTransition::kNone || options_.slo == nullptr) {
+    return;
+  }
+  const bool fired = transition == obs::SloTransition::kFired;
+  const char* name = fired ? "slo_alert_fired" : "slo_alert_cleared";
+  const double fast = options_.slo->BurnRateFast(now_s);
+  const double slow = options_.slo->BurnRateSlow(now_s);
+  options_.slo->PublishTo(options_.observer.metrics, now_s);
+  if (options_.observer.tracing()) {
+    // SLO transitions land next to cache activity on tid 0 of the service
+    // pid (batch tracks start at tid 1).
+    options_.observer.tracer->Instant(
+        obs::TraceTrack{kServicePid, 0}, name, now_s * 1e6,
+        {obs::Arg("class", options_.slo->spec().class_name),
+         obs::Arg("burn_fast", fast), obs::Arg("burn_slow", slow)});
+  }
+  if (options_.flight != nullptr) {
+    options_.flight->RecordEvent(
+        now_s, name,
+        options_.slo->spec().class_name + " burn fast=" +
+            std::to_string(fast) + " slow=" + std::to_string(slow));
+    if (fired) options_.flight->Trigger("slo_alert", now_s);
+  }
+}
+
+void BfsService::CheckQuarantineTrigger(double now_s) {
+  if (result_cache_ == nullptr) return;
+  const int64_t quarantined = result_cache_->stats().quarantined;
+  int64_t prev = last_quarantined_.load(std::memory_order_relaxed);
+  while (quarantined > prev) {
+    if (last_quarantined_.compare_exchange_weak(prev, quarantined,
+                                                std::memory_order_relaxed)) {
+      if (options_.flight != nullptr) {
+        options_.flight->RecordEvent(
+            now_s, "cache_quarantined",
+            "quarantined entries now " + std::to_string(quarantined));
+        options_.flight->Trigger("quarantine", now_s);
+      }
+      return;
+    }
+  }
+}
+
+void BfsService::PublishLiveTelemetry() {
+  const double now_s = NowS();
+  obs::MetricsRegistry* metrics = options_.observer.metrics;
+  live_stats_.PublishTo(metrics, now_s);
+  if (options_.slo != nullptr) {
+    HandleSloTransition(options_.slo->Evaluate(now_s), now_s);
+    options_.slo->PublishTo(metrics, now_s);
+  }
+  if (metrics != nullptr && result_cache_ != nullptr) {
+    metrics->GetGauge("cache.hit_ratio")
+        ->Set(result_cache_->stats().HitRatio());
+  }
+}
 
 Result<std::unique_ptr<BfsService>> BfsService::Create(
     const graph::Csr* graph, ServiceOptions options) {
@@ -200,11 +291,18 @@ std::future<QueryResult> BfsService::Submit(graph::VertexId source) {
             SinceStartUs(submitted),
             {obs::Arg("source", static_cast<int64_t>(source))});
       }
+      if (metrics != nullptr) {
+        metrics->GetGauge("cache.hit_ratio")
+            ->Set(result_cache_->stats().HitRatio());
+      }
+      RecordCompletion(result);
       promise.set_value(std::move(result));
       return future;
     }
     if (metrics != nullptr) {
       metrics->GetCounter("cache.misses")->Increment();
+      metrics->GetGauge("cache.hit_ratio")
+          ->Set(result_cache_->stats().HitRatio());
     }
     if (options_.observer.tracing()) {
       options_.observer.tracer->Instant(
@@ -212,6 +310,8 @@ std::future<QueryResult> BfsService::Submit(graph::VertexId source) {
           SinceStartUs(submitted),
           {obs::Arg("source", static_cast<int64_t>(source))});
     }
+    // A miss may also have quarantined a corrupted entry in place.
+    CheckQuarantineTrigger(NowS());
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -361,6 +461,7 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
         result.batch_id = batch_id;
         result.latency.queue_ms = waited_ms;
         result.latency.total_ms = waited_ms;
+        RecordCompletion(result);
         query.promise.set_value(std::move(result));
         ++expired;
       } else {
@@ -438,6 +539,9 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
       result.source = query.source;
       result.query_id = query.query_id;
       result.batch_id = batch_id;
+      result.latency.queue_ms = MsBetween(query.submitted, closed);
+      result.latency.total_ms = MsBetween(query.submitted, Clock::now());
+      RecordCompletion(result);
       query.promise.set_value(std::move(result));
     }
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -457,11 +561,26 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
     executor_->Submit([this, state, g, track] {
       const std::vector<graph::VertexId>& group = state->groups[g];
       const auto exec_start = Clock::now();
-      // Execution meters into the shared registry but does not trace:
-      // kernel spans carry simulated timestamps, which must not land on
-      // the service's wall-clock batch tracks.
+      // Trace-context: the ids of every query this group answers, joined
+      // as "q12,q40,...". Execution spans (engine group spans, gpusim
+      // kernel spans, retry instants) attach it as a "ctx" arg so a span
+      // in the trace joins back to its access-log lines.
+      std::string ctx;
+      for (graph::VertexId source : group) {
+        for (size_t qi : state->by_source.at(source)) {
+          if (!ctx.empty()) ctx += ',';
+          ctx += 'q';
+          ctx += std::to_string(state->queries[qi].query_id);
+        }
+      }
+      // Execution meters into the shared registry. Kernel spans carry
+      // simulated timestamps, which must not land on the service's
+      // wall-clock batch tracks — so when tracing is on, each execution
+      // gets its own simulated-time track on the serving device's pid
+      // (consistent with the engine's pid = device index model).
       obs::Observer exec_observer;
       exec_observer.metrics = options_.observer.metrics;
+      exec_observer.context = ctx;
       obs::MetricsRegistry* metrics = options_.observer.metrics;
 
       // Resilient execution: route to a healthy simulated device (circuit
@@ -476,6 +595,16 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
       ResilientOutcome outcome;
       bool breaker_opened = false;
       if (device_id != DeviceRouter::kNoDevice) {
+        if (options_.observer.tracing()) {
+          const int exec_tid =
+              1 + next_exec_track_.fetch_add(1, std::memory_order_relaxed);
+          exec_observer.tracer = options_.observer.tracer;
+          exec_observer.track = {device_id, exec_tid};
+          exec_observer.tracer->SetThreadName(
+              device_id, exec_tid,
+              "serve batch " + std::to_string(state->batch_id) + " group " +
+                  std::to_string(g));
+        }
         outcome = ExecuteGroupResilient(engine_, group, device_id, salt,
                                         exec_observer);
         if (outcome.status.ok()) {
@@ -520,7 +649,7 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
              obs::Arg("sim_ms", outcome.sim_seconds * 1e3),
              obs::Arg("device", static_cast<int64_t>(device_id)),
              obs::Arg("attempts", static_cast<int64_t>(outcome.attempts)),
-             obs::Arg("degraded", degraded)});
+             obs::Arg("degraded", degraded), obs::Arg("ctx", ctx)});
         if (breaker_opened) {
           task_tracer->Instant(
               track, "breaker_opened", SinceStartUs(exec_end),
@@ -530,6 +659,21 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
           task_tracer->Instant(
               track, "cpu_fallback", SinceStartUs(exec_end),
               {obs::Arg("group", static_cast<int64_t>(g))});
+        }
+      }
+      if (options_.flight != nullptr) {
+        const double exec_end_s = NowS();
+        if (breaker_opened) {
+          options_.flight->RecordEvent(
+              exec_end_s, "breaker_opened",
+              "device " + std::to_string(device_id));
+          options_.flight->Trigger("breaker_open", exec_end_s);
+        }
+        if (degraded) {
+          options_.flight->RecordEvent(
+              exec_end_s, "cpu_fallback",
+              "batch " + std::to_string(state->batch_id) + " group " +
+                  std::to_string(g));
         }
       }
 
@@ -640,6 +784,7 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
         }
       }
       for (auto& [qi, result] : ready) {
+        RecordCompletion(result);
         state->queries[qi].promise.set_value(std::move(result));
       }
     });

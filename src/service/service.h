@@ -1,6 +1,7 @@
 #ifndef IBFS_SERVICE_SERVICE_H_
 #define IBFS_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -15,6 +16,9 @@
 #include "core/options.h"
 #include "core/resilient.h"
 #include "graph/csr.h"
+#include "obs/flight.h"
+#include "obs/live.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "service/cache.h"
 #include "util/status.h"
@@ -88,8 +92,24 @@ struct ServiceOptions {
   /// Service-level telemetry: per-batch wall-clock trace tracks and
   /// service.* metrics. Kernel-level simulated-time spans stay off these
   /// tracks (the two timebases must not share one), but the metrics
-  /// registry is forwarded to execution.
+  /// registry is forwarded to execution, and when tracing is on each
+  /// group execution additionally emits its simulated-time kernel spans
+  /// on a per-execution device track carrying the batch's query ids as a
+  /// "ctx" trace-context arg.
   obs::Observer observer;
+
+  /// Live telemetry sinks, all optional and caller-owned (must outlive
+  /// the service). Every query completion that carries a query id flows
+  /// through all of them: one JSONL line to `access_log`, one sample to
+  /// the SLO tracker, one ring entry to the flight recorder. Shed
+  /// admissions and bad-source rejects never receive an id and are
+  /// visible through shed.*/service.failed metrics instead.
+  obs::AccessLog* access_log = nullptr;
+  obs::SloTracker* slo = nullptr;
+  obs::FlightRecorder* flight = nullptr;
+  /// Window of the live.* rolling gauges (qps, error ratio, latency
+  /// percentiles), published by PublishLiveTelemetry.
+  double live_window_s = 10.0;
 
   /// Validates the batching knobs and the embedded engine options.
   Status Validate() const;
@@ -227,6 +247,12 @@ class BfsService {
   /// the quarantine path fire.
   ResultCache* result_cache_for_test() { return result_cache_.get(); }
 
+  /// Refreshes the live.*, slo.*, and cache.hit_ratio gauges from the
+  /// rolling windows and re-evaluates the SLO alert (so an alert can clear
+  /// while traffic is idle). Called by the live exporter's tick and safe
+  /// to call from anywhere; a no-op for sinks that are not configured.
+  void PublishLiveTelemetry();
+
   Stats stats() const;
   const ServiceOptions& options() const { return options_; }
 
@@ -249,6 +275,23 @@ class BfsService {
   double SinceStartUs(std::chrono::steady_clock::time_point tp) const {
     return std::chrono::duration<double, std::micro>(tp - start_).count();
   }
+  /// Seconds since service start — the timeline every live-telemetry
+  /// window runs on.
+  double NowS() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Central completion hook: every query that resolves with an assigned
+  /// query id passes through here exactly once, feeding the access log,
+  /// the rolling live stats, the SLO tracker (handling any alert
+  /// transition), and the flight recorder.
+  void RecordCompletion(const QueryResult& result);
+  void HandleSloTransition(obs::SloTransition transition, double now_s);
+  /// Dumps a flight record when the result cache quarantined an entry
+  /// since the last check.
+  void CheckQuarantineTrigger(double now_s);
 
   const graph::Csr* graph_;
   ServiceOptions options_;
@@ -264,6 +307,15 @@ class BfsService {
   mutable std::mutex stats_mu_;
   Stats stats_;
   int64_t next_batch_id_ = 0;  // batcher thread only
+
+  /// Rolling-window qps/error/latency behind the live.* gauges.
+  obs::LiveStats live_stats_;
+  /// Last cache-quarantine count seen, for the flight trigger.
+  std::atomic<int64_t> last_quarantined_{0};
+  /// Allocates one simulated-time trace track per group execution (tid
+  /// 1, 2, ... on the executing device's pid), so concurrent groups on
+  /// one device never interleave kernel spans on a single track.
+  std::atomic<int> next_exec_track_{0};
 
   /// Round-robin device router with per-device circuit breakers over the
   /// engine's simulated fleet (engine.faults.device_count ordinals).

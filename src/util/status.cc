@@ -1,9 +1,8 @@
 #include "util/status.h"
 
 namespace ibfs {
-namespace {
 
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -31,11 +30,9 @@ const char* CodeName(StatusCode code) {
   return "Unknown";
 }
 
-}  // namespace
-
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   out += ": ";
   out += message_;
   return out;

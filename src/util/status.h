@@ -27,6 +27,10 @@ enum class StatusCode {
   kDataLoss,
 };
 
+/// Display name of a code ("OK", "DeadlineExceeded", ...) — stable strings
+/// used by Status::ToString and the structured access log.
+const char* StatusCodeName(StatusCode code);
+
 /// A success-or-error value. Cheap to copy on success (no allocation).
 class Status {
  public:

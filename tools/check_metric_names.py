@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Lints metric-name documentation coverage.
+
+Every dotted metric name minted anywhere in src/ — a string literal passed
+to MetricsRegistry::GetCounter / GetGauge / GetHistogram — must appear in
+docs/OBSERVABILITY.md, so the doc's metric tables stay the single source
+of truth for what the registry can emit. Run from anywhere:
+
+    python3 tools/check_metric_names.py [repo_root]
+
+Exits 0 when every name is documented, 1 with a per-name report otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+GETTER_RE = re.compile(
+    r'Get(?:Counter|Gauge|Histogram)\s*\(\s*"([^"]+)"')
+
+
+def minted_names(src_dir: pathlib.Path) -> dict:
+    """Maps metric name -> first "file:line" that mints it."""
+    names = {}
+    for path in sorted(src_dir.rglob("*.cc")) + sorted(src_dir.rglob("*.h")):
+        text = path.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for match in GETTER_RE.finditer(line):
+                name = match.group(1)
+                names.setdefault(name, f"{path}:{lineno}")
+    return names
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    src = root / "src"
+    doc = root / "docs" / "OBSERVABILITY.md"
+    if not src.is_dir():
+        print(f"check_metric_names: no src/ under {root}", file=sys.stderr)
+        return 1
+    if not doc.is_file():
+        print(f"check_metric_names: missing {doc}", file=sys.stderr)
+        return 1
+
+    names = minted_names(src)
+    doc_text = doc.read_text(encoding="utf-8")
+    missing = {
+        name: where for name, where in names.items() if name not in doc_text
+    }
+    if missing:
+        print(
+            f"check_metric_names: {len(missing)} metric name(s) minted in "
+            f"src/ but absent from {doc}:",
+            file=sys.stderr,
+        )
+        for name in sorted(missing):
+            print(f"  {name}  (first minted at {missing[name]})",
+                  file=sys.stderr)
+        return 1
+    print(f"check_metric_names: {len(names)} metric names all documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,8 +14,11 @@
 // Graphs are read/written in the binary CSR format (graph/io.h); the
 // `--benchmark` flag generates one of the paper's 13 presets instead.
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include <fstream>
 #include <iostream>
@@ -33,8 +36,11 @@
 #include "graph/components.h"
 #include "graph/degree_stats.h"
 #include "graph/io.h"
+#include "obs/flight.h"
+#include "obs/live.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "obs/validate.h"
 #include "service/chaos.h"
@@ -75,6 +81,22 @@ int Usage() {
                "            [--breaker-threshold K] [--no-cpu-fallback]\n"
                "            caching: [--cache-mb MB] [--no-cache]\n"
                "            [--source-pool N]  restrict to N hot sources\n"
+               "            live telemetry (serve and chaos):\n"
+               "            [--access-log PATH]   per-query JSONL log\n"
+               "            [--slo \"<class>:<ms>:<target>\"] latency SLO "
+               "with\n"
+               "            burn-rate alerts ([--slo-fast-s S] [--slo-slow-s "
+               "S]\n"
+               "            [--slo-burn X])\n"
+               "            [--flight-out PATH]   flight-record dump on SLO "
+               "breach,\n"
+               "            breaker open, or quarantine "
+               "([--flight-interval-s S])\n"
+               "            [--live-out PATH]     periodic live snapshot "
+               "JSON\n"
+               "            [--prom-out PATH]     periodic Prometheus text "
+               "file\n"
+               "            [--live-interval-ms MS] [--live-window-s S]\n"
                "  chaos:    serve flags; injects --fault-spec, verifies "
                "every completed\n"
                "            query against a fault-free baseline, writes an\n"
@@ -85,7 +107,8 @@ int Usage() {
                "straggle=2:8\"\n"
                "  check:    --trace PATH | --report PATH | --metrics PATH |\n"
                "            --service-report PATH | --resilience-report "
-               "PATH\n"
+               "PATH |\n"
+               "            --flight-record PATH\n"
                "            (validate telemetry files)\n"
                "telemetry (run and cluster):\n"
                "  --trace-out PATH    Chrome trace-event JSON "
@@ -103,22 +126,32 @@ struct ObsSession {
   std::string trace_out;
   std::string metrics_out;
   std::string report_out;
+  /// Set (before MakeObserver) by commands whose outputs need the registry
+  /// even without --metrics-out/--report-out, e.g. serve --prom-out.
+  bool force_metrics = false;
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
 
   explicit ObsSession(const Flags& flags)
       : trace_out(flags.GetString("trace-out")),
         metrics_out(flags.GetString("metrics-out")),
-        report_out(flags.GetString("report-out")) {}
+        report_out(flags.GetString("report-out")) {
+    const int64_t cap = flags.GetInt("trace-max-events", 0);
+    if (cap > 0) tracer.SetMaxEventsPerThread(static_cast<size_t>(cap));
+  }
 
   bool want_metrics() const {
-    return !metrics_out.empty() || !report_out.empty();
+    return force_metrics || !metrics_out.empty() || !report_out.empty();
   }
 
   obs::Observer MakeObserver() {
     obs::Observer observer;
     if (!trace_out.empty()) observer.tracer = &tracer;
     if (want_metrics()) observer.metrics = &metrics;
+    if (observer.tracer != nullptr && observer.metrics != nullptr) {
+      // Ring-buffer overwrites in the tracer surface as a counter.
+      tracer.SetDropCounter(metrics.GetCounter("trace.dropped_events"));
+    }
     return observer;
   }
 
@@ -143,6 +176,110 @@ struct ObsSession {
            report_out);
     }
     return rc;
+  }
+};
+
+// Live serving telemetry for serve/chaos, driven by --access-log, --slo,
+// --flight-out, --live-out, and --prom-out. Owns the sinks the service
+// writes through (they must outlive it) and the periodic exporter.
+struct LiveSession {
+  std::unique_ptr<obs::AccessLog> access_log;
+  std::unique_ptr<obs::SloTracker> slo;
+  std::unique_ptr<obs::FlightRecorder> flight;
+  std::unique_ptr<obs::LiveExporter> exporter;
+  std::string live_out;
+  std::string prom_out;
+  double interval_s = 0.25;
+
+  // Parses the live flags into `service_options`' sink pointers. Must run
+  // before session->MakeObserver(): a live/prom output forces the metrics
+  // registry on.
+  Status Setup(const Flags& flags, ObsSession* session,
+               service::ServiceOptions* service_options) {
+    const std::string access_path = flags.GetString("access-log");
+    if (!access_path.empty()) {
+      auto log = obs::AccessLog::Open(access_path);
+      if (!log.ok()) return log.status();
+      access_log = std::move(log.value());
+      service_options->access_log = access_log.get();
+    }
+    const std::string slo_spec = flags.GetString("slo");
+    if (!slo_spec.empty()) {
+      auto spec = obs::SloSpec::Parse(slo_spec);
+      if (!spec.ok()) return spec.status();
+      obs::SloTracker::Options slo_options;
+      slo_options.fast_window_s = flags.GetDouble("slo-fast-s", 60.0);
+      slo_options.slow_window_s = flags.GetDouble("slo-slow-s", 600.0);
+      slo_options.burn_threshold = flags.GetDouble("slo-burn", 2.0);
+      slo = std::make_unique<obs::SloTracker>(spec.value(), slo_options);
+      service_options->slo = slo.get();
+    }
+    const std::string flight_out = flags.GetString("flight-out");
+    if (!flight_out.empty()) {
+      obs::FlightRecorder::Options flight_options;
+      flight_options.dump_path = flight_out;
+      flight_options.min_dump_interval_s =
+          flags.GetDouble("flight-interval-s", 5.0);
+      flight = std::make_unique<obs::FlightRecorder>(flight_options);
+      service_options->flight = flight.get();
+    }
+    service_options->live_window_s = flags.GetDouble("live-window-s", 10.0);
+    live_out = flags.GetString("live-out");
+    prom_out = flags.GetString("prom-out");
+    interval_s = flags.GetDouble("live-interval-ms", 250.0) / 1e3;
+    if (!live_out.empty() || !prom_out.empty()) {
+      session->force_metrics = true;
+    }
+    return Status::OK();
+  }
+
+  // Starts the periodic publisher. `svc` may be null (chaos builds its
+  // service internally): files still rewrite on the interval, only the
+  // per-tick live-gauge refresh is skipped.
+  void StartExporter(ObsSession* session, service::BfsService* svc) {
+    if (live_out.empty() && prom_out.empty() && slo == nullptr) return;
+    obs::LiveExporterOptions options;
+    options.interval_s = interval_s;
+    options.live_out = live_out;
+    options.prom_out = prom_out;
+    options.metrics_out = session->metrics_out;
+    std::function<void(double)> on_tick;
+    if (svc != nullptr) {
+      on_tick = [svc](double) { svc->PublishLiveTelemetry(); };
+    }
+    exporter = std::make_unique<obs::LiveExporter>(
+        options, &session->metrics, std::move(on_tick));
+    exporter->Start();
+  }
+
+  // Final gauge refresh + last file rewrite, then the one-line summary.
+  void Finish(const char* command, service::BfsService* svc) {
+    if (svc != nullptr) svc->PublishLiveTelemetry();
+    if (exporter != nullptr) {
+      exporter->Stop();
+      if (!live_out.empty()) std::printf("wrote %s\n", live_out.c_str());
+      if (!prom_out.empty()) std::printf("wrote %s\n", prom_out.c_str());
+    }
+    if (access_log != nullptr) {
+      std::printf("access log:      %lld queries\n",
+                  static_cast<long long>(access_log->lines()));
+    }
+    if (slo != nullptr) {
+      std::printf("slo %s: %lld good, %lld bad; alerts %lld fired, "
+                  "%lld cleared%s\n",
+                  slo->spec().ToString().c_str(),
+                  static_cast<long long>(slo->good()),
+                  static_cast<long long>(slo->bad()),
+                  static_cast<long long>(slo->alerts_fired()),
+                  static_cast<long long>(slo->alerts_cleared()),
+                  slo->alert_active() ? " (ALERT ACTIVE)" : "");
+    }
+    if (flight != nullptr && flight->dumps() > 0) {
+      std::printf("flight records:  %lld dumped to %s\n",
+                  static_cast<long long>(flight->dumps()),
+                  flight->options().dump_path.c_str());
+    }
+    (void)command;
   }
 };
 
@@ -532,17 +669,25 @@ int CmdServe(const Flags& flags) {
   service_options.engine = engine_options.value();
   service_options.resilience = ResilienceFromFlags(flags);
   service_options.cache = CacheFromFlags(flags);
+  LiveSession live;
+  const Status live_setup = live.Setup(flags, &session, &service_options);
+  if (!live_setup.ok()) {
+    std::fprintf(stderr, "serve: %s\n", live_setup.ToString().c_str());
+    return 1;
+  }
   service_options.observer = session.MakeObserver();
   auto svc = service::BfsService::Create(&graph.value(), service_options);
   if (!svc.ok()) {
     std::fprintf(stderr, "serve: %s\n", svc.status().ToString().c_str());
     return 1;
   }
+  live.StartExporter(&session, svc.value().get());
   auto drive = service::DriveWorkload(svc.value().get(), events.value());
   if (!drive.ok()) {
     std::fprintf(stderr, "serve: %s\n", drive.status().ToString().c_str());
     return 1;
   }
+  live.Finish("serve", svc.value().get());
   auto oracle = service::OracleSharingRatio(
       graph.value(), engine_options.value(), events.value());
   if (!oracle.ok()) {
@@ -662,9 +807,20 @@ int CmdChaos(const Flags& flags) {
   chaos.service.engine = engine_options.value();
   chaos.service.resilience = ResilienceFromFlags(flags);
   chaos.service.cache = CacheFromFlags(flags);
+  LiveSession live;
+  const Status live_setup = live.Setup(flags, &session, &chaos.service);
+  if (!live_setup.ok()) {
+    std::fprintf(stderr, "chaos: %s\n", live_setup.ToString().c_str());
+    return 1;
+  }
   chaos.service.observer = session.MakeObserver();
 
+  // RunChaos builds its service internally, so the exporter only rewrites
+  // the metrics/live files on the interval; the sinks above still see
+  // every completion because chaos.service carries the pointers.
+  live.StartExporter(&session, nullptr);
   auto run = service::RunChaos(GraphLabel(flags), graph.value(), chaos);
+  live.Finish("chaos", nullptr);
   if (!run.ok()) {
     std::fprintf(stderr, "chaos: %s\n", run.status().ToString().c_str());
     return 1;
@@ -753,11 +909,16 @@ int CmdCheck(const Flags& flags) {
     check("resilience-report", resilience_report,
           obs::ValidateResilienceReportFile(resilience_report));
   }
+  const std::string flight_record = flags.GetString("flight-record");
+  if (!flight_record.empty()) {
+    check("flight-record", flight_record,
+          obs::ValidateFlightRecordFile(flight_record));
+  }
   if (checked == 0) {
     std::fprintf(stderr,
                  "check: nothing to do; pass --trace, --report, "
-                 "--metrics, --service-report, and/or "
-                 "--resilience-report\n");
+                 "--metrics, --service-report, --resilience-report, "
+                 "and/or --flight-record\n");
     return 2;
   }
   return rc;
