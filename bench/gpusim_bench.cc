@@ -1,0 +1,421 @@
+// Simulator fast-path microbench: wall-clock cost of the gpusim
+// accounting layer and of the two shared-status traversal kernels whose
+// inner loops dominate serving latency, plus an end-to-end serve-path p50
+// under the BENCH_service.json conditions. Writes BENCH_gpusim.json.
+//
+// Sections:
+//   accounting     tight BeginKernel/LoadContiguous/Compute/Atomic/End
+//                  loop — ns per accounted call, the per-call overhead the
+//                  batched entry points exist to avoid.
+//   bitwise_sweep  Engine run, bitwise strategy (fused frontier sweep) —
+//                  the ">= 2x wall-clock" target of the fast-path PR. The
+//                  timed runs skip depth materialization (the serve-path
+//                  configuration); an untimed depth-recording pass pins
+//                  the checksum.
+//   joint_sweep    Engine run, joint-traversal strategy, same scheme.
+//   serve          open-loop poisson workload through BfsService (cache
+//                  off): queue+batch+execute latency percentiles.
+//
+// Every section also records simulation-identity fingerprints (depth
+// checksums, transaction counts, simulated seconds): a fast path that
+// changes any of them is a broken fast path, and tools/check_bench.py
+// fails the bench_smoke ctest on any fingerprint drift vs the committed
+// BENCH_gpusim.json (wall-clock drifts only warn inside a tolerance band).
+//
+// Environment knobs (all optional):
+//   IBFS_GPUSIM_BENCH_SCALE      RMAT scale of the micro graphs (def 14)
+//   IBFS_GPUSIM_BENCH_EDGES      RMAT edge factor (def 16)
+//   IBFS_GPUSIM_BENCH_INSTANCES  BFS instances per engine run (def 256)
+//   IBFS_GPUSIM_BENCH_GROUP     group size N (def 64)
+//   IBFS_GPUSIM_BENCH_REPEATS    timed repetitions, best-of (def 3)
+//   IBFS_GPUSIM_BENCH_QPS        serve-section offered load (def 400)
+//   IBFS_GPUSIM_BENCH_DURATION   serve-section seconds (def 1.0)
+//   IBFS_GPUSIM_BENCH_SERVE      0 skips the serve section (def 1)
+//   IBFS_GPUSIM_BENCH_OUT        output path (def BENCH_gpusim.json)
+//   IBFS_GPUSIM_BENCH_BASELINE   path to a pre-refactor run of this bench;
+//                                embeds it plus speedup ratios in the
+//                                output (how BENCH_gpusim.json records its
+//                                before/after evidence)
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "gen/rmat.h"
+#include "obs/json.h"
+#include "service/service.h"
+#include "service/workload.h"
+#include "util/checksum.h"
+
+namespace ibfs::bench {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SweepResult {
+  double best_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double sim_seconds = 0.0;
+  uint64_t depth_checksum = 0;
+  uint64_t load_transactions = 0;
+  uint64_t store_transactions = 0;
+  uint64_t atomic_ops = 0;
+};
+
+SweepResult RunSweep(const graph::Csr& graph,
+                     std::span<const graph::VertexId> sources,
+                     Strategy strategy, int group_size, int repeats) {
+  // The timed loop runs keep_depths=false: what the fast path optimizes is
+  // the traversal/accounting inner loops, and the serve path (the latency
+  // consumer) runs without depth materialization too. Depth correctness is
+  // still part of the fingerprint — a separate untimed keep_depths=true
+  // pass below supplies the checksum that check_bench.py pins.
+  EngineOptions options = BaseOptions(strategy, GroupingPolicy::kGroupBy);
+  options.group_size = group_size;
+  options.keep_depths = false;
+  options.threads = 1;  // measure the kernel loops, not host parallelism
+  SweepResult sweep;
+  sweep.best_seconds = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const double start = Now();
+    const EngineResult result = MustRun(graph, options, sources);
+    const double elapsed = Now() - start;
+    sweep.best_seconds = std::min(sweep.best_seconds, elapsed);
+    sweep.mean_seconds += elapsed / repeats;
+    if (r == 0) {
+      sweep.sim_seconds = result.sim_seconds;
+      sweep.load_transactions = result.totals.mem.load_transactions;
+      sweep.store_transactions = result.totals.mem.store_transactions;
+      sweep.atomic_ops = result.totals.mem.atomic_ops;
+    } else {
+      IBFS_CHECK(result.sim_seconds == sweep.sim_seconds &&
+                 result.totals.mem.load_transactions ==
+                     sweep.load_transactions)
+          << "simulation not deterministic across repeats";
+    }
+  }
+  // Untimed verification pass with depth recording on: the FNV checksum
+  // over every group's depth vectors is the cross-binary identity witness
+  // (bit-identical before/after the fast path, or the bench gate fails).
+  options.keep_depths = true;
+  const EngineResult verify = MustRun(graph, options, sources);
+  uint64_t state = kFnv1aOffsetBasis;
+  for (const GroupResult& group : verify.groups) {
+    for (const std::vector<uint8_t>& depths : group.depths) {
+      state = Fnv1aExtend(state, depths);
+    }
+  }
+  sweep.depth_checksum = state;
+  return sweep;
+}
+
+struct AccountingResult {
+  double seconds = 0.0;
+  int64_t calls = 0;
+  double ns_per_call = 0.0;
+  double sim_seconds = 0.0;
+  uint64_t load_transactions = 0;
+};
+
+// The accounting layer in isolation: kernels that only account (no graph
+// work), shaped like a bottom-up inner loop — one small contiguous row
+// load plus a word's worth of compute per "neighbor".
+AccountingResult RunAccounting() {
+  constexpr int kKernels = 2000;
+  constexpr int kCallsPerKernel = 2000;
+  gpusim::Device device;
+  const double start = Now();
+  for (int k = 0; k < kKernels; ++k) {
+    auto scope = device.BeginKernel(k % 2 == 0 ? "td_inspect" : "bu_inspect");
+    scope.BeginItem();
+    for (int c = 0; c < kCallsPerKernel; ++c) {
+      scope.LoadContiguous(static_cast<int64_t>(c) * 3, 2, 8);
+      scope.Compute(2);
+      scope.SharedBytes(16);
+      if ((c & 15) == 0) scope.Atomic(1);
+    }
+    scope.EndItem();
+  }
+  AccountingResult result;
+  result.seconds = Now() - start;
+  result.calls = int64_t{kKernels} * kCallsPerKernel * 4;
+  result.ns_per_call = result.seconds * 1e9 / result.calls;
+  result.sim_seconds = device.elapsed_seconds();
+  result.load_transactions = device.totals().mem.load_transactions;
+  return result;
+}
+
+struct ServeResult {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double achieved_qps = 0.0;
+  int64_t completed = 0;
+  uint64_t checksum = 0;
+};
+
+ServeResult RunServe(const graph::Csr& graph, double qps,
+                     double duration_s) {
+  service::WorkloadOptions workload;
+  workload.arrival = service::ArrivalProcess::kPoisson;
+  workload.qps = qps;
+  workload.duration_s = duration_s;
+  workload.seed = 2016;
+  auto events = service::GenerateArrivals(graph, workload);
+  IBFS_CHECK(events.ok()) << events.status().ToString();
+
+  service::ServiceOptions options;
+  options.max_batch = 64;
+  options.max_delay_ms = 2.0;
+  options.execute_threads = 2;
+  options.keep_depths = false;
+  options.cache.enabled = false;  // measure execution, not cache hits
+  options.engine = BaseOptions(Strategy::kBitwise, GroupingPolicy::kGroupBy);
+  auto svc = service::BfsService::Create(&graph, options);
+  IBFS_CHECK(svc.ok()) << svc.status().ToString();
+  auto drive = service::DriveWorkload(svc.value().get(), events.value());
+  IBFS_CHECK(drive.ok()) << drive.status().ToString();
+
+  ServeResult serve;
+  std::vector<double> totals;
+  uint64_t state = kFnv1aOffsetBasis;
+  for (const auto& query : drive.value().results) {
+    IBFS_CHECK(query.status.ok()) << query.status.ToString();
+    totals.push_back(query.latency.total_ms);
+    const uint64_t checksum = query.depth_checksum;
+    state = Fnv1aExtend(
+        state, {reinterpret_cast<const uint8_t*>(&checksum),
+                sizeof(checksum)});
+  }
+  serve.checksum = state;
+  serve.completed = static_cast<int64_t>(totals.size());
+  std::sort(totals.begin(), totals.end());
+  const auto pct = [&totals](double p) {
+    if (totals.empty()) return 0.0;
+    const size_t index = static_cast<size_t>(
+        p * static_cast<double>(totals.size() - 1));
+    return totals[index];
+  };
+  serve.p50_ms = pct(0.50);
+  serve.p95_ms = pct(0.95);
+  serve.p99_ms = pct(0.99);
+  serve.achieved_qps =
+      drive.value().wall_seconds > 0.0
+          ? static_cast<double>(totals.size()) / drive.value().wall_seconds
+          : 0.0;
+  return serve;
+}
+
+void WriteHex(obs::JsonWriter* w, uint64_t value) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, value);
+  w->String(buf);
+}
+
+void WriteSweep(obs::JsonWriter* w, const SweepResult& sweep) {
+  w->BeginObject();
+  w->Key("wall_seconds_best");
+  w->Double(sweep.best_seconds);
+  w->Key("wall_seconds_mean");
+  w->Double(sweep.mean_seconds);
+  w->Key("sim_seconds");
+  w->Double(sweep.sim_seconds);
+  w->Key("depth_checksum");
+  WriteHex(w, sweep.depth_checksum);
+  w->Key("load_transactions");
+  w->Int(static_cast<int64_t>(sweep.load_transactions));
+  w->Key("store_transactions");
+  w->Int(static_cast<int64_t>(sweep.store_transactions));
+  w->Key("atomic_ops");
+  w->Int(static_cast<int64_t>(sweep.atomic_ops));
+  w->EndObject();
+}
+
+int Main() {
+  PrintHeader("gpusim fast path",
+              "accounting overhead + traversal-kernel wall clock + serve "
+              "p50");
+  const int scale =
+      static_cast<int>(EnvInt64("IBFS_GPUSIM_BENCH_SCALE", 14));
+  const int edge_factor =
+      static_cast<int>(EnvInt64("IBFS_GPUSIM_BENCH_EDGES", 16));
+  const int64_t instances = EnvInt64("IBFS_GPUSIM_BENCH_INSTANCES", 256);
+  const int group_size =
+      static_cast<int>(EnvInt64("IBFS_GPUSIM_BENCH_GROUP", 64));
+  const int repeats =
+      static_cast<int>(EnvInt64("IBFS_GPUSIM_BENCH_REPEATS", 3));
+  const double qps =
+      static_cast<double>(EnvInt64("IBFS_GPUSIM_BENCH_QPS", 400));
+  const double duration_s = EnvDouble("IBFS_GPUSIM_BENCH_DURATION", 1.0);
+  const bool run_serve = EnvInt64("IBFS_GPUSIM_BENCH_SERVE", 1) != 0;
+
+  gen::RmatParams params;
+  params.scale = scale;
+  params.edge_factor = edge_factor;
+  params.seed = 42;
+  auto generated = gen::GenerateRmat(params);
+  IBFS_CHECK(generated.ok()) << generated.status().ToString();
+  const graph::Csr graph = std::move(generated).value();
+  const std::vector<graph::VertexId> sources = Sources(graph, instances);
+
+  const AccountingResult accounting = RunAccounting();
+  std::printf("accounting:    %7.3f s for %lld calls (%.1f ns/call)\n",
+              accounting.seconds,
+              static_cast<long long>(accounting.calls),
+              accounting.ns_per_call);
+
+  const SweepResult bitwise =
+      RunSweep(graph, sources, Strategy::kBitwise, group_size, repeats);
+  std::printf("bitwise sweep: %7.3f s best of %d (sim %.6f s, checksum "
+              "%016" PRIx64 ")\n",
+              bitwise.best_seconds, repeats, bitwise.sim_seconds,
+              bitwise.depth_checksum);
+
+  const SweepResult joint =
+      RunSweep(graph, sources, Strategy::kJointTraversal, group_size,
+               repeats);
+  std::printf("joint sweep:   %7.3f s best of %d (sim %.6f s, checksum "
+              "%016" PRIx64 ")\n",
+              joint.best_seconds, repeats, joint.sim_seconds,
+              joint.depth_checksum);
+
+  ServeResult serve;
+  if (run_serve) {
+    serve = RunServe(graph, qps, duration_s);
+    std::printf("serve:         p50 %.3f ms  p95 %.3f ms  p99 %.3f ms "
+                "(%lld queries)\n",
+                serve.p50_ms, serve.p95_ms, serve.p99_ms,
+                static_cast<long long>(serve.completed));
+  }
+
+  // Optional before/after embedding: point IBFS_GPUSIM_BENCH_BASELINE at a
+  // pre-refactor run of this bench and the output carries that run plus
+  // the headline speedups.
+  const std::string baseline_path =
+      EnvString("IBFS_GPUSIM_BENCH_BASELINE", "");
+  obs::JsonValue baseline;
+  bool have_baseline = false;
+  if (!baseline_path.empty()) {
+    auto parsed = obs::ParseJsonFile(baseline_path);
+    IBFS_CHECK(parsed.ok()) << parsed.status().ToString();
+    baseline = std::move(parsed).value();
+    have_baseline = true;
+  }
+  const auto baseline_best = [&baseline](const char* section) {
+    const obs::JsonValue* s = baseline.Find(section);
+    const obs::JsonValue* v =
+        s != nullptr ? s->Find("wall_seconds_best") : nullptr;
+    return v != nullptr && v->is_number() ? v->number_value() : 0.0;
+  };
+
+  const std::string out =
+      EnvString("IBFS_GPUSIM_BENCH_OUT", "BENCH_gpusim.json");
+  std::ofstream os(out, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  obs::JsonWriter w(os);
+  w.BeginObject();
+  w.Key("bench");
+  w.String("gpusim_fastpath");
+  w.Key("schema_version");
+  w.Int(1);
+  w.Key("config");
+  w.BeginObject();
+  w.Key("rmat_scale");
+  w.Int(scale);
+  w.Key("edge_factor");
+  w.Int(edge_factor);
+  w.Key("instances");
+  w.Int(instances);
+  w.Key("group_size");
+  w.Int(group_size);
+  w.Key("repeats");
+  w.Int(repeats);
+  w.Key("qps");
+  w.Double(qps);
+  w.Key("duration_s");
+  w.Double(duration_s);
+  w.EndObject();
+  w.Key("accounting");
+  w.BeginObject();
+  w.Key("calls");
+  w.Int(accounting.calls);
+  w.Key("seconds");
+  w.Double(accounting.seconds);
+  w.Key("ns_per_call");
+  w.Double(accounting.ns_per_call);
+  w.Key("sim_seconds");
+  w.Double(accounting.sim_seconds);
+  w.Key("load_transactions");
+  w.Int(static_cast<int64_t>(accounting.load_transactions));
+  w.EndObject();
+  w.Key("bitwise_sweep");
+  WriteSweep(&w, bitwise);
+  w.Key("joint_sweep");
+  WriteSweep(&w, joint);
+  if (run_serve) {
+    w.Key("serve");
+    w.BeginObject();
+    w.Key("p50_ms");
+    w.Double(serve.p50_ms);
+    w.Key("p95_ms");
+    w.Double(serve.p95_ms);
+    w.Key("p99_ms");
+    w.Double(serve.p99_ms);
+    w.Key("achieved_qps");
+    w.Double(serve.achieved_qps);
+    w.Key("completed");
+    w.Int(serve.completed);
+    w.Key("checksum");
+    WriteHex(&w, serve.checksum);
+    w.EndObject();
+  }
+  if (have_baseline) {
+    const double bitwise_before = baseline_best("bitwise_sweep");
+    const double joint_before = baseline_best("joint_sweep");
+    w.Key("speedup_vs_baseline");
+    w.BeginObject();
+    w.Key("bitwise_sweep");
+    w.Double(bitwise.best_seconds > 0.0 && bitwise_before > 0.0
+                 ? bitwise_before / bitwise.best_seconds
+                 : 0.0);
+    w.Key("joint_sweep");
+    w.Double(joint.best_seconds > 0.0 && joint_before > 0.0
+                 ? joint_before / joint.best_seconds
+                 : 0.0);
+    w.EndObject();
+    w.Key("baseline");
+    std::ifstream is(baseline_path, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    while (!text.empty() &&
+           (text.back() == '\n' || text.back() == ' ' ||
+            text.back() == '\r')) {
+      text.pop_back();
+    }
+    w.Raw(text);
+  }
+  w.EndObject();
+  os << '\n';
+  std::printf("wrote %s\n", out.c_str());
+  if (have_baseline) {
+    std::printf("speedup vs baseline: bitwise %.2fx, joint %.2fx\n",
+                baseline_best("bitwise_sweep") / bitwise.best_seconds,
+                baseline_best("joint_sweep") / joint.best_seconds);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ibfs::bench
+
+int main() { return ibfs::bench::Main(); }

@@ -118,7 +118,7 @@ Result<EngineResult> Engine::Run(
     GroupResult result;
     double seconds = 0.0;
     gpusim::KernelStats totals;
-    std::map<std::string, gpusim::KernelStats> phases;
+    gpusim::PhaseMap phases;
     int retries = 0;
     int transient_faults = 0;
     int corruptions_detected = 0;

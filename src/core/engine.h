@@ -31,7 +31,7 @@ struct EngineResult {
   /// Device counter totals across the whole run.
   gpusim::KernelStats totals;
   /// Per-phase ("td_inspect", "bu_inspect", "fq_gen") aggregates.
-  std::map<std::string, gpusim::KernelStats> phases;
+  gpusim::PhaseMap phases;
   /// Sources placed by the GroupBy rules (0 unless grouping == kGroupBy).
   int64_t rule_matched = 0;
   /// Hub vertex each group was bucketed on (-1 = no hub), parallel to

@@ -33,7 +33,7 @@ struct ResilientOutcome {
   /// fault-free timing is unchanged by the retry machinery.
   double sim_seconds = 0.0;
   gpusim::KernelStats totals;
-  std::map<std::string, gpusim::KernelStats> phases;
+  gpusim::PhaseMap phases;
   /// Simulated seconds burned by failed attempts (retry waste).
   double wasted_sim_seconds = 0.0;
   int attempts = 0;

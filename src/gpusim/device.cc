@@ -4,7 +4,6 @@
 
 #include "gpusim/fault.h"
 #include "obs/metrics.h"
-#include "util/logging.h"
 
 namespace ibfs::gpusim {
 
@@ -17,16 +16,22 @@ void KernelStats::Add(const KernelStats& other) {
   seconds += other.seconds;
 }
 
-KernelScope::KernelScope(Device* device, std::string tag)
-    : device_(device), tag_(std::move(tag)) {}
+KernelScope::KernelScope(Device* device, const DeviceSpec* spec,
+                         PhaseId phase)
+    : device_(device), spec_(spec), phase_(phase) {}
 
 KernelScope::KernelScope(KernelScope&& other) noexcept
     : device_(other.device_),
-      tag_(std::move(other.tag_)),
+      spec_(other.spec_),
+      phase_(other.phase_),
       mem_(other.mem_),
-      compute_cycles_(other.compute_cycles_),
+      compute_ops_(other.compute_ops_),
       max_item_cycles_(other.max_item_cycles_),
-      item_start_cycles_(other.item_start_cycles_),
+      item_start_compute_ops_(other.item_start_compute_ops_),
+      item_start_load_txn_(other.item_start_load_txn_),
+      item_start_store_txn_(other.item_start_store_txn_),
+      item_start_atomics_(other.item_start_atomics_),
+      item_start_shared_(other.item_start_shared_),
       in_item_(other.in_item_),
       item_count_(other.item_count_),
       launch_count_(other.launch_count_),
@@ -36,71 +41,18 @@ KernelScope::KernelScope(KernelScope&& other) noexcept
 
 KernelScope::~KernelScope() { End(); }
 
-double KernelScope::CyclesNow() const {
-  const DeviceSpec& spec = device_->spec();
-  return compute_cycles_ +
-         static_cast<double>(mem_.load_transactions) *
-             spec.cycles_per_load_transaction +
-         static_cast<double>(mem_.store_transactions) *
-             spec.cycles_per_store_transaction +
-         static_cast<double>(mem_.atomic_ops) * spec.cycles_per_atomic +
-         static_cast<double>(mem_.shared_bytes) * spec.cycles_per_shared_byte;
-}
-
 void KernelScope::LoadGather(std::span<const int64_t> indices,
                              int elem_bytes) {
-  const DeviceSpec& spec = device_->spec();
   mem_.load_requests += 1;
   mem_.load_transactions += static_cast<uint64_t>(
-      GatherTransactions(indices, elem_bytes, spec.transaction_bytes));
-}
-
-void KernelScope::LoadContiguous(int64_t start_elem, int64_t count,
-                                 int elem_bytes) {
-  if (count <= 0) return;
-  const DeviceSpec& spec = device_->spec();
-  const int64_t txns = ContiguousTransactions(start_elem, count, elem_bytes,
-                                              spec.transaction_bytes);
-  // One request per warp-worth of lanes touching the run.
-  const int64_t lanes_per_request = spec.warp_size;
-  mem_.load_requests +=
-      static_cast<uint64_t>((count + lanes_per_request - 1) /
-                            lanes_per_request);
-  mem_.load_transactions += static_cast<uint64_t>(txns);
+      GatherTransactions(indices, elem_bytes, spec_->transaction_bytes));
 }
 
 void KernelScope::StoreGather(std::span<const int64_t> indices,
                               int elem_bytes) {
-  const DeviceSpec& spec = device_->spec();
   mem_.store_requests += 1;
   mem_.store_transactions += static_cast<uint64_t>(
-      GatherTransactions(indices, elem_bytes, spec.transaction_bytes));
-}
-
-void KernelScope::StoreContiguous(int64_t start_elem, int64_t count,
-                                  int elem_bytes) {
-  if (count <= 0) return;
-  const DeviceSpec& spec = device_->spec();
-  const int64_t txns = ContiguousTransactions(start_elem, count, elem_bytes,
-                                              spec.transaction_bytes);
-  const int64_t lanes_per_request = spec.warp_size;
-  mem_.store_requests +=
-      static_cast<uint64_t>((count + lanes_per_request - 1) /
-                            lanes_per_request);
-  mem_.store_transactions += static_cast<uint64_t>(txns);
-}
-
-void KernelScope::Atomic(int64_t count) {
-  if (count > 0) mem_.atomic_ops += static_cast<uint64_t>(count);
-}
-
-void KernelScope::SharedBytes(int64_t bytes) {
-  if (bytes > 0) mem_.shared_bytes += static_cast<uint64_t>(bytes);
-}
-
-void KernelScope::Compute(int64_t ops) {
-  if (ops > 0) compute_cycles_ += static_cast<double>(ops) *
-                                  device_->spec().cycles_per_compute_op;
+      GatherTransactions(indices, elem_bytes, spec_->transaction_bytes));
 }
 
 void KernelScope::ExtraLaunches(int64_t count) {
@@ -111,20 +63,6 @@ void KernelScope::SetCtaSharedBytes(int64_t bytes) {
   cta_shared_bytes_ = std::max(cta_shared_bytes_, bytes);
 }
 
-void KernelScope::BeginItem() {
-  IBFS_CHECK(!in_item_);
-  in_item_ = true;
-  item_start_cycles_ = CyclesNow();
-}
-
-void KernelScope::EndItem() {
-  IBFS_CHECK(in_item_);
-  in_item_ = false;
-  ++item_count_;
-  max_item_cycles_ =
-      std::max(max_item_cycles_, CyclesNow() - item_start_cycles_);
-}
-
 void KernelScope::End() {
   if (device_ == nullptr) return;
   device_->FinishKernel(this);
@@ -133,11 +71,26 @@ void KernelScope::End() {
 
 Device::Device(DeviceSpec spec) : spec_(std::move(spec)) {}
 
-KernelScope Device::BeginKernel(std::string_view tag) {
-  return KernelScope(this, std::string(tag));
+PhaseId Device::InternPhase(std::string_view tag) {
+  const auto it = phase_ids_.find(tag);
+  if (it != phase_ids_.end()) return it->second;
+  const PhaseId id = static_cast<PhaseId>(phase_slots_.size());
+  const auto id_node = phase_ids_.emplace(std::string(tag), id).first;
+  const auto stat_node = phases_.emplace(id_node->first, KernelStats{}).first;
+  phase_slots_.push_back(PhaseSlot{&id_node->first, &stat_node->second});
+  return id;
+}
+
+KernelScope Device::BeginKernel(PhaseId phase) {
+  IBFS_CHECK(phase >= 0 &&
+             static_cast<size_t>(phase) < phase_slots_.size());
+  ++open_kernels_;
+  return KernelScope(this, &spec_, phase);
 }
 
 void Device::FinishKernel(KernelScope* scope) {
+  // The timing model runs here, once per kernel, over the scope's batched
+  // totals: strategies only touched integer accumulators until now.
   const double total_cycles = scope->CyclesNow();
   // Shared-memory occupancy: each resident CTA claims cta_shared bytes,
   // so an SM hosts at most shared_capacity / cta_shared CTAs. When the
@@ -167,6 +120,7 @@ void Device::FinishKernel(KernelScope* scope) {
   double seconds =
       std::max(compute_seconds, dram_seconds) +
       static_cast<double>(scope->launch_count_) * spec_.kernel_launch_overhead_s;
+  const PhaseSlot& slot = phase_slots_[static_cast<size_t>(scope->phase_)];
   if (fault_injector_ != nullptr) {
     seconds *= fault_injector_->straggler_multiplier();
     if (!faulted()) {
@@ -179,7 +133,7 @@ void Device::FinishKernel(KernelScope* scope) {
         if (observer_.tracing()) {
           observer_.tracer->Instant(
               observer_.track, "kernel_fault", elapsed_seconds_ * 1e6,
-              {obs::Arg("tag", scope->tag_),
+              {obs::Arg("tag", *slot.name),
                obs::Arg("status", fault_status_.ToString())});
         }
       }
@@ -204,7 +158,7 @@ void Device::FinishKernel(KernelScope* scope) {
     if (!observer_.context.empty()) {
       span_args.push_back(obs::Arg("ctx", observer_.context));
     }
-    observer_.tracer->CompleteSpan(observer_.track, scope->tag_, "kernel",
+    observer_.tracer->CompleteSpan(observer_.track, *slot.name, "kernel",
                                    elapsed_seconds_ * 1e6, seconds * 1e6,
                                    std::move(span_args));
   }
@@ -219,7 +173,8 @@ void Device::FinishKernel(KernelScope* scope) {
 
   elapsed_seconds_ += seconds;
   totals_.Add(stats);
-  phases_[scope->tag_].Add(stats);
+  slot.stats->Add(stats);
+  --open_kernels_;
 }
 
 void Device::SetFaultInjector(FaultInjector* injector) {
@@ -244,15 +199,19 @@ void Device::SetObserver(const obs::Observer& observer) {
 }
 
 KernelStats Device::PhaseStats(std::string_view tag) const {
-  auto it = phases_.find(std::string(tag));
+  const auto it = phases_.find(tag);
   if (it == phases_.end()) return KernelStats{};
   return it->second;
 }
 
 void Device::ResetStats() {
+  IBFS_CHECK(open_kernels_ == 0)
+      << "ResetStats with a kernel scope still open";
   elapsed_seconds_ = 0.0;
   totals_ = KernelStats{};
   phases_.clear();
+  phase_ids_.clear();
+  phase_slots_.clear();
 }
 
 }  // namespace ibfs::gpusim

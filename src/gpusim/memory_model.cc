@@ -1,6 +1,7 @@
 #include "gpusim/memory_model.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "util/logging.h"
 
@@ -11,13 +12,47 @@ int64_t ContiguousTransactions(int64_t start_elem, int64_t count,
                                int warp_size) {
   if (count <= 0) return 0;
   IBFS_CHECK(elem_bytes > 0 && seg_bytes > 0 && warp_size > 0);
+  // Sub-warp run: a single (partial) chunk — the common case for status-row
+  // probes, kept free of the periodicity machinery below.
+  if (count < warp_size) {
+    return ChunkTransactions(start_elem * elem_bytes, count * elem_bytes,
+                             seg_bytes);
+  }
+  const int64_t span = int64_t{warp_size} * elem_bytes;
+  const int64_t full_chunks = count / warp_size;
+  // A full chunk's transaction count depends only on its starting byte
+  // offset modulo seg_bytes, and successive chunks advance that offset by
+  // span mod seg_bytes — so the per-chunk counts repeat with period
+  // seg_bytes / gcd(span, seg_bytes) chunks. Sum one period directly and
+  // scale; the leftover full chunks are a prefix of the period. Identical
+  // integers to walking every chunk.
+  const int64_t period =
+      seg_bytes / std::gcd(span, static_cast<int64_t>(seg_bytes));
   int64_t transactions = 0;
-  for (int64_t chunk = 0; chunk < count; chunk += warp_size) {
-    const int64_t chunk_count = std::min<int64_t>(warp_size, count - chunk);
-    const int64_t first_byte = (start_elem + chunk) * elem_bytes;
-    const int64_t last_byte =
-        (start_elem + chunk + chunk_count) * elem_bytes - 1;
-    transactions += last_byte / seg_bytes - first_byte / seg_bytes + 1;
+  if (full_chunks <= 2 * period) {
+    for (int64_t c = 0; c < full_chunks; ++c) {
+      transactions += ChunkTransactions((start_elem + c * warp_size) *
+                                            elem_bytes,
+                                        span, seg_bytes);
+    }
+  } else {
+    const int64_t reps = full_chunks / period;
+    const int64_t rem = full_chunks % period;
+    int64_t per_period = 0;
+    int64_t rem_sum = 0;
+    for (int64_t c = 0; c < period; ++c) {
+      const int64_t t = ChunkTransactions(
+          (start_elem + c * warp_size) * elem_bytes, span, seg_bytes);
+      per_period += t;
+      if (c < rem) rem_sum += t;
+    }
+    transactions = reps * per_period + rem_sum;
+  }
+  const int64_t tail = count % warp_size;
+  if (tail > 0) {
+    transactions += ChunkTransactions(
+        (start_elem + full_chunks * warp_size) * elem_bytes,
+        tail * elem_bytes, seg_bytes);
   }
   return transactions;
 }
@@ -41,6 +76,27 @@ int64_t GatherTransactions(std::span<const int64_t> indices, int elem_bytes,
     if (!seen && n < 64) segs[n++] = seg;
   }
   return static_cast<int64_t>(n);
+}
+
+ContiguousRunAggregator::ContiguousRunAggregator(int64_t count,
+                                                int elem_bytes,
+                                                int seg_bytes,
+                                                int warp_size)
+    : count_(count),
+      elem_bytes_(elem_bytes),
+      seg_bytes_(seg_bytes),
+      warp_size_(warp_size),
+      residue_mask_((seg_bytes & (seg_bytes - 1)) == 0 ? seg_bytes - 1 : -1),
+      uniform_aligned_(residue_mask_ >= 0 && count > 0 && elem_bytes > 0 &&
+                       seg_bytes % (count * elem_bytes) == 0),
+      requests_per_run_((count + warp_size - 1) / warp_size),
+      table_(static_cast<size_t>(seg_bytes), -1) {
+  IBFS_CHECK(count > 0 && elem_bytes > 0 && seg_bytes > 0 && warp_size > 0);
+}
+
+int64_t ContiguousRunAggregator::TransactionsFor(int64_t start_elem) const {
+  return ContiguousTransactions(start_elem, count_, elem_bytes_, seg_bytes_,
+                                warp_size_);
 }
 
 void MemCounters::Add(const MemCounters& other) {

@@ -1,8 +1,10 @@
 #ifndef IBFS_GPUSIM_MEMORY_MODEL_H_
 #define IBFS_GPUSIM_MEMORY_MODEL_H_
 
+#include <bit>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 namespace ibfs::gpusim {
 
@@ -18,6 +20,24 @@ namespace ibfs::gpusim {
 /// Sentinel element index for an inactive lane.
 inline constexpr int64_t kInactiveLane = -1;
 
+/// Transactions for one warp chunk spanning bytes
+/// [first_byte, first_byte + span_bytes - 1]: the number of seg_bytes
+/// segments the span touches. Inline so KernelScope's sub-warp fast path
+/// (runs shorter than a warp are always a single chunk) avoids an
+/// out-of-line call; every shipped DeviceSpec uses a power-of-two segment,
+/// so the common case is two shifts rather than two int64 divisions (the
+/// offsets are non-negative, so shift == division exactly).
+inline int64_t ChunkTransactions(int64_t first_byte, int64_t span_bytes,
+                                 int seg_bytes) {
+  if ((seg_bytes & (seg_bytes - 1)) == 0) {
+    const int shift = std::countr_zero(static_cast<uint32_t>(seg_bytes));
+    return ((first_byte + span_bytes - 1) >> shift) -
+           (first_byte >> shift) + 1;
+  }
+  return (first_byte + span_bytes - 1) / seg_bytes - first_byte / seg_bytes +
+         1;
+}
+
 /// Transactions needed to access `count` contiguous elements of size
 /// `elem_bytes` starting at element index `start_elem` of a segment-aligned
 /// array. Returns 0 when count <= 0. Coalescing happens per warp request:
@@ -26,6 +46,11 @@ inline constexpr int64_t kInactiveLane = -1;
 /// read by 128 one-byte threads costs four transactions — while one thread
 /// reading the same statuses as two packed words costs one. This is the
 /// hardware fact behind the bitwise status array's advantage (Section 6).
+///
+/// Internally O(seg_bytes / gcd) rather than O(count / warp_size): the
+/// per-chunk transaction count is periodic in the chunk's byte offset, so
+/// long runs are summed one period at a time. The result is the same
+/// integer the per-chunk walk produces.
 int64_t ContiguousTransactions(int64_t start_elem, int64_t count,
                                int elem_bytes, int seg_bytes,
                                int warp_size = 32);
@@ -35,6 +60,88 @@ int64_t ContiguousTransactions(int64_t start_elem, int64_t count,
 /// elements; kInactiveLane lanes are masked off. Counts distinct segments.
 int64_t GatherTransactions(std::span<const int64_t> indices, int elem_bytes,
                            int seg_bytes);
+
+/// Batches the accounting of many equal-length contiguous accesses — the
+/// shape of every status-row probe in the joint and bitwise strategies
+/// (`count` and `elem_bytes` fixed per kernel, only the row start varies).
+/// A run's transaction count depends only on its starting *byte offset
+/// within a segment*, so the aggregator memoizes one ContiguousTransactions
+/// result per observed residue and each further Observe is a table lookup
+/// and two adds. Totals are bit-identical to calling
+/// KernelScope::LoadContiguous / StoreContiguous once per run (same
+/// integers, summed in the same order-independent domain); drain into a
+/// scope with KernelScope::LoadRuns / StoreRuns.
+class ContiguousRunAggregator {
+ public:
+  ContiguousRunAggregator(int64_t count, int elem_bytes, int seg_bytes,
+                          int warp_size = 32);
+
+  /// Accounts one contiguous run of `count` elements starting at
+  /// `start_elem` (element index, must be >= 0). The residue reduction is a
+  /// mask when seg_bytes is a power of two (all shipped specs), a modulo
+  /// otherwise — same index either way.
+  void Observe(int64_t start_elem) {
+    const int64_t start_byte = start_elem * elem_bytes_;
+    const size_t residue = static_cast<size_t>(
+        residue_mask_ >= 0 ? start_byte & residue_mask_
+                           : start_byte % seg_bytes_);
+    int64_t& txns = table_[residue];
+    if (txns < 0) txns = TransactionsFor(start_elem);
+    transactions_ += txns;
+    ++runs_;
+  }
+
+  /// True when every *span-aligned* run (start_elem a multiple of count)
+  /// costs exactly one transaction: the span divides the power-of-two
+  /// segment, so an aligned run can never straddle a segment boundary.
+  /// Status-row probes qualify whenever the row size divides 128 bytes —
+  /// the common group sizes — and their inner loops can then charge a whole
+  /// scan with one ObserveAlignedRuns call instead of one Observe per row.
+  bool UniformAligned() const { return uniform_aligned_; }
+
+  /// Accounts `n` span-aligned runs at once. Only valid when
+  /// UniformAligned() — identical integers to n Observe calls whose
+  /// start_elem values are multiples of count().
+  void ObserveAlignedRuns(int64_t n) {
+    runs_ += n;
+    transactions_ += n;
+  }
+
+  /// Forgets the observed runs (the memo table survives) — lets one
+  /// aggregator serve many drain points, e.g. one flush per work item.
+  void Reset() {
+    runs_ = 0;
+    transactions_ = 0;
+  }
+
+  /// Runs observed so far.
+  int64_t runs() const { return runs_; }
+  /// Total transactions across all observed runs.
+  int64_t transactions() const { return transactions_; }
+  /// Total warp requests across all observed runs (one per warp-worth of
+  /// lanes per run, matching LoadContiguous/StoreContiguous).
+  int64_t requests() const { return runs_ * requests_per_run_; }
+
+  int64_t count() const { return count_; }
+  int elem_bytes() const { return elem_bytes_; }
+
+ private:
+  int64_t TransactionsFor(int64_t start_elem) const;
+
+  int64_t count_;
+  int elem_bytes_;
+  int seg_bytes_;
+  int warp_size_;
+  // seg_bytes - 1 when seg_bytes is a power of two, -1 otherwise.
+  int64_t residue_mask_;
+  // See UniformAligned().
+  bool uniform_aligned_;
+  int64_t requests_per_run_;
+  int64_t runs_ = 0;
+  int64_t transactions_ = 0;
+  // Transactions per starting-byte residue, -1 until first observed.
+  std::vector<int64_t> table_;
+};
 
 /// Counters for one kernel (or one aggregated phase). Mirrors the NVIDIA
 /// profiler metrics the paper reports: gld/gst transactions, requests

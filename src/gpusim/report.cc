@@ -28,7 +28,7 @@ ProfileRow MakeRow(const std::string& name, const KernelStats& st,
 }  // namespace
 
 std::vector<ProfileRow> ProfileRows(
-    const std::map<std::string, KernelStats>& phases,
+    const PhaseMap& phases,
     const KernelStats& totals, double elapsed_seconds) {
   std::vector<ProfileRow> rows;
   rows.reserve(phases.size() + 1);
@@ -44,7 +44,7 @@ std::vector<ProfileRow> ProfileRows(const Device& device) {
                      device.elapsed_seconds());
 }
 
-std::string FormatProfile(const std::map<std::string, KernelStats>& phases,
+std::string FormatProfile(const PhaseMap& phases,
                           const KernelStats& totals,
                           double elapsed_seconds) {
   ibfs::CsvTable table({"phase", "time_ms", "pct", "launches", "gld_txn",

@@ -33,7 +33,7 @@ inline constexpr const char* kTotalRowName = "TOTAL";
 /// Builds the profile rows (one per phase tag, plus the totals row last)
 /// from an explicit phase map — e.g. an EngineResult's snapshot.
 std::vector<ProfileRow> ProfileRows(
-    const std::map<std::string, KernelStats>& phases,
+    const PhaseMap& phases,
     const KernelStats& totals, double elapsed_seconds);
 
 /// Same, from a device's accumulated counters.
@@ -47,7 +47,7 @@ std::vector<ProfileRow> ProfileRows(const Device& device);
 std::string FormatProfile(const Device& device);
 
 /// Same, for an explicit phase map (e.g. an EngineResult's snapshot).
-std::string FormatProfile(const std::map<std::string, KernelStats>& phases,
+std::string FormatProfile(const PhaseMap& phases,
                           const KernelStats& totals, double elapsed_seconds);
 
 }  // namespace ibfs::gpusim

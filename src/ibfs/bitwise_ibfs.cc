@@ -26,6 +26,12 @@ constexpr int64_t kExpandChunk = 256;
 // Because the array accumulates *all* visited bits across levels, bottom-up
 // inspection can stop as soon as a frontier's row is all ones — the early
 // termination that MS-BFS's per-level reset forecloses.
+//
+// Accounting discipline: the inner loops charge nothing per neighbor —
+// they count events in plain integers and flush through the scope's Bulk*
+// / LoadRuns entry points at every item boundary, so the batched totals
+// (and therefore max_item_cycles and the simulated seconds) are
+// bit-identical to the former one-call-per-neighbor accounting.
 class BitwiseRunner {
  public:
   BitwiseRunner(const graph::Csr& graph,
@@ -39,12 +45,29 @@ class BitwiseRunner {
         cur_(graph.vertex_count(), n_),
         prev_(graph.vertex_count(), n_),
         sources_(sources.begin(), sources.end()),
-        row_diff_(static_cast<size_t>(words_), 0) {}
+        td_phase_(device->InternPhase("td_inspect")),
+        bu_phase_(device->InternPhase("bu_inspect")),
+        fq_phase_(device->InternPhase("fq_gen")),
+        changed_rows_bm_(
+            CeilDiv(static_cast<uint64_t>(graph.vertex_count()), 64), 0) {}
 
   GroupResult Run();
 
  private:
   void InitSources();
+
+  // Re-establishes prev_ == cur_ after a level: swaps the buffers (prev_
+  // then holds the up-to-date state) and patches cur_'s stale rows — only
+  // `changed` rows can differ, because every mutation this level happened
+  // on a row the XOR sweep collected.
+  void SyncShadow(const std::vector<VertexId>& changed) {
+    std::swap(cur_, prev_);
+    for (VertexId v : changed) {
+      const auto src = prev_.Row(v);
+      auto dst = cur_.MutableRow(v);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
   int64_t RunTopDownLevel(gpusim::KernelScope* scope);
   int64_t RunBottomUpLevel(gpusim::KernelScope* scope);
   void GenerateFrontier(gpusim::KernelScope* scope);
@@ -64,16 +87,36 @@ class BitwiseRunner {
   BitwiseStatusArray cur_;
   BitwiseStatusArray prev_;
   std::vector<VertexId> sources_;
+  const gpusim::PhaseId td_phase_;
+  const gpusim::PhaseId bu_phase_;
+  const gpusim::PhaseId fq_phase_;
   std::vector<VertexId> jfq_;
   std::vector<uint64_t> jfq_masks_;
   // Scratch for the fused frontier-generation sweep: the speculative
-  // top-down queue (swapped into jfq_ when top-down wins) and one row's
-  // XOR diff.
+  // top-down queue (swapped into jfq_ when top-down wins) and its masks.
   std::vector<VertexId> next_jfq_;
   std::vector<uint64_t> next_masks_;
-  std::vector<uint64_t> row_diff_;
-  // depths[j][v]; recorded as frontier identification discovers new bits.
-  std::vector<std::vector<uint8_t>> depths_;
+  // Bottom-up candidate queue collected *inside* RunBottomUpLevel: each
+  // item owns its row, so it knows at EndItem whether the row is still
+  // unsaturated. When consecutive levels run bottom-up the frontier
+  // generation swaps this in instead of rescanning every vertex (rows only
+  // gain bits, so unsaturated rows are always a subset of the current
+  // bottom-up queue — identical to the full scan's result).
+  std::vector<VertexId> bu_next_jfq_;
+  std::vector<uint64_t> bu_next_masks_;
+  int64_t bu_private_sum_ = 0;
+  // One bit per vertex, set by the level kernels the moment a row gains a
+  // bit. The frontier sweep walks only these rows (in ascending vertex
+  // order, same as a full scan) instead of XOR-scanning all V*words words;
+  // cleared after each sweep. Purely a host-side shortcut — the simulated
+  // kernel still bills both full status-array reads.
+  std::vector<uint64_t> changed_rows_bm_;
+  // Depth matrix in vertex-major order, depth of (v, j) at [v*n_ + j]:
+  // the fused sweep discovers new bits row by row, so recording a row's
+  // depths touches adjacent bytes instead of n_ distinct per-instance
+  // arrays. Transposed into GroupResult's instance-major layout once at
+  // the end of Run.
+  std::vector<uint8_t> depth_matrix_;
   GroupTrace trace_;
 
   int level_ = 1;
@@ -90,10 +133,20 @@ class BitwiseRunner {
 
 void BitwiseRunner::InitSources() {
   unexplored_edges_ = static_cast<int64_t>(n_) * graph_.edge_count();
+  // Queue entries are unique vertices, so V (and V*words for the masks)
+  // bounds every frontier vector; reserving once spares the hot push_back
+  // paths all reallocation for the rest of the run.
+  const auto v_cap = static_cast<size_t>(graph_.vertex_count());
+  const size_t mask_cap = v_cap * static_cast<size_t>(words_);
+  jfq_.reserve(v_cap);
+  next_jfq_.reserve(v_cap);
+  bu_next_jfq_.reserve(v_cap);
+  jfq_masks_.reserve(mask_cap);
+  next_masks_.reserve(mask_cap);
+  bu_next_masks_.reserve(mask_cap);
   if (options_.record_depths) {
-    depths_.assign(n_, std::vector<uint8_t>(
-                           static_cast<size_t>(graph_.vertex_count()),
-                           kUnvisitedDepth));
+    depth_matrix_.assign(
+        static_cast<size_t>(graph_.vertex_count()) * n_, kUnvisitedDepth);
   }
   for (int j = 0; j < n_; ++j) {
     const VertexId s = sources_[j];
@@ -102,7 +155,9 @@ void BitwiseRunner::InitSources() {
       jfq_masks_.resize(jfq_masks_.size() + words_, 0);
     }
     cur_.SetBit(s, j);
-    if (options_.record_depths) depths_[j][s] = 0;
+    if (options_.record_depths) {
+      depth_matrix_[static_cast<size_t>(s) * n_ + j] = 0;
+    }
     new_frontier_edges_ += graph_.OutDegree(s);
     unexplored_edges_ -= graph_.OutDegree(s);
   }
@@ -120,13 +175,24 @@ int64_t BitwiseRunner::RunTopDownLevel(gpusim::KernelScope* scope) {
   if (options_.adjacency_cache) {
     scope->SetCtaSharedBytes(options_.cache_tile_bytes);
   }
+  // Status rows all share one transaction shape (words_ x 8 bytes); their
+  // loads run through the memoizing aggregator and drain at item
+  // boundaries.
+  gpusim::ContiguousRunAggregator row_loads(
+      words_, 8, device_->spec().transaction_bytes,
+      device_->spec().warp_size);
+  const bool uniform_rows = row_loads.UniformAligned();
   for (size_t i = 0; i < jfq_.size(); ++i) {
     const VertexId f = jfq_[i];
     scope->BeginItem();
     // One thread serves the whole group: load the frontier's full visited
     // mask (Algorithm 1 line 5 ORs BSA_k[f], not just the new bits — the
     // extra bits are harmless because their neighbors are already visited).
-    scope->LoadContiguous(prev_.ElementIndex(f, 0), words_, 8);
+    if (uniform_rows) {
+      row_loads.ObserveAlignedRuns(1);
+    } else {
+      row_loads.Observe(prev_.ElementIndex(f, 0));
+    }
     const auto mask_f = prev_.Row(f);
 
     // Logical inspections: each instance sharing f inspects each edge.
@@ -142,34 +208,83 @@ int64_t BitwiseRunner::RunTopDownLevel(gpusim::KernelScope* scope) {
                          static_cast<int64_t>(sizeof(VertexId)));
     }
 
-    int64_t chunk_progress = 0;
-    for (VertexId v : neighbors) {
-      if (++chunk_progress > kExpandChunk) {
-        scope->EndItem();
-        scope->BeginItem();
-        chunk_progress = 1;
-      }
-      // Updates are merged in shared memory within the CTA first (the
-      // paper's scheme for avoiding per-neighbor atomic overhead); only
-      // words that actually change are pushed to global memory with an
-      // atomic OR — the synchronization MS-BFS's single-thread formulation
-      // does not need (Section 6).
-      scope->SharedBytes(8 * words_);
-      scope->Compute(words_);
-      auto row_v = cur_.MutableRow(v);
-      int changed_words = 0;
-      for (int w = 0; w < words_; ++w) {
-        const uint64_t before = row_v[w];
-        const uint64_t after = before | mask_f[w];
-        if (after != before) {
-          row_v[w] = after;
-          ++changed_words;
-          new_visits += PopCount(after ^ before);
+    // Updates are merged in shared memory within the CTA first (the
+    // paper's scheme for avoiding per-neighbor atomic overhead); only
+    // words that actually change are pushed to global memory with an
+    // atomic OR — the synchronization MS-BFS's single-thread formulation
+    // does not need (Section 6). Per neighbor that is 8*words_ shared
+    // bytes + words_ ops + the changed-word atomics, accumulated here and
+    // flushed at each item boundary.
+    int64_t in_chunk = 0;
+    int64_t chunk_atomics = 0;
+    const auto flush_chunk = [&] {
+      scope->LoadRuns(row_loads);
+      row_loads.Reset();
+      scope->BulkShared(in_chunk, 8 * words_);
+      scope->BulkCompute(in_chunk, words_);
+      scope->BulkAtomics(chunk_atomics);
+      in_chunk = 0;
+      chunk_atomics = 0;
+    };
+    if (words_ == 1) {
+      // Whole-group state is a single word: one OR per neighbor, straight
+      // off the flat word array. The chunk boundary is hoisted out of the
+      // per-neighbor loop: process min(kExpandChunk - in_chunk, remaining)
+      // neighbors back to back, then flush — the same item brackets the
+      // per-neighbor form produces.
+      const uint64_t mask = mask_f[0];
+      uint64_t* const cwords = cur_.MutableWords().data();
+      uint64_t* const bm = changed_rows_bm_.data();
+      const VertexId* const nb = neighbors.data();
+      const int64_t n_nbrs = static_cast<int64_t>(neighbors.size());
+      int64_t pos = 0;
+      while (pos < n_nbrs) {
+        if (in_chunk == kExpandChunk) {
+          flush_chunk();
+          scope->EndItem();
+          scope->BeginItem();
+        }
+        const int64_t stop =
+            std::min(n_nbrs, pos + (kExpandChunk - in_chunk));
+        in_chunk += stop - pos;
+        for (; pos < stop; ++pos) {
+          const VertexId v = nb[pos];
+          uint64_t& cell = cwords[v];
+          const uint64_t after = cell | mask;
+          if (after != cell) {
+            new_visits += PopCount(after ^ cell);
+            cell = after;
+            ++chunk_atomics;
+            bm[static_cast<uint64_t>(v) >> 6] |= uint64_t{1} << (v & 63);
+          }
         }
       }
-      if (changed_words > 0) scope->Atomic(changed_words);
-      level_inspections_ += share_count;
+    } else {
+      uint64_t* const bm = changed_rows_bm_.data();
+      for (VertexId v : neighbors) {
+        if (in_chunk == kExpandChunk) {
+          flush_chunk();
+          scope->EndItem();
+          scope->BeginItem();
+        }
+        ++in_chunk;
+        auto row_v = cur_.MutableRow(v);
+        for (int w = 0; w < words_; ++w) {
+          const uint64_t before = row_v[w];
+          const uint64_t after = before | mask_f[w];
+          if (after != before) {
+            row_v[w] = after;
+            ++chunk_atomics;
+            new_visits += PopCount(after ^ before);
+            bm[static_cast<uint64_t>(v) >> 6] |= uint64_t{1} << (v & 63);
+          }
+        }
+      }
     }
+    flush_chunk();
+    level_inspections_ +=
+        static_cast<int64_t>(share_count) *
+        static_cast<int64_t>(neighbors.size());
     scope->EndItem();
   }
   return new_visits;
@@ -179,60 +294,170 @@ int64_t BitwiseRunner::RunBottomUpLevel(gpusim::KernelScope* scope) {
   const bool can_terminate_early =
       options_.early_termination && !options_.msbfs_reset;
   int64_t new_visits = 0;
+  bu_next_jfq_.clear();
+  bu_next_masks_.clear();
+  bu_private_sum_ = 0;
+  // Per-neighbor row loads all have the same shape (words_ elements of 8
+  // bytes); the aggregator memoizes their transaction counts by residue
+  // and drains before each EndItem.
+  gpusim::ContiguousRunAggregator row_loads(
+      words_, 8, device_->spec().transaction_bytes,
+      device_->spec().warp_size);
+  // Row starts are always multiples of words_, so when the row span
+  // divides the segment the whole neighbor scan is charged with one
+  // ObserveAlignedRuns(scanned) call instead of one Observe per parent.
+  const bool uniform_rows = row_loads.UniformAligned();
   for (VertexId f : jfq_) {
     scope->BeginItem();
-    scope->LoadContiguous(cur_.ElementIndex(f, 0), words_, 8);
+    if (!uniform_rows) row_loads.Observe(cur_.ElementIndex(f, 0));
     auto row_f = cur_.MutableRow(f);
 
-    // Saturated-word count for row f, kept incrementally below: the
-    // early-termination test becomes one integer compare per neighbor
-    // instead of an O(words) RowAllSet rescan. A word is saturated when
-    // every valid instance bit is set.
-    int saturated_words = 0;
+    // Unset valid bits of row f (= logical inspections each neighbor scan
+    // performs), kept incrementally: the early-termination test becomes
+    // one integer compare per neighbor instead of an O(words) rescan.
+    int64_t unset_bits = 0;
     for (int wi = 0; wi < words_; ++wi) {
       const uint64_t valid =
           wi + 1 == words_ ? cur_.LastWordMask() : ~uint64_t{0};
-      if (row_f[wi] == valid) ++saturated_words;
+      unset_bits += PopCount(~row_f[wi] & valid);
     }
 
     const auto neighbors = graph_.InNeighbors(f);
     int64_t scanned = 0;
     bool changed = false;
-    for (VertexId w : neighbors) {
-      if (can_terminate_early && saturated_words == words_) {
-        // Early termination: every instance has found f's parent; the
-        // thread is freed for other frontiers (Section 6).
-        break;
+    if (words_ == 1) {
+      const uint64_t valid = cur_.LastWordMask();
+      const uint64_t* const pwords = prev_.Words().data();
+      uint64_t row = row_f[0];
+      // Inspections accrue at the *current* unset-bit count, which only
+      // moves when the row gains bits — so the charge is accumulated per
+      // stretch of unchanged scans (scan_base marks the stretch start)
+      // instead of per neighbor. Same total, fewer adds.
+      int64_t scan_base = 0;
+      if (can_terminate_early && uniform_rows) {
+        // Tightest form: rows entering the bottom-up queue are unsaturated
+        // by construction (both queue builders filter all-ones rows and
+        // bits only accumulate), so unset_bits > 0 until an update drives
+        // it to zero — the early-termination test needs to run only inside
+        // the update branch, not once per scanned neighbor. Breaking there
+        // stops before the next scan, exactly where the per-neighbor test
+        // would have stopped.
+        const VertexId* const nbp = neighbors.data();
+        const int64_t n_nbrs = static_cast<int64_t>(neighbors.size());
+        int64_t idx = 0;
+        bool terminated = false;
+        // Exact scan of one neighbor; true when the row just saturated.
+        const auto scan_one = [&](int64_t at) {
+          const uint64_t after = row | (pwords[nbp[at]] & valid);
+          if (after != row) {
+            // Neighbor `at` itself was inspected at the pre-update count.
+            level_inspections_ += unset_bits * (at + 1 - scan_base);
+            scan_base = at + 1;
+            const int added = PopCount(after ^ row);
+            new_visits += added;
+            unset_bits -= added;
+            row = after;
+            changed = true;
+            return unset_bits == 0;
+          }
+          return false;
+        };
+        // Blocks of four parents whose combined words add nothing to the
+        // row (the common case once the group saturates) are skipped with
+        // one OR-tree and one compare; a block that would change the row
+        // is replayed one parent at a time so the inspection stretches and
+        // the early-termination point stay exact.
+        while (idx + 4 <= n_nbrs) {
+          const uint64_t blk = pwords[nbp[idx]] | pwords[nbp[idx + 1]] |
+                               pwords[nbp[idx + 2]] | pwords[nbp[idx + 3]];
+          if ((blk & valid & ~row) == 0) {
+            idx += 4;
+            continue;
+          }
+          const int64_t e = idx + 4;
+          for (; idx < e; ++idx) {
+            if (scan_one(idx)) {
+              // Early termination: every instance has found f's parent;
+              // the thread is freed for other frontiers (Section 6).
+              ++idx;
+              terminated = true;
+              break;
+            }
+          }
+          if (terminated) break;
+        }
+        while (!terminated && idx < n_nbrs) {
+          if (scan_one(idx)) {
+            ++idx;
+            break;
+          }
+          ++idx;
+        }
+        scanned = idx;
+      } else {
+        for (VertexId w : neighbors) {
+          if (can_terminate_early && unset_bits == 0) break;
+          ++scanned;
+          if (!uniform_rows) row_loads.Observe(w);
+          const uint64_t after = row | (pwords[w] & valid);
+          if (after != row) {
+            level_inspections_ += unset_bits * (scanned - scan_base);
+            scan_base = scanned;
+            new_visits += PopCount(after ^ row);
+            unset_bits -= PopCount(after ^ row);
+            row = after;
+            changed = true;
+          }
+        }
       }
-      ++scanned;
-      scope->LoadContiguous(prev_.ElementIndex(w, 0), words_, 8);
-      scope->Compute(words_);
-      // Logical inspections: instances still lacking a parent for f.
-      for (int wi = 0; wi < words_; ++wi) {
-        const uint64_t valid =
-            wi + 1 == words_ ? cur_.LastWordMask() : ~uint64_t{0};
-        level_inspections_ += PopCount(~row_f[wi] & valid);
-      }
-      const auto row_w = prev_.Row(w);
-      for (int wi = 0; wi < words_; ++wi) {
-        const uint64_t before = row_f[wi];
-        const uint64_t after = before | row_w[wi];
-        if (after != before) {
-          row_f[wi] = after;
-          changed = true;
-          new_visits += PopCount(after ^ before);
-          const uint64_t valid =
-              wi + 1 == words_ ? cur_.LastWordMask() : ~uint64_t{0};
-          if (after == valid) ++saturated_words;
+      level_inspections_ += unset_bits * (scanned - scan_base);
+      row_f[0] = row;
+    } else {
+      for (VertexId w : neighbors) {
+        if (can_terminate_early && unset_bits == 0) break;
+        ++scanned;
+        if (!uniform_rows) row_loads.Observe(prev_.ElementIndex(w, 0));
+        level_inspections_ += unset_bits;
+        const auto row_w = prev_.Row(w);
+        for (int wi = 0; wi < words_; ++wi) {
+          const uint64_t before = row_f[wi];
+          const uint64_t after = before | row_w[wi];
+          if (after != before) {
+            row_f[wi] = after;
+            changed = true;
+            new_visits += PopCount(after ^ before);
+            unset_bits -= PopCount(after ^ before);
+          }
         }
       }
     }
+    if (unset_bits > 0) {
+      // Row f is still unsaturated: it stays on the bottom-up frontier.
+      // Recording it here (with its unvisited mask) is what lets a
+      // bottom-up -> bottom-up transition skip the full-vertex rescan.
+      bu_next_jfq_.push_back(f);
+      const uint64_t last_valid = cur_.LastWordMask();
+      for (int wi = 0; wi < words_; ++wi) {
+        const uint64_t valid = wi + 1 == words_ ? last_valid : ~uint64_t{0};
+        bu_next_masks_.push_back(~row_f[wi] & valid);
+      }
+      bu_private_sum_ += unset_bits;
+    }
+    if (uniform_rows) {
+      // scanned parent-row loads + the initial load of row f itself.
+      row_loads.ObserveAlignedRuns(scanned + 1);
+    }
+    scope->BulkCompute(scanned, words_);
+    scope->LoadRuns(row_loads);
+    row_loads.Reset();
     scope->LoadContiguous(static_cast<int64_t>(graph_.in_row_offsets()[f]),
                           scanned, sizeof(VertexId));
     if (changed) {
       // One thread owns row f: plain (non-atomic) write-back, as the
       // paper's warp/CTA tree-merging avoids atomics in bottom-up.
       scope->StoreContiguous(cur_.ElementIndex(f, 0), words_, 8);
+      changed_rows_bm_[static_cast<uint64_t>(f) >> 6] |=
+          uint64_t{1} << (f & 63);
     }
     if (options_.collect_instance_stats) {
       // One thread's bottom-up workload for this frontier: the number of
@@ -285,30 +510,44 @@ void BitwiseRunner::GenerateFrontier(gpusim::KernelScope* scope) {
   next_jfq_.clear();
   next_masks_.clear();
   int64_t td_private_sum = 0;
-  for (int64_t v = 0; v < n_vertices; ++v) {
-    const auto vid = static_cast<VertexId>(v);
-    const auto row_cur = cur_.Row(vid);
-    const auto row_prev = prev_.Row(vid);
-    int new_bits = 0;
-    for (int w = 0; w < words_; ++w) {
-      uint64_t diff = row_cur[w] ^ row_prev[w];
-      row_diff_[w] = diff;
-      new_bits += PopCount(diff);
-      if (options_.record_depths) {
-        while (diff != 0) {
-          const int bit = LowestSetBit(diff);
-          diff &= diff - 1;
-          depths_[w * 64 + bit][v] = static_cast<uint8_t>(level_);
+  // The level kernels marked every row they changed in changed_rows_bm_,
+  // so the host walks exactly those rows (ascending vertex order — the
+  // order a flat scan would visit them) instead of XOR-scanning all
+  // V*words words. A marked row always holds a changed word: marks are
+  // set only when an OR actually added bits, and bits are never cleared
+  // within a level.
+  const uint64_t* const cw = cur_.Words().data();
+  const uint64_t* const pw = prev_.Words().data();
+  const int64_t bm_words = static_cast<int64_t>(changed_rows_bm_.size());
+  for (int64_t bwi = 0; bwi < bm_words; ++bwi) {
+    uint64_t marks = changed_rows_bm_[bwi];
+    if (marks == 0) continue;
+    changed_rows_bm_[bwi] = 0;
+    while (marks != 0) {
+      const int64_t v = bwi * 64 + LowestSetBit(marks);
+      marks &= marks - 1;
+      const int64_t base = v * words_;
+      const auto vid = static_cast<VertexId>(v);
+      int new_bits = 0;
+      uint8_t* const depth_row =
+          options_.record_depths ? depth_matrix_.data() + v * n_ : nullptr;
+      for (int w = 0; w < words_; ++w) {
+        uint64_t diff = cw[base + w] ^ pw[base + w];
+        next_masks_.push_back(diff);
+        new_bits += PopCount(diff);
+        if (depth_row != nullptr) {
+          while (diff != 0) {
+            const int bit = LowestSetBit(diff);
+            diff &= diff - 1;
+            depth_row[w * 64 + bit] = static_cast<uint8_t>(level_);
+          }
         }
       }
-    }
-    if (new_bits > 0) {
+      // new_bits > 0 by construction: this row contains a changed word.
       const int64_t d = graph_.OutDegree(vid);
       new_frontier_edges_ += static_cast<int64_t>(new_bits) * d;
       unexplored_edges_ -= static_cast<int64_t>(new_bits) * d;
       next_jfq_.push_back(vid);
-      next_masks_.insert(next_masks_.end(), row_diff_.begin(),
-                         row_diff_.end());
       td_private_sum += new_bits;
       if (options_.record_depths) {
         // Depth write-out: one coalesced store touching v's depth row.
@@ -322,10 +561,11 @@ void BitwiseRunner::GenerateFrontier(gpusim::KernelScope* scope) {
   if (level_new_visits_ == 0 || level_ >= options_.max_level) {
     finished_ = true;
     jfq_.clear();
-    prev_.CopyFrom(cur_);
+    SyncShadow(next_jfq_);
     return;
   }
 
+  const bool was_bottom_up = bottom_up_;
   ChooseDirection();
 
   int64_t private_sum = 0;
@@ -336,21 +576,46 @@ void BitwiseRunner::GenerateFrontier(gpusim::KernelScope* scope) {
     jfq_.swap(next_jfq_);
     jfq_masks_.swap(next_masks_);
     private_sum = td_private_sum;
+  } else if (was_bottom_up) {
+    // Bottom-up again: the level just run already recorded every row that
+    // stayed unsaturated (rows only gain bits, so no vertex outside the
+    // old queue can have become a candidate). Same queue, same masks, same
+    // order as the full scan below — without re-reading V rows.
+    jfq_.swap(bu_next_jfq_);
+    jfq_masks_.swap(bu_next_masks_);
+    private_sum = bu_private_sum_;
   } else {
-    // Bottom-up frontier: any instance still unvisited (NOT all-ones).
-    // This predicate reads cur_ only, so it cannot ride the XOR sweep.
+    // Top-down -> bottom-up switch: any instance still unvisited (NOT
+    // all-ones). This predicate reads cur_ only, so it cannot ride the XOR
+    // sweep, and after a top-down level no per-row record exists — scan.
     jfq_.clear();
     jfq_masks_.clear();
-    for (int64_t v = 0; v < n_vertices; ++v) {
-      const auto vid = static_cast<VertexId>(v);
-      if (!cur_.RowAllSet(vid)) {
-        const auto row_cur = cur_.Row(vid);
-        jfq_.push_back(vid);
+    const uint64_t last_valid = cur_.LastWordMask();
+    if (words_ == 1) {
+      for (int64_t v = 0; v < n_vertices; ++v) {
+        const uint64_t mask = ~cw[v] & last_valid;
+        if (mask == 0) continue;
+        jfq_.push_back(static_cast<VertexId>(v));
+        jfq_masks_.push_back(mask);
+        private_sum += PopCount(mask);
+      }
+    } else {
+      for (int64_t v = 0; v < n_vertices; ++v) {
+        const int64_t base = v * words_;
+        bool saturated = true;
+        for (int w = 0; w < words_; ++w) {
+          const uint64_t valid = w + 1 == words_ ? last_valid : ~uint64_t{0};
+          if (cw[base + w] != valid) {
+            saturated = false;
+            break;
+          }
+        }
+        if (saturated) continue;
+        jfq_.push_back(static_cast<VertexId>(v));
         int unvisited = 0;
         for (int w = 0; w < words_; ++w) {
-          const uint64_t valid =
-              w + 1 == words_ ? cur_.LastWordMask() : ~uint64_t{0};
-          const uint64_t mask = ~row_cur[w] & valid;
+          const uint64_t valid = w + 1 == words_ ? last_valid : ~uint64_t{0};
+          const uint64_t mask = ~cw[base + w] & valid;
           jfq_masks_.push_back(mask);
           unvisited += PopCount(mask);
         }
@@ -365,8 +630,11 @@ void BitwiseRunner::GenerateFrontier(gpusim::KernelScope* scope) {
   scope->Atomic((static_cast<int64_t>(jfq_.size()) + gpusim::kWarpSize - 1) /
                 gpusim::kWarpSize);
 
-  // BSA_{k+1} <- BSA_k (Algorithm 1 line 1): stream copy.
-  prev_.CopyFrom(cur_);
+  // BSA_{k+1} <- BSA_k (Algorithm 1 line 1). The simulated device streams
+  // the whole array (charged below); the host gets away with a buffer swap
+  // plus re-copying only the rows this level changed — the list the fused
+  // sweep just built (swapped into jfq_ when top-down won).
+  SyncShadow(bottom_up_ ? next_jfq_ : jfq_);
   scope->LoadContiguous(0, n_vertices * words_, 8);
   scope->StoreContiguous(0, n_vertices * words_, 8);
   if (options_.msbfs_reset) {
@@ -393,13 +661,12 @@ GroupResult BitwiseRunner::Run() {
     level_new_visits_ = 0;
     level_inspections_ = 0;
     {
-      auto scope =
-          device_->BeginKernel(bottom_up_ ? "bu_inspect" : "td_inspect");
+      auto scope = device_->BeginKernel(bottom_up_ ? bu_phase_ : td_phase_);
       level_new_visits_ =
           bottom_up_ ? RunBottomUpLevel(&scope) : RunTopDownLevel(&scope);
     }
     {
-      auto scope = device_->BeginKernel("fq_gen");
+      auto scope = device_->BeginKernel(fq_phase_);
       GenerateFrontier(&scope);
     }
     lt.edges_inspected = level_inspections_;
@@ -411,7 +678,25 @@ GroupResult BitwiseRunner::Run() {
   GroupResult result;
   result.trace = std::move(trace_);
   result.trace.instance_count = n_;
-  result.depths = std::move(depths_);
+  if (options_.record_depths) {
+    // Blocked transpose of the vertex-major depth matrix into the
+    // instance-major result layout: a 64-vertex block's rows (<= 4 KiB for
+    // group sizes up to 64) stay cached across all n_ output columns.
+    const int64_t n_vertices = graph_.vertex_count();
+    result.depths.assign(
+        n_, std::vector<uint8_t>(static_cast<size_t>(n_vertices)));
+    constexpr int64_t kBlock = 64;
+    for (int64_t v0 = 0; v0 < n_vertices; v0 += kBlock) {
+      const int64_t v1 = std::min(n_vertices, v0 + kBlock);
+      for (int j = 0; j < n_; ++j) {
+        uint8_t* const out = result.depths[j].data();
+        const uint8_t* const in = depth_matrix_.data() + j;
+        for (int64_t v = v0; v < v1; ++v) {
+          out[v] = in[static_cast<size_t>(v) * n_];
+        }
+      }
+    }
+  }
   return result;
 }
 

@@ -41,6 +41,12 @@ class BitwiseStatusArray {
   std::span<const uint64_t> Row(graph::VertexId v) const {
     return {data_.data() + RowOffset(v), static_cast<size_t>(words_)};
   }
+
+  /// The whole array as a flat word sequence (vertex v's row occupies
+  /// words [v*words_per_vertex, (v+1)*words_per_vertex)) — lets the fused
+  /// frontier sweep scan without materializing per-row spans.
+  std::span<const uint64_t> Words() const { return data_; }
+  std::span<uint64_t> MutableWords() { return data_; }
   std::span<uint64_t> MutableRow(graph::VertexId v) {
     return {data_.data() + RowOffset(v), static_cast<size_t>(words_)};
   }

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -7,6 +8,7 @@
 #include "ibfs/level_observer.h"
 #include "ibfs/status_array.h"
 #include "ibfs/strategies.h"
+#include "util/bitops.h"
 
 namespace ibfs::internal_strategies {
 namespace {
@@ -17,9 +19,36 @@ using graph::VertexId;
 // parallel expansion of high-degree frontiers).
 constexpr int64_t kExpandChunk = 256;
 
+// Bytes of `row[0..n)` equal to `target`, counted eight at a time with the
+// exact SWAR zero-byte test (no false positives from borrow propagation).
+// This is the frontier predicate of every JSA row scan; one word op per 8
+// instances replaces 8 byte compares.
+inline int CountEqualBytes(const uint8_t* row, int n, uint8_t target) {
+  constexpr uint64_t kLow = 0x0101010101010101ULL;
+  constexpr uint64_t kMask7f = 0x7f7f7f7f7f7f7f7fULL;
+  const uint64_t broadcast = kLow * target;
+  int count = 0;
+  int k = 0;
+  for (; k + 8 <= n; k += 8) {
+    uint64_t x;
+    std::memcpy(&x, row + k, 8);
+    const uint64_t z = x ^ broadcast;
+    // Byte of y is 0x80 iff the corresponding byte of z is zero.
+    const uint64_t y = ~((((z & kMask7f) + kMask7f) | z) | kMask7f);
+    count += PopCount(y);
+  }
+  for (; k < n; ++k) count += row[k] == target;
+  return count;
+}
+
 // Joint-traversal runner state (Section 4): one kernel per level over a
 // Joint Frontier Queue, with the Joint Status Array providing coalesced
 // per-vertex status rows.
+//
+// Accounting discipline: the per-neighbor row loads/stores run through
+// ContiguousRunAggregators (all rows share one shape: n_ one-byte
+// elements) and compute ops accumulate in plain integers, flushed at every
+// item boundary — bit-identical totals to the former per-call charges.
 class JointRunner {
  public:
   JointRunner(const graph::Csr& graph,
@@ -31,6 +60,13 @@ class JointRunner {
         n_(static_cast<int>(sources.size())),
         jsa_(graph.vertex_count(), n_),
         sources_(sources.begin(), sources.end()),
+        td_phase_(device->InternPhase("td_inspect")),
+        bu_phase_(device->InternPhase("bu_inspect")),
+        fq_phase_(device->InternPhase("fq_gen")),
+        row_loads_(n_, 1, device->spec().transaction_bytes,
+                   device->spec().warp_size),
+        row_stores_(n_, 1, device->spec().transaction_bytes,
+                    device->spec().warp_size),
         bu_inspections_per_instance_(n_, 0) {}
 
   GroupResult Run();
@@ -50,6 +86,13 @@ class JointRunner {
   const int n_;
   JointStatusArray jsa_;
   std::vector<VertexId> sources_;
+  const gpusim::PhaseId td_phase_;
+  const gpusim::PhaseId bu_phase_;
+  const gpusim::PhaseId fq_phase_;
+  // Status rows all have the same transaction shape; the aggregators
+  // memoize per-residue counts across the whole run.
+  gpusim::ContiguousRunAggregator row_loads_;
+  gpusim::ContiguousRunAggregator row_stores_;
   FrontierQueue jfq_;
   GroupTrace trace_;
   std::vector<int64_t> bu_inspections_per_instance_;
@@ -124,36 +167,51 @@ int64_t JointRunner::RunTopDownLevel(gpusim::KernelScope* scope) {
       }
     }
 
-    int64_t chunk_progress = 0;
+    // Per-neighbor charges accumulate below and flush at item boundaries:
+    // one coalesced row load + 2 ops per active instance each, plus a row
+    // store for neighbors that took an update.
+    const int64_t ops_per_neighbor = 2 * static_cast<int64_t>(active.size());
+    int64_t in_chunk = 0;
+    const auto flush_chunk = [&] {
+      scope->LoadRuns(row_loads_);
+      row_loads_.Reset();
+      scope->StoreRuns(row_stores_);
+      row_stores_.Reset();
+      scope->BulkCompute(in_chunk, ops_per_neighbor);
+      in_chunk = 0;
+    };
     for (VertexId w : neighbors) {
       // Large frontiers are expanded by many thread groups in parallel
       // (Enterprise's workload classification); re-open the schedulable
       // item every kExpandChunk neighbors so a hub does not serialize.
-      if (++chunk_progress > kExpandChunk) {
+      if (in_chunk == kExpandChunk) {
+        flush_chunk();
         scope->EndItem();
         scope->BeginItem();
-        chunk_progress = 1;
       }
+      ++in_chunk;
       // N contiguous threads inspect w's status row: one coalesced request.
-      scope->LoadContiguous(jsa_.ElementIndex(w, 0), n_, 1);
-      scope->Compute(2 * static_cast<int64_t>(active.size()));
+      row_loads_.Observe(jsa_.ElementIndex(w, 0));
       auto row_w = jsa_.MutableRow(w);
-      bool any_update = false;
+      int updates = 0;
       for (int j : active) {
-        ++level_inspections_;
         if (row_w[j] == kUnvisitedDepth) {
           row_w[j] = static_cast<uint8_t>(level_);
-          any_update = true;
-          ++new_visits;
-          td_frontier_edges_ += graph_.OutDegree(w);
-          unexplored_edges_ -= graph_.OutDegree(w);
+          ++updates;
         }
       }
-      if (any_update) {
+      if (updates > 0) {
+        const int64_t d = graph_.OutDegree(w);
+        new_visits += updates;
+        td_frontier_edges_ += static_cast<int64_t>(updates) * d;
+        unexplored_edges_ -= static_cast<int64_t>(updates) * d;
         // Updates from contiguous threads coalesce into one store request.
-        scope->StoreContiguous(jsa_.ElementIndex(w, 0), n_, 1);
+        row_stores_.Observe(jsa_.ElementIndex(w, 0));
       }
     }
+    flush_chunk();
+    level_inspections_ +=
+        static_cast<int64_t>(active.size()) * static_cast<int64_t>(deg);
     scope->EndItem();
   }
   return new_visits;
@@ -176,30 +234,29 @@ int64_t JointRunner::RunBottomUpLevel(gpusim::KernelScope* scope) {
     }
     scope->Compute(n_);
 
+    const int64_t deg_f = graph_.OutDegree(f);
     const auto neighbors = graph_.InNeighbors(f);
     int64_t scanned = 0;
-    bool any_update = false;
+    int64_t item_ops = 0;
+    int64_t updates = 0;
     for (VertexId w : neighbors) {
       // Each instance's thread exits as soon as it finds a parent; the
       // frontier is done when every instance has.
       if (active.empty()) break;
       ++scanned;
-      scope->LoadContiguous(jsa_.ElementIndex(w, 0), n_, 1);
-      scope->Compute(2 * static_cast<int64_t>(active.size()));
+      row_loads_.Observe(jsa_.ElementIndex(w, 0));
+      item_ops += 2 * static_cast<int64_t>(active.size());
+      level_inspections_ += static_cast<int64_t>(active.size());
       const auto row_w = jsa_.Row(w);
       size_t i = 0;
       while (i < active.size()) {
         const int j = active[i];
-        ++level_inspections_;
         if (options_.collect_instance_stats) {
           ++bu_inspections_per_instance_[j];
         }
         if (row_w[j] < static_cast<uint8_t>(level_)) {
           row_f[j] = static_cast<uint8_t>(level_);
-          any_update = true;
-          ++new_visits;
-          td_frontier_edges_ += graph_.OutDegree(f);
-          unexplored_edges_ -= graph_.OutDegree(f);
+          ++updates;
           if (options_.collect_instance_stats) {
             // Parent found after `scanned` probes: one sample of the
             // bottom-up search-length distribution (Figure 11).
@@ -213,6 +270,14 @@ int64_t JointRunner::RunBottomUpLevel(gpusim::KernelScope* scope) {
         }
       }
     }
+    scope->LoadRuns(row_loads_);
+    row_loads_.Reset();
+    scope->Compute(item_ops);
+    if (updates > 0) {
+      new_visits += updates;
+      td_frontier_edges_ += updates * deg_f;
+      unexplored_edges_ -= updates * deg_f;
+    }
     if (options_.collect_instance_stats) {
       // Searches that exhausted the neighbor list without finding a parent
       // also contribute their full scan length.
@@ -225,7 +290,7 @@ int64_t JointRunner::RunBottomUpLevel(gpusim::KernelScope* scope) {
     if (options_.adjacency_cache) {
       scope->SharedBytes(scanned * static_cast<int64_t>(sizeof(VertexId)));
     }
-    if (any_update) {
+    if (updates > 0) {
       scope->StoreContiguous(jsa_.ElementIndex(f, 0), n_, 1);
     }
     scope->EndItem();
@@ -269,35 +334,22 @@ void JointRunner::GenerateFrontier(gpusim::KernelScope* scope) {
   const int64_t n_vertices = graph_.vertex_count();
   jfq_.Clear();
   int64_t private_sum = 0;
-  std::unique_ptr<bool[]> lane_preds(new bool[n_]);
-  const int next_level = level_ + 1;
+  const uint8_t target = bottom_up_ ? kUnvisitedDepth
+                                    : static_cast<uint8_t>(level_);
   for (int64_t v = 0; v < n_vertices; ++v) {
     const auto vid = static_cast<VertexId>(v);
-    // One warp scans each vertex's status row (Figure 4) and votes.
-    scope->LoadContiguous(jsa_.ElementIndex(vid, 0), n_, 1);
-    scope->Compute(n_);
-    const auto row = jsa_.Row(vid);
-    int hits = 0;
-    for (int j = 0; j < n_; ++j) {
-      const bool is_frontier =
-          bottom_up_ ? row[j] == kUnvisitedDepth
-                     : row[j] == static_cast<uint8_t>(next_level - 1);
-      lane_preds[j] = is_frontier;
-      if (is_frontier) ++hits;
-    }
-    // Warp vote (__any over 32-lane chunks): any instance claims v.
-    bool any = false;
-    for (int base = 0; base < n_; base += gpusim::kWarpSize) {
-      const int chunk = std::min(gpusim::kWarpSize, n_ - base);
-      any |= gpusim::Any({lane_preds.get() + base,
-                          static_cast<size_t>(chunk)});
-      if (any) break;
-    }
-    if (any) {
+    // One warp scans each vertex's status row (Figure 4) and votes: the
+    // SWAR byte match is the whole row's predicates + __any in word ops.
+    row_loads_.Observe(jsa_.ElementIndex(vid, 0));
+    const int hits = CountEqualBytes(jsa_.Row(vid).data(), n_, target);
+    if (hits > 0) {
       jfq_.Push(vid);
       private_sum += hits;
     }
   }
+  scope->LoadRuns(row_loads_);
+  row_loads_.Reset();
+  scope->BulkCompute(n_vertices, n_);
   // Shared frontiers are enqueued exactly once: the store (and its atomic
   // cursor bump) happens per JFQ entry, not per instance — the saving of
   // Figure 18.
@@ -325,13 +377,12 @@ GroupResult JointRunner::Run() {
     // runner's so both take the same per-level decisions).
     td_frontier_edges_ = 0;
     {
-      auto scope =
-          device_->BeginKernel(bottom_up_ ? "bu_inspect" : "td_inspect");
+      auto scope = device_->BeginKernel(bottom_up_ ? bu_phase_ : td_phase_);
       level_new_visits_ =
           bottom_up_ ? RunBottomUpLevel(&scope) : RunTopDownLevel(&scope);
     }
     {
-      auto scope = device_->BeginKernel("fq_gen");
+      auto scope = device_->BeginKernel(fq_phase_);
       GenerateFrontier(&scope);
     }
     lt.edges_inspected = level_inspections_;

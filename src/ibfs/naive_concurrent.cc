@@ -20,6 +20,11 @@ Result<GroupResult> RunNaiveGroup(const graph::Csr& graph,
   GroupResult result;
   result.trace.instance_count = static_cast<int>(sources.size());
 
+  // One interning per run; per-level kernel opens are then index lookups.
+  const gpusim::PhaseId td_phase = device->InternPhase("td_inspect");
+  const gpusim::PhaseId bu_phase = device->InternPhase("bu_inspect");
+  const gpusim::PhaseId fq_phase = device->InternPhase("fq_gen");
+
   std::vector<std::unique_ptr<SingleBfs>> instances;
   instances.reserve(sources.size());
   for (graph::VertexId source : sources) {
@@ -40,8 +45,8 @@ Result<GroupResult> RunNaiveGroup(const graph::Csr& graph,
     // Expansion + inspection: one overlapping kernel per active instance,
     // routed into direction-tagged scopes.
     {
-      auto td_scope = device->BeginKernel("td_inspect");
-      auto bu_scope = device->BeginKernel("bu_inspect");
+      auto td_scope = device->BeginKernel(td_phase);
+      auto bu_scope = device->BeginKernel(bu_phase);
       int64_t td_kernels = 0;
       int64_t bu_kernels = 0;
       for (auto& bfs : instances) {
@@ -60,7 +65,7 @@ Result<GroupResult> RunNaiveGroup(const graph::Csr& graph,
     }
     // Frontier queue generation, again one kernel per active instance.
     {
-      auto scope = device->BeginKernel("fq_gen");
+      auto scope = device->BeginKernel(fq_phase);
       int64_t kernels = 0;
       for (auto& bfs : instances) {
         if (bfs->finished()) continue;

@@ -14,6 +14,11 @@ Result<GroupResult> RunSequentialGroup(const graph::Csr& graph,
   GroupResult result;
   result.trace.instance_count = static_cast<int>(sources.size());
 
+  // One interning per run; per-level kernel opens are then index lookups.
+  const gpusim::PhaseId td_phase = device->InternPhase("td_inspect");
+  const gpusim::PhaseId bu_phase = device->InternPhase("bu_inspect");
+  const gpusim::PhaseId fq_phase = device->InternPhase("fq_gen");
+
   for (graph::VertexId source : sources) {
     SingleBfs bfs(graph, source, options);
     while (!bfs.finished()) {
@@ -24,12 +29,11 @@ Result<GroupResult> RunSequentialGroup(const graph::Csr& graph,
 
       int64_t new_visits = 0;
       {
-        auto scope =
-            device->BeginKernel(bottom_up ? "bu_inspect" : "td_inspect");
+        auto scope = device->BeginKernel(bottom_up ? bu_phase : td_phase);
         new_visits = bfs.RunLevel(&scope);
       }
       {
-        auto scope = device->BeginKernel("fq_gen");
+        auto scope = device->BeginKernel(fq_phase);
         bfs.GenerateNextFrontier(&scope);
       }
 

@@ -92,16 +92,20 @@ int64_t SingleBfs::RunLevel(gpusim::KernelScope* scope) {
       scope->LoadContiguous(
           static_cast<int64_t>(graph_.row_offsets()[f]),
           static_cast<int64_t>(neighbors.size()), sizeof(graph::VertexId));
-      int64_t chunk_progress = 0;
+      // The 2 ops per inspected neighbor accumulate per chunk and flush
+      // before every item boundary — same totals at every EndItem snapshot
+      // as charging them one by one.
+      int64_t in_chunk = 0;
       for (graph::VertexId w : neighbors) {
-        if (++chunk_progress > kExpandChunk) {
+        if (in_chunk == kExpandChunk) {
+          scope->BulkCompute(in_chunk, 2);
+          in_chunk = 0;
           scope->EndItem();
           scope->BeginItem();
-          chunk_progress = 1;
         }
+        ++in_chunk;
         ++total_inspections_;
         status_loads.Add(w);
-        scope->Compute(2);
         if (depths_[w] == kUnvisitedDepth) {
           depths_[w] = static_cast<uint8_t>(level_);
           parents_[w] = f;
@@ -109,6 +113,7 @@ int64_t SingleBfs::RunLevel(gpusim::KernelScope* scope) {
           ++new_visits;
         }
       }
+      scope->BulkCompute(in_chunk, 2);
       scope->EndItem();
     }
   } else {
@@ -123,7 +128,6 @@ int64_t SingleBfs::RunLevel(gpusim::KernelScope* scope) {
         ++bu_inspections_;
         ++total_inspections_;
         status_loads.Add(w);
-        scope->Compute(2);
         if (depths_[w] < level_) {  // kUnvisitedDepth compares greater
           depths_[v] = static_cast<uint8_t>(level_);
           parents_[v] = w;
@@ -132,6 +136,7 @@ int64_t SingleBfs::RunLevel(gpusim::KernelScope* scope) {
           break;  // per-instance early exit inherent to bottom-up
         }
       }
+      scope->BulkCompute(scanned, 2);
       scope->LoadContiguous(
           static_cast<int64_t>(graph_.in_row_offsets()[v]), scanned,
           sizeof(graph::VertexId));

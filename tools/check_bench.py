@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Regression gate for the simulator fast-path bench (BENCH_gpusim.json).
+
+Runs a fresh ``gpusim_bench`` at the exact configuration recorded in the
+committed ``BENCH_gpusim.json`` and compares:
+
+* **Exact** (bit-identical, machine-independent): depth/serve checksums,
+  transaction counters, and simulated seconds of every section. These come
+  out of the deterministic timing model, so any drift is a real behavior
+  change — the same invariant tests/gpusim_perf_test.cc pins against
+  goldens, checked here end-to-end through the bench harness.
+* **Banded** (machine-dependent): wall-clock per section must stay within
+  ``--tolerance`` times the committed number (default 4x — generous, the
+  gate is for catastrophic regressions like an accidental O(n) rescan in a
+  hot loop, not for CI-noise policing).
+
+Usage:
+  check_bench.py REPO_ROOT --binary PATH/TO/gpusim_bench [options]
+
+Exit status 0 on pass, 1 on any violation, 2 on harness errors.
+The serve section is skipped by default (slow, latency-noisy); pass
+--serve to include its checksum in the exact comparison.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Sections holding a deterministic simulated-model fingerprint.
+EXACT_KEYS = {
+    "accounting": ["sim_seconds", "load_transactions"],
+    "bitwise_sweep": [
+        "sim_seconds",
+        "depth_checksum",
+        "load_transactions",
+        "store_transactions",
+        "atomic_ops",
+    ],
+    "joint_sweep": [
+        "sim_seconds",
+        "depth_checksum",
+        "load_transactions",
+        "store_transactions",
+        "atomic_ops",
+    ],
+}
+
+WALL_KEYS = {
+    "accounting": "seconds",
+    "bitwise_sweep": "wall_seconds_best",
+    "joint_sweep": "wall_seconds_best",
+}
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}")
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("root", help="repository root (holds BENCH_gpusim.json)")
+    parser.add_argument("--binary", required=True, help="gpusim_bench executable")
+    parser.add_argument(
+        "--committed",
+        default=None,
+        help="committed bench JSON (default: ROOT/BENCH_gpusim.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("IBFS_BENCH_TOLERANCE", "4.0")),
+        help="allowed wall-clock ratio vs committed (env IBFS_BENCH_TOLERANCE)",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="also run the serve section and compare its checksum",
+    )
+    args = parser.parse_args()
+
+    committed_path = args.committed or os.path.join(args.root, "BENCH_gpusim.json")
+    try:
+        with open(committed_path, encoding="utf-8") as f:
+            committed = json.load(f)
+    except OSError as e:
+        print(f"check_bench: cannot read {committed_path}: {e}")
+        return 2
+
+    config = committed.get("config", {})
+    env = dict(os.environ)
+    # Reproduce the committed workload exactly; counters and sim seconds
+    # are only comparable at an identical configuration.
+    env["IBFS_GPUSIM_BENCH_SCALE"] = str(config.get("rmat_scale", 14))
+    env["IBFS_GPUSIM_BENCH_EDGES"] = str(config.get("edge_factor", 16))
+    env["IBFS_GPUSIM_BENCH_INSTANCES"] = str(config.get("instances", 256))
+    env["IBFS_GPUSIM_BENCH_GROUP"] = str(config.get("group_size", 64))
+    env["IBFS_GPUSIM_BENCH_REPEATS"] = "2"  # wall best-of only; counters exact
+    env["IBFS_GPUSIM_BENCH_SERVE"] = "1" if args.serve else "0"
+    env.pop("IBFS_GPUSIM_BENCH_BASELINE", None)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_path = os.path.join(tmp, "bench.json")
+        env["IBFS_GPUSIM_BENCH_OUT"] = out_path
+        try:
+            subprocess.run(
+                [args.binary], env=env, check=True, stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT, timeout=600,
+            )
+        except (subprocess.SubprocessError, OSError) as e:
+            print(f"check_bench: bench run failed: {e}")
+            return 2
+        with open(out_path, encoding="utf-8") as f:
+            fresh = json.load(f)
+
+    rc = 0
+    for section, keys in EXACT_KEYS.items():
+        for key in keys:
+            want = committed.get(section, {}).get(key)
+            got = fresh.get(section, {}).get(key)
+            if want != got:
+                rc = fail(
+                    f"{section}.{key}: fresh {got!r} != committed {want!r} "
+                    "(deterministic model output drifted)"
+                )
+    if args.serve:
+        want = committed.get("serve", {}).get("checksum")
+        got = fresh.get("serve", {}).get("checksum")
+        if want != got:
+            rc = fail(f"serve.checksum: fresh {got!r} != committed {want!r}")
+
+    for section, key in WALL_KEYS.items():
+        want = committed.get(section, {}).get(key)
+        got = fresh.get(section, {}).get(key)
+        if not want or not got:
+            continue
+        ratio = got / want
+        status = "ok" if ratio <= args.tolerance else "REGRESSION"
+        print(
+            f"check_bench: {section}.{key}: {got:.4f}s vs committed "
+            f"{want:.4f}s ({ratio:.2f}x, band {args.tolerance:.1f}x) {status}"
+        )
+        if ratio > args.tolerance:
+            rc = fail(
+                f"{section}.{key} {ratio:.2f}x over committed, "
+                f"band {args.tolerance:.1f}x"
+            )
+
+    if rc == 0:
+        print("check_bench: PASS")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
