@@ -242,19 +242,14 @@ int Main() {
   PrintHeader("gpusim fast path",
               "accounting overhead + traversal-kernel wall clock + serve "
               "p50");
-  const int scale =
-      static_cast<int>(EnvInt64("IBFS_GPUSIM_BENCH_SCALE", 14));
-  const int edge_factor =
-      static_cast<int>(EnvInt64("IBFS_GPUSIM_BENCH_EDGES", 16));
+  const int scale = EnvInt("IBFS_GPUSIM_BENCH_SCALE", 14);
+  const int edge_factor = EnvInt("IBFS_GPUSIM_BENCH_EDGES", 16);
   const int64_t instances = EnvInt64("IBFS_GPUSIM_BENCH_INSTANCES", 256);
-  const int group_size =
-      static_cast<int>(EnvInt64("IBFS_GPUSIM_BENCH_GROUP", 64));
-  const int repeats =
-      static_cast<int>(EnvInt64("IBFS_GPUSIM_BENCH_REPEATS", 3));
-  const double qps =
-      static_cast<double>(EnvInt64("IBFS_GPUSIM_BENCH_QPS", 400));
+  const int group_size = EnvInt("IBFS_GPUSIM_BENCH_GROUP", 64);
+  const int repeats = EnvInt("IBFS_GPUSIM_BENCH_REPEATS", 3);
+  const double qps = EnvDouble("IBFS_GPUSIM_BENCH_QPS", 400.0);
   const double duration_s = EnvDouble("IBFS_GPUSIM_BENCH_DURATION", 1.0);
-  const bool run_serve = EnvInt64("IBFS_GPUSIM_BENCH_SERVE", 1) != 0;
+  const bool run_serve = EnvBool("IBFS_GPUSIM_BENCH_SERVE", true);
 
   gen::RmatParams params;
   params.scale = scale;

@@ -54,7 +54,7 @@ int Main() {
   const LoadedGraph& loaded = loaded_set.front();
   service::WorkloadOptions workload;
   workload.arrival = service::ArrivalProcess::kPoisson;
-  workload.qps = static_cast<double>(EnvInt64("IBFS_QPS", 400));
+  workload.qps = EnvDouble("IBFS_QPS", 400.0);
   workload.duration_s = EnvDouble("IBFS_DURATION", 1.0);
   workload.seed = 2016;
   auto events = service::GenerateArrivals(loaded.graph, workload);
@@ -106,8 +106,7 @@ int Main() {
     service::ServiceOptions options;
     options.max_batch = 64;
     options.max_delay_ms = delay_ms;
-    options.execute_threads =
-        static_cast<int>(EnvInt64("IBFS_SERVE_THREADS", 2));
+    options.execute_threads = EnvInt("IBFS_SERVE_THREADS", 2);
     options.keep_depths = false;
     // The sweep measures the batching deadline alone; caching would let
     // repeated sources skip batching and blur the comparison.
@@ -143,7 +142,7 @@ int Main() {
   // latency, never answers).
   service::WorkloadOptions hot;
   hot.arrival = service::ArrivalProcess::kBursty;
-  hot.qps = static_cast<double>(EnvInt64("IBFS_HOT_QPS", 600));
+  hot.qps = EnvDouble("IBFS_HOT_QPS", 600.0);
   hot.duration_s = EnvDouble("IBFS_DURATION", 1.0);
   hot.seed = 77;
   hot.burst_size = 16;
@@ -160,8 +159,7 @@ int Main() {
     service::ServiceOptions options;
     options.max_batch = 64;
     options.max_delay_ms = 2.0;
-    options.execute_threads =
-        static_cast<int>(EnvInt64("IBFS_SERVE_THREADS", 2));
+    options.execute_threads = EnvInt("IBFS_SERVE_THREADS", 2);
     options.keep_depths = false;
     options.cache.enabled = cache_on;
     options.engine = engine;

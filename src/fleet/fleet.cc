@@ -1,0 +1,407 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "baselines/reference_bfs.h"
+#include "ibfs/status_array.h"
+#include "obs/metrics.h"
+#include "util/checksum.h"
+#include "util/logging.h"
+
+namespace ibfs::fleet {
+namespace {
+
+/// Fan-out bucket layout for the fleet.scatter_fanout histogram (1..64+
+/// shards per scatter).
+std::span<const double> FanoutBounds() {
+  static const std::vector<double> bounds = obs::PowerOfTwoBounds(1, 7);
+  return bounds;
+}
+
+}  // namespace
+
+uint64_t FoldChecksum(uint64_t state, uint64_t checksum) {
+  // Little-endian byte order so the merge is platform-independent.
+  uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<uint8_t>(checksum >> (8 * i));
+  }
+  return Fnv1aExtend(state, bytes);
+}
+
+const char* ShardHealthName(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy:
+      return "healthy";
+    case ShardHealth::kDegraded:
+      return "degraded";
+    case ShardHealth::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+Status FleetOptions::Validate() const {
+  if (shards < 1) {
+    return Status::InvalidArgument("fleet needs at least one shard");
+  }
+  if (vnodes < 1) {
+    return Status::InvalidArgument("vnodes must be >= 1");
+  }
+  if (error_rate_threshold < 0.0 || error_rate_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "error_rate_threshold must be in [0, 1]");
+  }
+  if (min_health_samples < 1) {
+    return Status::InvalidArgument("min_health_samples must be >= 1");
+  }
+  if (gather_threads < 1) {
+    return Status::InvalidArgument("gather_threads must be >= 1");
+  }
+  return service.Validate();
+}
+
+double FleetStats::Imbalance() const {
+  int64_t max_routed = 0;
+  int64_t sum = 0;
+  int live = 0;
+  for (size_t s = 0; s < routed.size(); ++s) {
+    if (s < health.size() && health[s] == ShardHealth::kDown) continue;
+    max_routed = std::max(max_routed, routed[s]);
+    sum += routed[s];
+    ++live;
+  }
+  if (live == 0 || sum == 0) return 0.0;
+  const double mean = static_cast<double>(sum) / static_cast<double>(live);
+  return static_cast<double>(max_routed) / mean;
+}
+
+namespace {
+
+HashRing MakeRing(const FleetOptions& options) {
+  HashRing::Options ring_options;
+  ring_options.vnodes = options.vnodes;
+  ring_options.seed = options.ring_seed;
+  return HashRing(options.shards, ring_options);
+}
+
+}  // namespace
+
+FleetFrontDoor::FleetFrontDoor(const graph::Csr* graph, FleetOptions options)
+    : graph_(graph),
+      options_(std::move(options)),
+      ring_(MakeRing(options_)),
+      full_ring_(MakeRing(options_)),
+      health_(static_cast<size_t>(options_.shards), ShardHealth::kHealthy),
+      routed_(static_cast<size_t>(options_.shards), 0) {}
+
+Result<std::unique_ptr<FleetFrontDoor>> FleetFrontDoor::Create(
+    const graph::Csr* graph, FleetOptions options) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("fleet needs a graph");
+  }
+  IBFS_RETURN_NOT_OK(options.Validate());
+  std::unique_ptr<FleetFrontDoor> fleet(
+      new FleetFrontDoor(graph, std::move(options)));
+  fleet->shards_.reserve(static_cast<size_t>(fleet->options_.shards));
+  for (int s = 0; s < fleet->options_.shards; ++s) {
+    // Shared-nothing: every shard gets its own engine, device fleet,
+    // caches, and batcher from the same template, so any shard's answer
+    // for a source is bit-identical to any other's.
+    auto shard =
+        service::BfsService::Create(graph, fleet->options_.service);
+    IBFS_RETURN_NOT_OK(shard.status());
+    fleet->shards_.push_back(std::move(shard).value());
+  }
+  fleet->gather_pool_ =
+      std::make_unique<ThreadPool>(fleet->options_.gather_threads);
+  fleet->PublishHealthGauges();
+  return fleet;
+}
+
+FleetFrontDoor::~FleetFrontDoor() { Shutdown(); }
+
+std::future<service::QueryResult> FleetFrontDoor::AnswerUnowned(
+    graph::VertexId source) {
+  std::promise<service::QueryResult> promise;
+  std::future<service::QueryResult> future = promise.get_future();
+  service::QueryResult result;
+  result.source = source;
+  obs::MetricsRegistry* metrics = options_.service.observer.metrics;
+  if (static_cast<int64_t>(source) >= graph_->vertex_count()) {
+    result.status = Status::OutOfRange("source vertex outside graph");
+  } else if (options_.cpu_fallback) {
+    // Every shard is gone; degrade to the sequential CPU reference path —
+    // the same depths a shard would have produced, minus the performance
+    // contract.
+    result.depths = baselines::ReferenceDepthsU8(
+        *graph_, source, options_.service.engine.traversal.max_level);
+    result.depth_checksum = Fnv1a(result.depths);
+    for (uint8_t d : result.depths) {
+      if (d != kUnvisitedDepth) ++result.reached;
+    }
+    if (!options_.service.keep_depths) result.depths.clear();
+    result.degraded = true;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++fallback_answers_;
+    }
+    if (metrics != nullptr) {
+      metrics->GetCounter("fleet.fallback_answers")->Increment();
+    }
+  } else {
+    result.status = Status::Unavailable("fleet has no live shards");
+  }
+  promise.set_value(std::move(result));
+  return future;
+}
+
+std::future<service::QueryResult> FleetFrontDoor::SubmitRouted(
+    graph::VertexId source, int* shard_out) {
+  const uint64_t key = static_cast<uint64_t>(source);
+  std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+  const int shard = ring_.ShardFor(key);
+  if (shard < 0) {
+    route_lock.unlock();
+    if (shard_out != nullptr) *shard_out = -1;
+    return AnswerUnowned(source);
+  }
+  const int home = full_ring_.ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++routed_[static_cast<size_t>(shard)];
+    if (shard != home) ++failover_reroutes_;
+  }
+  obs::MetricsRegistry* metrics = options_.service.observer.metrics;
+  if (metrics != nullptr) {
+    metrics->GetCounter("fleet.routed")->Increment();
+    if (shard != home) metrics->GetCounter("fleet.failovers")->Increment();
+  }
+  if (shard_out != nullptr) *shard_out = shard;
+  // Submitted under the shared route lock: KillShard only drains a shard
+  // after taking the unique lock, so a shard picked off the ring here is
+  // still accepting (and a post-shutdown race inside BfsService resolves
+  // the future with FailedPrecondition rather than dropping it).
+  return shards_[static_cast<size_t>(shard)]->Submit(source);
+}
+
+std::future<service::QueryResult> FleetFrontDoor::Submit(
+    graph::VertexId source) {
+  return SubmitRouted(source, nullptr);
+}
+
+MultiQueryResult FleetFrontDoor::Gather(
+    std::vector<std::future<service::QueryResult>> futures,
+    int shards_touched) {
+  MultiQueryResult multi;
+  multi.shards_touched = shards_touched;
+  multi.results.reserve(futures.size());
+  uint64_t combined = kFnv1aOffsetBasis;
+  for (std::future<service::QueryResult>& future : futures) {
+    service::QueryResult result = future.get();
+    combined =
+        FoldChecksum(combined, result.status.ok() ? result.depth_checksum
+                                                  : 0);
+    if (multi.status.ok() && !result.status.ok()) {
+      multi.status = result.status;
+    }
+    multi.results.push_back(std::move(result));
+  }
+  multi.combined_checksum = combined;
+  return multi;
+}
+
+MultiQueryResult FleetFrontDoor::MultiQuery(
+    const std::vector<graph::VertexId>& sources) {
+  return SubmitMulti(sources).get();
+}
+
+std::future<MultiQueryResult> FleetFrontDoor::SubmitMulti(
+    std::vector<graph::VertexId> sources) {
+  // Scatter now — routing reflects the ring at submit time — and gather
+  // on the internal pool so the caller's thread never blocks on shard
+  // execution.
+  std::vector<std::future<service::QueryResult>> futures;
+  futures.reserve(sources.size());
+  std::vector<int> touched;
+  for (graph::VertexId source : sources) {
+    int shard = -1;
+    futures.push_back(SubmitRouted(source, &shard));
+    if (shard >= 0) touched.push_back(shard);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++multi_queries_;
+    multi_sources_ += static_cast<int64_t>(sources.size());
+  }
+  obs::MetricsRegistry* metrics = options_.service.observer.metrics;
+  if (metrics != nullptr) {
+    metrics->GetCounter("fleet.scatter_queries")->Increment();
+    metrics->GetHistogram("fleet.scatter_fanout", FanoutBounds())
+        ->Observe(static_cast<double>(touched.size()));
+  }
+  auto promise = std::make_shared<std::promise<MultiQueryResult>>();
+  std::future<MultiQueryResult> future = promise->get_future();
+  const int fanout = static_cast<int>(touched.size());
+  ThreadPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+    pool = gather_pool_.get();
+    if (pool == nullptr) {
+      // Fleet already drained: every shard future is ready, so gathering
+      // inline is instant.
+      promise->set_value(Gather(std::move(futures), fanout));
+      return future;
+    }
+    auto pending = std::make_shared<
+        std::vector<std::future<service::QueryResult>>>(std::move(futures));
+    pool->Submit([this, promise, pending, fanout] {
+      promise->set_value(Gather(std::move(*pending), fanout));
+    });
+  }
+  return future;
+}
+
+bool FleetFrontDoor::KillShard(int shard) {
+  {
+    std::unique_lock<std::shared_mutex> route_lock(route_mu_);
+    if (shard < 0 || static_cast<size_t>(shard) >= shards_.size() ||
+        health_[static_cast<size_t>(shard)] == ShardHealth::kDown) {
+      return false;
+    }
+    health_[static_cast<size_t>(shard)] = ShardHealth::kDown;
+    ring_.Remove(shard);
+  }
+  PublishHealthGauges();
+  // Drain outside the route lock: new submits already route around the
+  // shard, and Shutdown resolves every future it still holds.
+  shards_[static_cast<size_t>(shard)]->Shutdown();
+  return true;
+}
+
+int FleetFrontDoor::CheckHealth() {
+  int transitions = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    {
+      std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+      if (health_[s] != ShardHealth::kHealthy) continue;
+    }
+    const service::BfsService::Stats stats = shards_[s]->stats();
+    const service::CacheStats cache = shards_[s]->cache_stats();
+    const int64_t answered = stats.completed + stats.failed;
+    const bool error_rate_bad =
+        answered >= options_.min_health_samples &&
+        static_cast<double>(stats.failed) >
+            options_.error_rate_threshold * static_cast<double>(answered);
+    // Resilience signals from PR-4: opened circuit breakers, quarantined
+    // cache entries, and CPU-fallback groups all mean the shard is
+    // answering (correctly) with a reduced machine under it.
+    const bool resilience_degraded = stats.breaker_opened > 0 ||
+                                     cache.quarantined > 0 ||
+                                     stats.fallback_groups > 0;
+    if (error_rate_bad || resilience_degraded) {
+      std::unique_lock<std::shared_mutex> route_lock(route_mu_);
+      if (health_[s] == ShardHealth::kHealthy) {
+        health_[s] = ShardHealth::kDegraded;
+        ++transitions;
+      }
+    }
+  }
+  if (transitions > 0) PublishHealthGauges();
+  return transitions;
+}
+
+int FleetFrontDoor::OwnerShard(graph::VertexId source) const {
+  std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+  return ring_.ShardFor(static_cast<uint64_t>(source));
+}
+
+int FleetFrontDoor::HomeShard(graph::VertexId source) const {
+  return full_ring_.ShardFor(static_cast<uint64_t>(source));
+}
+
+ShardHealth FleetFrontDoor::shard_health(int shard) const {
+  std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+  IBFS_CHECK(shard >= 0 && static_cast<size_t>(shard) < health_.size());
+  return health_[static_cast<size_t>(shard)];
+}
+
+void FleetFrontDoor::PublishHealthGauges() {
+  obs::MetricsRegistry* metrics = options_.service.observer.metrics;
+  if (metrics == nullptr) return;
+  int healthy = 0;
+  int degraded = 0;
+  int down = 0;
+  {
+    std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+    for (ShardHealth h : health_) {
+      switch (h) {
+        case ShardHealth::kHealthy:
+          ++healthy;
+          break;
+        case ShardHealth::kDegraded:
+          ++degraded;
+          break;
+        case ShardHealth::kDown:
+          ++down;
+          break;
+      }
+    }
+  }
+  metrics->GetGauge("fleet.shards")
+      ->Set(static_cast<double>(shards_.size()));
+  metrics->GetGauge("fleet.shards_healthy")->Set(healthy);
+  metrics->GetGauge("fleet.shards_degraded")->Set(degraded);
+  metrics->GetGauge("fleet.shards_down")->Set(down);
+  metrics->GetGauge("fleet.imbalance")->Set(stats().Imbalance());
+}
+
+FleetStats FleetFrontDoor::stats() const {
+  FleetStats fleet;
+  fleet.shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    fleet.shard.push_back(shard->stats());
+    fleet.totals.Add(fleet.shard.back());
+  }
+  {
+    std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+    fleet.health = health_;
+  }
+  for (ShardHealth h : fleet.health) {
+    switch (h) {
+      case ShardHealth::kHealthy:
+        ++fleet.healthy;
+        break;
+      case ShardHealth::kDegraded:
+        ++fleet.degraded;
+        break;
+      case ShardHealth::kDown:
+        ++fleet.down;
+        break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    fleet.routed = routed_;
+    fleet.failover_reroutes = failover_reroutes_;
+    fleet.fallback_answers = fallback_answers_;
+    fleet.multi_queries = multi_queries_;
+    fleet.multi_sources = multi_sources_;
+  }
+  return fleet;
+}
+
+void FleetFrontDoor::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (joined_) return;
+  for (const auto& shard : shards_) shard->Shutdown();
+  // Every shard future is resolved now, so pending gather tasks finish
+  // immediately; the pool destructor completes them before returning.
+  gather_pool_.reset();
+  joined_ = true;
+}
+
+}  // namespace ibfs::fleet

@@ -1,0 +1,225 @@
+#ifndef IBFS_FLEET_FLEET_H_
+#define IBFS_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "service/service.h"
+#include "util/hash_ring.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ibfs::fleet {
+
+/// Distributed serving fleet, modeled in-process: N shared-nothing
+/// `BfsService` shards — each with its own engine, simulated device fleet,
+/// result/plan caches, and telemetry — behind a front door that routes
+/// every source over a seeded consistent-hash ring, scatters multi-source
+/// queries across the owning shards and gathers them with a
+/// bit-deterministic merge, and survives shard loss by rebalancing the dead
+/// shard's ring segment to the survivors (optionally answering degraded
+/// from the CPU reference path when no shard is left at all). The sharding
+/// follows the owner-computes discipline of distributed BFS (Buluç &
+/// Madduri's 1D decomposition): a source's owner is a pure function of the
+/// ring, so routing needs no coordination. See docs/SERVING.md "Fleet".
+
+/// Front-door view of one shard's health. Transitions only move toward
+/// worse states (like the circuit breakers the signals come from): a
+/// degraded shard keeps serving — its answers are still correct — while a
+/// down shard leaves the ring permanently.
+enum class ShardHealth {
+  kHealthy = 0,
+  kDegraded = 1,
+  kDown = 2,
+};
+
+const char* ShardHealthName(ShardHealth health);
+
+/// Folds one per-source depth checksum into a running FNV-1a state
+/// (little-endian byte order, start from kFnv1aOffsetBasis) — the
+/// bit-deterministic merge used by scatter-gather and the workload
+/// driver's submit-order drive checksum.
+uint64_t FoldChecksum(uint64_t state, uint64_t checksum);
+
+/// Configuration of one fleet.
+struct FleetOptions {
+  /// Shard count; each shard is one independent BfsService.
+  int shards = 4;
+  /// Virtual nodes per shard on the routing ring (HashRing::Options).
+  int vnodes = 128;
+  /// Ring placement seed; fleets with equal seeds route identically.
+  uint64_t ring_seed = 2016;
+  /// Template for every shard's service (engine, batching, resilience,
+  /// caching, telemetry). All shards share the same configuration — and
+  /// the same metrics registry / sinks when set — so their answers are
+  /// interchangeable with a single service's.
+  service::ServiceOptions service;
+  /// Health probe: a shard whose failed/(completed+failed) exceeds this
+  /// (with at least `min_health_samples` answered queries) is marked
+  /// degraded by CheckHealth.
+  double error_rate_threshold = 0.5;
+  int64_t min_health_samples = 16;
+  /// When every shard is down, answer from the sequential CPU reference
+  /// BFS with QueryResult::degraded set instead of failing Unavailable.
+  bool cpu_fallback = true;
+  /// Workers gathering SubmitMulti scatter results (>= 1).
+  int gather_threads = 2;
+
+  Status Validate() const;
+};
+
+/// Fleet-level counters plus a consistent per-shard snapshot, as returned
+/// by FleetFrontDoor::stats().
+struct FleetStats {
+  /// Field-wise sum of every shard's Stats (Stats::Add).
+  service::BfsService::Stats totals;
+  /// Per-shard snapshots and front-door routing counts, indexed by shard.
+  std::vector<service::BfsService::Stats> shard;
+  std::vector<int64_t> routed;
+  std::vector<ShardHealth> health;
+  /// Queries whose home shard left the ring and were served by a survivor.
+  int64_t failover_reroutes = 0;
+  /// Queries answered inline from the CPU reference path because no shard
+  /// was left on the ring.
+  int64_t fallback_answers = 0;
+  /// Scatter-gather accounting: MultiQuery/SubmitMulti calls and the
+  /// sources they carried.
+  int64_t multi_queries = 0;
+  int64_t multi_sources = 0;
+  int healthy = 0;
+  int degraded = 0;
+  int down = 0;
+
+  /// max(routed) / mean(routed) over shards that are not down; 0 before
+  /// any routing. 1.0 = perfectly even.
+  double Imbalance() const;
+};
+
+/// What a scatter-gather query resolves to: per-source results in request
+/// order plus a combined checksum that is a pure fold of the per-source
+/// depth checksums — identical for any shard count, which is how the tests
+/// pin bit-deterministic merge.
+struct MultiQueryResult {
+  /// OK when every source completed OK; otherwise the first (request
+  /// order) non-OK per-source status.
+  Status status;
+  std::vector<service::QueryResult> results;
+  /// FNV-1a fold of results[i].depth_checksum bytes in request order
+  /// (OK results only contribute their checksum; failures contribute 0).
+  uint64_t combined_checksum = 0;
+  /// Distinct shards the scatter touched (0 when everything fell back).
+  int shards_touched = 0;
+};
+
+/// The scatter-gather front door. Thread-safe: Submit/MultiQuery/
+/// SubmitMulti may be called from any number of client threads
+/// concurrently with KillShard and CheckHealth. Shutdown (or destruction)
+/// drains every shard — no future is ever abandoned.
+class FleetFrontDoor {
+ public:
+  /// Validates options and spins up the shards. The graph must outlive
+  /// the fleet.
+  static Result<std::unique_ptr<FleetFrontDoor>> Create(
+      const graph::Csr* graph, FleetOptions options);
+
+  ~FleetFrontDoor();
+  FleetFrontDoor(const FleetFrontDoor&) = delete;
+  FleetFrontDoor& operator=(const FleetFrontDoor&) = delete;
+
+  /// Routes one query to the owning shard. The future always becomes
+  /// ready: from the shard, from the CPU fallback (degraded) when no
+  /// shard is left, or with Unavailable when fallback is disabled too.
+  std::future<service::QueryResult> Submit(graph::VertexId source);
+
+  /// Blocking scatter-gather over `sources` (request order preserved).
+  MultiQueryResult MultiQuery(const std::vector<graph::VertexId>& sources);
+
+  /// Async scatter-gather: scatters inline (routing happens now, against
+  /// the current ring), gathers on the internal pool.
+  std::future<MultiQueryResult> SubmitMulti(
+      std::vector<graph::VertexId> sources);
+
+  /// Permanently removes a shard: marks it down, rebalances its ring
+  /// segment to the survivors, then drains it (every in-flight future
+  /// resolves). Returns false when the shard id is out of range or
+  /// already down.
+  bool KillShard(int shard);
+
+  /// Error-rate / breaker / quarantine probe over every live shard;
+  /// marks shards degraded and refreshes the fleet.* health gauges.
+  /// Returns the number of shards whose health changed.
+  int CheckHealth();
+
+  /// The shard currently owning `source` (-1 when the ring is empty).
+  int OwnerShard(graph::VertexId source) const;
+  /// The shard that owned `source` before any failures (full ring).
+  int HomeShard(graph::VertexId source) const;
+
+  ShardHealth shard_health(int shard) const;
+
+  /// Consistent fleet-level snapshot: per-shard Stats, their merged
+  /// totals, routing counts, and health.
+  FleetStats stats() const;
+
+  /// Test hook: the underlying shard service (null when down is fine to
+  /// observe; shards are never destroyed before Shutdown).
+  service::BfsService* shard_for_test(int shard) {
+    return shards_[static_cast<size_t>(shard)].get();
+  }
+
+  /// Drains and joins every shard. Idempotent; called by the destructor.
+  void Shutdown();
+
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  FleetFrontDoor(const graph::Csr* graph, FleetOptions options);
+
+  /// Routing core shared by Submit and the scatter paths. Returns the
+  /// future and reports the serving shard via `shard_out` (-1 = answered
+  /// by CPU fallback or failed Unavailable).
+  std::future<service::QueryResult> SubmitRouted(graph::VertexId source,
+                                                 int* shard_out);
+  /// Resolves a future inline from the CPU reference BFS (degraded) or
+  /// with Unavailable, for sources no shard can own anymore.
+  std::future<service::QueryResult> AnswerUnowned(graph::VertexId source);
+  MultiQueryResult Gather(std::vector<std::future<service::QueryResult>>
+                              futures,
+                          int shards_touched);
+  void PublishHealthGauges();
+
+  const graph::Csr* graph_;
+  FleetOptions options_;
+  std::vector<std::unique_ptr<service::BfsService>> shards_;
+
+  /// Routing state. `ring_` loses segments as shards die; `full_ring_`
+  /// never changes and identifies each source's home shard (so reroutes
+  /// can be counted). Shared-locked on the submit path, unique-locked by
+  /// KillShard/CheckHealth.
+  mutable std::shared_mutex route_mu_;
+  HashRing ring_;
+  const HashRing full_ring_;
+  std::vector<ShardHealth> health_;
+
+  /// Front-door counters (separate from per-shard Stats).
+  mutable std::mutex stats_mu_;
+  std::vector<int64_t> routed_;
+  int64_t failover_reroutes_ = 0;
+  int64_t fallback_answers_ = 0;
+  int64_t multi_queries_ = 0;
+  int64_t multi_sources_ = 0;
+
+  std::unique_ptr<ThreadPool> gather_pool_;
+  bool joined_ = false;  // guarded by shutdown_mu_
+  std::mutex shutdown_mu_;
+};
+
+}  // namespace ibfs::fleet
+
+#endif  // IBFS_FLEET_FLEET_H_

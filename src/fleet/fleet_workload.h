@@ -1,0 +1,82 @@
+#ifndef IBFS_FLEET_FLEET_WORKLOAD_H_
+#define IBFS_FLEET_FLEET_WORKLOAD_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "graph/csr.h"
+#include "obs/report.h"
+#include "service/workload.h"
+#include "util/status.h"
+
+namespace ibfs::fleet {
+
+/// Open-loop workload driving for the fleet front door, reusing the
+/// service layer's seeded arrival schedules. The same event list driven
+/// through a single BfsService and through an N-shard fleet must produce
+/// the same per-query depth checksums — DriveFleet folds them (submit
+/// order) into one drive checksum so that invariant is one integer
+/// comparison.
+struct FleetWorkloadOptions {
+  /// Arrival process, load, and seed (service::GenerateArrivals).
+  service::WorkloadOptions workload;
+  /// Bundle this many consecutive arrivals into one scatter-gather
+  /// SubmitMulti at the first event's scheduled time (1 = single-source
+  /// submits only). The queried source multiset is identical either way.
+  int multi_source = 1;
+  /// Kill this shard mid-drive (-1 = no kill), at `kill_at_s` seconds
+  /// into the schedule (negative = the schedule midpoint).
+  int kill_shard = -1;
+  double kill_at_s = -1.0;
+
+  Status Validate() const;
+};
+
+/// The outcome of driving one workload through a fleet.
+struct FleetDriveResult {
+  /// Per query in submit order (scatter-gather results flattened in
+  /// request order).
+  std::vector<service::QueryResult> results;
+  double wall_seconds = 0.0;
+  /// Completed-OK queries per wall second.
+  double achieved_qps = 0.0;
+  /// FNV-1a fold of the OK results' depth checksums in submit order —
+  /// invariant across shard counts and failover.
+  uint64_t checksum = 0;
+  /// Futures that failed to resolve within the drain timeout. The fleet's
+  /// availability contract makes this 0; the chaos harness asserts it.
+  int64_t unanswered = 0;
+  int64_t multi_queries = 0;
+  /// Fleet snapshot after the drive fully drained (final counts).
+  FleetStats stats;
+};
+
+/// Submits every event at its scheduled time (bundled per `multi_source`),
+/// kills the configured shard on schedule, drains, and collects every
+/// future. The fleet is shut down afterwards.
+Result<FleetDriveResult> DriveFleet(FleetFrontDoor* fleet,
+                                    std::span<const service::WorkloadEvent>
+                                        events,
+                                    const FleetWorkloadOptions& options);
+
+/// Builds the "ibfs.fleet_report" document from a driven workload.
+obs::FleetReport BuildFleetReport(const std::string& graph_name,
+                                  const graph::Csr& graph,
+                                  const FleetOptions& fleet_options,
+                                  const FleetWorkloadOptions& workload,
+                                  const FleetDriveResult& drive);
+
+/// Fleet chaos harness: drives the workload with `kill_shard` armed,
+/// verifies every OK answer against a fault-free CPU baseline of the same
+/// source, and reports availability (unanswered futures) alongside the
+/// checksum comparison. Fails only on setup errors; shard loss is data.
+Result<obs::FleetReport> RunFleetChaos(const std::string& graph_name,
+                                       const graph::Csr& graph,
+                                       const FleetOptions& fleet_options,
+                                       const FleetWorkloadOptions& workload);
+
+}  // namespace ibfs::fleet
+
+#endif  // IBFS_FLEET_FLEET_WORKLOAD_H_

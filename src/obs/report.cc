@@ -412,4 +412,140 @@ Status ResilienceReport::WriteFile(const std::string& path,
   return Status::OK();
 }
 
+void FleetReport::WriteJson(std::ostream& os,
+                            const MetricsRegistry* metrics) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("schema");
+  w.String(kSchema);
+  w.Key("schema_version");
+  w.Int(kSchemaVersion);
+
+  w.Key("fleet");
+  w.BeginObject();
+  w.Key("graph");
+  w.String(graph);
+  w.Key("vertex_count");
+  w.Int(vertex_count);
+  w.Key("edge_count");
+  w.Int(edge_count);
+  w.Key("strategy");
+  w.String(strategy);
+  w.Key("grouping");
+  w.String(grouping);
+  w.Key("shards");
+  w.Int(shards);
+  w.Key("vnodes");
+  w.Int(vnodes);
+  w.Key("ring_seed");
+  w.Int(ring_seed);
+  w.EndObject();
+
+  w.Key("workload");
+  w.BeginObject();
+  w.Key("arrival");
+  w.String(arrival);
+  w.Key("offered_qps");
+  w.Double(offered_qps);
+  w.Key("duration_seconds");
+  w.Double(duration_seconds);
+  w.Key("queries");
+  w.Int(queries);
+  w.Key("multi_source");
+  w.Int(multi_source);
+  w.Key("multi_queries");
+  w.Int(multi_queries);
+  w.Key("killed_shard");
+  w.Int(killed_shard);
+  w.EndObject();
+
+  w.Key("shards_detail");
+  w.BeginArray();
+  for (const FleetReportShard& row : shard_rows) {
+    w.BeginObject();
+    w.Key("shard");
+    w.Int(row.shard);
+    w.Key("health");
+    w.String(row.health);
+    w.Key("routed");
+    w.Int(row.routed);
+    w.Key("queries");
+    w.Int(row.queries);
+    w.Key("completed");
+    w.Int(row.completed);
+    w.Key("failed");
+    w.Int(row.failed);
+    w.Key("degraded");
+    w.Int(row.degraded);
+    w.Key("cache_hits");
+    w.Int(row.cache_hits);
+    w.Key("batches");
+    w.Int(row.batches);
+    w.Key("groups");
+    w.Int(row.groups);
+    w.Key("sim_seconds");
+    w.Double(row.sim_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("aggregate");
+  w.BeginObject();
+  w.Key("completed");
+  w.Int(completed);
+  w.Key("failed");
+  w.Int(failed);
+  w.Key("achieved_qps");
+  w.Double(achieved_qps);
+  w.Key("wall_seconds");
+  w.Double(wall_seconds);
+  w.Key("imbalance");
+  w.Double(imbalance);
+  w.Key("failover_reroutes");
+  w.Int(failover_reroutes);
+  w.Key("fallback_answers");
+  w.Int(fallback_answers);
+  w.Key("healthy");
+  w.Int(healthy);
+  w.Key("degraded");
+  w.Int(degraded);
+  w.Key("down");
+  w.Int(down);
+  w.EndObject();
+
+  w.Key("verification");
+  w.BeginObject();
+  w.Key("checksum");
+  w.Uint(checksum);
+  w.Key("unanswered");
+  w.Int(unanswered);
+  w.Key("checksums_compared");
+  w.Int(checksums_compared);
+  w.Key("checksum_mismatches");
+  w.Int(checksum_mismatches);
+  w.EndObject();
+
+  w.Key("latency_ms");
+  w.BeginObject();
+  w.Key("total");
+  WriteLatency(&w, total_ms);
+  w.EndObject();
+
+  if (metrics != nullptr) {
+    w.Key("metrics");
+    w.Raw(metrics->ToJson());
+  }
+  w.EndObject();
+}
+
+Status FleetReport::WriteFile(const std::string& path,
+                              const MetricsRegistry* metrics) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WriteJson(out, metrics);
+  out << '\n';
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::OK();
+}
+
 }  // namespace ibfs::obs

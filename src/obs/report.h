@@ -245,6 +245,90 @@ struct ResilienceReport {
                    const MetricsRegistry* metrics = nullptr) const;
 };
 
+/// One shard's slice of the fleet report: its health as the front door saw
+/// it, how many queries the ring routed to it, and its own service
+/// counters.
+struct FleetReportShard {
+  int shard = 0;
+  std::string health;  // "healthy" | "degraded" | "down"
+  int64_t routed = 0;
+  int64_t queries = 0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t degraded = 0;
+  int64_t cache_hits = 0;
+  int64_t batches = 0;
+  int64_t groups = 0;
+  double sim_seconds = 0.0;
+};
+
+/// The distributed-fleet run report ("ibfs.fleet_report"): what one
+/// `ibfs_cli fleet` run measured — the ring configuration, per-shard
+/// routing/health/counters, the aggregate merged across shards, the
+/// scatter-gather accounting, and the checksum verification that the
+/// fleet's answers are bit-identical to a single service's. Plain struct
+/// like the others so the obs layer stays below core; fleet/fleet_workload
+/// builds it.
+struct FleetReport {
+  static constexpr const char* kSchema = "ibfs.fleet_report";
+  static constexpr int kSchemaVersion = 1;
+
+  // Fleet configuration.
+  std::string graph;
+  int64_t vertex_count = 0;
+  int64_t edge_count = 0;
+  std::string strategy;
+  std::string grouping;
+  int64_t shards = 0;
+  int64_t vnodes = 0;
+  int64_t ring_seed = 0;
+
+  // Workload.
+  std::string arrival;
+  double offered_qps = 0.0;
+  double duration_seconds = 0.0;
+  int64_t queries = 0;
+  /// Sources per scatter-gather query (1 = single-source submits only).
+  int64_t multi_source = 0;
+  int64_t multi_queries = 0;
+  /// Which shard was killed mid-run (-1 = none).
+  int64_t killed_shard = -1;
+
+  // Per-shard sections, indexed by shard.
+  std::vector<FleetReportShard> shard_rows;
+
+  // Aggregate across shards plus front-door counters.
+  int64_t completed = 0;
+  int64_t failed = 0;
+  double achieved_qps = 0.0;
+  double wall_seconds = 0.0;
+  double imbalance = 0.0;
+  int64_t failover_reroutes = 0;
+  int64_t fallback_answers = 0;
+  int64_t healthy = 0;
+  int64_t degraded = 0;
+  int64_t down = 0;
+
+  // Determinism + availability verification: FNV-1a fold of the OK
+  // results' depth checksums in submit order (shard-count invariant),
+  // futures that never resolved (must be 0), and the comparison of every
+  // OK answer against a fault-free baseline.
+  uint64_t checksum = 0;
+  int64_t unanswered = 0;
+  int64_t checksums_compared = 0;
+  int64_t checksum_mismatches = 0;
+
+  // Total-latency distribution (milliseconds).
+  ReportLatency total_ms;
+
+  /// Serializes the report; when `metrics` is non-null its snapshot is
+  /// embedded under the "metrics" key.
+  void WriteJson(std::ostream& os,
+                 const MetricsRegistry* metrics = nullptr) const;
+  Status WriteFile(const std::string& path,
+                   const MetricsRegistry* metrics = nullptr) const;
+};
+
 }  // namespace ibfs::obs
 
 #endif  // IBFS_OBS_REPORT_H_

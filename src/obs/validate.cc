@@ -446,6 +446,159 @@ Status ValidateResilienceReportFile(const std::string& path) {
   return ValidateResilienceReport(doc.value());
 }
 
+Status ValidateFleetReport(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Bad("fleet report: top level is not an object");
+  }
+  Status st;
+  const JsonValue* schema = RequireMember(
+      doc, "schema", JsonValue::Kind::kString, &st, "fleet report");
+  if (schema == nullptr) return st;
+  if (schema->string_value() != "ibfs.fleet_report") {
+    return Bad("fleet report: unexpected schema \"" +
+               schema->string_value() + "\"");
+  }
+  const JsonValue* version = RequireMember(
+      doc, "schema_version", JsonValue::Kind::kNumber, &st, "fleet report");
+  if (version == nullptr) return st;
+  if (version->number_value() < 1) {
+    return Bad("fleet report: bad schema_version");
+  }
+
+  const JsonValue* fleet = RequireMember(
+      doc, "fleet", JsonValue::Kind::kObject, &st, "fleet report");
+  if (fleet == nullptr) return st;
+  for (const char* key : {"graph", "strategy", "grouping"}) {
+    if (RequireMember(*fleet, key, JsonValue::Kind::kString, &st,
+                      "fleet report fleet") == nullptr) {
+      return st;
+    }
+  }
+  for (const char* key :
+       {"vertex_count", "edge_count", "shards", "vnodes", "ring_seed"}) {
+    if (RequireMember(*fleet, key, JsonValue::Kind::kNumber, &st,
+                      "fleet report fleet") == nullptr) {
+      return st;
+    }
+  }
+  if (fleet->Find("shards")->number_value() < 1.0) {
+    return Bad("fleet report fleet: \"shards\" must be >= 1");
+  }
+
+  const JsonValue* workload = RequireMember(
+      doc, "workload", JsonValue::Kind::kObject, &st, "fleet report");
+  if (workload == nullptr) return st;
+  if (RequireMember(*workload, "arrival", JsonValue::Kind::kString, &st,
+                    "fleet report workload") == nullptr) {
+    return st;
+  }
+  for (const char* key : {"offered_qps", "duration_seconds", "queries",
+                          "multi_source", "multi_queries", "killed_shard"}) {
+    if (RequireMember(*workload, key, JsonValue::Kind::kNumber, &st,
+                      "fleet report workload") == nullptr) {
+      return st;
+    }
+  }
+
+  const JsonValue* shards = RequireMember(
+      doc, "shards_detail", JsonValue::Kind::kArray, &st, "fleet report");
+  if (shards == nullptr) return st;
+  size_t si = 0;
+  for (const JsonValue& row : shards->array()) {
+    const std::string where =
+        "fleet report shards_detail " + std::to_string(si++);
+    if (!row.is_object()) return Bad(where + ": not an object");
+    const JsonValue* health =
+        RequireMember(row, "health", JsonValue::Kind::kString, &st, where);
+    if (health == nullptr) return st;
+    const std::string& h = health->string_value();
+    if (h != "healthy" && h != "degraded" && h != "down") {
+      return Bad(where + ": unknown health \"" + h + "\"");
+    }
+    for (const char* key :
+         {"shard", "routed", "queries", "completed", "failed", "degraded",
+          "cache_hits", "batches", "groups", "sim_seconds"}) {
+      const JsonValue* value =
+          RequireMember(row, key, JsonValue::Kind::kNumber, &st, where);
+      if (value == nullptr) return st;
+      if (value->number_value() < 0.0) {
+        return Bad(where + ": \"" + std::string(key) + "\" is negative");
+      }
+    }
+  }
+
+  const JsonValue* aggregate = RequireMember(
+      doc, "aggregate", JsonValue::Kind::kObject, &st, "fleet report");
+  if (aggregate == nullptr) return st;
+  for (const char* key :
+       {"completed", "failed", "achieved_qps", "wall_seconds", "imbalance",
+        "failover_reroutes", "fallback_answers", "healthy", "degraded",
+        "down"}) {
+    const JsonValue* value = RequireMember(
+        *aggregate, key, JsonValue::Kind::kNumber, &st,
+        "fleet report aggregate");
+    if (value == nullptr) return st;
+    if (value->number_value() < 0.0) {
+      return Bad(std::string("fleet report aggregate: \"") + key +
+                 "\" is negative");
+    }
+  }
+
+  const JsonValue* verification = RequireMember(
+      doc, "verification", JsonValue::Kind::kObject, &st, "fleet report");
+  if (verification == nullptr) return st;
+  for (const char* key : {"checksum", "unanswered", "checksums_compared",
+                          "checksum_mismatches"}) {
+    if (RequireMember(*verification, key, JsonValue::Kind::kNumber, &st,
+                      "fleet report verification") == nullptr) {
+      return st;
+    }
+  }
+  if (verification->Find("unanswered")->number_value() < 0.0) {
+    return Bad("fleet report verification: \"unanswered\" is negative");
+  }
+  const double compared =
+      verification->Find("checksums_compared")->number_value();
+  const double mismatches =
+      verification->Find("checksum_mismatches")->number_value();
+  if (compared < 0.0 || mismatches < 0.0 || mismatches > compared) {
+    return Bad(
+        "fleet report verification: need 0 <= checksum_mismatches <= "
+        "checksums_compared");
+  }
+
+  const JsonValue* latency = RequireMember(
+      doc, "latency_ms", JsonValue::Kind::kObject, &st, "fleet report");
+  if (latency == nullptr) return st;
+  const JsonValue* total = RequireMember(
+      *latency, "total", JsonValue::Kind::kObject, &st,
+      "fleet report latency_ms");
+  if (total == nullptr) return st;
+  for (const char* key : {"p50", "p95", "p99", "mean", "max"}) {
+    if (RequireMember(*total, key, JsonValue::Kind::kNumber, &st,
+                      "fleet report latency_ms total") == nullptr) {
+      return st;
+    }
+  }
+  const double p50 = total->Find("p50")->number_value();
+  const double p95 = total->Find("p95")->number_value();
+  const double p99 = total->Find("p99")->number_value();
+  if (p50 > p95 || p95 > p99) {
+    return Bad("fleet report latency_ms total: need p50 <= p95 <= p99");
+  }
+
+  if (const JsonValue* metrics = doc.Find("metrics")) {
+    IBFS_RETURN_NOT_OK(ValidateMetrics(*metrics));
+  }
+  return Status::OK();
+}
+
+Status ValidateFleetReportFile(const std::string& path) {
+  Result<JsonValue> doc = ParseJsonFile(path);
+  if (!doc.ok()) return doc.status();
+  return ValidateFleetReport(doc.value());
+}
+
 Status ValidateMetrics(const JsonValue& doc) {
   if (!doc.is_object()) return Bad("metrics: top level is not an object");
   Status st;

@@ -40,6 +40,14 @@ Status ValidateServiceReportFile(const std::string& path);
 Status ValidateResilienceReport(const JsonValue& doc);
 Status ValidateResilienceReportFile(const std::string& path);
 
+/// Checks a parsed fleet report against the "ibfs.fleet_report" schema:
+/// schema/version match, fleet/workload/aggregate/verification sections
+/// with their fields, every shards_detail row carrying a known health
+/// state and non-negative counters, unanswered >= 0, and
+/// checksum_mismatches <= checksums_compared.
+Status ValidateFleetReport(const JsonValue& doc);
+Status ValidateFleetReportFile(const std::string& path);
+
 /// Checks a metrics snapshot: counters/gauges/histograms objects; each
 /// histogram's buckets array is bounds+1 long and sums to count.
 Status ValidateMetrics(const JsonValue& doc);

@@ -73,6 +73,31 @@ Status ServiceOptions::Validate() const {
   return engine.Validate();
 }
 
+void BfsService::Stats::Add(const Stats& other) {
+  queries += other.queries;
+  completed += other.completed;
+  failed += other.failed;
+  batches += other.batches;
+  groups += other.groups;
+  executed_instances += other.executed_instances;
+  size_closes += other.size_closes;
+  deadline_closes += other.deadline_closes;
+  shutdown_closes += other.shutdown_closes;
+  shed += other.shed;
+  deadline_exceeded += other.deadline_exceeded;
+  cache_hits += other.cache_hits;
+  rejected += other.rejected;
+  degraded += other.degraded;
+  retries += other.retries;
+  transient_faults += other.transient_faults;
+  corruptions_detected += other.corruptions_detected;
+  fallback_groups += other.fallback_groups;
+  breaker_opened += other.breaker_opened;
+  sim_seconds += other.sim_seconds;
+  private_fq_sum += other.private_fq_sum;
+  jfq_sum += other.jfq_sum;
+}
+
 double BfsService::Stats::SharingRatio() const {
   if (jfq_sum == 0 || groups == 0 || executed_instances == 0) return 0.0;
   const double avg_instances = static_cast<double>(executed_instances) /
@@ -235,9 +260,15 @@ std::future<QueryResult> BfsService::Submit(graph::VertexId source) {
     QueryResult result;
     result.status = std::move(status);
     result.source = source;
+    // Account before completing (the invariant every completion path
+    // keeps): a stats() snapshot taken after the future resolves must
+    // already count this failure.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.failed;
+      ++stats_.rejected;
+    }
     promise.set_value(std::move(result));
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.failed;
   };
   // Per-query admission check: a bad source fails its own future instead
   // of poisoning the batch it would have joined.
@@ -331,11 +362,11 @@ std::future<QueryResult> BfsService::Submit(graph::VertexId source) {
           "admission queue full (max_pending=" +
           std::to_string(options_.resilience.max_pending) + ")");
       result.source = source;
-      promise.set_value(std::move(result));
       {
         std::lock_guard<std::mutex> stats_lock(stats_mu_);
         ++stats_.shed;
       }
+      promise.set_value(std::move(result));
       if (options_.observer.metering()) {
         options_.observer.metrics->GetCounter("shed.queries")->Increment();
       }
@@ -346,13 +377,18 @@ std::future<QueryResult> BfsService::Submit(graph::VertexId source) {
     query.source = source;
     query.query_id = next_query_id_++;
     query.submitted = Clock::now();
+    // Count the admission before the query becomes visible to the batcher
+    // (we still hold mu_, so it cannot be batched or completed yet):
+    // otherwise a snapshot could see a batch's completions with the
+    // admissions that formed it not yet counted. Lock order is always
+    // mu_ -> stats_mu_; stats_mu_ is never held across another lock.
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.queries;
+    }
     pending_.push_back(std::move(query));
   }
   cv_.notify_all();
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.queries;
-  }
   if (options_.observer.metering()) {
     options_.observer.metrics->GetCounter("service.queries")->Increment();
   }
@@ -449,7 +485,7 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
   if (options_.resilience.deadline_ms > 0.0) {
     std::vector<PendingQuery> live;
     live.reserve(batch.size());
-    int64_t expired = 0;
+    std::vector<std::pair<PendingQuery, QueryResult>> expired;
     for (PendingQuery& query : batch) {
       const double waited_ms = MsBetween(query.submitted, closed);
       if (waited_ms > options_.resilience.deadline_ms) {
@@ -461,25 +497,29 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
         result.batch_id = batch_id;
         result.latency.queue_ms = waited_ms;
         result.latency.total_ms = waited_ms;
-        RecordCompletion(result);
-        query.promise.set_value(std::move(result));
-        ++expired;
+        expired.emplace_back(std::move(query), std::move(result));
       } else {
         live.push_back(std::move(query));
       }
     }
     batch = std::move(live);
-    if (expired > 0) {
+    if (!expired.empty()) {
+      const int64_t count = static_cast<int64_t>(expired.size());
+      // Account before completing (stats() snapshot invariant).
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
-        stats_.deadline_exceeded += expired;
+        stats_.deadline_exceeded += count;
       }
       if (metrics != nullptr) {
-        metrics->GetCounter("shed.deadline_exceeded")->Increment(expired);
+        metrics->GetCounter("shed.deadline_exceeded")->Increment(count);
       }
       if (tracer != nullptr) {
         tracer->Instant(track, "deadline_expired", SinceStartUs(closed),
-                        {obs::Arg("queries", expired)});
+                        {obs::Arg("queries", count)});
+      }
+      for (auto& [query, result] : expired) {
+        RecordCompletion(result);
+        query.promise.set_value(std::move(result));
       }
     }
     if (batch.empty()) return;
@@ -533,6 +573,11 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
     plan_cache_->Put(sorted_unique, plan.value());
   }
   if (!plan.ok()) {
+    // Account before completing (stats() snapshot invariant).
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.failed += static_cast<int64_t>(state->queries.size());
+    }
     for (PendingQuery& query : state->queries) {
       QueryResult result;
       result.status = plan.status();
@@ -544,8 +589,6 @@ void BfsService::DispatchBatch(std::vector<PendingQuery> batch,
       RecordCompletion(result);
       query.promise.set_value(std::move(result));
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.failed += static_cast<int64_t>(state->queries.size());
     return;
   }
   state->groups = std::move(plan.value().grouping.groups);

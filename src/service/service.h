@@ -163,7 +163,12 @@ struct QueryResult {
 /// completes, none are abandoned.
 class BfsService {
  public:
-  /// Aggregate counters since Create, snapshot under the stats lock.
+  /// Aggregate counters since Create. stats() returns a copy taken under
+  /// one lock, and every mutation path accounts *before* it completes the
+  /// client-visible future — so a snapshot taken after a future resolved
+  /// already includes that query's contribution, and cross-field
+  /// invariants (completed + failed <= queries + cache_hits + shed +
+  /// rejected, MeanBatchSize inputs) hold in every snapshot.
   struct Stats {
     int64_t queries = 0;
     int64_t completed = 0;
@@ -187,6 +192,10 @@ class BfsService {
     /// `completed` but not `queries` — like shed queries they never join
     /// a batch, so MeanBatchSize stays a statement about executed work).
     int64_t cache_hits = 0;
+    /// Submissions refused at the front door (bad source, post-shutdown)
+    /// — counted in `failed` but not `queries`: like shed queries they
+    /// never join a batch.
+    int64_t rejected = 0;
     int64_t degraded = 0;
     int64_t retries = 0;
     int64_t transient_faults = 0;
@@ -199,6 +208,10 @@ class BfsService {
     /// definition as EngineResult::SharingRatio).
     int64_t private_fq_sum = 0;
     int64_t jfq_sum = 0;
+
+    /// Field-wise accumulation — the fleet front door merges per-shard
+    /// snapshots into fleet-level totals with this.
+    void Add(const Stats& other);
 
     /// Aggregate sharing ratio achieved by dynamic batching so far.
     double SharingRatio() const;

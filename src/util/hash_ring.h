@@ -1,0 +1,135 @@
+#ifndef IBFS_UTIL_HASH_RING_H_
+#define IBFS_UTIL_HASH_RING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ibfs {
+
+/// Consistent-hash ring for routing keys (BFS source vertices) to shards.
+///
+/// Each shard contributes `vnodes * weight` virtual nodes, placed by a
+/// seeded 64-bit mix, so the key space splits into many small segments and
+/// per-shard load stays balanced (the fleet tests pin <= 15% imbalance at
+/// 128 vnodes). Removing a shard erases only its virtual nodes: every key
+/// it owned falls through to the next surviving point while keys owned by
+/// other shards keep their owner — the minimal-disruption property that
+/// makes failover cheap (only the dead shard's sources remap, so only
+/// those queries re-warm a survivor's cache).
+///
+/// The placement is a pure function of (seed, shard, vnode) and lookups are
+/// pure functions of (seed, key), so two rings built with the same
+/// parameters route identically across processes and platforms — the fleet
+/// relies on this for bit-deterministic scatter/gather.
+///
+/// Not thread-safe; FleetFrontDoor guards its ring with a shared mutex.
+class HashRing {
+ public:
+  struct Options {
+    /// Virtual nodes per unit of weight. More vnodes = smoother balance at
+    /// the cost of a larger (still tiny) sorted point table.
+    int vnodes = 128;
+    /// Placement seed; rings with equal seeds route identically.
+    uint64_t seed = 2016;
+    /// Optional per-shard weights (empty = all 1). Shard s gets
+    /// vnodes * weights[s] points, i.e. roughly weights[s] / sum(weights)
+    /// of the key space.
+    std::vector<int> weights;
+  };
+
+  /// splitmix64 finalizer: the avalanche mix behind both virtual-node
+  /// placement and key hashing.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  explicit HashRing(int shard_count) : HashRing(shard_count, Options()) {}
+
+  HashRing(int shard_count, Options options)
+      : seed_(options.seed),
+        active_(static_cast<size_t>(shard_count < 0 ? 0 : shard_count),
+                true) {
+    const int vnodes = options.vnodes < 1 ? 1 : options.vnodes;
+    for (int shard = 0; shard < shard_count; ++shard) {
+      const int weight =
+          static_cast<size_t>(shard) < options.weights.size()
+              ? std::max(1, options.weights[static_cast<size_t>(shard)])
+              : 1;
+      for (int v = 0; v < vnodes * weight; ++v) {
+        const uint64_t point =
+            Mix(seed_ ^ Mix((static_cast<uint64_t>(shard) << 32) |
+                            static_cast<uint64_t>(v)));
+        ring_.push_back({point, shard});
+      }
+    }
+    // Hash ties (vanishingly rare) break by shard id so the order — and
+    // therefore every routing decision — is fully deterministic.
+    std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+      return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+    });
+  }
+
+  /// Owning shard for `key`, or -1 when every shard has been removed.
+  int ShardFor(uint64_t key) const {
+    if (ring_.empty()) return -1;
+    const uint64_t h = Mix(seed_ ^ Mix(key));
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const Point& p, uint64_t value) { return p.hash < value; });
+    if (it == ring_.end()) it = ring_.begin();  // wrap past the last point
+    return it->shard;
+  }
+
+  /// Removes a shard's virtual nodes (its keys fall to the survivors that
+  /// own the next points clockwise). Returns false when the shard id is out
+  /// of range or already removed. Removed shards never come back — the
+  /// fleet models permanent loss, like its circuit breakers.
+  bool Remove(int shard) {
+    if (shard < 0 || static_cast<size_t>(shard) >= active_.size() ||
+        !active_[static_cast<size_t>(shard)]) {
+      return false;
+    }
+    active_[static_cast<size_t>(shard)] = false;
+    ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                               [shard](const Point& p) {
+                                 return p.shard == shard;
+                               }),
+                ring_.end());
+    return true;
+  }
+
+  bool Contains(int shard) const {
+    return shard >= 0 && static_cast<size_t>(shard) < active_.size() &&
+           active_[static_cast<size_t>(shard)];
+  }
+
+  /// Shards still on the ring.
+  int active_count() const {
+    int count = 0;
+    for (bool a : active_) count += a ? 1 : 0;
+    return count;
+  }
+
+  int shard_count() const { return static_cast<int>(active_.size()); }
+  bool empty() const { return ring_.empty(); }
+  size_t point_count() const { return ring_.size(); }
+
+ private:
+  struct Point {
+    uint64_t hash = 0;
+    int shard = 0;
+  };
+
+  uint64_t seed_;
+  std::vector<bool> active_;
+  /// Sorted by (hash, shard); binary-searched by ShardFor.
+  std::vector<Point> ring_;
+};
+
+}  // namespace ibfs
+
+#endif  // IBFS_UTIL_HASH_RING_H_

@@ -1,0 +1,521 @@
+// Tests of the distributed serving fleet: consistent-hash ring properties
+// (seeded determinism, bounded imbalance, minimal disruption on shard
+// loss), front-door checksum parity with a single BfsService at every
+// shard count, scatter-gather merge determinism, health/failover
+// behavior, the CPU-fallback path, cache behavior across a failover, and
+// the chaos harness + fleet-report validator. Suite names start with
+// "Fleet" or "HashRing" so the tsan preset's filter picks them up.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/reference_bfs.h"
+#include "fleet/fleet.h"
+#include "fleet/fleet_workload.h"
+#include "graph/components.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/validate.h"
+#include "service/service.h"
+#include "service/workload.h"
+#include "test_util.h"
+#include "util/checksum.h"
+#include "util/hash_ring.h"
+
+namespace ibfs::fleet {
+namespace {
+
+using ::ibfs::testing::MakeRmatGraph;
+
+// --------------------------------------------------------------- hash ring --
+
+TEST(HashRingTest, SeededPlacementIsDeterministic) {
+  HashRing::Options options;
+  options.vnodes = 64;
+  options.seed = 7;
+  const HashRing a(4, options);
+  const HashRing b(4, options);
+  for (uint64_t key = 0; key < 4096; ++key) {
+    ASSERT_EQ(a.ShardFor(key), b.ShardFor(key)) << "key " << key;
+  }
+}
+
+TEST(HashRingTest, DifferentSeedsRouteDifferently) {
+  HashRing::Options options;
+  options.vnodes = 64;
+  options.seed = 7;
+  const HashRing a(4, options);
+  options.seed = 8;
+  const HashRing b(4, options);
+  int moved = 0;
+  for (uint64_t key = 0; key < 4096; ++key) {
+    if (a.ShardFor(key) != b.ShardFor(key)) ++moved;
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(HashRingTest, KeyImbalanceStaysUnder15PercentAt128Vnodes) {
+  HashRing::Options options;
+  options.vnodes = 128;
+  options.seed = 2016;
+  const int shards = 4;
+  const HashRing ring(shards, options);
+  std::vector<int64_t> counts(shards, 0);
+  const int64_t keys = 100000;
+  for (int64_t key = 0; key < keys; ++key) {
+    const int shard = ring.ShardFor(static_cast<uint64_t>(key));
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, shards);
+    ++counts[static_cast<size_t>(shard)];
+  }
+  const double mean =
+      static_cast<double>(keys) / static_cast<double>(shards);
+  for (int s = 0; s < shards; ++s) {
+    const double share = static_cast<double>(counts[static_cast<size_t>(s)]);
+    EXPECT_LE(share / mean, 1.15)
+        << "shard " << s << " owns " << share << " of " << keys;
+    EXPECT_GE(share / mean, 0.85)
+        << "shard " << s << " owns " << share << " of " << keys;
+  }
+}
+
+TEST(HashRingTest, RemovalOnlyMovesKeysOfTheDeadShard) {
+  HashRing::Options options;
+  options.vnodes = 128;
+  options.seed = 2016;
+  HashRing ring(4, options);
+  const int dead = 2;
+  std::map<uint64_t, int> before;
+  for (uint64_t key = 0; key < 8192; ++key) {
+    before[key] = ring.ShardFor(key);
+  }
+  ASSERT_TRUE(ring.Remove(dead));
+  EXPECT_FALSE(ring.Remove(dead));  // already gone
+  int64_t remapped = 0;
+  for (const auto& [key, owner] : before) {
+    const int now = ring.ShardFor(key);
+    ASSERT_NE(now, dead);
+    if (owner == dead) {
+      ++remapped;  // must land on some survivor
+    } else {
+      // Minimal disruption: survivors keep every key they already owned.
+      EXPECT_EQ(now, owner) << "key " << key << " moved needlessly";
+    }
+  }
+  EXPECT_GT(remapped, 0);
+}
+
+TEST(HashRingTest, WeightsBiasOwnership) {
+  HashRing::Options options;
+  options.vnodes = 128;
+  options.seed = 3;
+  options.weights = {1, 3};
+  const HashRing ring(2, options);
+  int64_t heavy = 0;
+  const int64_t keys = 20000;
+  for (int64_t key = 0; key < keys; ++key) {
+    if (ring.ShardFor(static_cast<uint64_t>(key)) == 1) ++heavy;
+  }
+  // Shard 1 carries 3/4 of the virtual nodes; its key share should be
+  // well above an even split.
+  EXPECT_GT(static_cast<double>(heavy) / static_cast<double>(keys), 0.6);
+}
+
+TEST(HashRingTest, EmptyRingReturnsNoOwner) {
+  HashRing::Options options;
+  options.vnodes = 8;
+  HashRing ring(2, options);
+  EXPECT_TRUE(ring.Remove(0));
+  EXPECT_TRUE(ring.Remove(1));
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.ShardFor(123), -1);
+}
+
+// ----------------------------------------------------------- fleet options --
+
+TEST(FleetOptionsTest, RejectsBadKnobs) {
+  FleetOptions options;
+  options.shards = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = FleetOptions();
+  options.vnodes = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = FleetOptions();
+  options.error_rate_threshold = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+  options = FleetOptions();
+  options.gather_threads = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  EXPECT_TRUE(FleetOptions().Validate().ok());
+}
+
+// --------------------------------------------------------- checksum parity --
+
+FleetOptions QuickFleetOptions(int shards) {
+  FleetOptions options;
+  options.shards = shards;
+  options.vnodes = 64;
+  options.service.max_batch = 16;
+  options.service.max_delay_ms = 1.0;
+  options.service.execute_threads = 2;
+  options.service.engine.strategy = Strategy::kBitwise;
+  options.service.engine.grouping = GroupingPolicy::kGroupBy;
+  options.service.engine.group_size = 16;
+  return options;
+}
+
+service::WorkloadOptions QuickWorkload() {
+  service::WorkloadOptions workload;
+  workload.arrival = service::ArrivalProcess::kPoisson;
+  workload.qps = 300.0;
+  workload.duration_s = 0.25;
+  workload.seed = 11;
+  return workload;
+}
+
+uint64_t FoldDriveChecksum(
+    const std::vector<service::QueryResult>& results) {
+  uint64_t checksum = kFnv1aOffsetBasis;
+  for (const service::QueryResult& result : results) {
+    if (result.status.ok()) {
+      checksum = FoldChecksum(checksum, result.depth_checksum);
+    }
+  }
+  return checksum;
+}
+
+TEST(FleetParityTest, MatchesSingleServiceAtEveryShardCount) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  const service::WorkloadOptions workload = QuickWorkload();
+  auto events = service::GenerateArrivals(graph, workload);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+
+  auto baseline_svc = service::BfsService::Create(
+      &graph, QuickFleetOptions(1).service);
+  ASSERT_TRUE(baseline_svc.ok()) << baseline_svc.status().ToString();
+  auto baseline =
+      service::DriveWorkload(baseline_svc.value().get(), events.value());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const uint64_t expected = FoldDriveChecksum(baseline.value().results);
+
+  for (int shards : {1, 2, 4, 8}) {
+    auto fleet =
+        FleetFrontDoor::Create(&graph, QuickFleetOptions(shards));
+    ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+    FleetWorkloadOptions options;
+    options.workload = workload;
+    auto drive =
+        DriveFleet(fleet.value().get(), events.value(), options);
+    ASSERT_TRUE(drive.ok()) << drive.status().ToString();
+    EXPECT_EQ(drive.value().unanswered, 0) << shards << " shards";
+    EXPECT_EQ(drive.value().checksum, expected)
+        << shards << "-shard fleet diverged from the single service";
+  }
+}
+
+TEST(FleetParityTest, MultiSourceScatterMatchesSingleService) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  const service::WorkloadOptions workload = QuickWorkload();
+  auto events = service::GenerateArrivals(graph, workload);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+
+  auto baseline_svc = service::BfsService::Create(
+      &graph, QuickFleetOptions(1).service);
+  ASSERT_TRUE(baseline_svc.ok()) << baseline_svc.status().ToString();
+  auto baseline =
+      service::DriveWorkload(baseline_svc.value().get(), events.value());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  auto fleet = FleetFrontDoor::Create(&graph, QuickFleetOptions(4));
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  FleetWorkloadOptions options;
+  options.workload = workload;
+  options.multi_source = 3;
+  auto drive = DriveFleet(fleet.value().get(), events.value(), options);
+  ASSERT_TRUE(drive.ok()) << drive.status().ToString();
+  EXPECT_EQ(drive.value().unanswered, 0);
+  EXPECT_GT(drive.value().multi_queries, 0);
+  EXPECT_EQ(drive.value().checksum,
+            FoldDriveChecksum(baseline.value().results));
+}
+
+TEST(FleetScatterTest, CombinedChecksumIsShardCountInvariant) {
+  const graph::Csr graph = MakeRmatGraph(7, 8);
+  const std::vector<graph::VertexId> sources =
+      graph::SampleConnectedSources(graph, 12, 5);
+
+  uint64_t combined_at_one = 0;
+  for (int shards : {1, 4}) {
+    auto fleet =
+        FleetFrontDoor::Create(&graph, QuickFleetOptions(shards));
+    ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+    const MultiQueryResult multi = fleet.value()->MultiQuery(sources);
+    ASSERT_TRUE(multi.status.ok()) << multi.status.ToString();
+    ASSERT_EQ(multi.results.size(), sources.size());
+    for (size_t i = 0; i < sources.size(); ++i) {
+      EXPECT_EQ(multi.results[i].source, sources[i]) << "request order";
+    }
+    if (shards == 1) {
+      combined_at_one = multi.combined_checksum;
+      EXPECT_EQ(multi.shards_touched, 1);
+    } else {
+      EXPECT_EQ(multi.combined_checksum, combined_at_one);
+      EXPECT_GT(multi.shards_touched, 1);
+    }
+    fleet.value()->Shutdown();
+  }
+}
+
+// ------------------------------------------------------------ stats merge --
+
+TEST(FleetStatsTest, TotalsAreTheFieldwiseSumOfShards) {
+  const graph::Csr graph = MakeRmatGraph(7, 8);
+  auto fleet = FleetFrontDoor::Create(&graph, QuickFleetOptions(3));
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  const std::vector<graph::VertexId> sources =
+      graph::SampleConnectedSources(graph, 24, 9);
+  for (graph::VertexId source : sources) {
+    auto result = fleet.value()->Submit(source).get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  }
+  fleet.value()->Shutdown();
+  const FleetStats stats = fleet.value()->stats();
+  ASSERT_EQ(stats.shard.size(), 3u);
+  int64_t queries = 0;
+  int64_t completed = 0;
+  int64_t routed = 0;
+  for (const service::BfsService::Stats& shard : stats.shard) {
+    queries += shard.queries;
+    completed += shard.completed;
+  }
+  for (int64_t r : stats.routed) routed += r;
+  EXPECT_EQ(stats.totals.queries, queries);
+  EXPECT_EQ(stats.totals.completed, completed);
+  EXPECT_EQ(completed, static_cast<int64_t>(sources.size()));
+  EXPECT_EQ(routed, static_cast<int64_t>(sources.size()));
+  EXPECT_EQ(stats.healthy, 3);
+  EXPECT_GT(stats.Imbalance(), 0.0);
+}
+
+// ------------------------------------------------------- failover / health --
+
+TEST(FleetFailoverTest, KilledShardLeavesTheRingAndSurvivorsAnswer) {
+  const graph::Csr graph = MakeRmatGraph(7, 8);
+  auto fleet = FleetFrontDoor::Create(&graph, QuickFleetOptions(4));
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  FleetFrontDoor& door = *fleet.value();
+
+  // Find a source homed on shard 1 so the kill provably reroutes it.
+  graph::VertexId victim = -1;
+  for (graph::VertexId v = 0; v < graph.vertex_count(); ++v) {
+    if (door.HomeShard(v) == 1) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  const std::vector<uint8_t> reference = baselines::ReferenceDepthsU8(
+      graph, victim, TraversalOptions::kMaxTraversalLevel);
+
+  ASSERT_TRUE(door.KillShard(1));
+  EXPECT_FALSE(door.KillShard(1));  // already down
+  EXPECT_EQ(door.shard_health(1), ShardHealth::kDown);
+  for (graph::VertexId v = 0; v < graph.vertex_count(); ++v) {
+    EXPECT_NE(door.OwnerShard(v), 1) << "vertex " << v;
+  }
+  EXPECT_EQ(door.HomeShard(victim), 1);  // the full ring never changes
+
+  auto rerouted = door.Submit(victim).get();
+  ASSERT_TRUE(rerouted.status.ok()) << rerouted.status.ToString();
+  EXPECT_EQ(rerouted.depth_checksum, Fnv1a(reference));
+  door.Shutdown();
+  const FleetStats stats = door.stats();
+  EXPECT_GE(stats.failover_reroutes, 1);
+  EXPECT_EQ(stats.down, 1);
+}
+
+TEST(FleetFailoverTest, CpuFallbackAnswersWhenEveryShardIsDown) {
+  const graph::Csr graph = MakeRmatGraph(6, 8);
+  FleetOptions options = QuickFleetOptions(2);
+  auto fleet = FleetFrontDoor::Create(&graph, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  ASSERT_TRUE(fleet.value()->KillShard(0));
+  ASSERT_TRUE(fleet.value()->KillShard(1));
+
+  const graph::VertexId source = 3;
+  auto result = fleet.value()->Submit(source).get();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.depth_checksum,
+            Fnv1a(baselines::ReferenceDepthsU8(
+                graph, source, TraversalOptions::kMaxTraversalLevel)));
+  const FleetStats stats = fleet.value()->stats();
+  EXPECT_EQ(stats.fallback_answers, 1);
+
+  auto bad = fleet.value()->Submit(graph.vertex_count() + 5).get();
+  EXPECT_EQ(bad.status.code(), StatusCode::kOutOfRange);
+}
+
+TEST(FleetFailoverTest, UnavailableWhenFallbackDisabled) {
+  const graph::Csr graph = MakeRmatGraph(6, 8);
+  FleetOptions options = QuickFleetOptions(1);
+  options.cpu_fallback = false;
+  auto fleet = FleetFrontDoor::Create(&graph, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  ASSERT_TRUE(fleet.value()->KillShard(0));
+  auto result = fleet.value()->Submit(1).get();
+  EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
+}
+
+TEST(FleetHealthTest, ErrorRateProbeMarksShardDegraded) {
+  const graph::Csr graph = MakeRmatGraph(6, 8);
+  FleetOptions options = QuickFleetOptions(1);
+  options.min_health_samples = 4;
+  options.error_rate_threshold = 0.5;
+  auto fleet = FleetFrontDoor::Create(&graph, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  // Out-of-range sources fail inside the shard, driving its error rate
+  // to 100% — well past the 50% threshold once enough samples landed.
+  for (int i = 0; i < 8; ++i) {
+    auto result =
+        fleet.value()->shard_for_test(0)->Submit(graph.vertex_count() + 1);
+    EXPECT_FALSE(result.get().status.ok());
+  }
+  EXPECT_EQ(fleet.value()->CheckHealth(), 1);
+  EXPECT_EQ(fleet.value()->shard_health(0), ShardHealth::kDegraded);
+  EXPECT_EQ(fleet.value()->CheckHealth(), 0);  // transition is sticky
+}
+
+// ------------------------------------------------- cache across a failover --
+
+TEST(FleetCacheTest, RemappedSourceMissesSurvivorCacheOnceThenHits) {
+  const graph::Csr graph = MakeRmatGraph(7, 8);
+  FleetOptions options = QuickFleetOptions(2);
+  options.service.cache.enabled = true;
+  auto fleet = FleetFrontDoor::Create(&graph, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  FleetFrontDoor& door = *fleet.value();
+
+  graph::VertexId source = -1;
+  for (graph::VertexId v = 0; v < graph.vertex_count(); ++v) {
+    if (door.HomeShard(v) == 0) {
+      source = v;
+      break;
+    }
+  }
+  ASSERT_GE(source, 0);
+
+  // Warm the home shard's cache, then verify the second answer hit it.
+  const auto first = door.Submit(source).get();
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  const auto warmed = door.Submit(source).get();
+  ASSERT_TRUE(warmed.status.ok());
+  EXPECT_TRUE(warmed.cached);
+  EXPECT_EQ(warmed.depth_checksum, first.depth_checksum);
+
+  ASSERT_TRUE(door.KillShard(0));
+  const service::CacheStats survivor_before =
+      door.shard_for_test(1)->cache_stats();
+
+  // The survivor has never seen this source: exactly one miss...
+  const auto remapped = door.Submit(source).get();
+  ASSERT_TRUE(remapped.status.ok()) << remapped.status.ToString();
+  EXPECT_FALSE(remapped.cached);
+  EXPECT_EQ(remapped.depth_checksum, first.depth_checksum);
+  const service::CacheStats survivor_miss =
+      door.shard_for_test(1)->cache_stats();
+  EXPECT_EQ(survivor_miss.misses, survivor_before.misses + 1);
+  EXPECT_EQ(survivor_miss.hits, survivor_before.hits);
+
+  // ...then it serves from its own cache, same answer as before the kill.
+  const auto rehit = door.Submit(source).get();
+  ASSERT_TRUE(rehit.status.ok());
+  EXPECT_TRUE(rehit.cached);
+  EXPECT_EQ(rehit.depth_checksum, first.depth_checksum);
+  const service::CacheStats survivor_hit =
+      door.shard_for_test(1)->cache_stats();
+  EXPECT_EQ(survivor_hit.hits, survivor_before.hits + 1);
+}
+
+// ------------------------------------------------------------ chaos harness --
+
+TEST(FleetChaosTest, KillOneShardKeepsAvailabilityAndChecksums) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  FleetOptions options = QuickFleetOptions(4);
+  FleetWorkloadOptions workload;
+  workload.workload = QuickWorkload();
+  workload.kill_shard = 2;
+  auto run = RunFleetChaos("rmat8", graph, options, workload);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const obs::FleetReport& report = run.value();
+  EXPECT_EQ(report.unanswered, 0);
+  EXPECT_GT(report.checksums_compared, 0);
+  EXPECT_EQ(report.checksum_mismatches, 0);
+  EXPECT_EQ(report.down, 1);
+  EXPECT_EQ(report.killed_shard, 2);
+  EXPECT_EQ(report.completed + report.failed, report.queries);
+
+  // The emitted document must satisfy its own schema validator.
+  std::ostringstream os;
+  report.WriteJson(os);
+  auto doc = obs::ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const Status valid = obs::ValidateFleetReport(doc.value());
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+TEST(FleetChaosTest, ReportEmbedsValidatedMetrics) {
+  const graph::Csr graph = MakeRmatGraph(7, 8);
+  obs::MetricsRegistry metrics;
+  FleetOptions options = QuickFleetOptions(2);
+  options.service.observer.metrics = &metrics;
+  FleetWorkloadOptions workload;
+  workload.workload = QuickWorkload();
+  workload.workload.duration_s = 0.1;
+  auto run = RunFleetChaos("rmat7", graph, options, workload);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  std::ostringstream os;
+  run.value().WriteJson(os, &metrics);
+  auto doc = obs::ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(obs::ValidateFleetReport(doc.value()).ok());
+  // The fleet minted its routing metrics into the shared registry.
+  EXPECT_NE(os.str().find("fleet.routed"), std::string::npos);
+}
+
+TEST(FleetValidatorTest, RejectsTamperedReports) {
+  const graph::Csr graph = MakeRmatGraph(6, 8);
+  FleetOptions options = QuickFleetOptions(1);
+  FleetWorkloadOptions workload;
+  workload.workload = QuickWorkload();
+  workload.workload.duration_s = 0.1;
+  auto run = RunFleetChaos("rmat6", graph, options, workload);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  obs::FleetReport bad = run.value();
+  bad.checksum_mismatches = bad.checksums_compared + 1;
+  std::ostringstream os;
+  bad.WriteJson(os);
+  auto doc = obs::ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_FALSE(obs::ValidateFleetReport(doc.value()).ok());
+
+  obs::FleetReport wrong_schema = run.value();
+  std::ostringstream os2;
+  wrong_schema.WriteJson(os2);
+  std::string text = os2.str();
+  const size_t pos = text.find("ibfs.fleet_report");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, "nope");
+  auto doc2 = obs::ParseJson(text);
+  ASSERT_TRUE(doc2.ok()) << doc2.status().ToString();
+  EXPECT_FALSE(obs::ValidateFleetReport(doc2.value()).ok());
+}
+
+}  // namespace
+}  // namespace ibfs::fleet

@@ -5,8 +5,10 @@
 // dynamic-vs-oracle sharing SLO. Every suite name starts with "Service" so
 // the tsan preset's test filter picks all of it up.
 #include <algorithm>
+#include <atomic>
 #include <future>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -541,6 +543,96 @@ TEST(ServiceSharingTest, ReportBuildsFromDrivenWorkload) {
   EXPECT_LE(report.total_ms.p50, report.total_ms.p95);
   EXPECT_LE(report.total_ms.p95, report.total_ms.p99);
   EXPECT_GT(report.total_ms.max, 0.0);
+}
+
+// ------------------------------------------------------- stats snapshots --
+
+TEST(ServiceStatsTest, AddSumsEveryField) {
+  BfsService::Stats a;
+  a.queries = 3;
+  a.completed = 2;
+  a.failed = 1;
+  a.batches = 2;
+  a.groups = 2;
+  a.executed_instances = 3;
+  a.cache_hits = 1;
+  a.rejected = 1;
+  a.shed = 1;
+  a.degraded = 1;
+  a.retries = 2;
+  a.breaker_opened = 1;
+  a.sim_seconds = 0.5;
+  a.private_fq_sum = 10;
+  a.jfq_sum = 4;
+  BfsService::Stats b = a;
+  b.queries = 7;
+  b.sim_seconds = 1.5;
+  a.Add(b);
+  EXPECT_EQ(a.queries, 10);
+  EXPECT_EQ(a.completed, 4);
+  EXPECT_EQ(a.failed, 2);
+  EXPECT_EQ(a.batches, 4);
+  EXPECT_EQ(a.executed_instances, 6);
+  EXPECT_EQ(a.cache_hits, 2);
+  EXPECT_EQ(a.rejected, 2);
+  EXPECT_EQ(a.shed, 2);
+  EXPECT_EQ(a.degraded, 2);
+  EXPECT_EQ(a.retries, 4);
+  EXPECT_EQ(a.breaker_opened, 2);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, 2.0);
+  EXPECT_EQ(a.private_fq_sum, 20);
+  EXPECT_EQ(a.jfq_sum, 8);
+}
+
+TEST(ServiceStatsTest, SnapshotsNeverTearUnderConcurrentLoad) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  ServiceOptions options = QuickServiceOptions();
+  options.max_delay_ms = 0.5;
+  auto svc = BfsService::Create(&graph, options);
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+
+  // Poll snapshots while queries flow. Every mutation path accounts
+  // under the stats lock *before* resolving the client future, so each
+  // snapshot must satisfy the cross-field invariant — a torn read
+  // (e.g. completed bumped before queries) breaks it.
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const BfsService::Stats snap = svc.value()->stats();
+      if (snap.completed + snap.failed >
+          snap.queries + snap.cache_hits + snap.shed + snap.rejected) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (snap.queries < 0 || snap.completed < 0 || snap.failed < 0) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  const auto sources = graph::SampleConnectedSources(graph, 64, 13);
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(sources.size() + 8);
+  for (graph::VertexId s : sources) {
+    futures.push_back(svc.value()->Submit(s));
+  }
+  for (int i = 0; i < 8; ++i) {
+    // Out-of-range rejects exercise the failure accounting path too.
+    futures.push_back(svc.value()->Submit(
+        static_cast<graph::VertexId>(graph.vertex_count() + i)));
+  }
+  for (auto& f : futures) f.wait();
+  svc.value()->Shutdown();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  const BfsService::Stats final_stats = svc.value()->stats();
+  // Every future resolved, so the final snapshot is exact.
+  EXPECT_EQ(final_stats.completed + final_stats.failed,
+            static_cast<int64_t>(futures.size()));
+  EXPECT_EQ(final_stats.failed, 8);
+  EXPECT_EQ(final_stats.rejected, 8);
 }
 
 }  // namespace

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Regression gate for the simulator fast-path bench (BENCH_gpusim.json).
+"""Regression gate for the committed bench JSONs.
 
-Runs a fresh ``gpusim_bench`` at the exact configuration recorded in the
-committed ``BENCH_gpusim.json`` and compares:
+With ``--binary`` it runs a fresh ``gpusim_bench`` at the exact
+configuration recorded in the committed ``BENCH_gpusim.json`` and compares:
 
 * **Exact** (bit-identical, machine-independent): depth/serve checksums,
   transaction counters, and simulated seconds of every section. These come
@@ -14,8 +14,16 @@ committed ``BENCH_gpusim.json`` and compares:
   gate is for catastrophic regressions like an accidental O(n) rescan in a
   hot loop, not for CI-noise policing).
 
+With ``--fleet-binary`` it applies the same split to ``fleet_bench`` and
+the committed ``BENCH_fleet.json``: the baseline checksum and query count
+are exact (the fleet's answers are a deterministic function of the seeded
+workload), every shard point must keep ``checksum_match`` true and the
+failover section must keep zero unanswered futures and zero mismatches,
+while the per-point p50/p99 latencies are banded.
+
 Usage:
   check_bench.py REPO_ROOT --binary PATH/TO/gpusim_bench [options]
+  check_bench.py REPO_ROOT --fleet-binary PATH/TO/fleet_bench [options]
 
 Exit status 0 on pass, 1 on any violation, 2 on harness errors.
 The serve section is skipped by default (slow, latency-noisy); pass
@@ -60,14 +68,119 @@ def fail(msg):
     return 1
 
 
+def load_committed(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def run_bench(binary, env, timeout=600):
+    """Runs one bench binary into a temp file and returns the parsed JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out_path = os.path.join(tmp, "bench.json")
+        env["IBFS_BENCH_OUT"] = out_path
+        subprocess.run(
+            [binary], env=env, check=True, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, timeout=timeout,
+        )
+        with open(out_path, encoding="utf-8") as f:
+            return json.load(f)
+
+
+def check_fleet(args):
+    """Gates fleet_bench against the committed BENCH_fleet.json."""
+    committed_path = args.committed or os.path.join(args.root, "BENCH_fleet.json")
+    try:
+        committed = load_committed(committed_path)
+    except OSError as e:
+        print(f"check_bench: cannot read {committed_path}: {e}")
+        return 2
+
+    env = dict(os.environ)
+    # Reproduce the committed workload exactly; the baseline checksum is
+    # only comparable at an identical graph/seeded arrival schedule.
+    env["IBFS_GRAPH"] = str(committed.get("graph", "PK"))
+    env["IBFS_FLEET_QPS"] = str(committed.get("qps", 400.0))
+    env["IBFS_FLEET_DURATION"] = str(committed.get("duration_seconds", 1.0))
+    env["IBFS_FLEET_VNODES"] = str(committed.get("vnodes", 128))
+    try:
+        fresh = run_bench(args.fleet_binary, env)
+    except (subprocess.SubprocessError, OSError) as e:
+        print(f"check_bench: fleet bench run failed: {e}")
+        return 2
+
+    rc = 0
+    # Exact fingerprint: the deterministic answers and their coverage.
+    for key in ("queries",):
+        if committed.get(key) != fresh.get(key):
+            rc = fail(
+                f"fleet {key}: fresh {fresh.get(key)!r} != committed "
+                f"{committed.get(key)!r} (workload drifted)"
+            )
+    want = committed.get("baseline", {}).get("checksum")
+    got = fresh.get("baseline", {}).get("checksum")
+    if want != got:
+        rc = fail(
+            f"fleet baseline.checksum: fresh {got!r} != committed {want!r} "
+            "(deterministic answers drifted)"
+        )
+    for point in fresh.get("points", []):
+        if not point.get("checksum_match"):
+            rc = fail(
+                f"fleet {point.get('shards')}-shard point lost checksum "
+                "parity with the single-service baseline"
+            )
+    if not fresh.get("scatter", {}).get("checksum_match"):
+        rc = fail("fleet scatter section lost checksum parity")
+    failover = fresh.get("failover", {})
+    if failover.get("unanswered", 0) != 0:
+        rc = fail(f"fleet failover left {failover.get('unanswered')} "
+                  "futures unanswered")
+    if failover.get("checksum_mismatches", 0) != 0:
+        rc = fail(f"fleet failover produced "
+                  f"{failover.get('checksum_mismatches')} checksum "
+                  "mismatches")
+
+    # Banded: per-point latency vs the committed run.
+    committed_points = {p.get("shards"): p for p in committed.get("points", [])}
+    for point in fresh.get("points", []):
+        shards = point.get("shards")
+        base = committed_points.get(shards)
+        if base is None:
+            continue
+        for key in ("p50_ms", "p99_ms"):
+            want = base.get(key)
+            got = point.get(key)
+            if not want or not got:
+                continue
+            ratio = got / want
+            status = "ok" if ratio <= args.tolerance else "REGRESSION"
+            print(
+                f"check_bench: fleet[{shards}].{key}: {got:.3f}ms vs "
+                f"committed {want:.3f}ms ({ratio:.2f}x, band "
+                f"{args.tolerance:.1f}x) {status}"
+            )
+            if ratio > args.tolerance:
+                rc = fail(
+                    f"fleet[{shards}].{key} {ratio:.2f}x over committed, "
+                    f"band {args.tolerance:.1f}x"
+                )
+    if rc == 0:
+        print("check_bench: fleet PASS")
+    return rc
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("root", help="repository root (holds BENCH_gpusim.json)")
-    parser.add_argument("--binary", required=True, help="gpusim_bench executable")
+    parser.add_argument("root", help="repository root (holds the bench JSONs)")
+    parser.add_argument("--binary", default=None, help="gpusim_bench executable")
+    parser.add_argument(
+        "--fleet-binary", default=None, help="fleet_bench executable"
+    )
     parser.add_argument(
         "--committed",
         default=None,
-        help="committed bench JSON (default: ROOT/BENCH_gpusim.json)",
+        help="committed bench JSON (default: ROOT/BENCH_gpusim.json or "
+        "ROOT/BENCH_fleet.json per mode)",
     )
     parser.add_argument(
         "--tolerance",
@@ -81,11 +194,20 @@ def main():
         help="also run the serve section and compare its checksum",
     )
     args = parser.parse_args()
+    if args.binary is None and args.fleet_binary is None:
+        print("check_bench: pass --binary and/or --fleet-binary")
+        return 2
+    if args.binary is None:
+        return check_fleet(args)
+    fleet_rc = 0
+    if args.fleet_binary is not None:
+        fleet_rc = check_fleet(args)
+        if fleet_rc == 2:
+            return 2
 
     committed_path = args.committed or os.path.join(args.root, "BENCH_gpusim.json")
     try:
-        with open(committed_path, encoding="utf-8") as f:
-            committed = json.load(f)
+        committed = load_committed(committed_path)
     except OSError as e:
         print(f"check_bench: cannot read {committed_path}: {e}")
         return 2
@@ -149,6 +271,7 @@ def main():
                 f"band {args.tolerance:.1f}x"
             )
 
+    rc = rc or fleet_rc
     if rc == 0:
         print("check_bench: PASS")
     return rc

@@ -43,6 +43,8 @@
 #include "obs/slo.h"
 #include "obs/trace.h"
 #include "obs/validate.h"
+#include "fleet/fleet.h"
+#include "fleet/fleet_workload.h"
 #include "service/chaos.h"
 #include "service/service.h"
 #include "service/workload.h"
@@ -55,7 +57,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: ibfs_cli "
                "<generate|stats|run|validate|traces|cluster|serve|chaos|"
-               "check> [flags]\n"
+               "fleet|check> [flags]\n"
                "  generate: --out PATH and one of --benchmark NAME |\n"
                "            --rmat-scale N [--edge-factor K] [--seed S] |\n"
                "            --uniform-vertices N [--outdegree K]\n"
@@ -105,10 +107,20 @@ int Usage() {
                "            checksum mismatches. SPEC example:\n"
                "            \"seed=7,devices=4,p_fail=0.1,perm=1,"
                "straggle=2:8\"\n"
+               "  fleet:    serve flags plus --shards N [--vnodes V]\n"
+               "            [--ring-seed S] [--multi-source K]\n"
+               "            [--shard-down I [--kill-at-s T]]\n"
+               "            (N-shard scatter-gather fleet; verifies every "
+               "answer\n"
+               "            against the CPU baseline, writes an "
+               "ibfs.fleet_report\n"
+               "            via --report-out; exits nonzero on mismatches "
+               "or\n"
+               "            unanswered futures)\n"
                "  check:    --trace PATH | --report PATH | --metrics PATH |\n"
                "            --service-report PATH | --resilience-report "
                "PATH |\n"
-               "            --flight-record PATH\n"
+               "            --fleet-report PATH | --flight-record PATH\n"
                "            (validate telemetry files)\n"
                "telemetry (run and cluster):\n"
                "  --trace-out PATH    Chrome trace-event JSON "
@@ -869,6 +881,129 @@ int CmdChaos(const Flags& flags) {
   return rc;
 }
 
+// Distributed fleet run: N shared-nothing BfsService shards behind the
+// consistent-hash scatter-gather front door, driven with the same
+// open-loop workload as `serve`. Every completed answer is verified
+// against the fault-free CPU baseline (depth checksums are a pure
+// function of the graph, so N shards must answer bit-identically to
+// one), and --shard-down rehearses losing a shard mid-drive. Exit 1 on
+// any mismatch or unanswered future.
+int CmdFleet(const Flags& flags) {
+  auto graph = LoadGraphArg(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "fleet: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto engine_options = OptionsFromFlags(flags);
+  if (!engine_options.ok()) {
+    std::fprintf(stderr, "fleet: %s\n",
+                 engine_options.status().ToString().c_str());
+    return 1;
+  }
+
+  fleet::FleetWorkloadOptions workload;
+  const std::string arrival = flags.GetString("arrival", "poisson");
+  const auto parsed = service::ParseArrivalProcess(arrival);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "fleet: unknown arrival process %s\n",
+                 arrival.c_str());
+    return 1;
+  }
+  workload.workload.arrival = *parsed;
+  workload.workload.qps = flags.GetDouble("qps", 200.0);
+  workload.workload.duration_s = flags.GetDouble("duration", 1.0);
+  workload.workload.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  workload.workload.burst_size =
+      static_cast<int>(flags.GetInt("burst-size", 16));
+  workload.workload.source_pool = flags.GetInt("source-pool", 0);
+  workload.multi_source =
+      static_cast<int>(flags.GetInt("multi-source", 1));
+  workload.kill_shard = static_cast<int>(flags.GetInt("shard-down", -1));
+  workload.kill_at_s = flags.GetDouble("kill-at-s", -1.0);
+
+  ObsSession session(flags);
+  fleet::FleetOptions fleet_options;
+  fleet_options.shards = static_cast<int>(flags.GetInt("shards", 4));
+  fleet_options.vnodes = static_cast<int>(flags.GetInt("vnodes", 128));
+  fleet_options.ring_seed =
+      static_cast<uint64_t>(flags.GetInt("ring-seed", 2016));
+  fleet_options.service.max_batch =
+      static_cast<int>(flags.GetInt("max-batch", 64));
+  fleet_options.service.max_delay_ms = flags.GetDouble("max-delay-ms", 2.0);
+  fleet_options.service.execute_threads =
+      static_cast<int>(flags.GetInt("threads", 0));
+  fleet_options.service.keep_depths = false;  // the checksum is the verdict
+  fleet_options.service.engine = engine_options.value();
+  fleet_options.service.resilience = ResilienceFromFlags(flags);
+  fleet_options.service.cache = CacheFromFlags(flags);
+  fleet_options.cpu_fallback = !flags.GetBool("no-cpu-fallback");
+  fleet_options.service.observer = session.MakeObserver();
+
+  auto run = fleet::RunFleetChaos(GraphLabel(flags), graph.value(),
+                                  fleet_options, workload);
+  if (!run.ok()) {
+    std::fprintf(stderr, "fleet: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const obs::FleetReport& report = run.value();
+  std::printf("fleet:           %d shards, %d vnodes, ring seed %lld\n",
+              report.shards, report.vnodes,
+              static_cast<long long>(report.ring_seed));
+  std::printf("queries:         %lld (%lld ok, %lld failed)\n",
+              static_cast<long long>(report.queries),
+              static_cast<long long>(report.completed),
+              static_cast<long long>(report.failed));
+  if (report.multi_source > 1) {
+    std::printf("scatter-gather:  %lld multi-queries of up to %d sources\n",
+                static_cast<long long>(report.multi_queries),
+                report.multi_source);
+  }
+  std::printf("achieved:        %.1f qps over %.2f s wall\n",
+              report.achieved_qps, report.wall_seconds);
+  std::printf("latency (total): p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+              report.total_ms.p50, report.total_ms.p95, report.total_ms.p99);
+  std::printf("routing:         imbalance %.2f, %lld failover reroutes, "
+              "%lld CPU-fallback answers\n",
+              report.imbalance,
+              static_cast<long long>(report.failover_reroutes),
+              static_cast<long long>(report.fallback_answers));
+  std::printf("health:          %d healthy, %d degraded, %d down%s\n",
+              report.healthy, report.degraded, report.down,
+              report.killed_shard >= 0 ? " (one killed mid-run)" : "");
+  std::printf("verification:    %lld checksums compared, %lld mismatches, "
+              "%lld unanswered\n",
+              static_cast<long long>(report.checksums_compared),
+              static_cast<long long>(report.checksum_mismatches),
+              static_cast<long long>(report.unanswered));
+
+  int rc = session.Flush("fleet", nullptr);
+  if (!session.report_out.empty()) {
+    const Status written = report.WriteFile(
+        session.report_out,
+        session.want_metrics() ? &session.metrics : nullptr);
+    if (!written.ok()) {
+      std::fprintf(stderr, "fleet: %s\n", written.ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf("wrote %s\n", session.report_out.c_str());
+    }
+  }
+  if (report.checksum_mismatches > 0) {
+    std::fprintf(stderr,
+                 "fleet: FAILED — %lld completed queries returned depths "
+                 "different from the single-service baseline\n",
+                 static_cast<long long>(report.checksum_mismatches));
+    rc = 1;
+  }
+  if (report.unanswered > 0) {
+    std::fprintf(stderr,
+                 "fleet: FAILED — %lld futures never resolved\n",
+                 static_cast<long long>(report.unanswered));
+    rc = 1;
+  }
+  return rc;
+}
+
 // Validates telemetry files written by `run`/`cluster` (or anything else
 // claiming the formats) without external tooling.
 int CmdCheck(const Flags& flags) {
@@ -909,6 +1044,11 @@ int CmdCheck(const Flags& flags) {
     check("resilience-report", resilience_report,
           obs::ValidateResilienceReportFile(resilience_report));
   }
+  const std::string fleet_report = flags.GetString("fleet-report");
+  if (!fleet_report.empty()) {
+    check("fleet-report", fleet_report,
+          obs::ValidateFleetReportFile(fleet_report));
+  }
   const std::string flight_record = flags.GetString("flight-record");
   if (!flight_record.empty()) {
     check("flight-record", flight_record,
@@ -918,7 +1058,7 @@ int CmdCheck(const Flags& flags) {
     std::fprintf(stderr,
                  "check: nothing to do; pass --trace, --report, "
                  "--metrics, --service-report, --resilience-report, "
-                 "and/or --flight-record\n");
+                 "--fleet-report, and/or --flight-record\n");
     return 2;
   }
   return rc;
@@ -936,6 +1076,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "cluster") return CmdCluster(flags.value());
   if (command == "serve") return CmdServe(flags.value());
   if (command == "chaos") return CmdChaos(flags.value());
+  if (command == "fleet") return CmdFleet(flags.value());
   if (command == "check") return CmdCheck(flags.value());
   return Usage();
 }
