@@ -1,4 +1,4 @@
-// Distributed-fleet bench, three experiments in one BENCH_fleet.json:
+// Distributed-fleet bench, five experiments in one BENCH_fleet.json:
 //
 // 1. Shard-count sweep: the same open-loop workload driven through a
 //    single BfsService (the baseline) and through fleets of {1, 2, 4, 8}
@@ -16,10 +16,23 @@
 //    every answer must match the fault-free CPU baseline; the recorded
 //    p99 and reroute count quantify the blip. -> "failover": {...}.
 //
+// 4. Elastic episode: a 3-shard fleet loses shard 1 mid-drive and joins a
+//    fresh shard at 75% of the schedule — the full kill -> serve -> grow
+//    -> serve arc, with targeted cache warmup of the stolen segment.
+//    Zero unanswered futures and zero mismatches or the bench aborts.
+//    -> "elastic": {...}.
+//
+// 5. Replication sweep: the shard-count workload at R = {1, 2}; hedged
+//    reads race the second replica, answers stay bit-identical to the
+//    baseline, and the hedge counters quantify the insurance premium.
+//    -> "replication": [{replication, hedges_fired, ...}].
+//
 // Environment knobs: IBFS_GRAPH (default PK), IBFS_FLEET_QPS (default
 // 400), IBFS_FLEET_DURATION (default 1 s), IBFS_FLEET_VNODES (default
 // 128), IBFS_FLEET_THREADS (default 2), IBFS_BENCH_OUT (default
-// BENCH_fleet.json).
+// BENCH_fleet.json), IBFS_FLEET_SECTIONS ("all" | "elastic" — the latter
+// runs only the baseline + elastic + replication sections, which is what
+// the fleet_elastic_smoke ctest gates).
 #include <fstream>
 #include <string>
 #include <vector>
@@ -65,8 +78,11 @@ uint64_t FoldResults(const std::vector<service::QueryResult>& results) {
 
 int Main() {
   PrintHeader("fleet bench",
-              "shard-count sweep, scatter-gather, and failover blip");
+              "shard sweep, scatter-gather, failover, elasticity, "
+              "replication");
   const std::string graph_name = EnvString("IBFS_GRAPH", "PK");
+  const std::string sections = EnvString("IBFS_FLEET_SECTIONS", "all");
+  const bool run_core = sections != "elastic";
   std::vector<LoadedGraph> loaded_set =
       LoadNamed(std::vector<std::string>{graph_name});
   const LoadedGraph& loaded = loaded_set.front();
@@ -112,11 +128,151 @@ int Main() {
     bool checksum_match = false;
   };
   std::vector<Point> points;
-  for (int shards : {1, 2, 4, 8}) {
+  if (run_core) {
+    for (int shards : {1, 2, 4, 8}) {
+      fleet::FleetOptions options;
+      options.shards = shards;
+      options.vnodes = vnodes;
+      options.service = service_template;
+      auto door = fleet::FleetFrontDoor::Create(&loaded.graph, options);
+      IBFS_CHECK(door.ok()) << door.status().ToString();
+      fleet::FleetWorkloadOptions workload;
+      workload.workload = arrivals;
+      auto drive =
+          fleet::DriveFleet(door.value().get(), events.value(), workload);
+      IBFS_CHECK(drive.ok()) << drive.status().ToString();
+      IBFS_CHECK(drive.value().unanswered == 0)
+          << drive.value().unanswered << " futures never resolved";
+      Point point;
+      point.shards = shards;
+      point.latency = Percentiles(drive.value().results);
+      point.achieved_qps = drive.value().achieved_qps;
+      point.imbalance = drive.value().stats.Imbalance();
+      point.checksum_match = drive.value().checksum == baseline_checksum;
+      IBFS_CHECK(point.checksum_match)
+          << shards << "-shard fleet disagreed with the single-service "
+          << "baseline";
+      std::printf("%8d %8.2f %8.2f %10.1f %10.2f %6s\n", shards,
+                  point.latency.p50, point.latency.p99, point.achieved_qps,
+                  point.imbalance, point.checksum_match ? "yes" : "NO");
+      points.push_back(point);
+    }
+  }
+
+  // Scatter-gather: identical arrivals, bundled 4 sources per MultiQuery.
+  int64_t scatter_multi_queries = 0;
+  Latency scatter_latency;
+  bool scatter_match = false;
+  if (run_core) {
+    fleet::FleetWorkloadOptions scatter_workload;
+    scatter_workload.workload = arrivals;
+    scatter_workload.multi_source = 4;
+    fleet::FleetOptions scatter_options;
+    scatter_options.shards = 4;
+    scatter_options.vnodes = vnodes;
+    scatter_options.service = service_template;
+    auto scatter_door =
+        fleet::FleetFrontDoor::Create(&loaded.graph, scatter_options);
+    IBFS_CHECK(scatter_door.ok()) << scatter_door.status().ToString();
+    auto scatter = fleet::DriveFleet(scatter_door.value().get(),
+                                     events.value(), scatter_workload);
+    IBFS_CHECK(scatter.ok()) << scatter.status().ToString();
+    IBFS_CHECK(scatter.value().unanswered == 0);
+    scatter_match = scatter.value().checksum == baseline_checksum;
+    IBFS_CHECK(scatter_match)
+        << "scatter-gather answers disagreed with the baseline";
+    scatter_latency = Percentiles(scatter.value().results);
+    scatter_multi_queries = scatter.value().multi_queries;
+    std::printf("scatter-gather:  %lld multi-queries of 4, p50 %.2f ms, "
+                "p99 %.2f ms, match %s\n",
+                static_cast<long long>(scatter_multi_queries),
+                scatter_latency.p50, scatter_latency.p99,
+                scatter_match ? "yes" : "NO");
+  }
+
+  // Failover blip: 4 shards, one killed at the schedule midpoint. The
+  // chaos harness also verifies every answer against the CPU reference.
+  obs::FleetReport blip;
+  if (run_core) {
+    fleet::FleetWorkloadOptions failover_workload;
+    failover_workload.workload = arrivals;
+    failover_workload.kill_shard = 1;
+    fleet::FleetOptions failover_options;
+    failover_options.shards = 4;
+    failover_options.vnodes = vnodes;
+    failover_options.service = service_template;
+    auto failover = fleet::RunFleetChaos(
+        graph_name, loaded.graph, failover_options, failover_workload);
+    IBFS_CHECK(failover.ok()) << failover.status().ToString();
+    blip = failover.value();
+    IBFS_CHECK(blip.unanswered == 0)
+        << blip.unanswered << " futures never resolved across the failover";
+    IBFS_CHECK(blip.checksum_mismatches == 0)
+        << blip.checksum_mismatches
+        << " answers diverged after the failover";
+    std::printf("failover:        shard 1 killed mid-run; %lld reroutes, "
+                "%lld unanswered, %lld/%lld checksums OK, p99 %.2f ms\n",
+                static_cast<long long>(blip.failover_reroutes),
+                static_cast<long long>(blip.unanswered),
+                static_cast<long long>(blip.checksums_compared -
+                                       blip.checksum_mismatches),
+                static_cast<long long>(blip.checksums_compared),
+                blip.total_ms.p99);
+  }
+
+  // Elastic episode: kill shard 1 at the midpoint, join a replacement at
+  // 75% — traffic never stops, no future is lost, and every answer stays
+  // bit-identical to the CPU baseline through both membership changes.
+  fleet::FleetWorkloadOptions elastic_workload;
+  elastic_workload.workload = arrivals;
+  elastic_workload.kill_shard = 1;
+  elastic_workload.join_shards = 1;
+  fleet::FleetOptions elastic_options;
+  elastic_options.shards = 3;
+  elastic_options.vnodes = vnodes;
+  elastic_options.service = service_template;
+  elastic_options.service.cache.enabled = true;  // exercise join warmup
+  auto elastic = fleet::RunFleetChaos(graph_name, loaded.graph,
+                                      elastic_options, elastic_workload);
+  IBFS_CHECK(elastic.ok()) << elastic.status().ToString();
+  const obs::FleetReport& episode = elastic.value();
+  IBFS_CHECK(episode.unanswered == 0)
+      << episode.unanswered << " futures never resolved across the episode";
+  IBFS_CHECK(episode.checksum_mismatches == 0)
+      << episode.checksum_mismatches << " answers diverged in the episode";
+  IBFS_CHECK(episode.shard_joins == 1)
+      << "the elastic join never happened";
+  std::printf("elastic:         kill 1 + join 1; %lld warmup entries, "
+              "%lld reroutes, %lld/%lld checksums OK, p99 %.2f ms\n",
+              static_cast<long long>(episode.warmup_entries),
+              static_cast<long long>(episode.failover_reroutes),
+              static_cast<long long>(episode.checksums_compared -
+                                     episode.checksum_mismatches),
+              static_cast<long long>(episode.checksums_compared),
+              episode.total_ms.p99);
+
+  // Replication sweep: R = {1, 2} at 4 shards. R = 1 is the zero-overhead
+  // control; R = 2 hedges slow reads against the second replica. Both must
+  // reproduce the baseline checksums exactly.
+  struct ReplicationRow {
+    int replication = 0;
+    Latency latency;
+    double achieved_qps = 0.0;
+    int64_t hedges_fired = 0;
+    int64_t hedges_won = 0;
+    int64_t hedges_cancelled = 0;
+    int64_t replica_mismatches = 0;
+    int64_t replica_cache_writes = 0;
+    bool checksum_match = false;
+  };
+  std::vector<ReplicationRow> replication_rows;
+  for (int replication : {1, 2}) {
     fleet::FleetOptions options;
-    options.shards = shards;
+    options.shards = 4;
     options.vnodes = vnodes;
     options.service = service_template;
+    options.service.cache.enabled = true;  // exercise replica fan-out
+    options.replication = replication;
     auto door = fleet::FleetFrontDoor::Create(&loaded.graph, options);
     IBFS_CHECK(door.ok()) << door.status().ToString();
     fleet::FleetWorkloadOptions workload;
@@ -125,72 +281,32 @@ int Main() {
         fleet::DriveFleet(door.value().get(), events.value(), workload);
     IBFS_CHECK(drive.ok()) << drive.status().ToString();
     IBFS_CHECK(drive.value().unanswered == 0)
-        << drive.value().unanswered << " futures never resolved";
-    Point point;
-    point.shards = shards;
-    point.latency = Percentiles(drive.value().results);
-    point.achieved_qps = drive.value().achieved_qps;
-    point.imbalance = drive.value().stats.Imbalance();
-    point.checksum_match = drive.value().checksum == baseline_checksum;
-    IBFS_CHECK(point.checksum_match)
-        << shards << "-shard fleet disagreed with the single-service "
-        << "baseline";
-    std::printf("%8d %8.2f %8.2f %10.1f %10.2f %6s\n", shards,
-                point.latency.p50, point.latency.p99, point.achieved_qps,
-                point.imbalance, point.checksum_match ? "yes" : "NO");
-    points.push_back(point);
+        << drive.value().unanswered << " futures never resolved at R="
+        << replication;
+    ReplicationRow row;
+    row.replication = replication;
+    row.latency = Percentiles(drive.value().results);
+    row.achieved_qps = drive.value().achieved_qps;
+    row.hedges_fired = drive.value().stats.hedges_fired;
+    row.hedges_won = drive.value().stats.hedges_won;
+    row.hedges_cancelled = drive.value().stats.hedges_cancelled;
+    row.replica_mismatches = drive.value().stats.replica_mismatches;
+    row.replica_cache_writes = drive.value().stats.replica_cache_writes;
+    row.checksum_match = drive.value().checksum == baseline_checksum;
+    IBFS_CHECK(row.checksum_match)
+        << "R=" << replication
+        << " fleet disagreed with the single-service baseline";
+    IBFS_CHECK(row.replica_mismatches == 0)
+        << row.replica_mismatches << " replica mismatches at R="
+        << replication;
+    std::printf("replication R=%d: p50 %.2f ms, p99 %.2f ms, %lld hedges "
+                "(%lld won), match %s\n",
+                replication, row.latency.p50, row.latency.p99,
+                static_cast<long long>(row.hedges_fired),
+                static_cast<long long>(row.hedges_won),
+                row.checksum_match ? "yes" : "NO");
+    replication_rows.push_back(row);
   }
-
-  // Scatter-gather: identical arrivals, bundled 4 sources per MultiQuery.
-  fleet::FleetWorkloadOptions scatter_workload;
-  scatter_workload.workload = arrivals;
-  scatter_workload.multi_source = 4;
-  fleet::FleetOptions scatter_options;
-  scatter_options.shards = 4;
-  scatter_options.vnodes = vnodes;
-  scatter_options.service = service_template;
-  auto scatter_door =
-      fleet::FleetFrontDoor::Create(&loaded.graph, scatter_options);
-  IBFS_CHECK(scatter_door.ok()) << scatter_door.status().ToString();
-  auto scatter = fleet::DriveFleet(scatter_door.value().get(),
-                                   events.value(), scatter_workload);
-  IBFS_CHECK(scatter.ok()) << scatter.status().ToString();
-  IBFS_CHECK(scatter.value().unanswered == 0);
-  const bool scatter_match = scatter.value().checksum == baseline_checksum;
-  IBFS_CHECK(scatter_match)
-      << "scatter-gather answers disagreed with the baseline";
-  const Latency scatter_latency = Percentiles(scatter.value().results);
-  std::printf("scatter-gather:  %lld multi-queries of 4, p50 %.2f ms, "
-              "p99 %.2f ms, match %s\n",
-              static_cast<long long>(scatter.value().multi_queries),
-              scatter_latency.p50, scatter_latency.p99,
-              scatter_match ? "yes" : "NO");
-
-  // Failover blip: 4 shards, one killed at the schedule midpoint. The
-  // chaos harness also verifies every answer against the CPU reference.
-  fleet::FleetWorkloadOptions failover_workload;
-  failover_workload.workload = arrivals;
-  failover_workload.kill_shard = 1;
-  fleet::FleetOptions failover_options;
-  failover_options.shards = 4;
-  failover_options.vnodes = vnodes;
-  failover_options.service = service_template;
-  auto failover = fleet::RunFleetChaos(graph_name, loaded.graph,
-                                       failover_options, failover_workload);
-  IBFS_CHECK(failover.ok()) << failover.status().ToString();
-  const obs::FleetReport& blip = failover.value();
-  IBFS_CHECK(blip.unanswered == 0)
-      << blip.unanswered << " futures never resolved across the failover";
-  IBFS_CHECK(blip.checksum_mismatches == 0)
-      << blip.checksum_mismatches << " answers diverged after the failover";
-  std::printf("failover:        shard 1 killed mid-run; %lld reroutes, "
-              "%lld unanswered, %lld/%lld checksums OK, p99 %.2f ms\n",
-              static_cast<long long>(blip.failover_reroutes),
-              static_cast<long long>(blip.unanswered),
-              static_cast<long long>(blip.checksums_compared -
-                                     blip.checksum_mismatches),
-              static_cast<long long>(blip.checksums_compared),
-              blip.total_ms.p99);
 
   const std::string out = EnvString("IBFS_BENCH_OUT", "BENCH_fleet.json");
   std::ofstream os(out, std::ios::binary);
@@ -214,6 +330,8 @@ int Main() {
   w.Int(vnodes);
   w.Key("queries");
   w.Int(static_cast<int64_t>(events.value().size()));
+  w.Key("sections");
+  w.String(sections);
   w.Key("baseline");
   w.BeginObject();
   w.Key("p50_ms");
@@ -227,63 +345,123 @@ int Main() {
   w.Key("checksum");
   w.Uint(baseline_checksum);
   w.EndObject();
-  w.Key("points");
-  w.BeginArray();
-  for (const Point& point : points) {
+  if (run_core) {
+    w.Key("points");
+    w.BeginArray();
+    for (const Point& point : points) {
+      w.BeginObject();
+      w.Key("shards");
+      w.Int(point.shards);
+      w.Key("p50_ms");
+      w.Double(point.latency.p50);
+      w.Key("p95_ms");
+      w.Double(point.latency.p95);
+      w.Key("p99_ms");
+      w.Double(point.latency.p99);
+      w.Key("achieved_qps");
+      w.Double(point.achieved_qps);
+      w.Key("imbalance");
+      w.Double(point.imbalance);
+      w.Key("checksum_match");
+      w.Bool(point.checksum_match);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("scatter");
     w.BeginObject();
     w.Key("shards");
-    w.Int(point.shards);
+    w.Int(4);
+    w.Key("multi_source");
+    w.Int(4);
+    w.Key("multi_queries");
+    w.Int(scatter_multi_queries);
     w.Key("p50_ms");
-    w.Double(point.latency.p50);
-    w.Key("p95_ms");
-    w.Double(point.latency.p95);
+    w.Double(scatter_latency.p50);
     w.Key("p99_ms");
-    w.Double(point.latency.p99);
-    w.Key("achieved_qps");
-    w.Double(point.achieved_qps);
-    w.Key("imbalance");
-    w.Double(point.imbalance);
+    w.Double(scatter_latency.p99);
     w.Key("checksum_match");
-    w.Bool(point.checksum_match);
+    w.Bool(scatter_match);
+    w.EndObject();
+    w.Key("failover");
+    w.BeginObject();
+    w.Key("shards");
+    w.Int(4);
+    w.Key("killed_shard");
+    w.Int(1);
+    w.Key("failover_reroutes");
+    w.Int(blip.failover_reroutes);
+    w.Key("fallback_answers");
+    w.Int(blip.fallback_answers);
+    w.Key("unanswered");
+    w.Int(blip.unanswered);
+    w.Key("checksums_compared");
+    w.Int(blip.checksums_compared);
+    w.Key("checksum_mismatches");
+    w.Int(blip.checksum_mismatches);
+    w.Key("p50_ms");
+    w.Double(blip.total_ms.p50);
+    w.Key("p99_ms");
+    w.Double(blip.total_ms.p99);
+    w.EndObject();
+  }
+  w.Key("elastic");
+  w.BeginObject();
+  w.Key("shards");
+  w.Int(3);
+  w.Key("killed_shard");
+  w.Int(1);
+  w.Key("joined_shards");
+  w.Int(episode.joined_shards);
+  w.Key("shard_joins");
+  w.Int(episode.shard_joins);
+  w.Key("warmup_entries");
+  w.Int(episode.warmup_entries);
+  w.Key("recoveries");
+  w.Int(episode.recoveries);
+  w.Key("failover_reroutes");
+  w.Int(episode.failover_reroutes);
+  w.Key("unanswered");
+  w.Int(episode.unanswered);
+  w.Key("checksums_compared");
+  w.Int(episode.checksums_compared);
+  w.Key("checksum_mismatches");
+  w.Int(episode.checksum_mismatches);
+  w.Key("p50_ms");
+  w.Double(episode.total_ms.p50);
+  w.Key("p99_ms");
+  w.Double(episode.total_ms.p99);
+  w.EndObject();
+  w.Key("replication");
+  w.BeginArray();
+  for (const ReplicationRow& row : replication_rows) {
+    w.BeginObject();
+    w.Key("replication");
+    w.Int(row.replication);
+    w.Key("shards");
+    w.Int(4);
+    w.Key("p50_ms");
+    w.Double(row.latency.p50);
+    w.Key("p95_ms");
+    w.Double(row.latency.p95);
+    w.Key("p99_ms");
+    w.Double(row.latency.p99);
+    w.Key("achieved_qps");
+    w.Double(row.achieved_qps);
+    w.Key("hedges_fired");
+    w.Int(row.hedges_fired);
+    w.Key("hedges_won");
+    w.Int(row.hedges_won);
+    w.Key("hedges_cancelled");
+    w.Int(row.hedges_cancelled);
+    w.Key("replica_mismatches");
+    w.Int(row.replica_mismatches);
+    w.Key("replica_cache_writes");
+    w.Int(row.replica_cache_writes);
+    w.Key("checksum_match");
+    w.Bool(row.checksum_match);
     w.EndObject();
   }
   w.EndArray();
-  w.Key("scatter");
-  w.BeginObject();
-  w.Key("shards");
-  w.Int(4);
-  w.Key("multi_source");
-  w.Int(4);
-  w.Key("multi_queries");
-  w.Int(scatter.value().multi_queries);
-  w.Key("p50_ms");
-  w.Double(scatter_latency.p50);
-  w.Key("p99_ms");
-  w.Double(scatter_latency.p99);
-  w.Key("checksum_match");
-  w.Bool(scatter_match);
-  w.EndObject();
-  w.Key("failover");
-  w.BeginObject();
-  w.Key("shards");
-  w.Int(4);
-  w.Key("killed_shard");
-  w.Int(1);
-  w.Key("failover_reroutes");
-  w.Int(blip.failover_reroutes);
-  w.Key("fallback_answers");
-  w.Int(blip.fallback_answers);
-  w.Key("unanswered");
-  w.Int(blip.unanswered);
-  w.Key("checksums_compared");
-  w.Int(blip.checksums_compared);
-  w.Key("checksum_mismatches");
-  w.Int(blip.checksum_mismatches);
-  w.Key("p50_ms");
-  w.Double(blip.total_ms.p50);
-  w.Key("p99_ms");
-  w.Double(blip.total_ms.p99);
-  w.EndObject();
   w.EndObject();
   os << '\n';
   std::printf("wrote %s\n", out.c_str());

@@ -1,6 +1,7 @@
 #include "fleet/fleet.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "baselines/reference_bfs.h"
@@ -59,22 +60,59 @@ Status FleetOptions::Validate() const {
   if (gather_threads < 1) {
     return Status::InvalidArgument("gather_threads must be >= 1");
   }
+  if (replication < 1) {
+    return Status::InvalidArgument("replication must be >= 1");
+  }
+  if (hedge_p50_multiplier <= 0.0) {
+    return Status::InvalidArgument("hedge_p50_multiplier must be > 0");
+  }
+  if (hedge_min_delay_ms < 0.0) {
+    return Status::InvalidArgument("hedge_min_delay_ms must be >= 0");
+  }
+  if (hedge_threads < 1) {
+    return Status::InvalidArgument("hedge_threads must be >= 1");
+  }
+  if (recovery_error_rate < 0.0 || recovery_error_rate > 1.0) {
+    return Status::InvalidArgument("recovery_error_rate must be in [0, 1]");
+  }
+  if (rebalance_interval_s < 0.0) {
+    return Status::InvalidArgument("rebalance_interval_s must be >= 0");
+  }
+  if (rebalance_hysteresis < 1.0) {
+    return Status::InvalidArgument("rebalance_hysteresis must be >= 1");
+  }
+  if (rebalance_max_weight < 1) {
+    return Status::InvalidArgument("rebalance_max_weight must be >= 1");
+  }
+  if (warmup_limit < 0) {
+    return Status::InvalidArgument("warmup_limit must be >= 0");
+  }
   return service.Validate();
 }
 
 double FleetStats::Imbalance() const {
-  int64_t max_routed = 0;
   int64_t sum = 0;
   int live = 0;
   for (size_t s = 0; s < routed.size(); ++s) {
     if (s < health.size() && health[s] == ShardHealth::kDown) continue;
-    max_routed = std::max(max_routed, routed[s]);
     sum += routed[s];
     ++live;
   }
   if (live == 0 || sum == 0) return 0.0;
-  const double mean = static_cast<double>(sum) / static_cast<double>(live);
-  return static_cast<double>(max_routed) / mean;
+  double worst = 0.0;
+  for (size_t s = 0; s < routed.size(); ++s) {
+    if (s < health.size() && health[s] == ShardHealth::kDown) continue;
+    // Weighted fleets are judged against each shard's ring weight share;
+    // without weight info every live shard is assumed to carry an equal
+    // share, which reduces to the classic max(routed)/mean(routed).
+    const double share = s < weight_share.size() && weight_share[s] > 0.0
+                             ? weight_share[s]
+                             : 1.0 / static_cast<double>(live);
+    const double load = static_cast<double>(routed[s]) /
+                        static_cast<double>(sum);
+    worst = std::max(worst, load / share);
+  }
+  return worst;
 }
 
 namespace {
@@ -94,6 +132,7 @@ FleetFrontDoor::FleetFrontDoor(const graph::Csr* graph, FleetOptions options)
       ring_(MakeRing(options_)),
       full_ring_(MakeRing(options_)),
       health_(static_cast<size_t>(options_.shards), ShardHealth::kHealthy),
+      probe_base_(static_cast<size_t>(options_.shards)),
       routed_(static_cast<size_t>(options_.shards), 0) {}
 
 Result<std::unique_ptr<FleetFrontDoor>> FleetFrontDoor::Create(
@@ -116,11 +155,25 @@ Result<std::unique_ptr<FleetFrontDoor>> FleetFrontDoor::Create(
   }
   fleet->gather_pool_ =
       std::make_unique<ThreadPool>(fleet->options_.gather_threads);
+  if (fleet->options_.replication > 1) {
+    fleet->hedge_pool_ =
+        std::make_unique<ThreadPool>(fleet->options_.hedge_threads);
+  }
+  if (fleet->options_.rebalance_interval_s > 0.0) {
+    fleet->rebalancer_ =
+        std::thread([raw = fleet.get()] { raw->RebalancerLoop(); });
+  }
   fleet->PublishHealthGauges();
   return fleet;
 }
 
 FleetFrontDoor::~FleetFrontDoor() { Shutdown(); }
+
+void FleetFrontDoor::BumpCounter(const char* name, int64_t amount) {
+  if (amount <= 0) return;
+  obs::MetricsRegistry* metrics = options_.service.observer.metrics;
+  if (metrics != nullptr) metrics->GetCounter(name)->Increment(amount);
+}
 
 std::future<service::QueryResult> FleetFrontDoor::AnswerUnowned(
     graph::VertexId source) {
@@ -160,30 +213,219 @@ std::future<service::QueryResult> FleetFrontDoor::AnswerUnowned(
 std::future<service::QueryResult> FleetFrontDoor::SubmitRouted(
     graph::VertexId source, int* shard_out) {
   const uint64_t key = static_cast<uint64_t>(source);
-  std::shared_lock<std::shared_mutex> route_lock(route_mu_);
-  const int shard = ring_.ShardFor(key);
-  if (shard < 0) {
-    route_lock.unlock();
-    if (shard_out != nullptr) *shard_out = -1;
-    return AnswerUnowned(source);
-  }
-  const int home = full_ring_.ShardFor(key);
+  std::future<service::QueryResult> primary_future;
+  HedgeContext ctx;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++routed_[static_cast<size_t>(shard)];
-    if (shard != home) ++failover_reroutes_;
+    std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+    std::vector<int> replicas =
+        ring_.ReplicasFor(key, std::max(1, options_.replication));
+    if (replicas.empty()) {
+      route_lock.unlock();
+      if (shard_out != nullptr) *shard_out = -1;
+      return AnswerUnowned(source);
+    }
+    const int shard = replicas[0];
+    const int home = full_ring_.ShardFor(key);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++routed_[static_cast<size_t>(shard)];
+      if (shard != home) ++failover_reroutes_;
+    }
+    obs::MetricsRegistry* metrics = options_.service.observer.metrics;
+    if (metrics != nullptr) {
+      metrics->GetCounter("fleet.routed")->Increment();
+      if (shard != home) metrics->GetCounter("fleet.failovers")->Increment();
+    }
+    if (shard_out != nullptr) *shard_out = shard;
+    // Submitted under the shared route lock: KillShard only drains a shard
+    // after taking the unique lock, so a shard picked off the ring here is
+    // still accepting (and a post-shutdown race inside BfsService resolves
+    // the future with FailedPrecondition rather than dropping it).
+    primary_future = shards_[static_cast<size_t>(shard)]->Submit(source);
+    if (replicas.size() >= 2) {
+      ctx.source = source;
+      ctx.primary = shards_[static_cast<size_t>(shard)].get();
+      ctx.hedge = shards_[static_cast<size_t>(replicas[1])].get();
+      ctx.primary_shard = shard;
+      ctx.hedge_shard = replicas[1];
+      ctx.replicas = std::move(replicas);
+      // A degraded or breaker-dead primary does not get the benefit of the
+      // doubt: the hedge fires with the primary, not after it stalls.
+      ctx.fire_immediately =
+          health_[static_cast<size_t>(shard)] == ShardHealth::kDegraded ||
+          ctx.primary->BreakersOpen();
+      ctx.delay_ms =
+          options_.hedge_delay_ms >= 0.0
+              ? options_.hedge_delay_ms
+              : std::max(options_.hedge_min_delay_ms,
+                         options_.hedge_p50_multiplier *
+                             ctx.primary->LivePercentileMs(0.50));
+    }
   }
-  obs::MetricsRegistry* metrics = options_.service.observer.metrics;
-  if (metrics != nullptr) {
-    metrics->GetCounter("fleet.routed")->Increment();
-    if (shard != home) metrics->GetCounter("fleet.failovers")->Increment();
+  if (ctx.hedge == nullptr) return primary_future;
+  ThreadPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+    pool = hedge_pool_.get();
   }
-  if (shard_out != nullptr) *shard_out = shard;
-  // Submitted under the shared route lock: KillShard only drains a shard
-  // after taking the unique lock, so a shard picked off the ring here is
-  // still accepting (and a post-shutdown race inside BfsService resolves
-  // the future with FailedPrecondition rather than dropping it).
-  return shards_[static_cast<size_t>(shard)]->Submit(source);
+  // Draining (or a single-shard ring): no hedging, the primary's answer is
+  // the answer.
+  if (pool == nullptr) return primary_future;
+  auto client = std::make_shared<std::promise<service::QueryResult>>();
+  std::future<service::QueryResult> wrapped = client->get_future();
+  auto pending = std::make_shared<std::future<service::QueryResult>>(
+      std::move(primary_future));
+  pool->Submit([this, ctx, pending, client]() mutable {
+    RunHedged(std::move(ctx), std::move(*pending), std::move(client));
+  });
+  return wrapped;
+}
+
+void FleetFrontDoor::RunHedged(
+    HedgeContext ctx, std::future<service::QueryResult> primary_future,
+    std::shared_ptr<std::promise<service::QueryResult>> client) {
+  using Clock = std::chrono::steady_clock;
+  using Leg = HedgeStateMachine::Leg;
+  using Action = HedgeStateMachine::Action;
+  const auto start = Clock::now();
+  HedgeStateMachine machine(ctx.delay_ms, ctx.fire_immediately);
+  std::future<service::QueryResult> hedge_future;
+  std::optional<service::QueryResult> primary_res;
+  std::optional<service::QueryResult> hedge_res;
+  const auto poll = [](std::future<service::QueryResult>& future,
+                       std::optional<service::QueryResult>& slot) {
+    if (!slot && future.valid() &&
+        future.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+      slot = future.get();
+    }
+  };
+  const auto leg = [](const std::optional<service::QueryResult>& slot) {
+    if (!slot) return Leg::kPending;
+    return slot->status.ok() ? Leg::kOk : Leg::kError;
+  };
+  constexpr auto kPoll = std::chrono::microseconds(200);
+  service::QueryResult winner;
+  bool winner_is_hedge = false;
+  for (;;) {
+    poll(primary_future, primary_res);
+    if (machine.hedge_fired()) poll(hedge_future, hedge_res);
+    const double now_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    const Action action = machine.Step(
+        now_ms, leg(primary_res),
+        machine.hedge_fired() ? leg(hedge_res) : Leg::kPending);
+    if (action == Action::kServePrimary) {
+      winner = *primary_res;
+      winner_is_hedge = false;
+      break;
+    }
+    if (action == Action::kServeHedge) {
+      winner = *hedge_res;
+      winner_is_hedge = true;
+      break;
+    }
+    if (action == Action::kFireHedge) {
+      hedge_future = ctx.hedge->Submit(ctx.source);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++hedges_fired_;
+      }
+      BumpCounter("fleet.hedges_fired");
+      continue;
+    }
+    // kWait: park on whichever leg is pending; before the hedge fires the
+    // nap is capped by the remaining delay so the fire is timely.
+    auto nap = std::chrono::duration_cast<std::chrono::microseconds>(kPoll);
+    if (!machine.hedge_fired()) {
+      const double remaining_ms = ctx.delay_ms - now_ms;
+      const auto until_fire = std::chrono::microseconds(
+          static_cast<int64_t>(std::max(0.0, remaining_ms) * 1000.0) + 1);
+      nap = std::min(nap, until_fire);
+    }
+    if (!primary_res && primary_future.valid()) {
+      primary_future.wait_for(nap);
+    } else if (machine.hedge_fired() && !hedge_res && hedge_future.valid()) {
+      hedge_future.wait_for(nap);
+    } else {
+      std::this_thread::sleep_for(nap);
+    }
+  }
+  // Serve the winner before settling the loser: the client should never
+  // pay for the slower replica.
+  client->set_value(winner);
+  if (winner_is_hedge) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++hedges_won_;
+    }
+    BumpCounter("fleet.hedges_won");
+  }
+  if (machine.hedge_fired()) {
+    std::future<service::QueryResult>& loser_future =
+        winner_is_hedge ? primary_future : hedge_future;
+    std::optional<service::QueryResult>& loser_res =
+        winner_is_hedge ? primary_res : hedge_res;
+    if (!loser_res && loser_future.valid()) loser_res = loser_future.get();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++hedges_cancelled_;
+    }
+    BumpCounter("fleet.hedges_cancelled");
+    if (loser_res && loser_res->status.ok() && winner.status.ok() &&
+        loser_res->depth_checksum != winner.depth_checksum) {
+      // Two self-consistent answers disagree: one replica is lying and the
+      // front door cannot adjudicate without a third vote, so the source
+      // is quarantined out of both replicas' caches (forcing fresh
+      // recomputation on the next read) and the disagreement is counted.
+      ctx.primary->EvictCacheEntry(ctx.source);
+      ctx.hedge->EvictCacheEntry(ctx.source);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++replica_mismatches_;
+      }
+      BumpCounter("fleet.replica_mismatches");
+      IBFS_LOG(Warning) << "replica checksum mismatch for source "
+                        << ctx.source << " between shards "
+                        << ctx.primary_shard << " and " << ctx.hedge_shard;
+      return;  // do not fan a disputed answer out to more replicas
+    }
+  }
+  if (winner.status.ok()) {
+    FanOutCacheEntry(ctx, winner_is_hedge ? ctx.hedge_shard
+                                          : ctx.primary_shard);
+  }
+}
+
+void FleetFrontDoor::FanOutCacheEntry(const HedgeContext& ctx,
+                                      int winner_shard) {
+  service::BfsService* winner =
+      winner_shard == ctx.primary_shard ? ctx.primary : ctx.hedge;
+  const std::optional<service::CachedDepths> entry =
+      winner->PeekCache(ctx.source);
+  if (!entry) return;  // caching disabled or already evicted
+  std::vector<service::BfsService*> targets;
+  {
+    std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+    for (int replica : ctx.replicas) {
+      if (replica == winner_shard) continue;
+      const size_t s = static_cast<size_t>(replica);
+      if (s >= shards_.size() || health_[s] == ShardHealth::kDown) continue;
+      targets.push_back(shards_[s].get());
+    }
+  }
+  int64_t writes = 0;
+  for (service::BfsService* target : targets) {
+    if (target->WarmCache(ctx.source, *entry)) ++writes;
+  }
+  if (writes > 0) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      replica_cache_writes_ += writes;
+    }
+    BumpCounter("fleet.replica_cache_writes", writes);
+  }
 }
 
 std::future<service::QueryResult> FleetFrontDoor::Submit(
@@ -266,6 +508,7 @@ std::future<MultiQueryResult> FleetFrontDoor::SubmitMulti(
 }
 
 bool FleetFrontDoor::KillShard(int shard) {
+  service::BfsService* victim = nullptr;
   {
     std::unique_lock<std::shared_mutex> route_lock(route_mu_);
     if (shard < 0 || static_cast<size_t>(shard) >= shards_.size() ||
@@ -274,44 +517,249 @@ bool FleetFrontDoor::KillShard(int shard) {
     }
     health_[static_cast<size_t>(shard)] = ShardHealth::kDown;
     ring_.Remove(shard);
+    victim = shards_[static_cast<size_t>(shard)].get();
   }
   PublishHealthGauges();
   // Drain outside the route lock: new submits already route around the
   // shard, and Shutdown resolves every future it still holds.
-  shards_[static_cast<size_t>(shard)]->Shutdown();
+  victim->Shutdown();
   return true;
+}
+
+Result<int> FleetFrontDoor::AddShard(int weight) {
+  if (weight < 1) {
+    return Status::InvalidArgument("shard weight must be >= 1");
+  }
+  {
+    std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+    if (joined_) {
+      return Status::FailedPrecondition("fleet is shut down");
+    }
+  }
+  // Build the service outside the route lock — shard spin-up is the
+  // expensive part of a join and must not stall the submit path.
+  auto created = service::BfsService::Create(graph_, options_.service);
+  IBFS_RETURN_NOT_OK(created.status());
+  int id = -1;
+  service::BfsService* fresh = nullptr;
+  std::vector<service::BfsService*> donors;
+  {
+    std::unique_lock<std::shared_mutex> route_lock(route_mu_);
+    id = static_cast<int>(shards_.size());
+    shards_.push_back(std::move(created).value());
+    fresh = shards_.back().get();
+    health_.push_back(ShardHealth::kHealthy);
+    probe_base_.push_back(ProbeBaseline{});
+    {
+      // routed_ must cover the new id before any submit can route to it.
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      routed_.push_back(0);
+      ++shard_joins_;
+    }
+    ring_.Add(id, weight);
+    full_ring_.Add(id, weight);
+    for (size_t s = 0; s + 1 < shards_.size(); ++s) {
+      if (health_[s] != ShardHealth::kDown) donors.push_back(shards_[s].get());
+    }
+  }
+  BumpCounter("fleet.shard_joins");
+  // Targeted warmup of the stolen segment, outside the locks: replay the
+  // donors' cached sources (most-recently-used first — the hottest ones)
+  // that now route to the new shard. A source warmed here misses the fleet
+  // cache zero times after the join; anything else at most once. Queries
+  // racing ahead of the warmup just compute and Put the same bytes.
+  int64_t warmed = 0;
+  for (service::BfsService* donor : donors) {
+    if (warmed >= options_.warmup_limit) break;
+    for (graph::VertexId source : donor->CachedSources()) {
+      if (warmed >= options_.warmup_limit) break;
+      if (OwnerShard(source) != id) continue;
+      const std::optional<service::CachedDepths> entry =
+          donor->PeekCache(source);
+      if (entry && fresh->WarmCache(source, *entry)) ++warmed;
+    }
+  }
+  if (warmed > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    warmup_entries_ += warmed;
+  }
+  BumpCounter("fleet.warmup_entries", warmed);
+  PublishHealthGauges();
+  IBFS_LOG(Info) << "fleet shard " << id << " joined at weight " << weight
+                 << ", warmed " << warmed << " cache entries";
+  return id;
 }
 
 int FleetFrontDoor::CheckHealth() {
   int transitions = 0;
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  int recovered = 0;
+  size_t count = 0;
+  {
+    std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+    count = shards_.size();
+  }
+  for (size_t s = 0; s < count; ++s) {
+    ShardHealth current;
+    ProbeBaseline base;
+    service::BfsService* svc = nullptr;
     {
       std::shared_lock<std::shared_mutex> route_lock(route_mu_);
-      if (health_[s] != ShardHealth::kHealthy) continue;
+      current = health_[s];
+      base = probe_base_[s];
+      svc = shards_[s].get();
     }
-    const service::BfsService::Stats stats = shards_[s]->stats();
-    const service::CacheStats cache = shards_[s]->cache_stats();
-    const int64_t answered = stats.completed + stats.failed;
-    const bool error_rate_bad =
-        answered >= options_.min_health_samples &&
-        static_cast<double>(stats.failed) >
-            options_.error_rate_threshold * static_cast<double>(answered);
-    // Resilience signals from PR-4: opened circuit breakers, quarantined
-    // cache entries, and CPU-fallback groups all mean the shard is
-    // answering (correctly) with a reduced machine under it.
-    const bool resilience_degraded = stats.breaker_opened > 0 ||
-                                     cache.quarantined > 0 ||
-                                     stats.fallback_groups > 0;
-    if (error_rate_bad || resilience_degraded) {
-      std::unique_lock<std::shared_mutex> route_lock(route_mu_);
-      if (health_[s] == ShardHealth::kHealthy) {
-        health_[s] = ShardHealth::kDegraded;
-        ++transitions;
+    if (current == ShardHealth::kDown) continue;
+    const service::BfsService::Stats stats = svc->stats();
+    const service::CacheStats cache = svc->cache_stats();
+    const int64_t failed_delta = stats.failed - base.failed;
+    const int64_t answered_delta =
+        (stats.completed - base.completed) + failed_delta;
+    if (current == ShardHealth::kHealthy) {
+      const bool error_rate_bad =
+          answered_delta >= options_.min_health_samples &&
+          static_cast<double>(failed_delta) >
+              options_.error_rate_threshold *
+                  static_cast<double>(answered_delta);
+      // Resilience signals from PR-4: newly opened circuit breakers,
+      // quarantined cache entries, and CPU-fallback groups all mean the
+      // shard is answering (correctly) with a reduced machine under it.
+      const bool resilience_degraded =
+          stats.breaker_opened > base.breaker_opened ||
+          cache.quarantined > base.quarantined ||
+          stats.fallback_groups > base.fallback_groups;
+      if (error_rate_bad || resilience_degraded) {
+        std::unique_lock<std::shared_mutex> route_lock(route_mu_);
+        if (health_[s] == ShardHealth::kHealthy) {
+          health_[s] = ShardHealth::kDegraded;
+          // Snapshot the cumulative counters at degrade time: recovery
+          // requires the window to clear with nothing new past this mark.
+          probe_base_[s] = ProbeBaseline{stats.completed, stats.failed,
+                                         stats.breaker_opened,
+                                         cache.quarantined,
+                                         stats.fallback_groups};
+          ++transitions;
+        }
+      }
+    } else {  // kDegraded: re-probe for recovery
+      // Recover once (a) the rolling live error window is clean, (b) no
+      // new breaker/quarantine/fallback signals landed since the degrade,
+      // and (c) failures since the degrade stayed within the recovery
+      // rate (covering failures — e.g. front-door rejects — that never
+      // enter the live window).
+      const bool window_clean =
+          svc->LiveErrorRatio() <= options_.recovery_error_rate;
+      const bool signals_quiet =
+          stats.breaker_opened == base.breaker_opened &&
+          cache.quarantined == base.quarantined &&
+          stats.fallback_groups == base.fallback_groups;
+      const bool failures_quiet =
+          answered_delta == 0
+              ? failed_delta == 0
+              : static_cast<double>(failed_delta) <=
+                    options_.recovery_error_rate *
+                        static_cast<double>(answered_delta);
+      if (window_clean && signals_quiet && failures_quiet) {
+        std::unique_lock<std::shared_mutex> route_lock(route_mu_);
+        if (health_[s] == ShardHealth::kDegraded) {
+          health_[s] = ShardHealth::kHealthy;
+          // Forgive the burst: future degrade probes measure from here.
+          probe_base_[s] = ProbeBaseline{stats.completed, stats.failed,
+                                         stats.breaker_opened,
+                                         cache.quarantined,
+                                         stats.fallback_groups};
+          ++transitions;
+          ++recovered;
+        }
       }
     }
   }
+  if (recovered > 0) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      recoveries_ += recovered;
+    }
+    BumpCounter("fleet.recoveries", recovered);
+  }
   if (transitions > 0) PublishHealthGauges();
   return transitions;
+}
+
+int FleetFrontDoor::Rebalance() {
+  struct Row {
+    int shard = 0;
+    double p99 = 0.0;
+  };
+  std::vector<Row> rows;
+  {
+    std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (health_[s] == ShardHealth::kDown) continue;
+      service::BfsService* svc = shards_[s].get();
+      // A shard without enough live samples has no measurable tail; leave
+      // its weight alone rather than steering on noise.
+      if (svc->LiveWindowCount() < options_.min_health_samples) continue;
+      rows.push_back({static_cast<int>(s), svc->LivePercentileMs(0.99)});
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++rebalance_runs_;
+  }
+  BumpCounter("fleet.rebalance_runs");
+  if (rows.size() < 2) return 0;
+  double mean = 0.0;
+  for (const Row& row : rows) mean += row.p99;
+  mean /= static_cast<double>(rows.size());
+  if (mean <= 0.0) return 0;
+  int changes = 0;
+  {
+    std::unique_lock<std::shared_mutex> route_lock(route_mu_);
+    for (const Row& row : rows) {
+      if (health_[static_cast<size_t>(row.shard)] == ShardHealth::kDown) {
+        continue;  // killed between the read and this pass
+      }
+      const int w = ring_.weight(row.shard);
+      if (w < 1) continue;
+      int target = w;
+      // Hysteresis band [mean/h, mean*h]: only act on clear outliers, one
+      // bounded step per pass, so the ring never thrashes.
+      if (row.p99 > options_.rebalance_hysteresis * mean) {
+        target = std::max(1, w - 1);
+      } else if (row.p99 * options_.rebalance_hysteresis < mean) {
+        target = std::min(options_.rebalance_max_weight, w + 1);
+      }
+      if (target != w) {
+        ring_.SetWeight(row.shard, target);
+        full_ring_.SetWeight(row.shard, target);
+        ++changes;
+      }
+    }
+  }
+  if (changes > 0) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      weight_changes_ += changes;
+    }
+    BumpCounter("fleet.weight_changes", changes);
+    PublishHealthGauges();
+  }
+  return changes;
+}
+
+void FleetFrontDoor::RebalancerLoop() {
+  const auto interval =
+      std::chrono::duration<double>(options_.rebalance_interval_s);
+  std::unique_lock<std::mutex> lock(rebalance_mu_);
+  while (!stop_rebalancer_) {
+    if (rebalance_cv_.wait_for(lock, interval,
+                               [this] { return stop_rebalancer_; })) {
+      break;
+    }
+    lock.unlock();
+    CheckHealth();
+    Rebalance();
+    lock.lock();
+  }
 }
 
 int FleetFrontDoor::OwnerShard(graph::VertexId source) const {
@@ -320,7 +768,14 @@ int FleetFrontDoor::OwnerShard(graph::VertexId source) const {
 }
 
 int FleetFrontDoor::HomeShard(graph::VertexId source) const {
+  std::shared_lock<std::shared_mutex> route_lock(route_mu_);
   return full_ring_.ShardFor(static_cast<uint64_t>(source));
+}
+
+std::vector<int> FleetFrontDoor::ReplicaSet(graph::VertexId source) const {
+  std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+  return ring_.ReplicasFor(static_cast<uint64_t>(source),
+                           std::max(1, options_.replication));
 }
 
 ShardHealth FleetFrontDoor::shard_health(int shard) const {
@@ -329,14 +784,31 @@ ShardHealth FleetFrontDoor::shard_health(int shard) const {
   return health_[static_cast<size_t>(shard)];
 }
 
+int FleetFrontDoor::shard_count() const {
+  std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+  return static_cast<int>(shards_.size());
+}
+
+int FleetFrontDoor::ShardWeight(int shard) const {
+  std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+  return ring_.weight(shard);
+}
+
+service::BfsService* FleetFrontDoor::shard_for_test(int shard) {
+  std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+  return shards_[static_cast<size_t>(shard)].get();
+}
+
 void FleetFrontDoor::PublishHealthGauges() {
   obs::MetricsRegistry* metrics = options_.service.observer.metrics;
   if (metrics == nullptr) return;
   int healthy = 0;
   int degraded = 0;
   int down = 0;
+  size_t total = 0;
   {
     std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+    total = shards_.size();
     for (ShardHealth h : health_) {
       switch (h) {
         case ShardHealth::kHealthy:
@@ -351,8 +823,7 @@ void FleetFrontDoor::PublishHealthGauges() {
       }
     }
   }
-  metrics->GetGauge("fleet.shards")
-      ->Set(static_cast<double>(shards_.size()));
+  metrics->GetGauge("fleet.shards")->Set(static_cast<double>(total));
   metrics->GetGauge("fleet.shards_healthy")->Set(healthy);
   metrics->GetGauge("fleet.shards_degraded")->Set(degraded);
   metrics->GetGauge("fleet.shards_down")->Set(down);
@@ -361,14 +832,24 @@ void FleetFrontDoor::PublishHealthGauges() {
 
 FleetStats FleetFrontDoor::stats() const {
   FleetStats fleet;
-  fleet.shard.reserve(shards_.size());
-  for (const auto& shard : shards_) {
-    fleet.shard.push_back(shard->stats());
-    fleet.totals.Add(fleet.shard.back());
-  }
+  fleet.replication = options_.replication;
+  std::vector<service::BfsService*> services;
   {
     std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+    services.reserve(shards_.size());
+    for (const auto& shard : shards_) services.push_back(shard.get());
     fleet.health = health_;
+    fleet.weight.reserve(shards_.size());
+    fleet.weight_share.reserve(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      fleet.weight.push_back(ring_.weight(static_cast<int>(s)));
+      fleet.weight_share.push_back(ring_.WeightShare(static_cast<int>(s)));
+    }
+  }
+  fleet.shard.reserve(services.size());
+  for (service::BfsService* svc : services) {
+    fleet.shard.push_back(svc->stats());
+    fleet.totals.Add(fleet.shard.back());
   }
   for (ShardHealth h : fleet.health) {
     switch (h) {
@@ -390,6 +871,16 @@ FleetStats FleetFrontDoor::stats() const {
     fleet.fallback_answers = fallback_answers_;
     fleet.multi_queries = multi_queries_;
     fleet.multi_sources = multi_sources_;
+    fleet.shard_joins = shard_joins_;
+    fleet.warmup_entries = warmup_entries_;
+    fleet.hedges_fired = hedges_fired_;
+    fleet.hedges_won = hedges_won_;
+    fleet.hedges_cancelled = hedges_cancelled_;
+    fleet.replica_mismatches = replica_mismatches_;
+    fleet.replica_cache_writes = replica_cache_writes_;
+    fleet.recoveries = recoveries_;
+    fleet.rebalance_runs = rebalance_runs_;
+    fleet.weight_changes = weight_changes_;
   }
   return fleet;
 }
@@ -397,9 +888,24 @@ FleetStats FleetFrontDoor::stats() const {
 void FleetFrontDoor::Shutdown() {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   if (joined_) return;
-  for (const auto& shard : shards_) shard->Shutdown();
-  // Every shard future is resolved now, so pending gather tasks finish
-  // immediately; the pool destructor completes them before returning.
+  {
+    std::lock_guard<std::mutex> lock(rebalance_mu_);
+    stop_rebalancer_ = true;
+  }
+  rebalance_cv_.notify_all();
+  if (rebalancer_.joinable()) rebalancer_.join();
+  std::vector<service::BfsService*> services;
+  {
+    std::shared_lock<std::shared_mutex> route_lock(route_mu_);
+    services.reserve(shards_.size());
+    for (const auto& shard : shards_) services.push_back(shard.get());
+  }
+  for (service::BfsService* shard : services) shard->Shutdown();
+  // Every shard future is resolved now: hedged wrappers finish their
+  // polls immediately, then gather tasks (which wait on the wrapped
+  // futures those wrappers resolve) finish too — so the pools must drain
+  // in this order.
+  hedge_pool_.reset();
   gather_pool_.reset();
   joined_ = true;
 }

@@ -31,6 +31,12 @@ Status FleetWorkloadOptions::Validate() const {
   if (kill_shard < -1) {
     return Status::InvalidArgument("kill_shard must be >= -1");
   }
+  if (join_shards < 0) {
+    return Status::InvalidArgument("join_shards must be >= 0");
+  }
+  if (join_weight < 1) {
+    return Status::InvalidArgument("join_weight must be >= 1");
+  }
   return Status::OK();
 }
 
@@ -52,6 +58,18 @@ Result<FleetDriveResult> DriveFleet(
   const double kill_at_s = options.kill_at_s >= 0.0
                                ? options.kill_at_s
                                : events.back().at_s * 0.5;
+  int joins_pending = options.join_shards;
+  const double join_at_s = options.join_at_s >= 0.0
+                               ? options.join_at_s
+                               : events.back().at_s * 0.75;
+  const auto run_joins = [&] {
+    while (joins_pending > 0) {
+      // A join failure (shard spin-up error) must not abort the drive —
+      // elasticity is best-effort while traffic keeps flowing.
+      if (!fleet->AddShard(options.join_weight).ok()) break;
+      --joins_pending;
+    }
+  };
 
   const size_t bundle = static_cast<size_t>(options.multi_source);
   std::vector<std::future<service::QueryResult>> singles;
@@ -64,6 +82,7 @@ Result<FleetDriveResult> DriveFleet(
       fleet->KillShard(options.kill_shard);
       kill_pending = false;
     }
+    if (joins_pending > 0 && event.at_s >= join_at_s) run_joins();
     // Open loop: hold to the schedule even if the fleet is behind.
     std::this_thread::sleep_until(
         start + std::chrono::duration_cast<Clock::duration>(
@@ -87,6 +106,7 @@ Result<FleetDriveResult> DriveFleet(
     }
   }
   if (kill_pending) fleet->KillShard(options.kill_shard);
+  run_joins();
   // Probe health while the survivors are still serving (post-shutdown
   // error counts would pollute the probe); the marks persist into the
   // final snapshot below.
@@ -171,12 +191,25 @@ obs::FleetReport BuildFleetReport(const std::string& graph_name,
   report.killed_shard = workload.kill_shard;
 
   const FleetStats& stats = drive.stats;
+  report.joined_shards = stats.shard_joins;
+  report.replication = stats.replication;
+  report.shard_joins = stats.shard_joins;
+  report.warmup_entries = stats.warmup_entries;
+  report.hedges_fired = stats.hedges_fired;
+  report.hedges_won = stats.hedges_won;
+  report.hedges_cancelled = stats.hedges_cancelled;
+  report.replica_mismatches = stats.replica_mismatches;
+  report.replica_cache_writes = stats.replica_cache_writes;
+  report.recoveries = stats.recoveries;
+  report.rebalance_runs = stats.rebalance_runs;
+  report.weight_changes = stats.weight_changes;
   for (size_t s = 0; s < stats.shard.size(); ++s) {
     obs::FleetReportShard row;
     row.shard = static_cast<int>(s);
     row.health = ShardHealthName(s < stats.health.size()
                                      ? stats.health[s]
                                      : ShardHealth::kHealthy);
+    row.weight = s < stats.weight.size() ? stats.weight[s] : 0;
     row.routed = s < stats.routed.size() ? stats.routed[s] : 0;
     row.queries = stats.shard[s].queries;
     row.completed = stats.shard[s].completed;

@@ -30,6 +30,14 @@ struct FleetWorkloadOptions {
   /// into the schedule (negative = the schedule midpoint).
   int kill_shard = -1;
   double kill_at_s = -1.0;
+  /// Join this many fresh shards mid-drive (0 = no join), at `join_at_s`
+  /// seconds into the schedule (negative = 75% of the way through, i.e.
+  /// after a default-scheduled kill), each at ring weight `join_weight`.
+  /// With both a kill and a join armed this drives the full elastic
+  /// episode: lose a shard, keep serving, grow back, keep serving.
+  int join_shards = 0;
+  double join_at_s = -1.0;
+  int join_weight = 1;
 
   Status Validate() const;
 };

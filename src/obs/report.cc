@@ -457,6 +457,34 @@ void FleetReport::WriteJson(std::ostream& os,
   w.Int(multi_queries);
   w.Key("killed_shard");
   w.Int(killed_shard);
+  w.Key("joined_shards");
+  w.Int(joined_shards);
+  w.EndObject();
+
+  w.Key("elasticity");
+  w.BeginObject();
+  w.Key("replication");
+  w.Int(replication);
+  w.Key("shard_joins");
+  w.Int(shard_joins);
+  w.Key("warmup_entries");
+  w.Int(warmup_entries);
+  w.Key("hedges_fired");
+  w.Int(hedges_fired);
+  w.Key("hedges_won");
+  w.Int(hedges_won);
+  w.Key("hedges_cancelled");
+  w.Int(hedges_cancelled);
+  w.Key("replica_mismatches");
+  w.Int(replica_mismatches);
+  w.Key("replica_cache_writes");
+  w.Int(replica_cache_writes);
+  w.Key("recoveries");
+  w.Int(recoveries);
+  w.Key("rebalance_runs");
+  w.Int(rebalance_runs);
+  w.Key("weight_changes");
+  w.Int(weight_changes);
   w.EndObject();
 
   w.Key("shards_detail");
@@ -467,6 +495,8 @@ void FleetReport::WriteJson(std::ostream& os,
     w.Int(row.shard);
     w.Key("health");
     w.String(row.health);
+    w.Key("weight");
+    w.Int(row.weight);
     w.Key("routed");
     w.Int(row.routed);
     w.Key("queries");

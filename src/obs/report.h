@@ -251,6 +251,8 @@ struct ResilienceReport {
 struct FleetReportShard {
   int shard = 0;
   std::string health;  // "healthy" | "degraded" | "down"
+  /// Active ring weight (0 = off the ring). Schema v2.
+  int64_t weight = 0;
   int64_t routed = 0;
   int64_t queries = 0;
   int64_t completed = 0;
@@ -271,7 +273,9 @@ struct FleetReportShard {
 /// builds it.
 struct FleetReport {
   static constexpr const char* kSchema = "ibfs.fleet_report";
-  static constexpr int kSchemaVersion = 1;
+  /// v2 adds the "elasticity" section (replication, joins, warmup,
+  /// hedging, recoveries, rebalancing) and per-shard ring weights.
+  static constexpr int kSchemaVersion = 2;
 
   // Fleet configuration.
   std::string graph;
@@ -293,6 +297,23 @@ struct FleetReport {
   int64_t multi_queries = 0;
   /// Which shard was killed mid-run (-1 = none).
   int64_t killed_shard = -1;
+  /// Shards joined mid-run (0 = none).
+  int64_t joined_shards = 0;
+
+  // Elasticity & replication (schema v2): the configured replication
+  // factor and the front door's join/warmup/hedge/recovery/rebalance
+  // counters.
+  int64_t replication = 1;
+  int64_t shard_joins = 0;
+  int64_t warmup_entries = 0;
+  int64_t hedges_fired = 0;
+  int64_t hedges_won = 0;
+  int64_t hedges_cancelled = 0;
+  int64_t replica_mismatches = 0;
+  int64_t replica_cache_writes = 0;
+  int64_t recoveries = 0;
+  int64_t rebalance_runs = 0;
+  int64_t weight_changes = 0;
 
   // Per-shard sections, indexed by shard.
   std::vector<FleetReportShard> shard_rows;

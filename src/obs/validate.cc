@@ -464,6 +464,7 @@ Status ValidateFleetReport(const JsonValue& doc) {
   if (version->number_value() < 1) {
     return Bad("fleet report: bad schema_version");
   }
+  const bool v2 = version->number_value() >= 2;
 
   const JsonValue* fleet = RequireMember(
       doc, "fleet", JsonValue::Kind::kObject, &st, "fleet report");
@@ -499,6 +500,40 @@ Status ValidateFleetReport(const JsonValue& doc) {
       return st;
     }
   }
+  if (v2 && RequireMember(*workload, "joined_shards",
+                          JsonValue::Kind::kNumber, &st,
+                          "fleet report workload") == nullptr) {
+    return st;
+  }
+
+  if (v2) {
+    const JsonValue* elasticity = RequireMember(
+        doc, "elasticity", JsonValue::Kind::kObject, &st, "fleet report");
+    if (elasticity == nullptr) return st;
+    for (const char* key :
+         {"replication", "shard_joins", "warmup_entries", "hedges_fired",
+          "hedges_won", "hedges_cancelled", "replica_mismatches",
+          "replica_cache_writes", "recoveries", "rebalance_runs",
+          "weight_changes"}) {
+      const JsonValue* value = RequireMember(
+          *elasticity, key, JsonValue::Kind::kNumber, &st,
+          "fleet report elasticity");
+      if (value == nullptr) return st;
+      if (value->number_value() < 0.0) {
+        return Bad(std::string("fleet report elasticity: \"") + key +
+                   "\" is negative");
+      }
+    }
+    if (elasticity->Find("replication")->number_value() < 1.0) {
+      return Bad("fleet report elasticity: \"replication\" must be >= 1");
+    }
+    const double fired = elasticity->Find("hedges_fired")->number_value();
+    const double won = elasticity->Find("hedges_won")->number_value();
+    if (won > fired) {
+      return Bad(
+          "fleet report elasticity: need hedges_won <= hedges_fired");
+    }
+  }
 
   const JsonValue* shards = RequireMember(
       doc, "shards_detail", JsonValue::Kind::kArray, &st, "fleet report");
@@ -523,6 +558,14 @@ Status ValidateFleetReport(const JsonValue& doc) {
       if (value == nullptr) return st;
       if (value->number_value() < 0.0) {
         return Bad(where + ": \"" + std::string(key) + "\" is negative");
+      }
+    }
+    if (v2) {
+      const JsonValue* weight =
+          RequireMember(row, "weight", JsonValue::Kind::kNumber, &st, where);
+      if (weight == nullptr) return st;
+      if (weight->number_value() < 0.0) {
+        return Bad(where + ": \"weight\" is negative");
       }
     }
   }

@@ -107,6 +107,43 @@ void ResultCache::Put(graph::VertexId source, CachedDepths value) {
   }
 }
 
+std::optional<CachedDepths> ResultCache::Peek(graph::VertexId source) {
+  Shard& shard = ShardFor(source);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(source);
+  if (it == shard.index.end()) return std::nullopt;
+  Entry& entry = *it->second;
+  if (entry.fingerprint != graph_fingerprint_ ||
+      Fnv1a(entry.value.depths) != entry.value.checksum) {
+    if (entry.fingerprint == graph_fingerprint_) ++shard.stats.quarantined;
+    shard.bytes -= EntryBytes(entry.value);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    return std::nullopt;
+  }
+  return entry.value;
+}
+
+bool ResultCache::Erase(graph::VertexId source) {
+  Shard& shard = ShardFor(source);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(source);
+  if (it == shard.index.end()) return false;
+  shard.bytes -= EntryBytes(it->second->value);
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  return true;
+}
+
+std::vector<graph::VertexId> ResultCache::Sources() const {
+  std::vector<graph::VertexId> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& entry : shard->lru) out.push_back(entry.source);
+  }
+  return out;
+}
+
 void ResultCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

@@ -104,6 +104,21 @@ class ResultCache {
   /// Entries larger than a whole shard budget are not admitted.
   void Put(graph::VertexId source, CachedDepths value);
 
+  /// Read-only lookup for replication fan-out and join warmup: returns the
+  /// entry without touching LRU recency or the hit/miss counters, but still
+  /// re-verifies the checksum (a corrupted entry is quarantined exactly as
+  /// in Get, so replicas never receive poisoned bytes).
+  std::optional<CachedDepths> Peek(graph::VertexId source);
+
+  /// Drops one entry (replica checksum-mismatch quarantine). Returns true
+  /// if an entry was present.
+  bool Erase(graph::VertexId source);
+
+  /// Sources currently resident, most-recently-used first within each
+  /// shard — the donor-side enumeration a joining shard replays for its
+  /// targeted warmup.
+  std::vector<graph::VertexId> Sources() const;
+
   /// Drops every entry (graph swap / explicit invalidation).
   void Clear();
 

@@ -210,6 +210,59 @@ void BfsService::PublishLiveTelemetry() {
   }
 }
 
+double BfsService::LivePercentileMs(double p) const {
+  return live_stats_.PercentileMs(NowS(), p);
+}
+
+double BfsService::LiveErrorRatio() const {
+  return live_stats_.ErrorRatio(NowS());
+}
+
+int64_t BfsService::LiveWindowCount() const {
+  return live_stats_.WindowCount(NowS());
+}
+
+std::vector<graph::VertexId> BfsService::CachedSources() const {
+  if (result_cache_ == nullptr) return {};
+  return result_cache_->Sources();
+}
+
+std::optional<CachedDepths> BfsService::PeekCache(
+    graph::VertexId source) const {
+  if (result_cache_ == nullptr) return std::nullopt;
+  return result_cache_->Peek(source);
+}
+
+bool BfsService::WarmCache(graph::VertexId source, const CachedDepths& value) {
+  if (result_cache_ == nullptr) return false;
+  if (static_cast<int64_t>(source) >= graph_->vertex_count()) return false;
+  if (Fnv1a(value.depths) != value.checksum) return false;
+  result_cache_->Put(source, value);
+  return true;
+}
+
+bool BfsService::EvictCacheEntry(graph::VertexId source) {
+  if (result_cache_ == nullptr) return false;
+  return result_cache_->Erase(source);
+}
+
+void BfsService::RecordLiveSampleForTest(double total_ms, bool ok) {
+  live_stats_.RecordQuery(NowS(), total_ms, ok);
+}
+
+void BfsService::TripBreakersForTest() {
+  const int devices = options_.engine.faults.device_count;
+  for (int d = 0; d < devices; ++d) {
+    for (int i = 0; i < options_.resilience.breaker_threshold; ++i) {
+      router_->ReportFailure(d);
+    }
+  }
+}
+
+bool BfsService::BreakersOpen() const {
+  return router_ != nullptr && router_->healthy_count() == 0;
+}
+
 Result<std::unique_ptr<BfsService>> BfsService::Create(
     const graph::Csr* graph, ServiceOptions options) {
   if (graph == nullptr) {

@@ -9,6 +9,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -265,6 +266,41 @@ class BfsService {
   /// while traffic is idle). Called by the live exporter's tick and safe
   /// to call from anywhere; a no-op for sinks that are not configured.
   void PublishLiveTelemetry();
+
+  /// Rolling-window views over the live stats (window = live_window_s,
+  /// same data behind the live.* gauges). The fleet's rebalancing
+  /// controller reads the percentiles; its health recovery probe reads the
+  /// error ratio, which — unlike Stats::failed — forgets a burst once the
+  /// window slides past it.
+  double LivePercentileMs(double p) const;
+  double LiveErrorRatio() const;
+  int64_t LiveWindowCount() const;
+
+  /// Sources currently resident in the result cache (empty when caching is
+  /// disabled). Donor-side enumeration for fleet join warmup.
+  std::vector<graph::VertexId> CachedSources() const;
+  /// Non-mutating cache read (no LRU/stat effects, checksum still
+  /// verified); nullopt on miss or when caching is disabled.
+  std::optional<CachedDepths> PeekCache(graph::VertexId source) const;
+  /// Inserts an externally computed answer (replica fan-out / join
+  /// warmup). The checksum must match the depth bytes — a mismatch is
+  /// rejected so a corrupt donor can never seed this shard's cache.
+  /// Returns false on mismatch, bad source, or disabled cache.
+  bool WarmCache(graph::VertexId source, const CachedDepths& value);
+  /// Drops one cached answer (replica checksum-mismatch quarantine).
+  bool EvictCacheEntry(graph::VertexId source);
+
+  /// Test hook: records one synthetic completion into the rolling live
+  /// window, so controllers that read LivePercentileMs can be driven
+  /// deterministically without timing-sensitive traffic.
+  void RecordLiveSampleForTest(double total_ms, bool ok);
+  /// Test hook: opens every device circuit breaker, as a burst of
+  /// persistent device failures would. With cpu_fallback off the next
+  /// groups fail Unavailable — how hedging tests force a sick primary.
+  void TripBreakersForTest();
+  /// True when every device breaker is open (the service can only answer
+  /// via CPU fallback, if enabled). One of the fleet's hedge triggers.
+  bool BreakersOpen() const;
 
   Stats stats() const;
   const ServiceOptions& options() const { return options_; }

@@ -16,12 +16,16 @@ namespace ibfs {
 /// it owned falls through to the next surviving point while keys owned by
 /// other shards keep their owner — the minimal-disruption property that
 /// makes failover cheap (only the dead shard's sources remap, so only
-/// those queries re-warm a survivor's cache).
+/// those queries re-warm a survivor's cache). Adding a shard is symmetric:
+/// only keys the new shard's points capture move, everything else keeps
+/// its owner, so joins disturb exactly the stolen segment.
 ///
 /// The placement is a pure function of (seed, shard, vnode) and lookups are
 /// pure functions of (seed, key), so two rings built with the same
 /// parameters route identically across processes and platforms — the fleet
-/// relies on this for bit-deterministic scatter/gather.
+/// relies on this for bit-deterministic scatter/gather. A consequence: a
+/// shard removed and later re-added at the same weight reproduces its exact
+/// original points, so `Remove` + `Add` round-trips to the original ring.
 ///
 /// Not thread-safe; FleetFrontDoor guards its ring with a shared mutex.
 class HashRing {
@@ -50,56 +54,110 @@ class HashRing {
   explicit HashRing(int shard_count) : HashRing(shard_count, Options()) {}
 
   HashRing(int shard_count, Options options)
-      : seed_(options.seed),
-        active_(static_cast<size_t>(shard_count < 0 ? 0 : shard_count),
-                true) {
-    const int vnodes = options.vnodes < 1 ? 1 : options.vnodes;
+      : seed_(options.seed), vnodes_(options.vnodes < 1 ? 1 : options.vnodes) {
     for (int shard = 0; shard < shard_count; ++shard) {
       const int weight =
           static_cast<size_t>(shard) < options.weights.size()
               ? std::max(1, options.weights[static_cast<size_t>(shard)])
               : 1;
-      for (int v = 0; v < vnodes * weight; ++v) {
-        const uint64_t point =
-            Mix(seed_ ^ Mix((static_cast<uint64_t>(shard) << 32) |
-                            static_cast<uint64_t>(v)));
-        ring_.push_back({point, shard});
-      }
+      Add(shard, weight);
     }
-    // Hash ties (vanishingly rare) break by shard id so the order — and
-    // therefore every routing decision — is fully deterministic.
-    std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
-      return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
-    });
   }
 
   /// Owning shard for `key`, or -1 when every shard has been removed.
   int ShardFor(uint64_t key) const {
     if (ring_.empty()) return -1;
-    const uint64_t h = Mix(seed_ ^ Mix(key));
-    auto it = std::lower_bound(
-        ring_.begin(), ring_.end(), h,
-        [](const Point& p, uint64_t value) { return p.hash < value; });
-    if (it == ring_.end()) it = ring_.begin();  // wrap past the last point
-    return it->shard;
+    return FirstPointFor(key)->shard;
+  }
+
+  /// Ordered replica set for `key`: up to `replicas` distinct shards,
+  /// walking clockwise from the key's point. Element 0 is always
+  /// ShardFor(key) (the primary); subsequent elements are the shards whose
+  /// points come next on the ring, which is exactly where the key would
+  /// fall over if earlier replicas were removed — so replica sets stay
+  /// aligned with failover routing. Returns fewer than `replicas` entries
+  /// when the ring has fewer distinct shards.
+  std::vector<int> ReplicasFor(uint64_t key, int replicas) const {
+    std::vector<int> out;
+    if (ring_.empty() || replicas < 1) return out;
+    auto it = FirstPointFor(key);
+    const size_t start = static_cast<size_t>(it - ring_.begin());
+    for (size_t step = 0; step < ring_.size(); ++step) {
+      const int shard = ring_[(start + step) % ring_.size()].shard;
+      if (std::find(out.begin(), out.end(), shard) == out.end()) {
+        out.push_back(shard);
+        if (static_cast<int>(out.size()) == replicas) break;
+      }
+    }
+    return out;
+  }
+
+  /// Adds a shard's virtual nodes. `shard` may be a brand-new id (equal to
+  /// shard_count(), growing the ring) or a previously removed id rejoining.
+  /// Placement depends only on (seed, shard, vnode), so a rejoining shard
+  /// reclaims exactly the points it had before at the same weight, and only
+  /// keys landing on the inserted points move — minimal disruption.
+  /// Returns false when the shard is already active, the id would leave a
+  /// gap (> shard_count()), or the weight is < 1.
+  bool Add(int shard, int weight = 1) {
+    if (shard < 0 || weight < 1 ||
+        static_cast<size_t>(shard) > active_.size()) {
+      return false;
+    }
+    if (static_cast<size_t>(shard) == active_.size()) {
+      active_.push_back(false);
+      weights_.push_back(0);
+    }
+    if (active_[static_cast<size_t>(shard)]) return false;
+    active_[static_cast<size_t>(shard)] = true;
+    weights_[static_cast<size_t>(shard)] = weight;
+    InsertPoints(shard, weight);
+    return true;
   }
 
   /// Removes a shard's virtual nodes (its keys fall to the survivors that
   /// own the next points clockwise). Returns false when the shard id is out
-  /// of range or already removed. Removed shards never come back — the
-  /// fleet models permanent loss, like its circuit breakers.
+  /// of range or already removed. A removed shard can rejoin via Add — the
+  /// fleet uses that for elastic recovery after a kill.
   bool Remove(int shard) {
-    if (shard < 0 || static_cast<size_t>(shard) >= active_.size() ||
-        !active_[static_cast<size_t>(shard)]) {
-      return false;
-    }
+    if (!Contains(shard)) return false;
     active_[static_cast<size_t>(shard)] = false;
-    ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
-                               [shard](const Point& p) {
-                                 return p.shard == shard;
-                               }),
-                ring_.end());
+    weights_[static_cast<size_t>(shard)] = 0;
+    ErasePoints(shard);
     return true;
+  }
+
+  /// Changes an active shard's weight by rebuilding only that shard's
+  /// points: growing from w to w' adds vnodes*(w'-w) points (stealing only
+  /// the keys they capture), shrinking removes the tail points (releasing
+  /// only the keys they owned). Keys not adjacent to the changed points
+  /// keep their owner. Returns false for inactive shards or weight < 1.
+  bool SetWeight(int shard, int weight) {
+    if (!Contains(shard) || weight < 1) return false;
+    const int current = weights_[static_cast<size_t>(shard)];
+    if (weight == current) return true;
+    ErasePoints(shard);
+    weights_[static_cast<size_t>(shard)] = weight;
+    InsertPoints(shard, weight);
+    return true;
+  }
+
+  /// Active shard's weight; 0 when removed or out of range.
+  int weight(int shard) const {
+    return Contains(shard) ? weights_[static_cast<size_t>(shard)] : 0;
+  }
+
+  /// Shard's share of the total active ring weight (its expected fraction
+  /// of the key space); 0 when removed or the ring is empty.
+  double WeightShare(int shard) const {
+    if (!Contains(shard)) return 0.0;
+    int64_t total = 0;
+    for (size_t s = 0; s < weights_.size(); ++s) {
+      if (active_[s]) total += weights_[s];
+    }
+    if (total <= 0) return 0.0;
+    return static_cast<double>(weights_[static_cast<size_t>(shard)]) /
+           static_cast<double>(total);
   }
 
   bool Contains(int shard) const {
@@ -124,8 +182,58 @@ class HashRing {
     int shard = 0;
   };
 
+  static bool PointLess(const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  }
+
+  /// Domain separator between key hashes and virtual-node placement.
+  /// Points hash Mix(seed ^ Mix((shard << 32) | v)); without the salt a
+  /// key k < vnodes hashes exactly onto shard 0's point (0 << 32 | k), so
+  /// shard 0 would capture every small key — fatal for graphs with
+  /// vertex_count <= vnodes.
+  static constexpr uint64_t kKeyDomain = 0xc2b2ae3d27d4eb4fULL;
+
+  std::vector<Point>::const_iterator FirstPointFor(uint64_t key) const {
+    const uint64_t h = Mix(seed_ ^ kKeyDomain ^ Mix(key));
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const Point& p, uint64_t value) { return p.hash < value; });
+    if (it == ring_.end()) it = ring_.begin();  // wrap past the last point
+    return it;
+  }
+
+  void InsertPoints(int shard, int weight) {
+    std::vector<Point> fresh;
+    fresh.reserve(static_cast<size_t>(vnodes_) * static_cast<size_t>(weight));
+    for (int v = 0; v < vnodes_ * weight; ++v) {
+      const uint64_t point =
+          Mix(seed_ ^ Mix((static_cast<uint64_t>(shard) << 32) |
+                          static_cast<uint64_t>(v)));
+      fresh.push_back({point, shard});
+    }
+    // Hash ties (vanishingly rare) break by shard id so the order — and
+    // therefore every routing decision — is fully deterministic.
+    std::sort(fresh.begin(), fresh.end(), PointLess);
+    std::vector<Point> merged;
+    merged.reserve(ring_.size() + fresh.size());
+    std::merge(ring_.begin(), ring_.end(), fresh.begin(), fresh.end(),
+               std::back_inserter(merged), PointLess);
+    ring_ = std::move(merged);
+  }
+
+  void ErasePoints(int shard) {
+    ring_.erase(std::remove_if(
+                    ring_.begin(), ring_.end(),
+                    [shard](const Point& p) { return p.shard == shard; }),
+                ring_.end());
+  }
+
   uint64_t seed_;
+  int vnodes_;
   std::vector<bool> active_;
+  /// Weight per shard id; 0 while removed (the pre-removal weight is not
+  /// retained — rejoin chooses its weight explicitly).
+  std::vector<int> weights_;
   /// Sorted by (hash, shard); binary-searched by ShardFor.
   std::vector<Point> ring_;
 };

@@ -1,10 +1,14 @@
 // Tests of the distributed serving fleet: consistent-hash ring properties
 // (seeded determinism, bounded imbalance, minimal disruption on shard
-// loss), front-door checksum parity with a single BfsService at every
-// shard count, scatter-gather merge determinism, health/failover
-// behavior, the CPU-fallback path, cache behavior across a failover, and
-// the chaos harness + fleet-report validator. Suite names start with
-// "Fleet" or "HashRing" so the tsan preset's filter picks them up.
+// loss and join), front-door checksum parity with a single BfsService at
+// every shard count and replication factor, scatter-gather merge
+// determinism, health/failover behavior with degrade->recover lifecycle,
+// the CPU-fallback path, cache behavior across a failover, elastic joins
+// with targeted cache warmup, hedged reads (fake-clock state machine and
+// live breaker-driven hedging), replica mismatch quarantine, the weighted
+// rebalancing controller, and the chaos harness + fleet-report validator.
+// Suite names start with "Fleet", "HashRing", or "Hedge" so the tsan
+// preset's filter picks them up.
 #include <algorithm>
 #include <cstdint>
 #include <map>
@@ -133,6 +137,192 @@ TEST(HashRingTest, EmptyRingReturnsNoOwner) {
   EXPECT_TRUE(ring.Remove(1));
   EXPECT_TRUE(ring.empty());
   EXPECT_EQ(ring.ShardFor(123), -1);
+}
+
+// ---------------------------------------------------- hash ring elasticity --
+
+TEST(HashRingAddTest, AddOnlyStealsKeysFromSurvivors) {
+  HashRing::Options options;
+  options.vnodes = 128;
+  options.seed = 2016;
+  HashRing ring(3, options);
+  std::map<uint64_t, int> before;
+  for (uint64_t key = 0; key < 8192; ++key) before[key] = ring.ShardFor(key);
+  ASSERT_TRUE(ring.Add(3));
+  EXPECT_EQ(ring.active_count(), 4);
+  int64_t stolen = 0;
+  for (const auto& [key, owner] : before) {
+    const int now = ring.ShardFor(key);
+    if (now != owner) {
+      // Minimal disruption: a key may only move to the joiner, never
+      // between survivors.
+      EXPECT_EQ(now, 3) << "key " << key << " moved between survivors";
+      ++stolen;
+    }
+  }
+  // The joiner carries ~1/4 of the key space at equal weight.
+  EXPECT_GT(stolen, 0);
+  EXPECT_LT(stolen, 8192 / 2);
+}
+
+TEST(HashRingAddTest, GrownRingEqualsRingBuiltAtFullSize) {
+  HashRing::Options options;
+  options.vnodes = 64;
+  options.seed = 7;
+  HashRing grown(3, options);
+  ASSERT_TRUE(grown.Add(3));
+  const HashRing direct(4, options);
+  // Placement is a pure function of (seed, shard, vnode): growing 3 -> 4
+  // reproduces the ring that was born with 4 shards.
+  for (uint64_t key = 0; key < 8192; ++key) {
+    ASSERT_EQ(grown.ShardFor(key), direct.ShardFor(key)) << "key " << key;
+  }
+}
+
+TEST(HashRingAddTest, ReAddAfterRemoveRestoresOriginalRouting) {
+  HashRing::Options options;
+  options.vnodes = 64;
+  options.seed = 11;
+  HashRing ring(4, options);
+  std::map<uint64_t, int> before;
+  for (uint64_t key = 0; key < 8192; ++key) before[key] = ring.ShardFor(key);
+  ASSERT_TRUE(ring.Remove(2));
+  ASSERT_TRUE(ring.Add(2));
+  for (const auto& [key, owner] : before) {
+    ASSERT_EQ(ring.ShardFor(key), owner)
+        << "key " << key << " did not round-trip Remove+Add";
+  }
+}
+
+TEST(HashRingAddTest, RejectsActiveGapAndBadWeightIds) {
+  HashRing::Options options;
+  options.vnodes = 8;
+  HashRing ring(2, options);
+  EXPECT_FALSE(ring.Add(0));      // already active
+  EXPECT_FALSE(ring.Add(4));      // would leave a gap (2 is the next id)
+  EXPECT_FALSE(ring.Add(2, 0));   // weight < 1
+  EXPECT_FALSE(ring.Add(-1));
+  EXPECT_TRUE(ring.Add(2, 2));    // next id, weighted join
+  EXPECT_EQ(ring.weight(2), 2);
+  EXPECT_EQ(ring.shard_count(), 3);
+}
+
+TEST(HashRingAddTest, WeightGrowthOnlyPullsKeysTowardTheShard) {
+  HashRing::Options options;
+  options.vnodes = 128;
+  options.seed = 5;
+  HashRing ring(3, options);
+  std::map<uint64_t, int> before;
+  for (uint64_t key = 0; key < 8192; ++key) before[key] = ring.ShardFor(key);
+  ASSERT_TRUE(ring.SetWeight(0, 2));
+  int64_t moved = 0;
+  for (const auto& [key, owner] : before) {
+    const int now = ring.ShardFor(key);
+    if (now != owner) {
+      // Growing shard 0's weight adds only shard-0 points, so keys can
+      // only move toward shard 0.
+      EXPECT_EQ(now, 0) << "key " << key;
+      EXPECT_NE(owner, 0) << "key " << key;
+      ++moved;
+    }
+  }
+  // The remap is bounded by the weight-share change: shard 0 went from
+  // 1/3 to 2/4 of the ring, so roughly 1/6 of the keys move — never more
+  // than the new share.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(static_cast<double>(moved) / 8192.0, 0.5 + 0.05);
+  // Shrinking back restores the original routing (pure placement).
+  ASSERT_TRUE(ring.SetWeight(0, 1));
+  for (const auto& [key, owner] : before) {
+    ASSERT_EQ(ring.ShardFor(key), owner) << "key " << key;
+  }
+}
+
+TEST(HashRingAddTest, ReplicaSetsAreDistinctAndAlignWithFailover) {
+  HashRing::Options options;
+  options.vnodes = 64;
+  options.seed = 13;
+  HashRing ring(4, options);
+  for (uint64_t key = 0; key < 2048; ++key) {
+    const std::vector<int> replicas = ring.ReplicasFor(key, 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    ASSERT_EQ(replicas[0], ring.ShardFor(key));
+    EXPECT_NE(replicas[0], replicas[1]);
+    EXPECT_NE(replicas[1], replicas[2]);
+    EXPECT_NE(replicas[0], replicas[2]);
+    // Replica 1 is exactly where the key falls over if the primary dies.
+    HashRing failed = ring;
+    ASSERT_TRUE(failed.Remove(replicas[0]));
+    ASSERT_EQ(failed.ShardFor(key), replicas[1]) << "key " << key;
+  }
+  // More replicas than shards: the walk returns every distinct shard.
+  EXPECT_EQ(ring.ReplicasFor(1, 16).size(), 4u);
+}
+
+// --------------------------------------------------- hedge state machine --
+
+using Leg = HedgeStateMachine::Leg;
+using Action = HedgeStateMachine::Action;
+
+TEST(HedgeStateMachineTest, PrimaryWinsBeforeDelayWithoutFiring) {
+  HedgeStateMachine machine(5.0, false);
+  EXPECT_EQ(machine.Step(0.0, Leg::kPending, Leg::kPending), Action::kWait);
+  EXPECT_EQ(machine.Step(2.0, Leg::kPending, Leg::kPending), Action::kWait);
+  EXPECT_EQ(machine.Step(3.0, Leg::kOk, Leg::kPending),
+            Action::kServePrimary);
+  EXPECT_FALSE(machine.hedge_fired());
+}
+
+TEST(HedgeStateMachineTest, FiresOnceAfterDelayThenServesHedge) {
+  HedgeStateMachine machine(5.0, false);
+  EXPECT_EQ(machine.Step(4.9, Leg::kPending, Leg::kPending), Action::kWait);
+  EXPECT_EQ(machine.Step(5.0, Leg::kPending, Leg::kPending),
+            Action::kFireHedge);
+  EXPECT_TRUE(machine.hedge_fired());
+  // Fires exactly once.
+  EXPECT_EQ(machine.Step(6.0, Leg::kPending, Leg::kPending), Action::kWait);
+  EXPECT_EQ(machine.Step(7.0, Leg::kPending, Leg::kOk), Action::kServeHedge);
+}
+
+TEST(HedgeStateMachineTest, PrimaryWinsTieAfterHedgeFired) {
+  HedgeStateMachine machine(1.0, false);
+  EXPECT_EQ(machine.Step(1.0, Leg::kPending, Leg::kPending),
+            Action::kFireHedge);
+  // Both legs ready: the primary is served, never the hedge.
+  EXPECT_EQ(machine.Step(2.0, Leg::kOk, Leg::kOk), Action::kServePrimary);
+}
+
+TEST(HedgeStateMachineTest, FireImmediatelySkipsTheDelay) {
+  HedgeStateMachine machine(1000.0, true);
+  EXPECT_EQ(machine.Step(0.0, Leg::kPending, Leg::kPending),
+            Action::kFireHedge);
+}
+
+TEST(HedgeStateMachineTest, PrimaryErrorFiresHedgeBeforeTheDelay) {
+  HedgeStateMachine machine(1000.0, false);
+  EXPECT_EQ(machine.Step(0.1, Leg::kError, Leg::kPending),
+            Action::kFireHedge);
+  // An errored leg is never served while the other is pending.
+  EXPECT_EQ(machine.Step(0.2, Leg::kError, Leg::kPending), Action::kWait);
+  EXPECT_EQ(machine.Step(0.3, Leg::kError, Leg::kOk), Action::kServeHedge);
+}
+
+TEST(HedgeStateMachineTest, BothErrorsPropagateThePrimaryError) {
+  HedgeStateMachine machine(0.0, false);
+  EXPECT_EQ(machine.Step(0.0, Leg::kPending, Leg::kPending),
+            Action::kFireHedge);
+  EXPECT_EQ(machine.Step(1.0, Leg::kError, Leg::kPending), Action::kWait);
+  EXPECT_EQ(machine.Step(2.0, Leg::kError, Leg::kError),
+            Action::kServePrimary);
+}
+
+TEST(HedgeStateMachineTest, HedgeErrorStillWaitsForThePrimary) {
+  HedgeStateMachine machine(0.0, false);
+  EXPECT_EQ(machine.Step(0.0, Leg::kPending, Leg::kPending),
+            Action::kFireHedge);
+  EXPECT_EQ(machine.Step(1.0, Leg::kPending, Leg::kError), Action::kWait);
+  EXPECT_EQ(machine.Step(2.0, Leg::kOk, Leg::kError),
+            Action::kServePrimary);
 }
 
 // ----------------------------------------------------------- fleet options --
@@ -387,7 +577,46 @@ TEST(FleetHealthTest, ErrorRateProbeMarksShardDegraded) {
   }
   EXPECT_EQ(fleet.value()->CheckHealth(), 1);
   EXPECT_EQ(fleet.value()->shard_health(0), ShardHealth::kDegraded);
-  EXPECT_EQ(fleet.value()->CheckHealth(), 0);  // transition is sticky
+  // Keep the burst going: the failure rate since the degrade snapshot
+  // stays at 100%, so the shard stays degraded.
+  for (int i = 0; i < 4; ++i) {
+    auto result =
+        fleet.value()->shard_for_test(0)->Submit(graph.vertex_count() + 1);
+    EXPECT_FALSE(result.get().status.ok());
+  }
+  EXPECT_EQ(fleet.value()->CheckHealth(), 0);
+  EXPECT_EQ(fleet.value()->shard_health(0), ShardHealth::kDegraded);
+}
+
+TEST(FleetHealthTest, DegradedShardRecoversOnceTheBurstStops) {
+  const graph::Csr graph = MakeRmatGraph(6, 8);
+  FleetOptions options = QuickFleetOptions(1);
+  options.min_health_samples = 4;
+  options.error_rate_threshold = 0.5;
+  auto fleet = FleetFrontDoor::Create(&graph, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  for (int i = 0; i < 8; ++i) {
+    auto result =
+        fleet.value()->shard_for_test(0)->Submit(graph.vertex_count() + 1);
+    EXPECT_FALSE(result.get().status.ok());
+  }
+  EXPECT_EQ(fleet.value()->CheckHealth(), 1);
+  EXPECT_EQ(fleet.value()->shard_health(0), ShardHealth::kDegraded);
+
+  // The burst is over and good traffic flows again: the next probe sees a
+  // clean record since the degrade snapshot and restores the shard.
+  for (int i = 0; i < 8; ++i) {
+    auto result = fleet.value()->Submit(1).get();
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  }
+  EXPECT_EQ(fleet.value()->CheckHealth(), 1);
+  EXPECT_EQ(fleet.value()->shard_health(0), ShardHealth::kHealthy);
+  EXPECT_EQ(fleet.value()->stats().recoveries, 1);
+
+  // Recovery forgives the old burst — a fresh probe doesn't re-degrade on
+  // the cumulative history.
+  EXPECT_EQ(fleet.value()->CheckHealth(), 0);
+  EXPECT_EQ(fleet.value()->shard_health(0), ShardHealth::kHealthy);
 }
 
 // ------------------------------------------------- cache across a failover --
@@ -441,6 +670,344 @@ TEST(FleetCacheTest, RemappedSourceMissesSurvivorCacheOnceThenHits) {
   EXPECT_EQ(survivor_hit.hits, survivor_before.hits + 1);
 }
 
+// ------------------------------------------------------------ elastic join --
+
+TEST(FleetElasticTest, JoinedShardServesItsStolenSegment) {
+  const graph::Csr graph = MakeRmatGraph(7, 8);
+  auto fleet = FleetFrontDoor::Create(&graph, QuickFleetOptions(2));
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  FleetFrontDoor& door = *fleet.value();
+  ASSERT_EQ(door.shard_count(), 2);
+
+  auto joined = door.AddShard();
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  EXPECT_EQ(joined.value(), 2);
+  EXPECT_EQ(door.shard_count(), 3);
+  EXPECT_EQ(door.shard_health(2), ShardHealth::kHealthy);
+  EXPECT_EQ(door.ShardWeight(2), 1);
+
+  // The joiner owns a segment now; a query routed there answers with the
+  // reference checksum like any other shard.
+  graph::VertexId stolen = -1;
+  for (graph::VertexId v = 0; v < graph.vertex_count(); ++v) {
+    if (door.OwnerShard(v) == 2) {
+      stolen = v;
+      break;
+    }
+  }
+  ASSERT_GE(stolen, 0) << "the joiner captured no segment";
+  auto result = door.Submit(stolen).get();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.depth_checksum,
+            Fnv1a(baselines::ReferenceDepthsU8(
+                graph, stolen, TraversalOptions::kMaxTraversalLevel)));
+  door.Shutdown();
+  const FleetStats stats = door.stats();
+  EXPECT_EQ(stats.shard_joins, 1);
+  ASSERT_EQ(stats.shard.size(), 3u);
+  EXPECT_GT(stats.shard[2].completed, 0);
+}
+
+TEST(FleetElasticTest, JoinWarmupReplaysDonorCachesSoHotSourcesStillHit) {
+  const graph::Csr graph = MakeRmatGraph(6, 8);
+  FleetOptions options = QuickFleetOptions(2);
+  options.service.cache.enabled = true;
+  auto fleet = FleetFrontDoor::Create(&graph, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  FleetFrontDoor& door = *fleet.value();
+
+  // Make every source hot: each is now resident in its owner's cache.
+  for (graph::VertexId v = 0; v < graph.vertex_count(); ++v) {
+    auto result = door.Submit(v).get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  }
+
+  auto joined = door.AddShard();
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  const int joiner = joined.value();
+
+  std::vector<graph::VertexId> stolen;
+  for (graph::VertexId v = 0; v < graph.vertex_count(); ++v) {
+    if (door.OwnerShard(v) == joiner) stolen.push_back(v);
+  }
+  ASSERT_FALSE(stolen.empty()) << "the joiner captured no segment";
+  EXPECT_GE(door.stats().warmup_entries,
+            static_cast<int64_t>(stolen.size()));
+
+  // A hot source whose segment moved misses the fleet cache zero times:
+  // the warmup replayed its donor entry into the joiner before the join
+  // returned.
+  for (graph::VertexId v : stolen) {
+    auto result = door.Submit(v).get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_TRUE(result.cached) << "source " << v << " missed after warmup";
+  }
+}
+
+TEST(FleetElasticTest, AddShardRejectsBadWeight) {
+  const graph::Csr graph = MakeRmatGraph(6, 8);
+  auto fleet = FleetFrontDoor::Create(&graph, QuickFleetOptions(1));
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  EXPECT_FALSE(fleet.value()->AddShard(0).ok());
+  EXPECT_FALSE(fleet.value()->AddShard(-1).ok());
+}
+
+TEST(FleetElasticTest, KillThenJoinRestoresCapacity) {
+  const graph::Csr graph = MakeRmatGraph(7, 8);
+  auto fleet = FleetFrontDoor::Create(&graph, QuickFleetOptions(2));
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  FleetFrontDoor& door = *fleet.value();
+  ASSERT_TRUE(door.KillShard(0));
+  auto joined = door.AddShard(2);
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  EXPECT_EQ(joined.value(), 2);
+  EXPECT_EQ(door.ShardWeight(0), 0);
+  EXPECT_EQ(door.ShardWeight(2), 2);
+  // Traffic flows across the survivor and the joiner.
+  const std::vector<graph::VertexId> sources =
+      graph::SampleConnectedSources(graph, 16, 3);
+  for (graph::VertexId source : sources) {
+    auto result = door.Submit(source).get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  }
+  door.Shutdown();
+  const FleetStats stats = door.stats();
+  EXPECT_EQ(stats.down, 1);
+  EXPECT_EQ(stats.shard_joins, 1);
+  EXPECT_EQ(stats.shard[0].queries, 0);
+}
+
+// ------------------------------------------------------------- replication --
+
+TEST(FleetReplicationTest, ParityAtEveryReplicationFactor) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  const service::WorkloadOptions workload = QuickWorkload();
+  auto events = service::GenerateArrivals(graph, workload);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+
+  auto baseline_svc = service::BfsService::Create(
+      &graph, QuickFleetOptions(1).service);
+  ASSERT_TRUE(baseline_svc.ok()) << baseline_svc.status().ToString();
+  auto baseline =
+      service::DriveWorkload(baseline_svc.value().get(), events.value());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const uint64_t expected = FoldDriveChecksum(baseline.value().results);
+
+  for (int replication : {1, 2, 3}) {
+    FleetOptions options = QuickFleetOptions(4);
+    options.replication = replication;
+    auto fleet = FleetFrontDoor::Create(&graph, options);
+    ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+    FleetWorkloadOptions drive_options;
+    drive_options.workload = workload;
+    auto drive =
+        DriveFleet(fleet.value().get(), events.value(), drive_options);
+    ASSERT_TRUE(drive.ok()) << drive.status().ToString();
+    EXPECT_EQ(drive.value().unanswered, 0) << "R=" << replication;
+    EXPECT_EQ(drive.value().checksum, expected)
+        << "R=" << replication << " fleet diverged from the single service";
+    EXPECT_EQ(drive.value().stats.replica_mismatches, 0)
+        << "R=" << replication;
+  }
+}
+
+TEST(FleetReplicationTest, ReplicaSetsMatchTheRingWalk) {
+  const graph::Csr graph = MakeRmatGraph(7, 8);
+  FleetOptions options = QuickFleetOptions(3);
+  options.replication = 2;
+  auto fleet = FleetFrontDoor::Create(&graph, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  for (graph::VertexId v = 0; v < 32; ++v) {
+    const std::vector<int> replicas = fleet.value()->ReplicaSet(v);
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_EQ(replicas[0], fleet.value()->OwnerShard(v));
+    EXPECT_NE(replicas[0], replicas[1]);
+  }
+}
+
+// ------------------------------------------------------------ hedged reads --
+
+TEST(FleetHedgeTest, HedgeAnswersWhenPrimaryBreakersAreOpen) {
+  const graph::Csr graph = MakeRmatGraph(7, 8);
+  FleetOptions options = QuickFleetOptions(2);
+  options.replication = 2;
+  // No service-level CPU fallback: a breaker-dead shard really fails, so
+  // only the hedge can keep these reads OK.
+  options.service.resilience.cpu_fallback = false;
+  auto fleet = FleetFrontDoor::Create(&graph, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  FleetFrontDoor& door = *fleet.value();
+
+  door.shard_for_test(0)->TripBreakersForTest();
+  ASSERT_TRUE(door.shard_for_test(0)->BreakersOpen());
+
+  // Sources whose primary is the breaker-dead shard: the hedge fires
+  // immediately and the healthy replica answers. No Unavailable leaks.
+  int hedged_sources = 0;
+  for (graph::VertexId v = 0;
+       v < graph.vertex_count() && hedged_sources < 8; ++v) {
+    if (door.OwnerShard(v) != 0) continue;
+    ++hedged_sources;
+    auto result = door.Submit(v).get();
+    ASSERT_TRUE(result.status.ok())
+        << "source " << v << ": " << result.status.ToString();
+    EXPECT_EQ(result.depth_checksum,
+              Fnv1a(baselines::ReferenceDepthsU8(
+                  graph, v, TraversalOptions::kMaxTraversalLevel)));
+  }
+  ASSERT_GT(hedged_sources, 0);
+  door.Shutdown();
+  const FleetStats stats = door.stats();
+  EXPECT_GE(stats.hedges_fired, hedged_sources);
+  EXPECT_GT(stats.hedges_won, 0);
+  EXPECT_EQ(stats.replica_mismatches, 0);
+}
+
+TEST(FleetHedgeTest, ReplicaMismatchQuarantinesBothCaches) {
+  const graph::Csr graph = MakeRmatGraph(6, 8);
+  FleetOptions options = QuickFleetOptions(2);
+  options.replication = 2;
+  options.service.cache.enabled = true;
+  options.hedge_delay_ms = 0.0;  // always race both replicas
+  // Give the primary's batcher a real deadline so its fresh computation
+  // reliably loses the race against the hedge's instant (poisoned) cache
+  // hit — both legs complete, which is what arms the comparison.
+  options.service.max_delay_ms = 5.0;
+  auto fleet = FleetFrontDoor::Create(&graph, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  FleetFrontDoor& door = *fleet.value();
+
+  const graph::VertexId source = 1;
+  const std::vector<int> replicas = door.ReplicaSet(source);
+  ASSERT_EQ(replicas.size(), 2u);
+
+  // Poison the hedge replica's cache with a self-consistent wrong answer:
+  // the depth bytes are garbage but the checksum matches them, so only
+  // the cross-replica comparison can catch it. (The primary leg computes
+  // fresh; the hedge leg answers instantly from the poisoned entry.)
+  service::CachedDepths poisoned;
+  poisoned.depths.assign(static_cast<size_t>(graph.vertex_count()), 1);
+  poisoned.checksum = Fnv1a(poisoned.depths);
+  poisoned.reached = graph.vertex_count();
+  ASSERT_TRUE(door.shard_for_test(replicas[1])->WarmCache(source, poisoned));
+
+  auto result = door.Submit(source).get();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  door.Shutdown();  // drain the hedge wrapper so the accounting is final
+
+  const FleetStats stats = door.stats();
+  EXPECT_GE(stats.hedges_fired, 1);
+  EXPECT_GE(stats.replica_mismatches, 1);
+  // Both replicas' entries are quarantined: the fleet cannot adjudicate
+  // two self-consistent answers, so the source recomputes fresh next time.
+  EXPECT_FALSE(door.shard_for_test(replicas[0])->PeekCache(source)
+                   .has_value());
+  EXPECT_FALSE(door.shard_for_test(replicas[1])->PeekCache(source)
+                   .has_value());
+}
+
+TEST(FleetHedgeTest, OkReadsFanTheirCacheEntryOutToReplicas) {
+  const graph::Csr graph = MakeRmatGraph(6, 8);
+  FleetOptions options = QuickFleetOptions(2);
+  options.replication = 2;
+  options.service.cache.enabled = true;
+  options.hedge_delay_ms = 0.0;  // always race both replicas
+  auto fleet = FleetFrontDoor::Create(&graph, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  FleetFrontDoor& door = *fleet.value();
+
+  const graph::VertexId source = 2;
+  const std::vector<int> replicas = door.ReplicaSet(source);
+  ASSERT_EQ(replicas.size(), 2u);
+  auto result = door.Submit(source).get();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  door.Shutdown();  // drain the wrapper: fan-out happens after serving
+
+  // Both replicas now hold the answer, byte-identical.
+  const auto primary_entry =
+      door.shard_for_test(replicas[0])->PeekCache(source);
+  const auto hedge_entry =
+      door.shard_for_test(replicas[1])->PeekCache(source);
+  ASSERT_TRUE(primary_entry.has_value());
+  ASSERT_TRUE(hedge_entry.has_value());
+  EXPECT_EQ(primary_entry->checksum, hedge_entry->checksum);
+  EXPECT_EQ(primary_entry->depths, hedge_entry->depths);
+  EXPECT_GT(door.stats().replica_cache_writes, 0);
+}
+
+// ------------------------------------------------------------- rebalancing --
+
+TEST(FleetRebalanceTest, SlowShardLosesWeightToTheFastOne) {
+  const graph::Csr graph = MakeRmatGraph(6, 8);
+  FleetOptions options = QuickFleetOptions(2);
+  options.min_health_samples = 4;
+  auto fleet = FleetFrontDoor::Create(&graph, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  FleetFrontDoor& door = *fleet.value();
+
+  // Shard 0's tail is 100x shard 1's: well outside the hysteresis band.
+  for (int i = 0; i < 8; ++i) {
+    door.shard_for_test(0)->RecordLiveSampleForTest(100.0, true);
+    door.shard_for_test(1)->RecordLiveSampleForTest(1.0, true);
+  }
+  EXPECT_GE(door.Rebalance(), 1);
+  // Shard 0 is already at the weight floor (1); the fast shard grows.
+  EXPECT_EQ(door.ShardWeight(0), 1);
+  EXPECT_EQ(door.ShardWeight(1), 2);
+  const FleetStats stats = door.stats();
+  EXPECT_EQ(stats.rebalance_runs, 1);
+  EXPECT_GE(stats.weight_changes, 1);
+  EXPECT_NEAR(stats.weight_share[1], 2.0 / 3.0, 1e-9);
+}
+
+TEST(FleetRebalanceTest, BalancedFleetKeepsItsWeights) {
+  const graph::Csr graph = MakeRmatGraph(6, 8);
+  FleetOptions options = QuickFleetOptions(3);
+  options.min_health_samples = 4;
+  auto fleet = FleetFrontDoor::Create(&graph, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  FleetFrontDoor& door = *fleet.value();
+  for (int i = 0; i < 8; ++i) {
+    for (int s = 0; s < 3; ++s) {
+      door.shard_for_test(s)->RecordLiveSampleForTest(5.0, true);
+    }
+  }
+  EXPECT_EQ(door.Rebalance(), 0);
+  for (int s = 0; s < 3; ++s) EXPECT_EQ(door.ShardWeight(s), 1);
+  EXPECT_EQ(door.stats().weight_changes, 0);
+}
+
+TEST(FleetRebalanceTest, ShardsWithoutSamplesAreLeftAlone) {
+  const graph::Csr graph = MakeRmatGraph(6, 8);
+  FleetOptions options = QuickFleetOptions(2);
+  options.min_health_samples = 16;
+  auto fleet = FleetFrontDoor::Create(&graph, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  // One noisy sample each — far below min_health_samples.
+  fleet.value()->shard_for_test(0)->RecordLiveSampleForTest(100.0, true);
+  fleet.value()->shard_for_test(1)->RecordLiveSampleForTest(1.0, true);
+  EXPECT_EQ(fleet.value()->Rebalance(), 0);
+  EXPECT_EQ(fleet.value()->ShardWeight(0), 1);
+  EXPECT_EQ(fleet.value()->ShardWeight(1), 1);
+}
+
+TEST(FleetStatsTest, ImbalanceNormalizesByRingWeightShare) {
+  FleetStats stats;
+  stats.routed = {75, 25};
+  stats.health = {ShardHealth::kHealthy, ShardHealth::kHealthy};
+  stats.weight_share = {0.75, 0.25};
+  // Each shard carries exactly its weighted share: perfectly balanced.
+  EXPECT_NEAR(stats.Imbalance(), 1.0, 1e-9);
+  // An even split against a 3:1 weighting means the light shard carries
+  // double its share.
+  stats.routed = {50, 50};
+  EXPECT_NEAR(stats.Imbalance(), 2.0, 1e-9);
+  // Without weight info the old equal-share formula applies.
+  stats.weight_share.clear();
+  stats.routed = {75, 25};
+  EXPECT_NEAR(stats.Imbalance(), 1.5, 1e-9);
+}
+
 // ------------------------------------------------------------ chaos harness --
 
 TEST(FleetChaosTest, KillOneShardKeepsAvailabilityAndChecksums) {
@@ -466,6 +1033,44 @@ TEST(FleetChaosTest, KillOneShardKeepsAvailabilityAndChecksums) {
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
   const Status valid = obs::ValidateFleetReport(doc.value());
   EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+TEST(FleetChaosTest, KillThenJoinEpisodeStaysAvailableAndBitIdentical) {
+  const graph::Csr graph = MakeRmatGraph(8, 8);
+  FleetOptions options = QuickFleetOptions(3);
+  options.service.cache.enabled = true;
+  FleetWorkloadOptions workload;
+  workload.workload = QuickWorkload();
+  workload.kill_shard = 1;
+  workload.kill_at_s = 0.05;
+  workload.join_shards = 1;
+  workload.join_at_s = 0.12;
+  auto run = RunFleetChaos("rmat8", graph, options, workload);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const obs::FleetReport& report = run.value();
+  // The full elastic episode: lose a shard, keep serving, grow back, keep
+  // serving — zero unanswered futures, every answer bit-identical to the
+  // fault-free baseline.
+  EXPECT_EQ(report.unanswered, 0);
+  EXPECT_GT(report.checksums_compared, 0);
+  EXPECT_EQ(report.checksum_mismatches, 0);
+  EXPECT_EQ(report.killed_shard, 1);
+  EXPECT_EQ(report.shard_joins, 1);
+  EXPECT_EQ(report.joined_shards, 1);
+  EXPECT_EQ(report.down, 1);
+  ASSERT_EQ(report.shard_rows.size(), 4u);
+  EXPECT_EQ(report.shard_rows[1].weight, 0);   // killed: off the ring
+  EXPECT_GE(report.shard_rows[3].weight, 1);   // joiner: on the ring
+  EXPECT_GT(report.shard_rows[3].completed, 0);
+
+  // The v2 document (elasticity section, per-row weights) validates.
+  std::ostringstream os;
+  report.WriteJson(os);
+  auto doc = obs::ParseJson(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const Status valid = obs::ValidateFleetReport(doc.value());
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_NE(os.str().find("\"elasticity\""), std::string::npos);
 }
 
 TEST(FleetChaosTest, ReportEmbedsValidatedMetrics) {

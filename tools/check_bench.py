@@ -17,13 +17,19 @@ configuration recorded in the committed ``BENCH_gpusim.json`` and compares:
 With ``--fleet-binary`` it applies the same split to ``fleet_bench`` and
 the committed ``BENCH_fleet.json``: the baseline checksum and query count
 are exact (the fleet's answers are a deterministic function of the seeded
-workload), every shard point must keep ``checksum_match`` true and the
-failover section must keep zero unanswered futures and zero mismatches,
-while the per-point p50/p99 latencies are banded.
+workload), every shard point and replication row must keep
+``checksum_match`` true, the failover and elastic sections must keep zero
+unanswered futures and zero mismatches (and the elastic episode must have
+actually joined a shard), while the per-point p50/p99 latencies are
+banded. ``--elastic-only`` runs the bench with
+``IBFS_FLEET_SECTIONS=elastic`` and gates only the elastic + replication
+sections — the fast availability smoke wired into ctest as
+``fleet_elastic_smoke``.
 
 Usage:
   check_bench.py REPO_ROOT --binary PATH/TO/gpusim_bench [options]
   check_bench.py REPO_ROOT --fleet-binary PATH/TO/fleet_bench [options]
+  check_bench.py REPO_ROOT --fleet-binary PATH --elastic-only
 
 Exit status 0 on pass, 1 on any violation, 2 on harness errors.
 The serve section is skipped by default (slow, latency-noisy); pass
@@ -102,6 +108,7 @@ def check_fleet(args):
     env["IBFS_FLEET_QPS"] = str(committed.get("qps", 400.0))
     env["IBFS_FLEET_DURATION"] = str(committed.get("duration_seconds", 1.0))
     env["IBFS_FLEET_VNODES"] = str(committed.get("vnodes", 128))
+    env["IBFS_FLEET_SECTIONS"] = "elastic" if args.elastic_only else "all"
     try:
         fresh = run_bench(args.fleet_binary, env)
     except (subprocess.SubprocessError, OSError) as e:
@@ -123,30 +130,73 @@ def check_fleet(args):
             f"fleet baseline.checksum: fresh {got!r} != committed {want!r} "
             "(deterministic answers drifted)"
         )
-    for point in fresh.get("points", []):
-        if not point.get("checksum_match"):
-            rc = fail(
-                f"fleet {point.get('shards')}-shard point lost checksum "
-                "parity with the single-service baseline"
-            )
-    if not fresh.get("scatter", {}).get("checksum_match"):
-        rc = fail("fleet scatter section lost checksum parity")
-    failover = fresh.get("failover", {})
-    if failover.get("unanswered", 0) != 0:
-        rc = fail(f"fleet failover left {failover.get('unanswered')} "
-                  "futures unanswered")
-    if failover.get("checksum_mismatches", 0) != 0:
-        rc = fail(f"fleet failover produced "
-                  f"{failover.get('checksum_mismatches')} checksum "
-                  "mismatches")
+    if not args.elastic_only:
+        for point in fresh.get("points", []):
+            if not point.get("checksum_match"):
+                rc = fail(
+                    f"fleet {point.get('shards')}-shard point lost checksum "
+                    "parity with the single-service baseline"
+                )
+        if not fresh.get("scatter", {}).get("checksum_match"):
+            rc = fail("fleet scatter section lost checksum parity")
+        failover = fresh.get("failover", {})
+        if failover.get("unanswered", 0) != 0:
+            rc = fail(f"fleet failover left {failover.get('unanswered')} "
+                      "futures unanswered")
+        if failover.get("checksum_mismatches", 0) != 0:
+            rc = fail(f"fleet failover produced "
+                      f"{failover.get('checksum_mismatches')} checksum "
+                      "mismatches")
 
-    # Banded: per-point latency vs the committed run.
-    committed_points = {p.get("shards"): p for p in committed.get("points", [])}
-    for point in fresh.get("points", []):
-        shards = point.get("shards")
-        base = committed_points.get(shards)
-        if base is None:
-            continue
+    # Elastic episode: kill + join with traffic flowing must lose nothing.
+    elastic = fresh.get("elastic", {})
+    if not elastic:
+        rc = fail("fleet bench emitted no elastic section")
+    if elastic.get("unanswered", 0) != 0:
+        rc = fail(f"fleet elastic episode left {elastic.get('unanswered')} "
+                  "futures unanswered")
+    if elastic.get("checksum_mismatches", 0) != 0:
+        rc = fail(f"fleet elastic episode produced "
+                  f"{elastic.get('checksum_mismatches')} checksum "
+                  "mismatches")
+    if elastic.get("shard_joins", 0) < 1:
+        rc = fail("fleet elastic episode never joined a shard")
+
+    # Replication sweep: answers stay bit-identical at every R, replicas
+    # never disagree.
+    replication = fresh.get("replication", [])
+    if not replication:
+        rc = fail("fleet bench emitted no replication section")
+    for row in replication:
+        r = row.get("replication")
+        if not row.get("checksum_match"):
+            rc = fail(f"fleet R={r} row lost checksum parity with the "
+                      "single-service baseline")
+        if row.get("replica_mismatches", 0) != 0:
+            rc = fail(f"fleet R={r} row produced "
+                      f"{row.get('replica_mismatches')} replica mismatches")
+
+    # Banded: per-point / per-row latency vs the committed run.
+    banded = []
+    if not args.elastic_only:
+        committed_points = {
+            p.get("shards"): p for p in committed.get("points", [])
+        }
+        for point in fresh.get("points", []):
+            shards = point.get("shards")
+            base = committed_points.get(shards)
+            if base is not None:
+                banded.append((f"fleet[{shards}]", base, point))
+        if committed.get("elastic"):
+            banded.append(("fleet.elastic", committed["elastic"], elastic))
+    committed_rows = {
+        r.get("replication"): r for r in committed.get("replication", [])
+    }
+    for row in replication:
+        base = committed_rows.get(row.get("replication"))
+        if base is not None:
+            banded.append((f"fleet[R={row.get('replication')}]", base, row))
+    for label, base, point in banded:
         for key in ("p50_ms", "p99_ms"):
             want = base.get(key)
             got = point.get(key)
@@ -155,13 +205,13 @@ def check_fleet(args):
             ratio = got / want
             status = "ok" if ratio <= args.tolerance else "REGRESSION"
             print(
-                f"check_bench: fleet[{shards}].{key}: {got:.3f}ms vs "
+                f"check_bench: {label}.{key}: {got:.3f}ms vs "
                 f"committed {want:.3f}ms ({ratio:.2f}x, band "
                 f"{args.tolerance:.1f}x) {status}"
             )
             if ratio > args.tolerance:
                 rc = fail(
-                    f"fleet[{shards}].{key} {ratio:.2f}x over committed, "
+                    f"{label}.{key} {ratio:.2f}x over committed, "
                     f"band {args.tolerance:.1f}x"
                 )
     if rc == 0:
@@ -192,6 +242,12 @@ def main():
         "--serve",
         action="store_true",
         help="also run the serve section and compare its checksum",
+    )
+    parser.add_argument(
+        "--elastic-only",
+        action="store_true",
+        help="fleet mode: run only the elastic + replication sections "
+        "(IBFS_FLEET_SECTIONS=elastic) and gate just those",
     )
     args = parser.parse_args()
     if args.binary is None and args.fleet_binary is None:

@@ -110,6 +110,10 @@ int Usage() {
                "  fleet:    serve flags plus --shards N [--vnodes V]\n"
                "            [--ring-seed S] [--multi-source K]\n"
                "            [--shard-down I [--kill-at-s T]]\n"
+               "            [--join-shards J [--join-at-s T] "
+               "[--join-weight W]]\n"
+               "            [--replication R [--hedge-delay-ms MS]]\n"
+               "            [--rebalance-s T]\n"
                "            (N-shard scatter-gather fleet; verifies every "
                "answer\n"
                "            against the CPU baseline, writes an "
@@ -920,6 +924,9 @@ int CmdFleet(const Flags& flags) {
       static_cast<int>(flags.GetInt("multi-source", 1));
   workload.kill_shard = static_cast<int>(flags.GetInt("shard-down", -1));
   workload.kill_at_s = flags.GetDouble("kill-at-s", -1.0);
+  workload.join_shards = static_cast<int>(flags.GetInt("join-shards", 0));
+  workload.join_at_s = flags.GetDouble("join-at-s", -1.0);
+  workload.join_weight = static_cast<int>(flags.GetInt("join-weight", 1));
 
   ObsSession session(flags);
   fleet::FleetOptions fleet_options;
@@ -937,6 +944,10 @@ int CmdFleet(const Flags& flags) {
   fleet_options.service.resilience = ResilienceFromFlags(flags);
   fleet_options.service.cache = CacheFromFlags(flags);
   fleet_options.cpu_fallback = !flags.GetBool("no-cpu-fallback");
+  fleet_options.replication =
+      static_cast<int>(flags.GetInt("replication", 1));
+  fleet_options.hedge_delay_ms = flags.GetDouble("hedge-delay-ms", -1.0);
+  fleet_options.rebalance_interval_s = flags.GetDouble("rebalance-s", 0.0);
   fleet_options.service.observer = session.MakeObserver();
 
   auto run = fleet::RunFleetChaos(GraphLabel(flags), graph.value(),
@@ -968,8 +979,32 @@ int CmdFleet(const Flags& flags) {
               static_cast<long long>(report.failover_reroutes),
               static_cast<long long>(report.fallback_answers));
   std::printf("health:          %d healthy, %d degraded, %d down%s\n",
-              report.healthy, report.degraded, report.down,
+              static_cast<int>(report.healthy),
+              static_cast<int>(report.degraded),
+              static_cast<int>(report.down),
               report.killed_shard >= 0 ? " (one killed mid-run)" : "");
+  if (report.joined_shards > 0 || report.replication > 1 ||
+      report.rebalance_runs > 0) {
+    std::printf("elasticity:      %lld joins (%lld warmup entries), "
+                "R=%lld, %lld recoveries\n",
+                static_cast<long long>(report.shard_joins),
+                static_cast<long long>(report.warmup_entries),
+                static_cast<long long>(report.replication),
+                static_cast<long long>(report.recoveries));
+  }
+  if (report.replication > 1) {
+    std::printf("hedging:         %lld fired, %lld won, %lld cancelled, "
+                "%lld replica mismatches\n",
+                static_cast<long long>(report.hedges_fired),
+                static_cast<long long>(report.hedges_won),
+                static_cast<long long>(report.hedges_cancelled),
+                static_cast<long long>(report.replica_mismatches));
+  }
+  if (report.rebalance_runs > 0) {
+    std::printf("rebalancing:     %lld runs, %lld weight changes\n",
+                static_cast<long long>(report.rebalance_runs),
+                static_cast<long long>(report.weight_changes));
+  }
   std::printf("verification:    %lld checksums compared, %lld mismatches, "
               "%lld unanswered\n",
               static_cast<long long>(report.checksums_compared),
