@@ -1,12 +1,20 @@
 #include "core/cluster_engine.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
+#include <functional>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/group_plan.h"
+#include "ibfs/status_array.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/checksum.h"
 #include "util/thread_pool.h"
 
 namespace ibfs {
@@ -16,6 +24,10 @@ namespace {
 // with the single-device track (engine pid, usually 0) or the host track
 // (obs::kHostPid).
 constexpr int kClusterPidBase = 100;
+
+// Partitioned-run device tracks get their own pid range above the cluster's
+// so a trace can hold both execution modes side by side.
+constexpr int kPartitionPidBase = 200;
 
 }  // namespace
 
@@ -146,6 +158,390 @@ Result<ClusterRunResult> RunOnCluster(const graph::Csr& graph,
     observer.metrics->GetGauge("cluster.makespan_seconds")
         ->Set(result.schedule.makespan_seconds);
     observer.metrics->GetGauge("cluster.speedup")->Set(result.speedup);
+  }
+  return result;
+}
+
+uint64_t DepthChecksum(std::span<const GroupResult> groups) {
+  uint64_t state = kFnv1aOffsetBasis;
+  for (const GroupResult& group : groups) {
+    for (const std::vector<uint8_t>& depths : group.depths) {
+      state = Fnv1aExtend(state, depths);
+    }
+  }
+  return state;
+}
+
+Result<PartitionedRunResult> RunPartitioned(
+    const graph::Csr& graph, std::span<const graph::VertexId> sources,
+    const EngineOptions& options, const PartitionRunOptions& run) {
+  IBFS_RETURN_NOT_OK(options.Validate());
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  Result<graph::Partitioning> parted =
+      graph::PartitionByEdges1D(graph, run.partitions);
+  IBFS_RETURN_NOT_OK(parted.status());
+  const graph::Partitioning& parts = parted.value();
+
+  // Same single grouping code path as Engine::Run, so the partitioned run's
+  // group structure matches the unpartitioned engine exactly.
+  Result<GroupPlan> plan =
+      GroupSources(graph, sources, options, DuplicatePolicy::kAllow);
+  IBFS_RETURN_NOT_OK(plan.status());
+  const std::vector<std::vector<graph::VertexId>>& groups =
+      plan.value().grouping.groups;
+
+  const int P = parts.partition_count();
+  const int64_t vertices = graph.vertex_count();
+  const int64_t words = (vertices + 63) / 64;
+
+  gpusim::LinkSpec link{options.device.link_bandwidth_gbps,
+                        options.device.link_latency_us};
+  if (run.link_gbps > 0.0) link.bandwidth_gbps = run.link_gbps;
+  if (run.link_us >= 0.0) link.latency_us = run.link_us;
+
+  // Exchange payload: each rank ships the bitmap words covering its owned
+  // range, padded to the widest partition's span — collectives move
+  // symmetric slices, so the fleet pays for the worst rank.
+  int64_t max_range_words = 0;
+  for (const graph::GraphPartition& part : parts.parts) {
+    const int64_t wbeg = part.range.begin / 64;
+    const int64_t wend = (static_cast<int64_t>(part.range.end) + 63) / 64;
+    max_range_words = std::max(max_range_words, wend - wbeg);
+  }
+
+  PartitionedRunResult result;
+  result.partitions = P;
+  result.schedule = run.schedule;
+  result.link = link;
+  result.edge_imbalance = parts.EdgeImbalance();
+  result.device_seconds.assign(static_cast<size_t>(P), 0.0);
+  for (const graph::GraphPartition& part : parts.parts) {
+    result.partition_vertices.push_back(part.range.size());
+    result.partition_edges.push_back(part.local.edge_count());
+  }
+
+  const obs::Observer& observer = options.observer;
+  if (observer.tracing()) {
+    for (int p = 0; p < P; ++p) {
+      observer.tracer->SetProcessName(
+          kPartitionPidBase + p,
+          "partition GPU " + std::to_string(p) + " (simulated time)");
+    }
+  }
+  obs::MetricsRegistry* metrics =
+      observer.metering() ? observer.metrics : nullptr;
+
+  const bool faulty = options.faults.enabled();
+  const int max_attempts = faulty ? options.retry.max_attempts : 1;
+  const int max_level = options.traversal.max_level;
+
+  int threads = options.threads == 0 ? ThreadPool::HardwareConcurrency()
+                                     : std::max(1, options.threads);
+  threads = std::min(threads, P);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  const auto for_partitions = [&](const std::function<void(int64_t)>& fn) {
+    if (pool.has_value()) {
+      pool->ParallelFor(P, fn);
+    } else {
+      for (int p = 0; p < P; ++p) fn(p);
+    }
+  };
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const std::vector<graph::VertexId>& group = groups[g];
+    const size_t n = group.size();
+    const uint64_t salt = static_cast<uint64_t>(g);
+
+    Status group_status = Status::OK();
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (attempt > 1) {
+        ++result.retries;
+        const double backoff_ms = options.retry.BackoffMs(salt, attempt);
+        if (metrics != nullptr) {
+          metrics->GetCounter("retry.attempts")->Increment();
+        }
+        if (backoff_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(backoff_ms));
+        }
+      }
+
+      // Fresh devices per attempt, one per partition; partition p draws its
+      // faults from fleet device p % faults.device_count, matching the
+      // engine's "group g runs on device g % device_count" convention.
+      std::vector<gpusim::Device> devices;
+      devices.reserve(static_cast<size_t>(P));
+      std::vector<gpusim::FaultInjector> injectors;
+      injectors.reserve(static_cast<size_t>(P));
+      std::vector<gpusim::PhaseId> expand_phase(static_cast<size_t>(P));
+      std::vector<gpusim::PhaseId> comm_phase(static_cast<size_t>(P));
+      for (int p = 0; p < P; ++p) {
+        devices.emplace_back(options.device);
+        gpusim::Device& device = devices.back();
+        device.SetObserver(observer.WithTrack(kPartitionPidBase + p, 0));
+        expand_phase[static_cast<size_t>(p)] =
+            device.InternPhase("part_expand");
+        comm_phase[static_cast<size_t>(p)] =
+            device.InternPhase("part_exchange");
+        if (faulty) {
+          injectors.emplace_back(options.faults,
+                                 p % options.faults.device_count,
+                                 salt * 131ULL + static_cast<uint64_t>(attempt));
+        }
+      }
+      if (faulty) {
+        for (int p = 0; p < P; ++p) {
+          devices[static_cast<size_t>(p)].SetFaultInjector(
+              &injectors[static_cast<size_t>(p)]);
+        }
+      }
+
+      std::vector<std::vector<uint8_t>> depths(
+          n, std::vector<uint8_t>(static_cast<size_t>(vertices),
+                                  kUnvisitedDepth));
+      std::vector<std::vector<uint64_t>> frontier(
+          n, std::vector<uint64_t>(static_cast<size_t>(words), 0));
+      for (size_t j = 0; j < n; ++j) {
+        const graph::VertexId src = group[j];
+        depths[j][src] = 0;
+        frontier[j][src / 64] |= uint64_t{1} << (src % 64);
+      }
+      // Per-partition discovery bitmaps: partitions write disjoint buffers,
+      // so the parallel expansion is race-free and the host merge below —
+      // always in partition order — is deterministic for every thread count.
+      std::vector<std::vector<std::vector<uint64_t>>> next(
+          static_cast<size_t>(P),
+          std::vector<std::vector<uint64_t>>(
+              n, std::vector<uint64_t>(static_cast<size_t>(words), 0)));
+
+      double attempt_compute = 0.0;
+      double attempt_comm = 0.0;
+      int64_t attempt_bytes = 0;
+      int64_t attempt_rounds = 0;
+      int64_t attempt_steps = 0;
+      std::vector<double> level_seconds(static_cast<size_t>(P), 0.0);
+      bool device_faulted = false;
+
+      for (int level = 0; level < max_level; ++level) {
+        bool any = false;
+        for (size_t j = 0; j < n && !any; ++j) {
+          for (int64_t w = 0; w < words; ++w) {
+            if (frontier[j][static_cast<size_t>(w)] != 0) {
+              any = true;
+              break;
+            }
+          }
+        }
+        if (!any) break;
+
+        const auto expand = [&](int64_t pi) {
+          const auto p = static_cast<size_t>(pi);
+          const graph::GraphPartition& part = parts.parts[p];
+          gpusim::Device& device = devices[p];
+          const double mark = device.elapsed_seconds();
+          gpusim::KernelScope scope = device.BeginKernel(expand_phase[p]);
+          const int64_t wbeg = part.range.begin / 64;
+          const int64_t wend =
+              (static_cast<int64_t>(part.range.end) + 63) / 64;
+          for (size_t j = 0; j < n; ++j) {
+            // One coalesced sweep over the owned slice of instance j's
+            // frontier bitmap, then one work item per frontier vertex.
+            scope.LoadContiguous(wbeg, wend - wbeg, 8);
+            scope.BulkCompute(wend - wbeg, 1);
+            std::vector<uint64_t>& out = next[p][j];
+            const std::vector<uint64_t>& front = frontier[j];
+            const std::vector<uint8_t>& depth = depths[j];
+            for (int64_t w = wbeg; w < wend; ++w) {
+              uint64_t word = front[static_cast<size_t>(w)];
+              if (word == 0) continue;
+              // Boundary words can carry neighbors' bits; mask to owned.
+              if (w == wbeg && part.range.begin % 64 != 0) {
+                word &= ~uint64_t{0} << (part.range.begin % 64);
+              }
+              if (w == wend - 1 && part.range.end % 64 != 0) {
+                word &= (uint64_t{1} << (part.range.end % 64)) - 1;
+              }
+              while (word != 0) {
+                const int bit = std::countr_zero(word);
+                word &= word - 1;
+                const int64_t v = w * 64 + bit;
+                const int64_t r = v - part.range.begin;
+                scope.BeginItem();
+                scope.LoadContiguous(
+                    r, 2, static_cast<int>(sizeof(graph::EdgeIndex)));
+                const std::span<const graph::VertexId> adj =
+                    part.local.OutNeighbors(r);
+                scope.LoadContiguous(
+                    static_cast<int64_t>(part.local.row_offsets
+                                             [static_cast<size_t>(r)]),
+                    static_cast<int64_t>(adj.size()),
+                    static_cast<int>(sizeof(graph::VertexId)));
+                scope.Compute(static_cast<int64_t>(adj.size()));
+                for (const graph::VertexId u : adj) {
+                  if (depth[u] != kUnvisitedDepth) continue;
+                  uint64_t& nw = out[u / 64];
+                  const uint64_t ubit = uint64_t{1} << (u % 64);
+                  if ((nw & ubit) == 0) {
+                    nw |= ubit;
+                    scope.Atomic(1);
+                  }
+                }
+                scope.EndItem();
+              }
+            }
+          }
+          scope.End();
+          level_seconds[p] = device.elapsed_seconds() - mark;
+        };
+        for_partitions(expand);
+
+        // Level-synchronous: the step takes as long as the slowest rank.
+        attempt_compute +=
+            *std::max_element(level_seconds.begin(), level_seconds.end());
+        ++attempt_steps;
+
+        // Frontier exchange: every rank ends the level holding the merged
+        // bitmap, priced once and charged to every device's timeline (they
+        // sit synchronized in the collective). Zero-cost at P = 1.
+        const int64_t bytes_per_rank =
+            max_range_words * 8 * static_cast<int64_t>(n);
+        const gpusim::CommCost cost = gpusim::FrontierExchangeCost(
+            run.schedule, P, bytes_per_rank, link);
+        for (int p = 0; p < P; ++p) {
+          devices[static_cast<size_t>(p)].ChargeCommSeconds(
+              comm_phase[static_cast<size_t>(p)], cost.seconds);
+        }
+        attempt_comm += cost.seconds;
+        attempt_bytes += cost.bytes_on_wire;
+        attempt_rounds += cost.rounds;
+
+        // Host-side merge in partition order; loop bound level < max_level
+        // keeps the deepest assigned depth at max_level, exactly like the
+        // single-device runners.
+        const auto next_depth = static_cast<uint8_t>(level + 1);
+        for (size_t j = 0; j < n; ++j) {
+          std::vector<uint8_t>& depth = depths[j];
+          std::vector<uint64_t>& front = frontier[j];
+          for (int64_t w = 0; w < words; ++w) {
+            const auto wi = static_cast<size_t>(w);
+            uint64_t merged = 0;
+            for (int p = 0; p < P; ++p) {
+              merged |= next[static_cast<size_t>(p)][j][wi];
+              next[static_cast<size_t>(p)][j][wi] = 0;
+            }
+            uint64_t fresh = 0;
+            while (merged != 0) {
+              const int bit = std::countr_zero(merged);
+              merged &= merged - 1;
+              const size_t u = wi * 64 + static_cast<size_t>(bit);
+              if (depth[u] == kUnvisitedDepth) {
+                depth[u] = next_depth;
+                fresh |= uint64_t{1} << bit;
+              }
+            }
+            front[wi] = fresh;
+          }
+        }
+
+        // A fault latches on the device and surfaces at the next sync
+        // point — the end of the level — where the attempt is abandoned.
+        device_faulted = false;
+        for (int p = 0; p < P; ++p) {
+          device_faulted =
+              device_faulted || devices[static_cast<size_t>(p)].faulted();
+        }
+        if (device_faulted) break;
+      }
+
+      Status attempt_status = Status::OK();
+      for (int p = 0; p < P && attempt_status.ok(); ++p) {
+        if (devices[static_cast<size_t>(p)].faulted()) {
+          attempt_status = devices[static_cast<size_t>(p)].fault_status();
+        }
+      }
+      if (attempt_status.ok() && faulty && !depths.empty()) {
+        // Transfer integrity, as in the resilient executor: checksum the
+        // payload "on the devices", let any rank's injector corrupt the
+        // copy back, and quarantine the attempt on a mismatch.
+        const uint64_t device_checksum = Fnv1aOfDepths(depths);
+        for (int p = 0; p < P; ++p) {
+          if (injectors[static_cast<size_t>(p)].ShouldCorruptTransfer()) {
+            injectors[static_cast<size_t>(p)].CorruptDepths(&depths);
+          }
+        }
+        if (Fnv1aOfDepths(depths) != device_checksum) {
+          attempt_status = Status::DataLoss(
+              "partitioned depth payload checksum mismatch (injected "
+              "transfer corruption)");
+          ++result.corruptions_detected;
+          if (metrics != nullptr) {
+            metrics->GetCounter("fault.corruptions_detected")->Increment();
+          }
+        }
+      }
+
+      if (attempt_status.ok()) {
+        result.compute_seconds += attempt_compute;
+        result.comm_seconds += attempt_comm;
+        result.bytes_on_wire += attempt_bytes;
+        result.comm_rounds += attempt_rounds;
+        result.supersteps += attempt_steps;
+        for (int p = 0; p < P; ++p) {
+          const gpusim::Device& device = devices[static_cast<size_t>(p)];
+          result.device_seconds[static_cast<size_t>(p)] +=
+              device.elapsed_seconds();
+          result.totals.Add(device.totals());
+          for (const auto& [name, stats] : device.phases()) {
+            result.phases[name].Add(stats);
+          }
+        }
+        GroupResult group_result;
+        if (options.keep_depths) group_result.depths = std::move(depths);
+        result.groups.push_back(std::move(group_result));
+        result.group_sources.push_back(group);
+        group_status = Status::OK();
+        break;
+      }
+
+      group_status = attempt_status;
+      if (attempt_status.code() == StatusCode::kUnavailable) {
+        ++result.transient_faults;
+      }
+      for (int p = 0; p < P; ++p) {
+        result.wasted_sim_seconds +=
+            devices[static_cast<size_t>(p)].elapsed_seconds();
+      }
+      if (metrics != nullptr) {
+        metrics->GetCounter("fault.failed_attempts")->Increment();
+      }
+    }
+    if (!group_status.ok()) {
+      if (metrics != nullptr) {
+        metrics->GetCounter("retry.exhausted")->Increment();
+      }
+      return group_status;
+    }
+  }
+
+  result.sim_seconds = result.compute_seconds + result.comm_seconds;
+  if (result.sim_seconds > 0.0) {
+    result.teps = static_cast<double>(graph.edge_count()) *
+                  static_cast<double>(sources.size()) / result.sim_seconds;
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  if (metrics != nullptr) {
+    metrics->GetGauge("comm.partitions")->Set(static_cast<double>(P));
+    metrics->GetGauge("comm.seconds")->Set(result.comm_seconds);
+    metrics->GetGauge("comm.edge_imbalance")->Set(result.edge_imbalance);
+    metrics->GetCounter("comm.bytes_on_wire")->Increment(result.bytes_on_wire);
+    metrics->GetCounter("comm.rounds")->Increment(result.comm_rounds);
+    metrics->GetCounter("comm.supersteps")->Increment(result.supersteps);
   }
   return result;
 }

@@ -90,6 +90,67 @@ obs::RunReport BuildRunReport(const std::string& graph_name,
   return report;
 }
 
+obs::RunReport BuildPartitionedRunReport(const std::string& graph_name,
+                                         const graph::Csr& graph,
+                                         const EngineOptions& options,
+                                         int64_t instances,
+                                         const PartitionedRunResult& result) {
+  obs::RunReport report;
+  report.graph = graph_name;
+  report.vertex_count = graph.vertex_count();
+  report.edge_count = graph.edge_count();
+  report.strategy = StrategyName(options.strategy);
+  report.grouping = GroupingPolicyName(options.grouping);
+  report.instances = instances;
+  report.group_size = options.group_size;
+
+  report.sim_seconds = result.sim_seconds;
+  report.wall_seconds = result.wall_seconds;
+  report.teps = result.teps;
+
+  report.groups.reserve(result.group_sources.size());
+  for (size_t g = 0; g < result.group_sources.size(); ++g) {
+    obs::ReportGroup out;
+    out.index = static_cast<int>(g);
+    out.instance_count = static_cast<int>(result.group_sources[g].size());
+    out.sources.reserve(result.group_sources[g].size());
+    for (graph::VertexId s : result.group_sources[g]) {
+      out.sources.push_back(static_cast<int64_t>(s));
+    }
+    report.groups.push_back(std::move(out));
+  }
+
+  std::vector<gpusim::ProfileRow> rows =
+      gpusim::ProfileRows(result.phases, result.totals, result.sim_seconds);
+  for (gpusim::ProfileRow& row : rows) {
+    if (row.phase == gpusim::kTotalRowName) {
+      report.totals = ToReportPhase(row);
+    } else {
+      report.phases.push_back(ToReportPhase(row));
+    }
+  }
+  return report;
+}
+
+void AttachPartitionSection(const PartitionedRunResult& result,
+                            obs::RunReport* report) {
+  report->has_comm = true;
+  obs::ReportComm& comm = report->comm;
+  comm.partitions = result.partitions;
+  comm.schedule = gpusim::CommScheduleName(result.schedule);
+  comm.link_gbps = result.link.bandwidth_gbps;
+  comm.link_us = result.link.latency_us;
+  comm.compute_seconds = result.compute_seconds;
+  comm.comm_seconds = result.comm_seconds;
+  comm.bytes_on_wire = result.bytes_on_wire;
+  comm.rounds = result.comm_rounds;
+  comm.supersteps = result.supersteps;
+  comm.edge_imbalance = result.edge_imbalance;
+  comm.partition_vertices = result.partition_vertices;
+  comm.partition_edges = result.partition_edges;
+  comm.device_seconds = result.device_seconds;
+}
+
 void AttachClusterSection(const ClusterRunResult& cluster,
                           gpusim::PlacementPolicy policy,
                           obs::RunReport* report) {

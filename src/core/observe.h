@@ -29,6 +29,19 @@ void AttachClusterSection(const ClusterRunResult& cluster,
                           gpusim::PlacementPolicy policy,
                           obs::RunReport* report);
 
+/// Builds a run report from one 1D-partitioned run: workload and headline
+/// fields plus the profile table aggregated over all partitions. Group rows
+/// carry sources only — the partitioned loop keeps no per-level traces.
+obs::RunReport BuildPartitionedRunReport(const std::string& graph_name,
+                                         const graph::Csr& graph,
+                                         const EngineOptions& options,
+                                         int64_t instances,
+                                         const PartitionedRunResult& result);
+
+/// Attaches the partitioned-execution "comm" section to an existing report.
+void AttachPartitionSection(const PartitionedRunResult& result,
+                            obs::RunReport* report);
+
 }  // namespace ibfs
 
 #endif  // IBFS_CORE_OBSERVE_H_

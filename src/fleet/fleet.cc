@@ -99,15 +99,33 @@ double FleetStats::Imbalance() const {
     ++live;
   }
   if (live == 0 || sum == 0) return 0.0;
+  // Weighted fleets are judged against each shard's ring weight share;
+  // without weight info every live shard is assumed to carry an equal
+  // share, which reduces to the classic max(routed)/mean(routed).
+  //
+  // The load fractions below are normalized over *live* traffic, so the
+  // shares must be renormalized over live shards too: weight_share spans
+  // the whole fleet (summing to 1 with down shards included), and the
+  // equal-share fallback 1/live only matches that scale when every shard
+  // has weight info or none does. Dividing each effective share by their
+  // live-shard sum keeps the two normalizations consistent, so a fleet
+  // routing exactly proportionally to its weights scores 1.0 even when
+  // shards are down or only some shards carry weight info.
+  const auto effective_share = [&](size_t s) {
+    return s < weight_share.size() && weight_share[s] > 0.0
+               ? weight_share[s]
+               : 1.0 / static_cast<double>(live);
+  };
+  double share_sum = 0.0;
+  for (size_t s = 0; s < routed.size(); ++s) {
+    if (s < health.size() && health[s] == ShardHealth::kDown) continue;
+    share_sum += effective_share(s);
+  }
+  if (share_sum <= 0.0) return 0.0;
   double worst = 0.0;
   for (size_t s = 0; s < routed.size(); ++s) {
     if (s < health.size() && health[s] == ShardHealth::kDown) continue;
-    // Weighted fleets are judged against each shard's ring weight share;
-    // without weight info every live shard is assumed to carry an equal
-    // share, which reduces to the classic max(routed)/mean(routed).
-    const double share = s < weight_share.size() && weight_share[s] > 0.0
-                             ? weight_share[s]
-                             : 1.0 / static_cast<double>(live);
+    const double share = effective_share(s) / share_sum;
     const double load = static_cast<double>(routed[s]) /
                         static_cast<double>(sum);
     worst = std::max(worst, load / share);

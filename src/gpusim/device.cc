@@ -177,6 +177,27 @@ void Device::FinishKernel(KernelScope* scope) {
   --open_kernels_;
 }
 
+void Device::ChargeCommSeconds(PhaseId phase, double seconds) {
+  IBFS_CHECK(phase >= 0 && static_cast<size_t>(phase) < phase_slots_.size());
+  if (seconds <= 0.0) return;
+  const PhaseSlot& slot = phase_slots_[static_cast<size_t>(phase)];
+  if (observer_.tracing()) {
+    std::vector<obs::TraceArg> span_args;
+    if (!observer_.context.empty()) {
+      span_args.push_back(obs::Arg("ctx", observer_.context));
+    }
+    observer_.tracer->CompleteSpan(observer_.track, *slot.name, "comm",
+                                   elapsed_seconds_ * 1e6, seconds * 1e6,
+                                   std::move(span_args));
+  }
+  KernelStats stats;
+  stats.seconds = seconds;
+  stats.launch_count = 0;
+  elapsed_seconds_ += seconds;
+  totals_.Add(stats);
+  slot.stats->Add(stats);
+}
+
 void Device::SetFaultInjector(FaultInjector* injector) {
   fault_injector_ = injector;
 }

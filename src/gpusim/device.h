@@ -296,6 +296,15 @@ class Device {
     return *phase_slots_[static_cast<size_t>(phase)].name;
   }
 
+  /// Charges `seconds` of inter-device communication (a frontier exchange
+  /// modeled by FrontierExchangeCost) to this device's timeline under
+  /// `phase`: advances the simulated clock, folds one launch-less entry
+  /// into the phase/total stats, and emits a "comm" trace span when
+  /// observing. Comm time is wall time the device spends synchronized in
+  /// the exchange, so it is *not* stretched by a straggler injector and
+  /// cannot fault — only kernels launch.
+  void ChargeCommSeconds(PhaseId phase, double seconds);
+
   /// Clears all counters, simulated time, and interned phases. No kernel
   /// scope may be open (open scopes hold phase slots).
   void ResetStats();

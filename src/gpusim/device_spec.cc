@@ -12,6 +12,10 @@ DeviceSpec DeviceSpec::K20() {
   spec.clock_ghz = 0.706;
   spec.mem_bandwidth_gbps = 208.0;
   spec.global_memory_bytes = int64_t{5} * 1024 * 1024 * 1024;
+  // Stampede ranks exchange over InfiniBand FDR: ~6 GB/s effective with
+  // ~2us MPI latency, not the in-box PCIe link of the K40 default.
+  spec.link_bandwidth_gbps = 6.0;
+  spec.link_latency_us = 2.0;
   return spec;
 }
 

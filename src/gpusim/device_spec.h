@@ -67,6 +67,13 @@ struct DeviceSpec {
   /// under the ~5us of an isolated synchronous launch.
   double kernel_launch_overhead_s = 2e-7;
 
+  /// Inter-device link for partitioned execution's frontier exchange
+  /// (gpusim::FrontierExchangeCost). Defaults model PCIe 3.0 x16 between
+  /// boards in one box: ~12 GB/s effective, ~5us one-way. The K20 Stampede
+  /// nodes talk over InfiniBand FDR instead (see K20()).
+  double link_bandwidth_gbps = 12.0;
+  double link_latency_us = 5.0;
+
   /// The K40 configuration used throughout the single-GPU evaluation.
   static DeviceSpec K40();
   /// The K20 configuration of the 112-GPU Stampede experiment (Fig. 17).

@@ -7,6 +7,52 @@
 
 namespace ibfs::gpusim {
 
+const char* CommScheduleName(CommSchedule schedule) {
+  switch (schedule) {
+    case CommSchedule::kAllGather:
+      return "allgather";
+    case CommSchedule::kButterfly:
+      return "butterfly";
+  }
+  return "unknown";
+}
+
+CommCost FrontierExchangeCost(CommSchedule schedule, int participants,
+                              int64_t bytes_per_rank, const LinkSpec& link) {
+  CommCost cost;
+  if (participants <= 1 || bytes_per_rank <= 0) return cost;
+  IBFS_CHECK(link.bandwidth_gbps > 0.0 && link.latency_us >= 0.0);
+  const int64_t p = participants;
+  // Every rank must end up with every other rank's slice, so (P-1) slices
+  // cross each rank's link regardless of schedule; fleet-wide that is
+  // P * (P-1) slices on the wire.
+  cost.bytes_on_wire = p * (p - 1) * bytes_per_rank;
+  const double slice_seconds =
+      static_cast<double>(bytes_per_rank) / (link.bandwidth_gbps * 1e9);
+  const double latency_s = link.latency_us * 1e-6;
+  switch (schedule) {
+    case CommSchedule::kAllGather:
+      // Ring: round r forwards one slice; P-1 rounds, each latency + one
+      // slice of serialization.
+      cost.rounds = p - 1;
+      cost.seconds = static_cast<double>(p - 1) * (latency_s + slice_seconds);
+      break;
+    case CommSchedule::kButterfly: {
+      // Recursive doubling: round r exchanges 2^r slices, so the payload
+      // term is the same (P-1) slices but only ceil(log2 P) latencies are
+      // serialized. Non-power-of-two P pays the same ceil(log2 P) rounds
+      // with a final fix-up round folded in.
+      int64_t rounds = 0;
+      for (int64_t reach = 1; reach < p; reach <<= 1) ++rounds;
+      cost.rounds = rounds;
+      cost.seconds = static_cast<double>(rounds) * latency_s +
+                     static_cast<double>(p - 1) * slice_seconds;
+      break;
+    }
+  }
+  return cost;
+}
+
 int64_t ContiguousTransactions(int64_t start_elem, int64_t count,
                                int elem_bytes, int seg_bytes,
                                int warp_size) {

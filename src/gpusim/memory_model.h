@@ -143,6 +143,50 @@ class ContiguousRunAggregator {
   std::vector<int64_t> table_;
 };
 
+/// Inter-device frontier-exchange schedules for partitioned execution.
+/// Both move the same payload (every rank ends up holding every rank's
+/// frontier slice); they differ in how many latency-bound rounds the
+/// schedule serializes.
+enum class CommSchedule {
+  /// Ring all-gather: P-1 rounds, each forwarding one rank-sized slice.
+  kAllGather,
+  /// Butterfly (recursive-doubling) all-gather: ceil(log2 P) rounds with
+  /// doubling slice sizes — same bytes on the wire, fewer latency terms.
+  kButterfly,
+};
+
+/// Returns "allgather" / "butterfly".
+const char* CommScheduleName(CommSchedule schedule);
+
+/// Inter-device link description (bandwidth/latency come from DeviceSpec;
+/// the CLI can override both).
+struct LinkSpec {
+  /// Point-to-point link bandwidth in GB/s (1 GB = 1e9 bytes).
+  double bandwidth_gbps = 12.0;
+  /// One-way message latency in microseconds, paid once per round.
+  double latency_us = 5.0;
+};
+
+/// Modeled cost of one frontier exchange (one BFS superstep).
+struct CommCost {
+  /// Wall time of the exchange on the critical path.
+  double seconds = 0.0;
+  /// Total bytes crossing links fleet-wide: P * (P-1) * bytes_per_rank for
+  /// either schedule (all-gather moves every slice to every other rank).
+  int64_t bytes_on_wire = 0;
+  /// Latency-bound rounds the schedule serializes.
+  int64_t rounds = 0;
+};
+
+/// Cost of all-gathering `bytes_per_rank` bytes from each of `participants`
+/// ranks under `schedule` over `link`. The bandwidth term is identical for
+/// both schedules ((P-1) slices through each rank's link); the ring pays
+/// P-1 latencies where the butterfly pays ceil(log2 P) — so the butterfly
+/// wins whenever P >= 4 latency-bound exchanges matter, and ties at P <= 2.
+/// Returns all-zero cost for participants <= 1 (nothing to exchange).
+CommCost FrontierExchangeCost(CommSchedule schedule, int participants,
+                              int64_t bytes_per_rank, const LinkSpec& link);
+
 /// Counters for one kernel (or one aggregated phase). Mirrors the NVIDIA
 /// profiler metrics the paper reports: gld/gst transactions, requests
 /// (one per warp memory instruction), and atomics.

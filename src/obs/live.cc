@@ -37,8 +37,16 @@ int64_t RollingWindow::EpochOf(double t_s) const {
 }
 
 void RollingWindow::Add(double now_s, double delta) {
-  const int64_t epoch = EpochOf(now_s);
+  int64_t epoch = EpochOf(now_s);
   std::lock_guard<std::mutex> lock(mu_);
+  // Backwards clock: a write within the live window lands in its own slot
+  // (still distinct from every newer epoch's ring index), but one older
+  // than the window would reset a slot that currently holds the *newest*
+  // data and stamp it with an ancient epoch. Clamp such writes to the
+  // latest time already seen — the write-side twin of Sum's read clamp.
+  if (epoch < latest_epoch_ - static_cast<int64_t>(ring_.size()) + 1) {
+    epoch = latest_epoch_;
+  }
   latest_epoch_ = std::max(latest_epoch_, epoch);
   Slot& slot = ring_[static_cast<size_t>(epoch % static_cast<int64_t>(
                          ring_.size()))];
@@ -85,8 +93,14 @@ int64_t RollingHistogram::EpochOf(double t_s) const {
 }
 
 void RollingHistogram::Observe(double now_s, double value) {
-  const int64_t epoch = EpochOf(now_s);
+  int64_t epoch = EpochOf(now_s);
   std::lock_guard<std::mutex> lock(mu_);
+  // Same backwards-clock clamp as RollingWindow::Add: an over-stale write
+  // must not reset the slot holding the newest samples.
+  if (epoch < latest_epoch_ - static_cast<int64_t>(ring_.size()) + 1) {
+    epoch = latest_epoch_;
+  }
+  latest_epoch_ = std::max(latest_epoch_, epoch);
   Slot& slot = ring_[static_cast<size_t>(epoch % static_cast<int64_t>(
                          ring_.size()))];
   if (slot.epoch != epoch) {
@@ -111,7 +125,10 @@ void RollingHistogram::Observe(double now_s, double value) {
 RollingHistogram::Merged RollingHistogram::MergeLocked(double now_s) const {
   Merged merged;
   merged.counts.assign(bounds_.size() + 1, 0);
-  const int64_t epoch = EpochOf(now_s);
+  // Stale reads see the window as of the latest time already written,
+  // matching RollingWindow::Sum — without the clamp a backwards `now_s`
+  // would silently hide the newest slots (slot.epoch > epoch).
+  const int64_t epoch = std::max(latest_epoch_, EpochOf(now_s));
   const int64_t oldest = epoch - static_cast<int64_t>(ring_.size()) + 1;
   for (const Slot& slot : ring_) {
     if (slot.epoch < oldest || slot.epoch > epoch || slot.count == 0) continue;

@@ -31,8 +31,11 @@ class MetricsRegistry;
 /// Clock model: every read/write takes an explicit `now_s` timestamp
 /// (seconds on any monotonic timeline — the service passes seconds since
 /// its start). Nothing here calls a clock, so window rotation is exactly
-/// testable with a fake clock. Callers must pass non-decreasing times;
-/// a stale `now_s` reads as of the latest time already seen.
+/// testable with a fake clock. Times should be non-decreasing, but a stale
+/// `now_s` is tolerated, never corrupting: a stale read sees the window as
+/// of the latest time already seen, a stale write still inside the window
+/// lands in its own slot, and a write older than the window is counted at
+/// the latest time (it must not reset the slot holding the newest data).
 
 /// Slotted sliding-window accumulator: the window [now - window_s, now] is
 /// covered by `slots` ring slots of window_s / slots seconds each; Add
@@ -110,6 +113,10 @@ class RollingHistogram {
   std::vector<double> bounds_;
   mutable std::mutex mu_;
   std::vector<Slot> ring_;
+  /// Newest epoch ever written; clamps stale reads (a stale `now_s` reads
+  /// as of the latest time seen) and over-stale writes (which would
+  /// otherwise reset the newest slot), mirroring RollingWindow.
+  int64_t latest_epoch_ = -1;
 };
 
 /// One completed query, as the access log and the flight recorder see it.

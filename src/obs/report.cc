@@ -150,6 +150,44 @@ void RunReport::WriteJson(std::ostream& os,
     w.EndObject();
   }
 
+  if (has_comm) {
+    w.Key("comm");
+    w.BeginObject();
+    w.Key("partitions");
+    w.Int(comm.partitions);
+    w.Key("schedule");
+    w.String(comm.schedule);
+    w.Key("link_gbps");
+    w.Double(comm.link_gbps);
+    w.Key("link_us");
+    w.Double(comm.link_us);
+    w.Key("compute_seconds");
+    w.Double(comm.compute_seconds);
+    w.Key("comm_seconds");
+    w.Double(comm.comm_seconds);
+    w.Key("bytes_on_wire");
+    w.Int(comm.bytes_on_wire);
+    w.Key("rounds");
+    w.Int(comm.rounds);
+    w.Key("supersteps");
+    w.Int(comm.supersteps);
+    w.Key("edge_imbalance");
+    w.Double(comm.edge_imbalance);
+    w.Key("partition_vertices");
+    w.BeginArray();
+    for (int64_t v : comm.partition_vertices) w.Int(v);
+    w.EndArray();
+    w.Key("partition_edges");
+    w.BeginArray();
+    for (int64_t e : comm.partition_edges) w.Int(e);
+    w.EndArray();
+    w.Key("device_seconds");
+    w.BeginArray();
+    for (double s : comm.device_seconds) w.Double(s);
+    w.EndArray();
+    w.EndObject();
+  }
+
   if (metrics != nullptr) {
     w.Key("metrics");
     w.Raw(metrics->ToJson());

@@ -68,6 +68,25 @@ struct ReportCluster {
   std::vector<double> device_seconds;
 };
 
+/// Partitioned-execution section (present for `cluster --partitions` runs):
+/// the 1D cut, the frontier-exchange cost model's inputs, and the
+/// compute/comm split of the simulated time.
+struct ReportComm {
+  int partitions = 0;
+  std::string schedule;  // "allgather" | "butterfly"
+  double link_gbps = 0.0;
+  double link_us = 0.0;
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  int64_t bytes_on_wire = 0;
+  int64_t rounds = 0;
+  int64_t supersteps = 0;
+  double edge_imbalance = 0.0;
+  std::vector<int64_t> partition_vertices;
+  std::vector<int64_t> partition_edges;
+  std::vector<double> device_seconds;
+};
+
 /// Top-level run report.
 struct RunReport {
   static constexpr const char* kSchema = "ibfs.run_report";
@@ -97,6 +116,9 @@ struct RunReport {
 
   bool has_cluster = false;
   ReportCluster cluster;
+
+  bool has_comm = false;
+  ReportComm comm;
 
   /// Serializes the report; when `metrics` is non-null its snapshot is
   /// embedded under the "metrics" key.

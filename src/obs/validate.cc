@@ -208,6 +208,30 @@ Status ValidateRunReport(const JsonValue& doc) {
     }
   }
 
+  if (const JsonValue* comm = doc.Find("comm")) {
+    if (!comm->is_object()) return Bad("report: comm is not an object");
+    if (RequireMember(*comm, "schedule", JsonValue::Kind::kString, &st,
+                      "report comm") == nullptr) {
+      return st;
+    }
+    for (const char* key :
+         {"partitions", "link_gbps", "link_us", "compute_seconds",
+          "comm_seconds", "bytes_on_wire", "rounds", "supersteps",
+          "edge_imbalance"}) {
+      if (RequireMember(*comm, key, JsonValue::Kind::kNumber, &st,
+                        "report comm") == nullptr) {
+        return st;
+      }
+    }
+    for (const char* key :
+         {"partition_vertices", "partition_edges", "device_seconds"}) {
+      if (RequireMember(*comm, key, JsonValue::Kind::kArray, &st,
+                        "report comm") == nullptr) {
+        return st;
+      }
+    }
+  }
+
   if (const JsonValue* metrics = doc.Find("metrics")) {
     IBFS_RETURN_NOT_OK(ValidateMetrics(*metrics));
   }

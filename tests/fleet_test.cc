@@ -259,6 +259,86 @@ TEST(HashRingAddTest, ReplicaSetsAreDistinctAndAlignWithFailover) {
   EXPECT_EQ(ring.ReplicasFor(1, 16).size(), 4u);
 }
 
+TEST(HashRingAddTest, ReplicasForCapsAtActiveShardCountAfterRemovals) {
+  HashRing::Options options;
+  options.vnodes = 32;
+  options.seed = 7;
+  HashRing ring(5, options);
+  ASSERT_TRUE(ring.Remove(1));
+  ASSERT_TRUE(ring.Remove(3));
+  for (uint64_t key = 0; key < 256; ++key) {
+    // Asking for more replicas than the ring has active shards returns
+    // every distinct active shard once — never a removed id, never a
+    // duplicate padding the set out to the requested size.
+    const std::vector<int> replicas = ring.ReplicasFor(key, 8);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas[0], ring.ShardFor(key));
+    std::vector<int> sorted = replicas;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 2, 4}));
+  }
+  EXPECT_TRUE(ring.ReplicasFor(1, 0).empty());
+  HashRing empty(0, options);
+  EXPECT_TRUE(empty.ReplicasFor(1, 3).empty());
+}
+
+// ------------------------------------------------------- stats imbalance --
+
+TEST(FleetImbalanceTest, UnweightedReducesToMaxOverMean) {
+  FleetStats stats;
+  stats.routed = {10, 20, 30};
+  stats.health.assign(3, ShardHealth::kHealthy);
+  EXPECT_NEAR(stats.Imbalance(), 1.5, 1e-12);  // 30 / mean(20)
+}
+
+TEST(FleetImbalanceTest, ProportionalWeightedRoutingScoresOne) {
+  FleetStats stats;
+  stats.routed = {300, 100, 100, 100};
+  stats.health.assign(4, ShardHealth::kHealthy);
+  stats.weight = {3, 1, 1, 1};
+  stats.weight_share = {0.5, 1.0 / 6, 1.0 / 6, 1.0 / 6};
+  EXPECT_NEAR(stats.Imbalance(), 1.0, 1e-12);
+}
+
+TEST(FleetImbalanceTest, DownShardDoesNotBiasTheWeightedScore) {
+  // Regression: weight_share spans the whole fleet (down shards included)
+  // while the load fractions only see live traffic. Without renormalizing
+  // the shares over live shards, this proportionally-routed fleet scored
+  // 1 / (1 - dead_share) = 2.0 instead of 1.0.
+  FleetStats stats;
+  stats.routed = {600, 200, 200, 0};
+  stats.health = {ShardHealth::kHealthy, ShardHealth::kHealthy,
+                  ShardHealth::kHealthy, ShardHealth::kDown};
+  stats.weight_share = {0.3, 0.1, 0.1, 0.5};
+  EXPECT_NEAR(stats.Imbalance(), 1.0, 1e-12);
+}
+
+TEST(FleetImbalanceTest, MixedWeightInfoUsesOneNormalization) {
+  // Shard 2 predates weight tracking (share 0 -> equal-share fallback).
+  // The fallback 1/live lives on a different scale than the ring shares,
+  // so all three are renormalized by their sum (0.5 + 0.25 + 1/3); routing
+  // exactly by the renormalized shares must still score 1.0.
+  FleetStats stats;
+  stats.health.assign(3, ShardHealth::kHealthy);
+  stats.weight_share = {0.5, 0.25, 0.0};
+  const double fallback = 1.0 / 3.0;
+  const double sum = 0.5 + 0.25 + fallback;
+  stats.routed = {static_cast<int64_t>(1e6 * 0.5 / sum),
+                  static_cast<int64_t>(1e6 * 0.25 / sum),
+                  static_cast<int64_t>(1e6 * fallback / sum)};
+  EXPECT_NEAR(stats.Imbalance(), 1.0, 1e-3);
+}
+
+TEST(FleetImbalanceTest, NoLiveTrafficIsZero) {
+  FleetStats stats;
+  stats.routed = {0, 0};
+  stats.health.assign(2, ShardHealth::kHealthy);
+  EXPECT_EQ(stats.Imbalance(), 0.0);
+  stats.routed = {5, 9};
+  stats.health.assign(2, ShardHealth::kDown);
+  EXPECT_EQ(stats.Imbalance(), 0.0);
+}
+
 // --------------------------------------------------- hedge state machine --
 
 using Leg = HedgeStateMachine::Leg;

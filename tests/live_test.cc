@@ -65,6 +65,33 @@ TEST(LiveWindow, StaleReadUsesLatestTime) {
   EXPECT_DOUBLE_EQ(w.Sum(0.0), 1.0);
 }
 
+TEST(LiveWindow, StaleWriteInsideWindowLandsInItsOwnSlot) {
+  // 10 slots of 1 s. A write 5 s behind the newest one is still inside
+  // the window: it must keep its own timestamp (own slot) so it ages out
+  // 5 s earlier than the newest sample, not be counted at the wrong time.
+  RollingWindow w(10.0, 10);
+  w.Add(50.0, 1.0);
+  w.Add(45.0, 2.0);
+  EXPECT_DOUBLE_EQ(w.Sum(50.0), 3.0);
+  // At t=56 the t=45 sample has expired; the t=50 one remains.
+  EXPECT_DOUBLE_EQ(w.Sum(56.0), 1.0);
+}
+
+TEST(LiveWindow, OverStaleWriteDoesNotDestroyTheNewestSlot) {
+  // Regression: epochs 50 and 10 map to the same ring index (both mod 10
+  // = 0). Before the write-side clamp, the t=10 write reset that slot and
+  // stamped it with the ancient epoch — silently destroying the newest
+  // sample AND losing its own. Now a write older than the window is
+  // counted at the latest time already seen.
+  RollingWindow w(10.0, 10);
+  w.Add(50.0, 1.0);
+  w.Add(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(w.Sum(50.0), 3.0);
+  // The clamped sample expires with the newest slot, not before.
+  EXPECT_DOUBLE_EQ(w.Sum(59.0), 3.0);
+  EXPECT_DOUBLE_EQ(w.Sum(100.0), 0.0);
+}
+
 TEST(LiveWindow, EmptyWindowIsZero) {
   RollingWindow w(5.0);
   EXPECT_DOUBLE_EQ(w.Sum(123.0), 0.0);
@@ -107,6 +134,32 @@ TEST(LiveHistogram, MinMaxTrackWindow) {
   // After the t=0 slot expires only the small sample remains.
   EXPECT_DOUBLE_EQ(h.Max(6.0), 2.0);
   EXPECT_DOUBLE_EQ(h.Min(6.0), 2.0);
+}
+
+TEST(LiveHistogram, StaleReadSeesTheWindowAsOfTheNewestWrite) {
+  const std::vector<double> bounds = PowerOfTwoBounds(1.0, 10);
+  RollingHistogram h(10.0, bounds, 10);
+  h.Observe(50.0, 4.0);
+  // Readers never travel back in time: a stale now_s reads the window as
+  // of the latest write, mirroring RollingWindow::Sum.
+  EXPECT_EQ(h.Count(0.0), 1);
+  EXPECT_DOUBLE_EQ(h.Max(0.0), 4.0);
+  EXPECT_GT(h.Percentile(0.0, 0.5), 0.0);
+}
+
+TEST(LiveHistogram, OverStaleObserveDoesNotDestroyTheNewestSlot) {
+  // Same regression as the RollingWindow twin: epochs 50 and 10 share a
+  // ring index, so before the clamp an over-stale Observe zeroed the slot
+  // holding the newest samples. Now it is counted at the latest time.
+  const std::vector<double> bounds = PowerOfTwoBounds(1.0, 10);
+  RollingHistogram h(10.0, bounds, 10);
+  h.Observe(50.0, 4.0);
+  h.Observe(10.0, 100.0);
+  EXPECT_EQ(h.Count(50.0), 2);
+  EXPECT_DOUBLE_EQ(h.Min(50.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.Max(50.0), 100.0);
+  // Both expire together with the newest slot.
+  EXPECT_EQ(h.Count(100.0), 0);
 }
 
 // ------------------------------------------------------------ LiveStats --

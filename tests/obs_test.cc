@@ -1,6 +1,8 @@
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -227,6 +229,48 @@ TEST(Metrics, PercentileSampleExactlyOnBucketBoundStaysInLowerBucket) {
   EXPECT_DOUBLE_EQ(h->Percentile(1.0), 4.0);
   EXPECT_GE(h->Percentile(0.5), 2.0);
   EXPECT_LE(h->Percentile(0.5), 4.0);
+}
+
+TEST(Metrics, BucketPercentileSingleOccupiedBucketSpansMinToMax) {
+  // Direct pin of the free estimator that windowed histograms share with
+  // Histogram::Percentile. One occupied interior bucket: the curve must
+  // interpolate exactly [min, max] with p=0 the min and p=100% the max.
+  const std::vector<double> bounds = PowerOfTwoBounds(1.0, 4);  // {1,2,4,8}
+  std::vector<int64_t> counts(bounds.size() + 1, 0);
+  counts[2] = 5;  // all mass in (2, 4]
+  EXPECT_DOUBLE_EQ(BucketPercentile(bounds, counts, 5, 2.5, 3.5, 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(BucketPercentile(bounds, counts, 5, 2.5, 3.5, 1.0), 3.5);
+  EXPECT_DOUBLE_EQ(BucketPercentile(bounds, counts, 5, 2.5, 3.5, 0.5),
+                   2.5 + 0.5 * (3.5 - 2.5));
+  // A count of one collapses the span: every p returns the sample.
+  std::vector<int64_t> one(bounds.size() + 1, 0);
+  one[2] = 1;
+  for (double p : {0.0, 0.3, 1.0}) {
+    EXPECT_DOUBLE_EQ(BucketPercentile(bounds, one, 1, 3.0, 3.0, p), 3.0);
+  }
+}
+
+TEST(Metrics, BucketPercentileBoundaryPsAndEmptyInput) {
+  const std::vector<double> bounds = PowerOfTwoBounds(1.0, 3);  // {1,2,4}
+  const std::vector<int64_t> empty(bounds.size() + 1, 0);
+  EXPECT_EQ(BucketPercentile(bounds, empty, 0, 0.0, 0.0, 0.5), 0.0);
+  // Mass split across first bucket and overflow: p=0 pins the observed
+  // min, p=100% the observed max, out-of-range p is clamped not UB, and
+  // the curve stays inside [min, max] everywhere between.
+  std::vector<int64_t> counts(bounds.size() + 1, 0);
+  counts[0] = 3;
+  counts[bounds.size()] = 3;
+  const double min = 0.5;
+  const double max = 9.0;
+  EXPECT_DOUBLE_EQ(BucketPercentile(bounds, counts, 6, min, max, 0.0), min);
+  EXPECT_DOUBLE_EQ(BucketPercentile(bounds, counts, 6, min, max, 1.0), max);
+  EXPECT_DOUBLE_EQ(BucketPercentile(bounds, counts, 6, min, max, -0.5), min);
+  EXPECT_DOUBLE_EQ(BucketPercentile(bounds, counts, 6, min, max, 2.0), max);
+  for (double p : {0.1, 0.5, 0.9}) {
+    const double v = BucketPercentile(bounds, counts, 6, min, max, p);
+    EXPECT_GE(v, min) << "p=" << p;
+    EXPECT_LE(v, max) << "p=" << p;
+  }
 }
 
 TEST(Metrics, SnapshotRoundTripsThroughValidator) {

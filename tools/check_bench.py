@@ -26,10 +26,20 @@ banded. ``--elastic-only`` runs the bench with
 sections — the fast availability smoke wired into ctest as
 ``fleet_elastic_smoke``.
 
+With ``--partition-binary`` it gates ``partition_bench`` against the
+committed ``BENCH_partition.json``: the baseline depth checksum, every
+point's ``checksum_match`` (partitioned depths bit-identical to the
+unpartitioned engine), and the deterministic comm-model outputs
+(compute/comm/sim seconds, bytes on wire, rounds, supersteps) are exact;
+the comm model's shape is asserted structurally (all-gather comm seconds
+grow monotonically with P, the butterfly beats the all-gather at P >= 4
+on identical byte volume); ``wall_seconds`` is banded.
+
 Usage:
   check_bench.py REPO_ROOT --binary PATH/TO/gpusim_bench [options]
   check_bench.py REPO_ROOT --fleet-binary PATH/TO/fleet_bench [options]
   check_bench.py REPO_ROOT --fleet-binary PATH --elastic-only
+  check_bench.py REPO_ROOT --partition-binary PATH/TO/partition_bench
 
 Exit status 0 on pass, 1 on any violation, 2 on harness errors.
 The serve section is skipped by default (slow, latency-noisy); pass
@@ -219,12 +229,138 @@ def check_fleet(args):
     return rc
 
 
+def check_partition(args):
+    """Gates partition_bench against the committed BENCH_partition.json."""
+    committed_path = args.committed or os.path.join(
+        args.root, "BENCH_partition.json"
+    )
+    try:
+        committed = load_committed(committed_path)
+    except OSError as e:
+        print(f"check_bench: cannot read {committed_path}: {e}")
+        return 2
+
+    config = committed.get("config", {})
+    env = dict(os.environ)
+    # Reproduce the committed workload exactly; the checksums and the
+    # deterministic comm-model outputs are only comparable at an
+    # identical graph / instance count / group size.
+    env["IBFS_GRAPH"] = str(committed.get("graph", "PK"))
+    env["IBFS_PARTITION_INSTANCES"] = str(config.get("instances", 64))
+    env["IBFS_PARTITION_GROUP"] = str(config.get("group_size", 32))
+    try:
+        fresh = run_bench(args.partition_binary, env)
+    except (subprocess.SubprocessError, OSError) as e:
+        print(f"check_bench: partition bench run failed: {e}")
+        return 2
+
+    rc = 0
+    want = committed.get("baseline", {}).get("depth_checksum")
+    got = fresh.get("baseline", {}).get("depth_checksum")
+    if want != got:
+        rc = fail(
+            f"partition baseline.depth_checksum: fresh {got!r} != committed "
+            f"{want!r} (deterministic answers drifted)"
+        )
+
+    def point_key(point):
+        return (point.get("partitions"), point.get("schedule"))
+
+    committed_points = {point_key(p): p for p in committed.get("points", [])}
+    fresh_points = fresh.get("points", [])
+    if {point_key(p) for p in fresh_points} != set(committed_points):
+        rc = fail("partition point set differs from the committed sweep")
+
+    # Exact: parity with the unpartitioned engine plus every deterministic
+    # model output. These are pure functions of (graph, P, schedule), so
+    # any drift is a real behavior change.
+    exact_keys = (
+        "compute_seconds",
+        "comm_seconds",
+        "sim_seconds",
+        "bytes_on_wire",
+        "rounds",
+        "supersteps",
+        "edge_imbalance",
+    )
+    for point in fresh_points:
+        p, schedule = point_key(point)
+        label = f"partition[P={p},{schedule}]"
+        if not point.get("checksum_match"):
+            rc = fail(f"{label} lost depth parity with the engine")
+        base = committed_points.get((p, schedule))
+        if base is None:
+            continue
+        for key in exact_keys:
+            if base.get(key) != point.get(key):
+                rc = fail(
+                    f"{label}.{key}: fresh {point.get(key)!r} != committed "
+                    f"{base.get(key)!r} (deterministic model output drifted)"
+                )
+
+    # Structural shape of the comm model, independent of committed values.
+    allgather = sorted(
+        (p for p in fresh_points if p.get("schedule") == "allgather"),
+        key=lambda p: p.get("partitions", 0),
+    )
+    for prev, cur in zip(allgather, allgather[1:]):
+        if cur.get("comm_seconds", 0) <= prev.get("comm_seconds", 0) and (
+            cur.get("partitions", 0) > 1
+        ):
+            rc = fail(
+                f"all-gather comm seconds did not grow from "
+                f"P={prev.get('partitions')} to P={cur.get('partitions')}"
+            )
+    by_key = {point_key(p): p for p in fresh_points}
+    for p in sorted({k[0] for k in by_key} - {1}):
+        ag = by_key.get((p, "allgather"))
+        bf = by_key.get((p, "butterfly"))
+        if ag is None or bf is None:
+            continue
+        if ag.get("bytes_on_wire") != bf.get("bytes_on_wire"):
+            rc = fail(f"schedules moved different byte volumes at P={p}")
+        if p >= 4 and bf.get("comm_seconds", 0) >= ag.get("comm_seconds", 0):
+            rc = fail(
+                f"butterfly did not beat the all-gather at P={p} "
+                f"({bf.get('comm_seconds')} vs {ag.get('comm_seconds')})"
+            )
+
+    # Banded: wall clock per point vs the committed run.
+    for point in fresh_points:
+        base = committed_points.get(point_key(point))
+        if base is None:
+            continue
+        want = base.get("wall_seconds")
+        got = point.get("wall_seconds")
+        if not want or not got:
+            continue
+        ratio = got / want
+        p, schedule = point_key(point)
+        status = "ok" if ratio <= args.tolerance else "REGRESSION"
+        print(
+            f"check_bench: partition[P={p},{schedule}].wall_seconds: "
+            f"{got:.4f}s vs committed {want:.4f}s ({ratio:.2f}x, band "
+            f"{args.tolerance:.1f}x) {status}"
+        )
+        if ratio > args.tolerance:
+            rc = fail(
+                f"partition[P={p},{schedule}].wall_seconds {ratio:.2f}x "
+                f"over committed, band {args.tolerance:.1f}x"
+            )
+    if rc == 0:
+        print("check_bench: partition PASS")
+    return rc
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("root", help="repository root (holds the bench JSONs)")
     parser.add_argument("--binary", default=None, help="gpusim_bench executable")
     parser.add_argument(
         "--fleet-binary", default=None, help="fleet_bench executable"
+    )
+    parser.add_argument(
+        "--partition-binary", default=None, help="partition_bench executable"
     )
     parser.add_argument(
         "--committed",
@@ -250,11 +386,25 @@ def main():
         "(IBFS_FLEET_SECTIONS=elastic) and gate just those",
     )
     args = parser.parse_args()
-    if args.binary is None and args.fleet_binary is None:
-        print("check_bench: pass --binary and/or --fleet-binary")
+    if (
+        args.binary is None
+        and args.fleet_binary is None
+        and args.partition_binary is None
+    ):
+        print(
+            "check_bench: pass --binary, --fleet-binary, and/or "
+            "--partition-binary"
+        )
         return 2
+    partition_rc = 0
+    if args.partition_binary is not None:
+        partition_rc = check_partition(args)
+        if partition_rc == 2 or (
+            args.binary is None and args.fleet_binary is None
+        ):
+            return partition_rc
     if args.binary is None:
-        return check_fleet(args)
+        return check_fleet(args) or partition_rc
     fleet_rc = 0
     if args.fleet_binary is not None:
         fleet_rc = check_fleet(args)
@@ -327,7 +477,7 @@ def main():
                 f"band {args.tolerance:.1f}x"
             )
 
-    rc = rc or fleet_rc
+    rc = rc or fleet_rc or partition_rc
     if rc == 0:
         print("check_bench: PASS")
     return rc

@@ -71,7 +71,10 @@ int Usage() {
                "            [--threads T]  host worker threads (0 = one per "
                "hardware thread,\n"
                "            1 = serial; results are identical either way)\n"
-               "  cluster:  run flags plus --gpus G [--lpt]\n"
+               "  cluster:  run flags plus --gpus G [--lpt], or partitioned\n"
+               "            execution: --partitions P\n"
+               "            [--comm-model allgather|butterfly]\n"
+               "            [--link-gbps B] [--link-us L]\n"
                "  serve:    run flags plus --qps Q --duration SECONDS\n"
                "            --max-batch N --max-delay-ms MS\n"
                "            --arrival poisson|bursty|uniform [--burst-size "
@@ -618,6 +621,52 @@ int CmdCluster(const Flags& flags) {
   ObsSession session(flags);
   EngineOptions opts = options.value();
   opts.observer = session.MakeObserver();
+
+  // --partitions switches to the 1D edge-partitioned path: the graph is
+  // spread over P devices and every BFS level ends in a modeled frontier
+  // exchange, instead of placing whole (independent) groups onto GPUs.
+  const int partitions = static_cast<int>(flags.GetInt("partitions", 0));
+  if (partitions > 0) {
+    PartitionRunOptions prun;
+    prun.partitions = partitions;
+    const std::string comm_model = flags.GetString("comm-model", "allgather");
+    if (comm_model == "allgather") {
+      prun.schedule = gpusim::CommSchedule::kAllGather;
+    } else if (comm_model == "butterfly") {
+      prun.schedule = gpusim::CommSchedule::kButterfly;
+    } else {
+      std::fprintf(stderr, "cluster: unknown --comm-model %s\n",
+                   comm_model.c_str());
+      return 1;
+    }
+    prun.link_gbps = flags.GetDouble("link-gbps", 0.0);
+    prun.link_us = flags.GetDouble("link-us", -1.0);
+    auto part_result = RunPartitioned(graph.value(), sources, opts, prun);
+    if (!part_result.ok()) {
+      std::fprintf(stderr, "cluster: %s\n",
+                   part_result.status().ToString().c_str());
+      return 1;
+    }
+    const PartitionedRunResult& res = part_result.value();
+    std::printf("partitions:      %d (%s, %.1f GB/s, %.1f us)\n",
+                res.partitions, gpusim::CommScheduleName(res.schedule),
+                res.link.bandwidth_gbps, res.link.latency_us);
+    std::printf("edge imbalance:  %.3f\n", res.edge_imbalance);
+    std::printf("compute time:    %.3f ms\n", res.compute_seconds * 1e3);
+    std::printf("comm time:       %.3f ms (%lld supersteps, %lld rounds)\n",
+                res.comm_seconds * 1e3,
+                static_cast<long long>(res.supersteps),
+                static_cast<long long>(res.comm_rounds));
+    std::printf("bytes on wire:   %lld\n",
+                static_cast<long long>(res.bytes_on_wire));
+    std::printf("total time:      %.3f ms\n", res.sim_seconds * 1e3);
+    std::printf("aggregate rate:  %.2f GTEPS\n", res.teps / 1e9);
+    obs::RunReport report = BuildPartitionedRunReport(
+        GraphLabel(flags), graph.value(), opts, instances, res);
+    AttachPartitionSection(res, &report);
+    return session.Flush("cluster", &report);
+  }
+
   auto result = RunOnCluster(graph.value(), sources, opts, gpus, policy);
   if (!result.ok()) {
     std::fprintf(stderr, "cluster: %s\n",
